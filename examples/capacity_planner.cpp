@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Capacity planner: for one workload, sweep the operand staging unit
+ * capacity and report runtime, energy, and preload behaviour — the
+ * per-application version of the paper's Figure 13 design-space study.
+ * Useful for sizing an OSU for a known workload mix.
+ *
+ *   ./build/examples/capacity_planner [benchmark]   (default: srad_v1)
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "workloads/rodinia.hh"
+
+using namespace regless;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "srad_v1";
+
+    sim::RunStats base = sim::runKernel(workloads::makeRodinia(name),
+                                        sim::ProviderKind::Baseline);
+    std::cout << "workload " << name << ": baseline " << base.cycles
+              << " cycles, " << base.energy.total() / 1e6
+              << " uJ total\n\n";
+    std::cout << sim::cell("entries", 9) << sim::cell("KB", 6)
+              << sim::cell("runtime", 9) << sim::cell("rf_energy", 11)
+              << sim::cell("gpu_energy", 12)
+              << sim::cell("osu_hit%", 10) << sim::cell("l1_req/kcyc", 12)
+              << "\n";
+
+    for (unsigned cap : {128u, 192u, 256u, 384u, 512u, 1024u, 2048u}) {
+        sim::RunStats stats =
+            sim::runRegless(workloads::makeRodinia(name), cap);
+        double total_pre = static_cast<double>(stats.totalPreloads());
+        double osu_pct =
+            total_pre > 0 ? 100.0 * stats.preloadSrcOsu / total_pre : 100;
+        double l1_per_kcyc =
+            1000.0 *
+            static_cast<double>(stats.l1PreloadReqs + stats.l1StoreReqs +
+                                stats.l1InvalidateReqs) /
+            static_cast<double>(stats.cycles);
+        std::cout << sim::cell(static_cast<double>(cap), 9, 0)
+                  << sim::cell(cap * regBytes / 1024.0, 6, 0)
+                  << sim::cell(static_cast<double>(stats.cycles) /
+                                   base.cycles,
+                               9)
+                  << sim::cell(stats.energy.registerStructures() /
+                                   base.energy.registerStructures(),
+                               11)
+                  << sim::cell(stats.energy.total() /
+                                   base.energy.total(),
+                               12)
+                  << sim::cell(osu_pct, 10, 1)
+                  << sim::cell(l1_per_kcyc, 12, 2) << "\n";
+    }
+    std::cout << "\nPick the smallest capacity whose runtime column is "
+                 "acceptable; the paper selects 512 for the full "
+                 "Rodinia suite.\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Scheduler study: the Figure 2 insight, interactively. Runs the whole
+ * Rodinia suite under GTO, two-level, and round-robin scheduling on
+ * the baseline register file and reports the per-100-cycle register
+ * working set and runtime — the observation that motivates activating
+ * only a subset of warps (paper section 2.1).
+ *
+ *   ./build/examples/scheduler_study
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/experiment.hh"
+#include "workloads/rodinia.hh"
+
+using namespace regless;
+
+namespace
+{
+
+struct Row
+{
+    double working_set_kb;
+    double runtime;
+};
+
+Row
+runWith(const std::string &name, arch::SchedulerPolicy policy,
+        double base_cycles)
+{
+    sim::GpuConfig cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Baseline);
+    cfg.sm.scheduler = policy;
+    sim::RunStats stats =
+        sim::runKernel(workloads::makeRodinia(name), cfg);
+    return Row{stats.meanWorkingSetBytes / 1024.0,
+               static_cast<double>(stats.cycles) / base_cycles};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << sim::cell("benchmark", 18) << sim::cell("gto_ws", 9)
+              << sim::cell("2lvl_ws", 9) << sim::cell("rr_ws", 9)
+              << sim::cell("2lvl_rt", 9) << sim::cell("rr_rt", 9)
+              << "\n";
+
+    std::vector<double> ws_ratio, rt_two;
+    for (const auto &name : workloads::rodiniaNames()) {
+        sim::RunStats base = sim::runKernel(workloads::makeRodinia(name),
+                                            sim::ProviderKind::Baseline);
+        double base_cycles = static_cast<double>(base.cycles);
+        Row gto{base.meanWorkingSetBytes / 1024.0, 1.0};
+        Row two = runWith(name, arch::SchedulerPolicy::TwoLevel,
+                          base_cycles);
+        Row rr = runWith(name, arch::SchedulerPolicy::Rr, base_cycles);
+        std::cout << sim::cell(name, 18)
+                  << sim::cell(gto.working_set_kb, 9, 1)
+                  << sim::cell(two.working_set_kb, 9, 1)
+                  << sim::cell(rr.working_set_kb, 9, 1)
+                  << sim::cell(two.runtime, 9) << sim::cell(rr.runtime, 9)
+                  << "\n";
+        if (gto.working_set_kb > 0)
+            ws_ratio.push_back(two.working_set_kb / gto.working_set_kb);
+        rt_two.push_back(two.runtime);
+    }
+    std::cout << "\nTwo-level vs GTO: working set x"
+              << geomean(ws_ratio) << ", runtime x" << geomean(rt_two)
+              << "\n";
+    std::cout << "The two-level scheduler shrinks the register working "
+                 "set (good for a small staging unit) but costs "
+                 "performance — RegLess instead gates warps with the "
+                 "capacity manager and keeps GTO.\n";
+    return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Build, test, and regenerate every paper artifact.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "================================================================"
+    echo "== $b"
+    echo "================================================================"
+    "$b"
+    echo
+done 2>&1 | tee bench_output.txt
+./build/examples/generate_report results.md
+echo "done: test_output.txt, bench_output.txt, results.md"

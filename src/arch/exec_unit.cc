@@ -1,0 +1,4 @@
+#include "arch/exec_unit.hh"
+
+// ExecLatencies is header-only; this file anchors the header in the
+// build so the target list stays uniform.

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Execution-unit latency model.
+ *
+ * Units are fully pipelined: an instruction issued at cycle t writes
+ * back at t + latency(class). Memory latency is computed by the memory
+ * system; the LSU latency here covers address generation and the
+ * shared-memory path.
+ */
+
+#ifndef REGLESS_ARCH_EXEC_UNIT_HH
+#define REGLESS_ARCH_EXEC_UNIT_HH
+
+#include "common/types.hh"
+#include "ir/instruction.hh"
+
+namespace regless::arch
+{
+
+/** Pipeline latencies per functional-unit class. */
+struct ExecLatencies
+{
+    Cycle alu = 6;
+    Cycle sfu = 20;
+    Cycle sharedMem = 28;
+    Cycle control = 1;
+
+    /** Latency for @a insn, excluding global-memory time. */
+    Cycle
+    latency(const ir::Instruction &insn) const
+    {
+        switch (insn.fuClass()) {
+          case ir::FuClass::Alu:
+            return alu;
+          case ir::FuClass::Sfu:
+            return sfu;
+          case ir::FuClass::Mem:
+            return insn.isSharedAccess() ? sharedMem : 0;
+          case ir::FuClass::Control:
+            return control;
+        }
+        return alu;
+    }
+};
+
+} // namespace regless::arch
+
+#endif // REGLESS_ARCH_EXEC_UNIT_HH

@@ -1,0 +1,118 @@
+#include "arch/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace regless::arch
+{
+
+SchedulerPolicy
+schedulerPolicyFromString(const std::string &name)
+{
+    if (name == "gto")
+        return SchedulerPolicy::Gto;
+    if (name == "two_level")
+        return SchedulerPolicy::TwoLevel;
+    if (name == "rr")
+        return SchedulerPolicy::Rr;
+    fatal("unknown scheduler policy '", name, "'");
+}
+
+std::unique_ptr<WarpScheduler>
+WarpScheduler::create(SchedulerPolicy policy, std::vector<WarpId> warps)
+{
+    switch (policy) {
+      case SchedulerPolicy::Gto:
+        return std::make_unique<GtoScheduler>(std::move(warps));
+      case SchedulerPolicy::TwoLevel:
+        return std::make_unique<TwoLevelScheduler>(std::move(warps), 4);
+      case SchedulerPolicy::Rr:
+        return std::make_unique<RrScheduler>(std::move(warps));
+    }
+    panic("bad scheduler policy");
+}
+
+int
+GtoScheduler::pick(const std::vector<bool> &eligible)
+{
+    if (_current >= 0 && eligible[_current])
+        return _current;
+    for (unsigned i = 0; i < eligible.size(); ++i) {
+        if (eligible[i]) {
+            _current = static_cast<int>(i);
+            return _current;
+        }
+    }
+    _current = -1;
+    return -1;
+}
+
+TwoLevelScheduler::TwoLevelScheduler(std::vector<WarpId> warps,
+                                     unsigned active_size,
+                                     unsigned promotion_delay)
+    : WarpScheduler(std::move(warps)),
+      _activeSize(active_size),
+      _promotionDelay(promotion_delay),
+      _readyAt(_warps.size(), 0)
+{
+    for (unsigned i = 0; i < _warps.size(); ++i) {
+        if (i < _activeSize)
+            _active.push_back(i);
+        else
+            _pending.push_back(i);
+    }
+}
+
+int
+TwoLevelScheduler::pick(const std::vector<bool> &eligible)
+{
+    ++_cycle;
+    // Round-robin within the active pool; freshly promoted warps wait
+    // out their instruction-buffer refill.
+    for (std::size_t tries = 0; tries < _active.size(); ++tries) {
+        unsigned idx = _active.front();
+        _active.pop_front();
+        _active.push_back(idx);
+        if (eligible[idx] && _cycle >= _readyAt[idx])
+            return static_cast<int>(idx);
+    }
+    return -1;
+}
+
+void
+TwoLevelScheduler::notifyLongStall(WarpId warp)
+{
+    // Demote the stalled warp; promote the oldest pending warp.
+    auto it = std::find_if(_active.begin(), _active.end(),
+                           [&](unsigned idx) {
+                               return _warps[idx] == warp;
+                           });
+    if (it == _active.end())
+        return;
+    unsigned idx = *it;
+    _active.erase(it);
+    if (!_pending.empty()) {
+        unsigned promoted = _pending.front();
+        _pending.pop_front();
+        _readyAt[promoted] = _cycle + _promotionDelay;
+        _active.push_back(promoted);
+    }
+    _pending.push_back(idx);
+}
+
+int
+RrScheduler::pick(const std::vector<bool> &eligible)
+{
+    const unsigned n = static_cast<unsigned>(eligible.size());
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned idx = (_next + i) % n;
+        if (eligible[idx]) {
+            _next = (idx + 1) % n;
+            return static_cast<int>(idx);
+        }
+    }
+    return -1;
+}
+
+} // namespace regless::arch

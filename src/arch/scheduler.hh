@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Warp schedulers: GTO (greedy-then-oldest, the baseline), two-level
+ * (used by the RFH comparison and Figure 2), and loose round-robin.
+ *
+ * A scheduler only *orders* warps; eligibility (scoreboard, barriers,
+ * register-provider gating) is decided by the SM and passed in.
+ */
+
+#ifndef REGLESS_ARCH_SCHEDULER_HH
+#define REGLESS_ARCH_SCHEDULER_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace regless::arch
+{
+
+/** Scheduler policy selector. */
+enum class SchedulerPolicy
+{
+    Gto,      ///< greedy-then-oldest (baseline, Table 1)
+    TwoLevel, ///< active pool + pending pool [9]
+    Rr,       ///< loose round-robin
+};
+
+/** Parse "gto" / "two_level" / "rr". */
+SchedulerPolicy schedulerPolicyFromString(const std::string &name);
+
+/** Abstract warp picker for one scheduling group. */
+class WarpScheduler
+{
+  public:
+    explicit WarpScheduler(std::vector<WarpId> warps)
+        : _warps(std::move(warps))
+    {
+    }
+
+    virtual ~WarpScheduler() = default;
+
+    /**
+     * Pick the warp to issue from this cycle.
+     *
+     * @param eligible eligible[i] says whether supervised warp i (by
+     *        position in warps()) can issue right now.
+     * @return index into warps(), or -1 when nothing is eligible.
+     */
+    virtual int pick(const std::vector<bool> &eligible) = 0;
+
+    /**
+     * Feedback: the warp picked last cycle stalled on a long-latency
+     * operation (used by the two-level scheduler for demotion).
+     */
+    virtual void notifyLongStall(WarpId) {}
+
+    const std::vector<WarpId> &warps() const { return _warps; }
+
+    /** Factory for @a policy over @a warps. */
+    static std::unique_ptr<WarpScheduler>
+    create(SchedulerPolicy policy, std::vector<WarpId> warps);
+
+  protected:
+    std::vector<WarpId> _warps;
+};
+
+/**
+ * Greedy-then-oldest: keep issuing from the same warp until it cannot
+ * issue, then fall back to the oldest (lowest slot) eligible warp.
+ */
+class GtoScheduler : public WarpScheduler
+{
+  public:
+    explicit GtoScheduler(std::vector<WarpId> warps)
+        : WarpScheduler(std::move(warps))
+    {
+    }
+
+    int pick(const std::vector<bool> &eligible) override;
+
+  private:
+    int _current = -1;
+};
+
+/**
+ * Two-level scheduler [9]: a small active pool is scheduled
+ * round-robin; warps that stall on long-latency operations are demoted
+ * to the pending pool and replaced by the oldest pending warp.
+ */
+class TwoLevelScheduler : public WarpScheduler
+{
+  public:
+    /**
+     * @param active_size Warps in the active pool.
+     * @param promotion_delay pick() calls (cycles) a freshly promoted
+     *        warp needs before it can issue (ibuffer refill) — the
+     *        main reason GTO outperforms two-level scheduling [56].
+     */
+    TwoLevelScheduler(std::vector<WarpId> warps, unsigned active_size,
+                      unsigned promotion_delay = 30);
+
+    int pick(const std::vector<bool> &eligible) override;
+    void notifyLongStall(WarpId warp) override;
+
+    /** Warps currently in the active pool (exposed for Figure 2). */
+    const std::deque<unsigned> &activePool() const { return _active; }
+
+  private:
+    unsigned _activeSize;
+    unsigned _promotionDelay;
+    std::uint64_t _cycle = 0;
+    std::deque<unsigned> _active;  ///< indices into warps()
+    std::deque<unsigned> _pending; ///< indices into warps()
+    std::vector<std::uint64_t> _readyAt; ///< per warp index
+};
+
+/** Loose round-robin over all supervised warps. */
+class RrScheduler : public WarpScheduler
+{
+  public:
+    explicit RrScheduler(std::vector<WarpId> warps)
+        : WarpScheduler(std::move(warps))
+    {
+    }
+
+    int pick(const std::vector<bool> &eligible) override;
+
+  private:
+    unsigned _next = 0;
+};
+
+} // namespace regless::arch
+
+#endif // REGLESS_ARCH_SCHEDULER_HH

@@ -1,0 +1,53 @@
+#include "arch/scoreboard.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace regless::arch
+{
+
+Scoreboard::Scoreboard(unsigned num_warps, unsigned num_regs)
+    : _numRegs(num_regs), _readyCycle(num_warps * num_regs, 0)
+{
+}
+
+bool
+Scoreboard::ready(WarpId warp, const ir::Instruction &insn,
+                  Cycle now) const
+{
+    for (RegId src : insn.srcs()) {
+        if (readyAt(warp, src) > now)
+            return false;
+    }
+    if (insn.writesReg() && readyAt(warp, insn.dst()) > now)
+        return false;
+    return true;
+}
+
+void
+Scoreboard::recordWrite(WarpId warp, const ir::Instruction &insn,
+                        Cycle when)
+{
+    if (!insn.writesReg())
+        return;
+    _readyCycle.at(warp * _numRegs + insn.dst()) = when;
+}
+
+Cycle
+Scoreboard::readyAt(WarpId warp, RegId reg) const
+{
+    return _readyCycle.at(warp * _numRegs + reg);
+}
+
+Cycle
+Scoreboard::lastPendingWrite(WarpId warp,
+                             const std::vector<RegId> &regs) const
+{
+    Cycle latest = 0;
+    for (RegId reg : regs)
+        latest = std::max(latest, readyAt(warp, reg));
+    return latest;
+}
+
+} // namespace regless::arch

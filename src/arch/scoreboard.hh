@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Register-dependency scoreboard.
+ *
+ * Because the timing model resolves every operation's completion cycle
+ * at issue, the scoreboard simply records per-(warp, register) ready
+ * cycles: an instruction may issue when all sources and its
+ * destination are ready (RAW and WAW; WAR is safe with in-order issue
+ * per warp).
+ */
+
+#ifndef REGLESS_ARCH_SCOREBOARD_HH
+#define REGLESS_ARCH_SCOREBOARD_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "ir/instruction.hh"
+
+namespace regless::arch
+{
+
+/** Per-SM scoreboard over all warps' registers. */
+class Scoreboard
+{
+  public:
+    Scoreboard(unsigned num_warps, unsigned num_regs);
+
+    /** @return true when @a insn's operands are ready for @a warp. */
+    bool ready(WarpId warp, const ir::Instruction &insn, Cycle now) const;
+
+    /** Record that @a insn's destination becomes ready at @a when. */
+    void recordWrite(WarpId warp, const ir::Instruction &insn,
+                     Cycle when);
+
+    /** Ready cycle of a specific register (for drain tracking). */
+    Cycle readyAt(WarpId warp, RegId reg) const;
+
+    /** Latest pending-write cycle across @a regs for @a warp. */
+    Cycle lastPendingWrite(WarpId warp,
+                           const std::vector<RegId> &regs) const;
+
+  private:
+    unsigned _numRegs;
+    std::vector<Cycle> _readyCycle; ///< [warp * numRegs + reg]
+};
+
+} // namespace regless::arch
+
+#endif // REGLESS_ARCH_SCOREBOARD_HH

@@ -1,0 +1,424 @@
+#include "arch/sm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace regless::arch
+{
+
+Sm::Sm(const compiler::CompiledKernel &ck, mem::MemorySystem &mem,
+       regfile::RegisterProvider &provider, const SmConfig &config)
+    : _ck(ck),
+      _kernel(ck.kernel()),
+      _mem(mem),
+      _provider(provider),
+      _cfg(config),
+      _cfgAnalysis(_kernel),
+      _scoreboard(config.numWarps, _kernel.numRegs()),
+      _stats("sm"),
+      _issued(_stats.counter("insns_issued")),
+      _cyclesIdle(_stats.counter("scheduler_idle_picks")),
+      _stallScoreboard(_stats.counter("stall_scoreboard")),
+      _stallProvider(_stats.counter("stall_provider")),
+      _stallPort(_stats.counter("stall_l1_port")),
+      _divergentBranches(_stats.counter("divergent_branches")),
+      _memTransactions(_stats.counter("global_mem_transactions"))
+{
+    if (_cfg.numWarps % _cfg.numSchedulers != 0)
+        fatal("warps must divide evenly among schedulers");
+
+    const unsigned wpb = _kernel.warpsPerBlock();
+    _warps.reserve(_cfg.numWarps);
+    for (WarpId w = 0; w < _cfg.numWarps; ++w)
+        _warps.emplace_back(w, w / wpb, _kernel.numRegs());
+
+    // Residency: admit thread blocks up to the occupancy limit.
+    _resident.assign(_cfg.numWarps, _cfg.maxResidentWarps == 0);
+    if (_cfg.maxResidentWarps != 0)
+        admitBlocks();
+
+    // Interleaved assignment: warp w belongs to group w % numSchedulers
+    // (matches how consecutive warps spread across GTX 980 schedulers).
+    for (unsigned g = 0; g < _cfg.numSchedulers; ++g) {
+        std::vector<WarpId> group;
+        for (WarpId w = g; w < _cfg.numWarps; w += _cfg.numSchedulers)
+            group.push_back(w);
+        _schedulers.push_back(
+            WarpScheduler::create(_cfg.scheduler, std::move(group)));
+    }
+}
+
+bool
+Sm::done() const
+{
+    return std::all_of(_warps.begin(), _warps.end(),
+                       [](const Warp &w) { return w.finished(); });
+}
+
+Pc
+Sm::reconvergePcFor(ir::BlockId block) const
+{
+    ir::BlockId ipdom = _cfgAnalysis.immediatePostdominator(block);
+    if (ipdom == ir::invalidBlock)
+        return invalidPc;
+    return _kernel.block(ipdom).firstPc();
+}
+
+void
+Sm::admitBlocks()
+{
+    const unsigned wpb = _kernel.warpsPerBlock();
+    const unsigned num_blocks = _cfg.numWarps / wpb;
+    // Always keep at least one block admitted so progress is possible.
+    while (_nextBlockToAdmit < num_blocks &&
+           (_residentWarps == 0 ||
+            _residentWarps + wpb <= _cfg.maxResidentWarps)) {
+        for (WarpId w = _nextBlockToAdmit * wpb;
+             w < (_nextBlockToAdmit + 1) * wpb; ++w) {
+            _resident[w] = true;
+        }
+        _residentWarps += wpb;
+        ++_nextBlockToAdmit;
+    }
+}
+
+bool
+Sm::eligible(const Warp &warp, Cycle now, bool *long_stall)
+{
+    *long_stall = false;
+    if (!_resident[warp.id()])
+        return false;
+    if (warp.status() != WarpStatus::Running)
+        return false;
+    const ir::Instruction &insn = _kernel.insn(warp.pc());
+    if (!_scoreboard.ready(warp.id(), insn, now)) {
+        // Long-latency source? (feeds the two-level demotion)
+        for (RegId src : insn.srcs()) {
+            if (_scoreboard.readyAt(warp.id(), src) >
+                now + _cfg.longStallThreshold) {
+                *long_stall = true;
+            }
+        }
+        return false;
+    }
+    if (insn.isGlobalLoad() || insn.isGlobalStore()) {
+        if (!_mem.l1PortFree(now))
+            return false;
+    }
+    // The provider check comes last so its internal gating (e.g. the
+    // RegLess capacity manager) sees only otherwise-issuable warps.
+    return _provider.canIssue(warp, now);
+}
+
+std::vector<Addr>
+Sm::laneAddrs(const Warp &warp, const ir::Instruction &insn,
+              Addr base) const
+{
+    // Loads: address register is src 0; stores: src 1 (data is src 0).
+    const RegId addr_reg =
+        insn.isGlobalStore() || insn.op() == ir::Opcode::StShared
+            ? insn.srcs().at(1)
+            : insn.srcs().at(0);
+    const ir::LaneValues &av = warp.regValue(addr_reg);
+    std::vector<Addr> addrs(warpSize);
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        addrs[lane] = base + static_cast<Addr>(av[lane]) +
+                      static_cast<Addr>(insn.imm());
+    }
+    return addrs;
+}
+
+std::vector<Addr>
+Sm::coalesce(const std::vector<Addr> &addrs, LaneMask mask) const
+{
+    std::vector<Addr> lines;
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        if (!(mask & (1u << lane)))
+            continue;
+        Addr line = mem::lineAddr(addrs[lane]);
+        if (std::find(lines.begin(), lines.end(), line) == lines.end())
+            lines.push_back(line);
+    }
+    return lines;
+}
+
+void
+Sm::execAlu(Warp &warp, const ir::Instruction &insn, Cycle now)
+{
+    ir::LaneValues result{};
+    if (insn.op() == ir::Opcode::Tid) {
+        for (unsigned lane = 0; lane < warpSize; ++lane)
+            result[lane] = warp.threadBase() + lane;
+    } else if (insn.op() == ir::Opcode::CtaId) {
+        result.fill(warp.blockId());
+    } else {
+        std::vector<ir::LaneValues> srcs;
+        srcs.reserve(insn.srcs().size());
+        for (RegId src : insn.srcs())
+            srcs.push_back(warp.regValue(src));
+        result = insn.evaluate(srcs);
+    }
+    warp.writeReg(insn.dst(), result, warp.activeMask());
+    _scoreboard.recordWrite(warp.id(), insn,
+                            now + _cfg.latencies.latency(insn));
+    warp.stack().advance();
+}
+
+void
+Sm::execGlobalLoad(Warp &warp, const ir::Instruction &insn, Cycle now)
+{
+    LaneMask mask = warp.activeMask();
+    std::vector<Addr> addrs = laneAddrs(warp, insn, _cfg.dataBase);
+
+    ir::LaneValues result{};
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        if (mask & (1u << lane))
+            result[lane] = _mem.readWord(addrs[lane]);
+    }
+    warp.writeReg(insn.dst(), result, mask);
+
+    Cycle ready = now;
+    for (Addr line : coalesce(addrs, mask)) {
+        ++_memTransactions;
+        Cycle t = std::max(now, _mem.l1PortNextFree());
+        mem::MemAccessResult res =
+            _mem.access(line, /*is_write=*/false, mem::MemSpace::Data, t);
+        ready = std::max(ready, res.readyCycle);
+    }
+    _scoreboard.recordWrite(warp.id(), insn, ready);
+    warp.stack().advance();
+}
+
+void
+Sm::execGlobalStore(Warp &warp, const ir::Instruction &insn, Cycle now)
+{
+    LaneMask mask = warp.activeMask();
+    std::vector<Addr> addrs = laneAddrs(warp, insn, _cfg.dataBase);
+    const ir::LaneValues &data = warp.regValue(insn.srcs().at(0));
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        if (mask & (1u << lane))
+            _mem.writeWord(addrs[lane], data[lane]);
+    }
+    for (Addr line : coalesce(addrs, mask)) {
+        ++_memTransactions;
+        Cycle t = std::max(now, _mem.l1PortNextFree());
+        _mem.access(line, /*is_write=*/true, mem::MemSpace::Data, t);
+    }
+    warp.stack().advance();
+}
+
+void
+Sm::execShared(Warp &warp, const ir::Instruction &insn, Cycle now)
+{
+    LaneMask mask = warp.activeMask();
+    const Addr seg =
+        _cfg.sharedBase + (static_cast<Addr>(warp.blockId()) << 20);
+    std::vector<Addr> addrs = laneAddrs(warp, insn, seg);
+    if (insn.op() == ir::Opcode::LdShared) {
+        ir::LaneValues result{};
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (mask & (1u << lane))
+                result[lane] = _mem.readWord(addrs[lane]);
+        }
+        warp.writeReg(insn.dst(), result, mask);
+        _scoreboard.recordWrite(warp.id(), insn,
+                                now + _cfg.latencies.sharedMem);
+    } else {
+        const ir::LaneValues &data = warp.regValue(insn.srcs().at(0));
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (mask & (1u << lane))
+                _mem.writeWord(addrs[lane], data[lane]);
+        }
+    }
+    warp.stack().advance();
+}
+
+void
+Sm::execBranch(Warp &warp, const ir::Instruction &insn, Cycle now)
+{
+    (void)now;
+    LaneMask mask = warp.activeMask();
+    const ir::LaneValues &pred = warp.regValue(insn.srcs().at(0));
+    LaneMask taken = 0;
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        if ((mask & (1u << lane)) && pred[lane] != 0)
+            taken |= 1u << lane;
+    }
+    Pc rpc = reconvergePcFor(_kernel.blockOf(warp.pc()));
+    if (warp.stack().branch(taken, insn.target(), rpc))
+        ++_divergentBranches;
+}
+
+void
+Sm::checkBarrier(unsigned block_id)
+{
+    const unsigned wpb = _kernel.warpsPerBlock();
+    bool all_arrived = true;
+    for (Warp &w : _warps) {
+        if (w.blockId() != block_id)
+            continue;
+        if (w.status() == WarpStatus::Running) {
+            all_arrived = false;
+            break;
+        }
+    }
+    if (!all_arrived)
+        return;
+    (void)wpb;
+    for (Warp &w : _warps) {
+        if (w.blockId() == block_id &&
+            w.status() == WarpStatus::AtBarrier) {
+            w.setStatus(WarpStatus::Running);
+        }
+    }
+}
+
+void
+Sm::execBarrier(Warp &warp, Cycle now)
+{
+    (void)now;
+    warp.stack().advance();
+    warp.setStatus(WarpStatus::AtBarrier);
+    checkBarrier(warp.blockId());
+}
+
+void
+Sm::execExit(Warp &warp, Cycle now)
+{
+    warp.stack().exitLanes();
+    if (warp.stack().allExited()) {
+        warp.setStatus(WarpStatus::Finished);
+        _provider.onWarpFinished(warp, now);
+        checkBarrier(warp.blockId());
+        // If the whole block finished, its residency slots free up.
+        if (_cfg.maxResidentWarps != 0) {
+            const unsigned wpb = _kernel.warpsPerBlock();
+            bool block_done = true;
+            for (WarpId w = warp.blockId() * wpb;
+                 w < (warp.blockId() + 1) * wpb; ++w) {
+                block_done &= _warps[w].finished();
+            }
+            if (block_done) {
+                _residentWarps -= wpb;
+                admitBlocks();
+            }
+        }
+    }
+}
+
+void
+Sm::issue(Warp &warp, Cycle now)
+{
+    const Pc pc = warp.pc();
+    const ir::Instruction &insn = _kernel.insn(pc);
+    if (_issueHook)
+        _issueHook(warp, pc, insn, now);
+    Cycle delay = _provider.operandDelay(warp, insn, now);
+    Cycle t = now + delay;
+
+    switch (insn.fuClass()) {
+      case ir::FuClass::Alu:
+      case ir::FuClass::Sfu:
+        execAlu(warp, insn, t);
+        break;
+      case ir::FuClass::Mem:
+        if (insn.isGlobalLoad())
+            execGlobalLoad(warp, insn, t);
+        else if (insn.isGlobalStore())
+            execGlobalStore(warp, insn, t);
+        else
+            execShared(warp, insn, t);
+        break;
+      case ir::FuClass::Control:
+        if (insn.isBranch())
+            execBranch(warp, insn, t);
+        else if (insn.isJump())
+            warp.stack().jump(insn.target());
+        else if (insn.isBarrier())
+            execBarrier(warp, t);
+        else
+            execExit(warp, t);
+        break;
+    }
+
+    warp.countInsn();
+    ++_issued;
+    Cycle writeback =
+        insn.writesReg() ? _scoreboard.readyAt(warp.id(), insn.dst()) : t;
+    _provider.onIssue(warp, pc, insn, now, writeback);
+}
+
+void
+Sm::step()
+{
+    _provider.tick(_now);
+
+    for (auto &sched : _schedulers) {
+        const auto &group = sched->warps();
+        std::vector<bool> can(group.size(), false);
+        bool any = false;
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            bool long_stall = false;
+            can[i] = eligible(_warps[group[i]], _now, &long_stall);
+            any |= can[i];
+            // Warps blocked indefinitely (finished, at a barrier) must
+            // vacate a two-level scheduler's active pool, or pending
+            // warps never get promoted and the SM deadlocks.
+            if (long_stall ||
+                _warps[group[i]].status() != WarpStatus::Running) {
+                sched->notifyLongStall(group[i]);
+            }
+            // Stall attribution for the front runnable warp only would
+            // undercount; attribute per non-eligible running warp.
+            if (!can[i] &&
+                _warps[group[i]].status() == WarpStatus::Running) {
+                const Warp &w = _warps[group[i]];
+                const ir::Instruction &insn = _kernel.insn(w.pc());
+                if (!_scoreboard.ready(w.id(), insn, _now))
+                    ++_stallScoreboard;
+                else if ((insn.isGlobalLoad() || insn.isGlobalStore()) &&
+                         !_mem.l1PortFree(_now))
+                    ++_stallPort;
+                else
+                    ++_stallProvider;
+            }
+        }
+        if (!any) {
+            ++_cyclesIdle;
+            continue;
+        }
+        int picked = sched->pick(can);
+        if (picked < 0)
+            continue;
+        Warp &warp = _warps[group[picked]];
+        issue(warp, _now);
+        // Dual issue: a second independent instruction from the same
+        // warp, re-checked against the updated scoreboard.
+        for (unsigned extra = 1; extra < _cfg.issueWidth; ++extra) {
+            bool long_stall = false;
+            if (warp.status() != WarpStatus::Running ||
+                !eligible(warp, _now, &long_stall)) {
+                break;
+            }
+            issue(warp, _now);
+        }
+    }
+
+    ++_now;
+}
+
+Cycle
+Sm::run()
+{
+    while (!done()) {
+        step();
+        if (_now >= _cfg.maxCycles) {
+            fatal("kernel '", _kernel.name(), "' exceeded ",
+                  _cfg.maxCycles, " cycles; likely deadlock");
+        }
+    }
+    return _now;
+}
+
+} // namespace regless::arch

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Streaming multiprocessor (SM) timing model.
+ *
+ * Models one GTX-980-style SM: 64 warp slots split across 4 scheduling
+ * groups, dual issue per group, a scoreboard, SIMT divergence stacks,
+ * shared memory, and a single L1 port into the memory hierarchy. The
+ * operand path is delegated to a RegisterProvider, which is the only
+ * thing that differs between the baseline, RFH, RFV, and RegLess.
+ */
+
+#ifndef REGLESS_ARCH_SM_HH
+#define REGLESS_ARCH_SM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/exec_unit.hh"
+#include "arch/scheduler.hh"
+#include "arch/scoreboard.hh"
+#include "arch/warp.hh"
+#include "common/stats.hh"
+#include "compiler/compiler.hh"
+#include "ir/cfg_analysis.hh"
+#include "mem/memory_system.hh"
+#include "regfile/register_provider.hh"
+
+namespace regless::arch
+{
+
+/** SM configuration (Table 1 defaults). */
+struct SmConfig
+{
+    unsigned numWarps = 64;
+    unsigned numSchedulers = 4;
+    unsigned issueWidth = 2;
+    SchedulerPolicy scheduler = SchedulerPolicy::Gto;
+    ExecLatencies latencies;
+    /** Abort threshold for runaway kernels. */
+    Cycle maxCycles = 200'000'000;
+    /** Base of the program-data segment in the flat address space. */
+    Addr dataBase = 0x1000'0000;
+    /** Base of the per-block shared-memory segments. */
+    Addr sharedBase = 0x8000'0000;
+    /** Pending-source latency that counts as a "long" stall. */
+    Cycle longStallThreshold = 40;
+
+    /**
+     * Maximum concurrently resident warps (0 = all). Non-resident
+     * warps wait until a resident thread block finishes; admission is
+     * block-granular so barriers cannot deadlock. Models register-file
+     * occupancy limits for fixed-capacity designs.
+     */
+    unsigned maxResidentWarps = 0;
+};
+
+/** One SM executing one kernel launch to completion. */
+class Sm
+{
+  public:
+    /**
+     * @param ck Compiled kernel (regions are ignored by non-RegLess
+     *        providers but the type carries the instruction stream).
+     * @param mem The SM's memory hierarchy.
+     * @param provider Operand-storage model.
+     * @param config SM parameters.
+     */
+    Sm(const compiler::CompiledKernel &ck, mem::MemorySystem &mem,
+       regfile::RegisterProvider &provider, const SmConfig &config);
+
+    /**
+     * Run the kernel to completion.
+     * @return total cycles elapsed.
+     */
+    Cycle run();
+
+    /** Advance exactly one cycle (exposed for unit tests). */
+    void step();
+
+    /** @return true when every warp has finished. */
+    bool done() const;
+
+    Cycle now() const { return _now; }
+    const std::vector<Warp> &warps() const { return _warps; }
+    Warp &warp(WarpId id) { return _warps.at(id); }
+
+    StatGroup &stats() { return _stats; }
+    std::uint64_t totalInsns() const { return _issued.value(); }
+
+    /** Observer invoked for every issued instruction (tracing). */
+    using IssueHook = std::function<void(
+        const Warp &, Pc, const ir::Instruction &, Cycle)>;
+    void setIssueHook(IssueHook hook) { _issueHook = std::move(hook); }
+
+  private:
+    /**
+     * Can @a warp issue its next instruction now?
+     * @param long_stall Set when the blocker is a long-latency source.
+     */
+    bool eligible(const Warp &warp, Cycle now, bool *long_stall);
+
+    /** Issue and functionally execute the instruction at warp's PC. */
+    void issue(Warp &warp, Cycle now);
+
+    void execAlu(Warp &warp, const ir::Instruction &insn, Cycle now);
+    void execGlobalLoad(Warp &warp, const ir::Instruction &insn,
+                        Cycle now);
+    void execGlobalStore(Warp &warp, const ir::Instruction &insn,
+                         Cycle now);
+    void execShared(Warp &warp, const ir::Instruction &insn, Cycle now);
+    void execBranch(Warp &warp, const ir::Instruction &insn, Cycle now);
+    void execBarrier(Warp &warp, Cycle now);
+    void execExit(Warp &warp, Cycle now);
+
+    /** Reconvergence PC for branches ending @a block. */
+    Pc reconvergePcFor(ir::BlockId block) const;
+
+    /** Per-lane effective addresses of a memory instruction. */
+    std::vector<Addr> laneAddrs(const Warp &warp,
+                                const ir::Instruction &insn,
+                                Addr base) const;
+
+    /** Distinct 128B lines touched by active lanes. */
+    std::vector<Addr> coalesce(const std::vector<Addr> &addrs,
+                               LaneMask mask) const;
+
+    /** Release a block's barrier when everyone has arrived. */
+    void checkBarrier(unsigned block_id);
+
+    /** Admit further thread blocks while residency allows. */
+    void admitBlocks();
+
+    const compiler::CompiledKernel &_ck;
+    const ir::Kernel &_kernel;
+    mem::MemorySystem &_mem;
+    regfile::RegisterProvider &_provider;
+    SmConfig _cfg;
+    ir::CfgAnalysis _cfgAnalysis;
+    std::vector<Warp> _warps;
+    Scoreboard _scoreboard;
+    std::vector<std::unique_ptr<WarpScheduler>> _schedulers;
+    Cycle _now = 0;
+    IssueHook _issueHook;
+    std::vector<bool> _resident;
+    unsigned _nextBlockToAdmit = 0;
+    unsigned _residentWarps = 0;
+    StatGroup _stats;
+    Counter &_issued;
+    Counter &_cyclesIdle;
+    Counter &_stallScoreboard;
+    Counter &_stallProvider;
+    Counter &_stallPort;
+    Counter &_divergentBranches;
+    Counter &_memTransactions;
+};
+
+} // namespace regless::arch
+
+#endif // REGLESS_ARCH_SM_HH

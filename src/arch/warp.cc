@@ -1,0 +1,29 @@
+#include "arch/warp.hh"
+
+#include "common/logging.hh"
+
+namespace regless::arch
+{
+
+Warp::Warp(WarpId id, unsigned block_id, unsigned num_regs)
+    : _id(id), _blockId(block_id), _regs(num_regs, ir::LaneValues{})
+{
+}
+
+const ir::LaneValues &
+Warp::regValue(RegId reg) const
+{
+    return _regs.at(reg);
+}
+
+void
+Warp::writeReg(RegId reg, const ir::LaneValues &value, LaneMask mask)
+{
+    ir::LaneValues &slot = _regs.at(reg);
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        if (mask & (1u << lane))
+            slot[lane] = value[lane];
+    }
+}
+
+} // namespace regless::arch

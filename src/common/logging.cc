@@ -1,0 +1,62 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace regless
+{
+
+namespace
+{
+
+bool verboseFlag = false;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verboseEnabled()
+{
+    return verboseFlag;
+}
+
+namespace detail
+{
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Inform && !verboseFlag)
+        return;
+    std::cerr << levelName(level) << ": " << msg << "\n";
+}
+
+void
+logAndDie(LogLevel level, const std::string &msg)
+{
+    std::cerr << levelName(level) << ": " << msg << std::endl;
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace regless

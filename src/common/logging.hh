@@ -1,0 +1,98 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * fatal() terminates on user/configuration errors; panic() terminates on
+ * internal simulator bugs. warn() and inform() print and continue.
+ */
+
+#ifndef REGLESS_COMMON_LOGGING_HH
+#define REGLESS_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace regless
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+/** Emit a message; terminates the process for Fatal and Panic. */
+[[noreturn]] void logAndDie(LogLevel level, const std::string &msg);
+
+/** Emit a non-terminating message. */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Fold a parameter pack into one string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Verbosity gate for inform(); warnings always print. */
+void setVerbose(bool verbose);
+
+/** @return true when inform() messages are being printed. */
+bool verboseEnabled();
+
+/**
+ * Report a condition that prevents the simulation from continuing and is
+ * the user's fault (bad configuration, invalid arguments).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::logAndDie(LogLevel::Fatal,
+                      detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Report a condition that should never happen regardless of user input,
+ * i.e. an internal simulator bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::logAndDie(LogLevel::Panic,
+                      detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Report suspicious but survivable behaviour. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logMessage(LogLevel::Warn,
+                       detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logMessage(LogLevel::Inform,
+                       detail::formatMessage(std::forward<Args>(args)...));
+}
+
+} // namespace regless
+
+#endif // REGLESS_COMMON_LOGGING_HH

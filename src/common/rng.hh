@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workload synthesis.
+ *
+ * Simulations must be bit-reproducible across runs and platforms, so we
+ * use a fixed xoshiro256** implementation rather than std::mt19937 with
+ * distribution objects (whose outputs are not standardized).
+ */
+
+#ifndef REGLESS_COMMON_RNG_HH
+#define REGLESS_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace regless
+{
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform integer in [0, bound), bound > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** @return uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability @a p. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t _state[4];
+};
+
+} // namespace regless
+
+#endif // REGLESS_COMMON_RNG_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the RegLess simulator.
+ */
+
+#ifndef REGLESS_COMMON_TYPES_HH
+#define REGLESS_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace regless
+{
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Hardware warp identifier within one SM (0..63 on the GTX 980). */
+using WarpId = std::uint32_t;
+
+/** Architectural register number assigned by the register allocator. */
+using RegId = std::uint16_t;
+
+/** Program counter: index of an instruction within a kernel. */
+using Pc = std::uint32_t;
+
+/** Byte address in the simulated global memory space. */
+using Addr = std::uint64_t;
+
+/** Lane activity mask for a 32-wide warp. */
+using LaneMask = std::uint32_t;
+
+/** Number of SIMD lanes per warp (fixed by the modelled architecture). */
+constexpr unsigned warpSize = 32;
+
+/** All 32 lanes active. */
+constexpr LaneMask fullMask = 0xffffffffu;
+
+/** Sentinel for "no register". */
+constexpr RegId invalidReg = std::numeric_limits<RegId>::max();
+
+/** Sentinel for "no warp". */
+constexpr WarpId invalidWarp = std::numeric_limits<WarpId>::max();
+
+/** Sentinel for "no PC". */
+constexpr Pc invalidPc = std::numeric_limits<Pc>::max();
+
+/** Bytes in one register: 32 lanes x 4 bytes, one OSU/cache line. */
+constexpr unsigned regBytes = warpSize * 4;
+
+} // namespace regless
+
+#endif // REGLESS_COMMON_TYPES_HH

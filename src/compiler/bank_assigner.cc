@@ -1,0 +1,115 @@
+#include "compiler/bank_assigner.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "compiler/region.hh"
+
+namespace regless::compiler
+{
+
+BankAssigner::BankAssigner(const ir::Kernel &kernel,
+                           const ir::Liveness &liveness)
+    : _kernel(kernel), _live(liveness)
+{
+}
+
+std::vector<RegId>
+BankAssigner::computeMapping() const
+{
+    const unsigned num_regs = _kernel.numRegs();
+    std::vector<RegId> mapping(num_regs);
+    for (RegId r = 0; r < num_regs; ++r)
+        mapping[r] = r;
+    if (num_regs <= 1)
+        return mapping;
+
+    // Co-liveness weights: how many PCs have both registers live.
+    std::vector<std::vector<unsigned>> colive(
+        num_regs, std::vector<unsigned>(num_regs, 0));
+    std::vector<unsigned> live_freq(num_regs, 0);
+    for (Pc pc = 0; pc < _kernel.numInsns(); ++pc) {
+        std::vector<RegId> live = _live.liveRegsBefore(pc);
+        for (std::size_t i = 0; i < live.size(); ++i) {
+            ++live_freq[live[i]];
+            for (std::size_t j = i + 1; j < live.size(); ++j) {
+                ++colive[live[i]][live[j]];
+                ++colive[live[j]][live[i]];
+            }
+        }
+    }
+
+    // Greedy: most-live registers choose banks first, each picking the
+    // bank with the least co-liveness weight against already-placed
+    // registers, then taking the lowest free id in that bank.
+    std::vector<RegId> order(num_regs);
+    for (RegId r = 0; r < num_regs; ++r)
+        order[r] = r;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](RegId a, RegId b) {
+                         return live_freq[a] > live_freq[b];
+                     });
+
+    std::vector<bool> id_used(num_regs, false);
+    std::vector<RegId> assigned_bank(num_regs, invalidReg);
+    for (RegId old_id : order) {
+        // Weight of placing old_id in each bank.
+        std::array<unsigned, numOsuBanks> weight{};
+        for (RegId other = 0; other < num_regs; ++other) {
+            if (assigned_bank[other] != invalidReg)
+                weight[assigned_bank[other]] += colive[old_id][other];
+        }
+        // Try banks in increasing-weight order until one has a free id.
+        std::array<unsigned, numOsuBanks> banks_by_weight;
+        for (unsigned b = 0; b < numOsuBanks; ++b)
+            banks_by_weight[b] = b;
+        std::stable_sort(banks_by_weight.begin(), banks_by_weight.end(),
+                         [&](unsigned a, unsigned b) {
+                             return weight[a] < weight[b];
+                         });
+        RegId chosen = invalidReg;
+        for (unsigned bank : banks_by_weight) {
+            for (RegId id = bank; id < num_regs; id += numOsuBanks) {
+                if (!id_used[id]) {
+                    chosen = id;
+                    break;
+                }
+            }
+            if (chosen != invalidReg)
+                break;
+        }
+        if (chosen == invalidReg)
+            panic("bank assigner ran out of register ids");
+        id_used[chosen] = true;
+        mapping[old_id] = chosen;
+        assigned_bank[old_id] = chosen % numOsuBanks;
+    }
+    return mapping;
+}
+
+ir::Kernel
+BankAssigner::apply(const ir::Kernel &kernel,
+                    const std::vector<RegId> &mapping)
+{
+    auto remap = [&](RegId r) -> RegId {
+        return r == invalidReg ? invalidReg : mapping.at(r);
+    };
+    std::vector<ir::Instruction> insns;
+    insns.reserve(kernel.numInsns());
+    for (const ir::Instruction &insn : kernel.instructions()) {
+        std::vector<RegId> srcs;
+        srcs.reserve(insn.srcs().size());
+        for (RegId s : insn.srcs())
+            srcs.push_back(remap(s));
+        insns.emplace_back(insn.op(), remap(insn.dst()), std::move(srcs),
+                           insn.imm(), insn.target());
+    }
+    ir::Kernel out(kernel.name(), std::move(insns));
+    out.setWarpsPerBlock(kernel.warpsPerBlock());
+    out.setWorkScale(kernel.workScale());
+    out.setValueProfile(kernel.valueProfile());
+    return out;
+}
+
+} // namespace regless::compiler

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bank-conflict-aware register renumbering (paper §5.2).
+ *
+ * The OSU maps a register to bank (warpId + regId) mod 8. The compiler
+ * "selects register numbers in a manner that reduces bank conflicts":
+ * registers that are frequently live at the same time should occupy
+ * different banks. We renumber with a greedy permutation that balances
+ * co-live registers across banks.
+ */
+
+#ifndef REGLESS_COMPILER_BANK_ASSIGNER_HH
+#define REGLESS_COMPILER_BANK_ASSIGNER_HH
+
+#include <vector>
+
+#include "ir/kernel.hh"
+#include "ir/liveness.hh"
+
+namespace regless::compiler
+{
+
+/** Computes and applies a bank-spreading register permutation. */
+class BankAssigner
+{
+  public:
+    BankAssigner(const ir::Kernel &kernel, const ir::Liveness &liveness);
+
+    /**
+     * @return the permutation newId[oldId]; identity when the kernel
+     * uses no registers.
+     */
+    std::vector<RegId> computeMapping() const;
+
+    /** Rewrite @a kernel's operands through @a mapping. */
+    static ir::Kernel apply(const ir::Kernel &kernel,
+                            const std::vector<RegId> &mapping);
+
+  private:
+    const ir::Kernel &_kernel;
+    const ir::Liveness &_live;
+};
+
+} // namespace regless::compiler
+
+#endif // REGLESS_COMPILER_BANK_ASSIGNER_HH

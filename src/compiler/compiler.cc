@@ -1,0 +1,114 @@
+#include "compiler/compiler.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "compiler/bank_assigner.hh"
+#include "compiler/metadata_encoder.hh"
+#include "compiler/region_builder.hh"
+#include "ir/cfg_analysis.hh"
+#include "ir/liveness.hh"
+
+namespace regless::compiler
+{
+
+CompiledKernel::CompiledKernel(ir::Kernel kernel,
+                               std::vector<Region> regions,
+                               LifetimeAnnotator::Stats lifetime_stats,
+                               unsigned metadata_insns)
+    : _kernel(std::move(kernel)),
+      _regions(std::move(regions)),
+      _lifetimeStats(lifetime_stats),
+      _metadataInsns(metadata_insns)
+{
+    _pcToRegion.assign(_kernel.numInsns(), invalidRegion);
+    for (const Region &region : _regions) {
+        for (Pc pc = region.startPc; pc <= region.endPc; ++pc)
+            _pcToRegion[pc] = region.id;
+    }
+    for (Pc pc = 0; pc < _kernel.numInsns(); ++pc) {
+        if (_pcToRegion[pc] == invalidRegion)
+            panic("pc ", pc, " not covered by any region");
+    }
+}
+
+RegionId
+CompiledKernel::regionStartingAt(Pc pc) const
+{
+    RegionId id = _pcToRegion.at(pc);
+    return _regions[id].startPc == pc ? id : invalidRegion;
+}
+
+double
+CompiledKernel::meanPreloadsPerRegion() const
+{
+    if (_regions.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const Region &region : _regions)
+        total += static_cast<double>(region.preloads.size());
+    return total / static_cast<double>(_regions.size());
+}
+
+double
+CompiledKernel::meanMaxLivePerRegion() const
+{
+    if (_regions.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const Region &region : _regions)
+        total += static_cast<double>(region.maxLive);
+    return total / static_cast<double>(_regions.size());
+}
+
+double
+CompiledKernel::meanInsnsPerRegion() const
+{
+    if (_regions.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const Region &region : _regions)
+        total += static_cast<double>(region.numInsns());
+    return total / static_cast<double>(_regions.size());
+}
+
+std::string
+CompiledKernel::describeRegions() const
+{
+    std::ostringstream oss;
+    for (const Region &region : _regions)
+        oss << region.toString() << "\n";
+    return oss.str();
+}
+
+CompiledKernel
+compile(const ir::Kernel &input, const CompilerConfig &config)
+{
+    // Analyses on the incoming register numbering.
+    ir::CfgAnalysis cfg_in(input);
+    ir::Liveness live_in(input, cfg_in);
+
+    // Optional bank-aware renumbering, then re-analyse.
+    ir::Kernel kernel = [&]() {
+        if (!config.reassignBanks)
+            return input;
+        BankAssigner assigner(input, live_in);
+        return BankAssigner::apply(input, assigner.computeMapping());
+    }();
+
+    ir::CfgAnalysis cfg(kernel);
+    ir::Liveness live(kernel, cfg);
+
+    RegionBuilder builder(kernel, live, config);
+    std::vector<Region> regions = builder.build();
+
+    LifetimeAnnotator annotator(kernel, cfg, live);
+    annotator.annotate(regions);
+
+    unsigned metadata = MetadataEncoder::encode(regions);
+
+    return CompiledKernel(std::move(kernel), std::move(regions),
+                          annotator.stats(), metadata);
+}
+
+} // namespace regless::compiler

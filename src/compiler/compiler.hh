@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The RegLess compiler driver: the public entry point that turns a
+ * kernel into regions plus annotations (paper §4).
+ */
+
+#ifndef REGLESS_COMPILER_COMPILER_HH
+#define REGLESS_COMPILER_COMPILER_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/config.hh"
+#include "compiler/lifetime_annotator.hh"
+#include "compiler/region.hh"
+#include "ir/kernel.hh"
+
+namespace regless::compiler
+{
+
+/**
+ * A kernel compiled for RegLess: the (possibly renumbered) instruction
+ * stream plus the region partition and all hardware annotations.
+ */
+class CompiledKernel
+{
+  public:
+    CompiledKernel(ir::Kernel kernel, std::vector<Region> regions,
+                   LifetimeAnnotator::Stats lifetime_stats,
+                   unsigned metadata_insns);
+
+    const ir::Kernel &kernel() const { return _kernel; }
+    const std::vector<Region> &regions() const { return _regions; }
+    const Region &region(RegionId id) const { return _regions.at(id); }
+
+    /** Region containing @a pc. */
+    RegionId regionAt(Pc pc) const { return _pcToRegion.at(pc); }
+
+    /** Region starting exactly at @a pc, or invalidRegion. */
+    RegionId regionStartingAt(Pc pc) const;
+
+    const LifetimeAnnotator::Stats &
+    lifetimeStats() const
+    {
+        return _lifetimeStats;
+    }
+
+    /** Total metadata instructions inserted in the stream. */
+    unsigned metadataInsns() const { return _metadataInsns; }
+
+    /** Static mean of per-region preload counts. */
+    double meanPreloadsPerRegion() const;
+
+    /** Static mean of per-region max concurrent live registers. */
+    double meanMaxLivePerRegion() const;
+
+    /** Static mean of per-region instruction counts. */
+    double meanInsnsPerRegion() const;
+
+    /** Multi-line region dump for the examples and debugging. */
+    std::string describeRegions() const;
+
+  private:
+    ir::Kernel _kernel;
+    std::vector<Region> _regions;
+    std::vector<RegionId> _pcToRegion;
+    LifetimeAnnotator::Stats _lifetimeStats;
+    unsigned _metadataInsns;
+};
+
+/**
+ * Run the full pass pipeline: (optional) bank-aware renumbering,
+ * region creation, lifetime annotation, metadata encoding.
+ */
+CompiledKernel compile(const ir::Kernel &kernel,
+                       const CompilerConfig &config = CompilerConfig());
+
+} // namespace regless::compiler
+
+#endif // REGLESS_COMPILER_COMPILER_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Tunables for the RegLess compiler passes.
+ */
+
+#ifndef REGLESS_COMPILER_CONFIG_HH
+#define REGLESS_COMPILER_CONFIG_HH
+
+namespace regless::compiler
+{
+
+/**
+ * Compile-time knobs. Defaults follow the paper's constraints: regions
+ * may not fill too much of one OSU (so several warps stay concurrent),
+ * may not overflow a bank, may not contain a global load together with
+ * its first use, and should contain at least six instructions.
+ */
+struct CompilerConfig
+{
+    /** Cap on concurrently live registers one region may reserve. */
+    unsigned maxRegsPerRegion = 32;
+
+    /** Cap on lines one region may reserve in a single OSU bank. */
+    unsigned maxRegsPerBank = 12;
+
+    /** Minimum instructions per region (Algorithm 1 line 31). */
+    unsigned minRegionInsns = 6;
+
+    /** Split a global load apart from its first use (§4.1). */
+    bool splitLoadUse = true;
+
+    /** Renumber registers to spread OSU bank pressure (§5.2). */
+    bool reassignBanks = true;
+};
+
+} // namespace regless::compiler
+
+#endif // REGLESS_COMPILER_CONFIG_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Register-lifetime annotation (paper §4.3, §4.4).
+ *
+ * Classifies each region's registers as inputs / outputs / interiors,
+ * then places the four annotation kinds the hardware consumes:
+ *   - preload (with invalidating-read flag) on region entry,
+ *   - erase at an interior register's last use,
+ *   - evict at an input/output register's last use in the region,
+ *   - cache invalidation where control flow kills a register, placed at
+ *     a postdominator of all definitions and death points.
+ */
+
+#ifndef REGLESS_COMPILER_LIFETIME_ANNOTATOR_HH
+#define REGLESS_COMPILER_LIFETIME_ANNOTATOR_HH
+
+#include <vector>
+
+#include "compiler/region.hh"
+#include "ir/cfg_analysis.hh"
+#include "ir/kernel.hh"
+#include "ir/liveness.hh"
+
+namespace regless::compiler
+{
+
+/** Fills every annotation field of a region partition. */
+class LifetimeAnnotator
+{
+  public:
+    /** Aggregate facts about lifetime placement, for the evaluation. */
+    struct Stats
+    {
+        /** Registers live across at least one region boundary. */
+        unsigned crossRegionRegs = 0;
+
+        /** Registers that die on a control-flow edge somewhere. */
+        unsigned edgeDeathRegs = 0;
+
+        /**
+         * Cross-region registers whose invalidation could not be placed
+         * (no reachable postdominator where the value is dead). These
+         * linger in the memory system — the paper's "conservative
+         * liveness" cost visible in hybridsort and heartwall.
+         */
+        unsigned unplacedInvalidations = 0;
+
+        /** Registers with at least one soft definition. */
+        unsigned softDefRegs = 0;
+    };
+
+    LifetimeAnnotator(const ir::Kernel &kernel,
+                      const ir::CfgAnalysis &cfg,
+                      const ir::Liveness &liveness);
+
+    /**
+     * Fill inputs/outputs/interiors, preloads, erases, evicts,
+     * cache invalidations, maxLive, and bankUsage of every region.
+     * Regions must be sorted by startPc and cover the kernel.
+     */
+    void annotate(std::vector<Region> &regions);
+
+    const Stats &stats() const { return _stats; }
+
+  private:
+    void classifyRegisters(Region &region) const;
+    void placeEraseEvict(Region &region) const;
+    void placePreloads(Region &region) const;
+    void placeCacheInvalidations(std::vector<Region> &regions);
+    void computeCapacity(Region &region) const;
+
+    /** Last PC in [start, end] that reads or writes @a reg. */
+    Pc lastTouch(Pc start, Pc end, RegId reg) const;
+
+    const ir::Kernel &_kernel;
+    const ir::CfgAnalysis &_cfg;
+    const ir::Liveness &_live;
+    Stats _stats;
+};
+
+} // namespace regless::compiler
+
+#endif // REGLESS_COMPILER_LIFETIME_ANNOTATOR_HH

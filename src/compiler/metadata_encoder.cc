@@ -1,0 +1,34 @@
+#include "compiler/metadata_encoder.hh"
+
+namespace regless::compiler
+{
+
+unsigned
+MetadataEncoder::metadataForRegion(const Region &region)
+{
+    const unsigned slots = static_cast<unsigned>(
+        region.preloads.size() + region.cacheInvalidations.size());
+    const unsigned insns = region.numInsns();
+
+    if (insns <= compactMaxInsns && slots <= compactMaxSlots)
+        return 1;
+
+    unsigned total = 1; // flag instruction with bank usage + 3 slots
+    if (slots > flagSlots)
+        total += (slots - flagSlots + flagSlots - 1) / flagSlots;
+    total += (insns + insnsPerMarker - 1) / insnsPerMarker;
+    return total;
+}
+
+unsigned
+MetadataEncoder::encode(std::vector<Region> &regions)
+{
+    unsigned total = 0;
+    for (Region &region : regions) {
+        region.metadataInsns = metadataForRegion(region);
+        total += region.metadataInsns;
+    }
+    return total;
+}
+
+} // namespace regless::compiler

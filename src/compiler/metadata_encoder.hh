@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Metadata-instruction cost model (paper §5.4).
+ *
+ * Annotations ride in the instruction stream: each region starts with a
+ * flag instruction carrying the bank usage plus up to 3 preloads /
+ * cache invalidations; overflow preloads take extra metadata
+ * instructions (3 per instruction); one lifetime-marker instruction is
+ * emitted per 9 region instructions; small regions (<= 4 instructions,
+ * <= 2 preloads+invalidations) use a compact single-instruction form.
+ * The counts feed fetch/decode energy and bandwidth accounting.
+ */
+
+#ifndef REGLESS_COMPILER_METADATA_ENCODER_HH
+#define REGLESS_COMPILER_METADATA_ENCODER_HH
+
+#include <vector>
+
+#include "compiler/region.hh"
+
+namespace regless::compiler
+{
+
+/** Computes per-region and total metadata instruction counts. */
+class MetadataEncoder
+{
+  public:
+    /** Per-flag-instruction preload/invalidation capacity. */
+    static constexpr unsigned flagSlots = 3;
+
+    /** Region instructions covered by one lifetime-marker insn. */
+    static constexpr unsigned insnsPerMarker = 9;
+
+    /** Compact-encoding limits. */
+    static constexpr unsigned compactMaxInsns = 4;
+    static constexpr unsigned compactMaxSlots = 2;
+
+    /** Metadata instructions required by one region. */
+    static unsigned metadataForRegion(const Region &region);
+
+    /**
+     * Fill Region::metadataInsns for every region.
+     * @return the total across regions.
+     */
+    static unsigned encode(std::vector<Region> &regions);
+};
+
+} // namespace regless::compiler
+
+#endif // REGLESS_COMPILER_METADATA_ENCODER_HH

@@ -1,0 +1,116 @@
+#include "compiler/name_compactor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "ir/cfg_analysis.hh"
+
+namespace regless::compiler
+{
+
+CompactionResult
+compactNames(const ir::Kernel &kernel)
+{
+    const unsigned num_regs = kernel.numRegs();
+    CompactionResult result{kernel, num_regs, num_regs, {}};
+    if (num_regs <= 1) {
+        result.mapping.assign(num_regs, 0);
+        return result;
+    }
+
+    ir::CfgAnalysis cfg(kernel);
+    ir::Liveness live(kernel, cfg);
+
+    // Interference: registers co-live at any PC (including a write's
+    // destination against the operands still held at that PC).
+    std::vector<std::vector<bool>> conflicts(
+        num_regs, std::vector<bool>(num_regs, false));
+    auto mark = [&](const std::vector<RegId> &group) {
+        for (std::size_t i = 0; i < group.size(); ++i) {
+            for (std::size_t j = i + 1; j < group.size(); ++j) {
+                conflicts[group[i]][group[j]] = true;
+                conflicts[group[j]][group[i]] = true;
+            }
+        }
+    };
+    for (Pc pc = 0; pc < kernel.numInsns(); ++pc) {
+        std::vector<RegId> group = live.liveRegsBefore(pc);
+        const ir::Instruction &insn = kernel.insn(pc);
+        if (insn.writesReg() &&
+            std::find(group.begin(), group.end(), insn.dst()) ==
+                group.end()) {
+            group.push_back(insn.dst());
+        }
+        mark(group);
+    }
+
+    // Greedy colouring in order of first touch (program order), so
+    // early names stay small and loop-carried values keep one home.
+    std::vector<Pc> first_touch(num_regs, invalidPc);
+    for (Pc pc = 0; pc < kernel.numInsns(); ++pc) {
+        const ir::Instruction &insn = kernel.insn(pc);
+        auto touch = [&](RegId r) {
+            if (first_touch[r] == invalidPc)
+                first_touch[r] = pc;
+        };
+        for (RegId src : insn.srcs())
+            touch(src);
+        if (insn.writesReg())
+            touch(insn.dst());
+    }
+    std::vector<RegId> order;
+    for (RegId r = 0; r < num_regs; ++r) {
+        if (first_touch[r] != invalidPc)
+            order.push_back(r);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](RegId a, RegId b) {
+        return first_touch[a] < first_touch[b];
+    });
+
+    std::vector<RegId> mapping(num_regs, invalidReg);
+    unsigned colors = 0;
+    for (RegId reg : order) {
+        std::vector<bool> used(num_regs, false);
+        for (RegId other = 0; other < num_regs; ++other) {
+            if (conflicts[reg][other] && mapping[other] != invalidReg)
+                used[mapping[other]] = true;
+        }
+        RegId color = 0;
+        while (used[color])
+            ++color;
+        mapping[reg] = color;
+        colors = std::max<unsigned>(colors, color + 1);
+    }
+    // Unreferenced names map to themselves (harmless).
+    for (RegId r = 0; r < num_regs; ++r) {
+        if (mapping[r] == invalidReg)
+            mapping[r] = r;
+    }
+
+    std::vector<ir::Instruction> insns;
+    insns.reserve(kernel.numInsns());
+    for (const ir::Instruction &insn : kernel.instructions()) {
+        std::vector<RegId> srcs;
+        srcs.reserve(insn.srcs().size());
+        for (RegId s : insn.srcs())
+            srcs.push_back(mapping[s]);
+        RegId dst =
+            insn.writesReg() ? mapping[insn.dst()] : invalidReg;
+        insns.emplace_back(insn.op(), dst, std::move(srcs), insn.imm(),
+                           insn.target());
+    }
+    ir::Kernel out(kernel.name(), std::move(insns));
+    out.setWarpsPerBlock(kernel.warpsPerBlock());
+    out.setWorkScale(kernel.workScale());
+    out.setValueProfile(kernel.valueProfile());
+
+    result.kernel = std::move(out);
+    result.compactedRegs = result.kernel.numRegs();
+    result.mapping = std::move(mapping);
+    if (result.compactedRegs > result.originalRegs)
+        panic("name compaction grew the register count");
+    (void)colors;
+    return result;
+}
+
+} // namespace regless::compiler

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Register-name compaction.
+ *
+ * The kernel-builder DSL allocates a fresh register id per value, the
+ * way SSA-ish frontends do; real machine code reuses names once values
+ * die, the way `ptxas` allocates. This pass renames registers with a
+ * linear-scan style allocator over divergence-corrected live ranges so
+ * the kernel's architectural register count reflects its true peak
+ * pressure. Off by default in CompilerConfig (the evaluation is
+ * calibrated on the uncompacted suite); the occupancy and RFV studies
+ * use it to explore realistic name counts.
+ */
+
+#ifndef REGLESS_COMPILER_NAME_COMPACTOR_HH
+#define REGLESS_COMPILER_NAME_COMPACTOR_HH
+
+#include <vector>
+
+#include "ir/kernel.hh"
+#include "ir/liveness.hh"
+
+namespace regless::compiler
+{
+
+/** Result of a compaction run. */
+struct CompactionResult
+{
+    ir::Kernel kernel;
+    unsigned originalRegs = 0;
+    unsigned compactedRegs = 0;
+    /** newName[oldName]; identity entries for unreferenced names. */
+    std::vector<RegId> mapping;
+};
+
+/**
+ * Rename @a kernel's registers onto the smallest name set such that
+ * no two simultaneously-live values share a name.
+ *
+ * Correctness notes: two values may share a name only if their
+ * divergence-corrected live ranges are disjoint at every PC *and*
+ * neither has a soft definition (partially-written registers must keep
+ * a stable home for the inactive lanes).
+ */
+CompactionResult compactNames(const ir::Kernel &kernel);
+
+} // namespace regless::compiler
+
+#endif // REGLESS_COMPILER_NAME_COMPACTOR_HH

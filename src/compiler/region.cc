@@ -1,0 +1,37 @@
+#include "compiler/region.hh"
+
+#include <numeric>
+#include <sstream>
+
+namespace regless::compiler
+{
+
+unsigned
+Region::reservedLines() const
+{
+    return std::accumulate(bankUsage.begin(), bankUsage.end(), 0u);
+}
+
+std::string
+Region::toString() const
+{
+    std::ostringstream oss;
+    oss << "region " << id << " bb" << block << " [" << startPc << ", "
+        << endPc << "]";
+    oss << " in={";
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        oss << (i ? "," : "") << "r" << inputs[i];
+    oss << "} out={";
+    for (std::size_t i = 0; i < outputs.size(); ++i)
+        oss << (i ? "," : "") << "r" << outputs[i];
+    oss << "} interior={";
+    for (std::size_t i = 0; i < interiors.size(); ++i)
+        oss << (i ? "," : "") << "r" << interiors[i];
+    oss << "} maxLive=" << maxLive << " banks=[";
+    for (unsigned b = 0; b < numOsuBanks; ++b)
+        oss << (b ? "," : "") << unsigned(bankUsage[b]);
+    oss << "]";
+    return oss.str();
+}
+
+} // namespace regless::compiler

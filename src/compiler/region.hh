@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Regions: the compiler-created atomic scheduling units of RegLess.
+ *
+ * A region is a contiguous PC range inside one basic block. The hardware
+ * guarantees a region all the staging-unit space it needs before any of
+ * its instructions issue, so registers whose lifetime is contained in
+ * one region (*interior* registers) never touch memory. *Input*
+ * registers must be preloaded before activation; *output* registers are
+ * eligible for eviction after their last use in the region.
+ */
+
+#ifndef REGLESS_COMPILER_REGION_HH
+#define REGLESS_COMPILER_REGION_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "ir/basic_block.hh"
+
+namespace regless::compiler
+{
+
+/** Index of a region within its compiled kernel. */
+using RegionId = std::uint32_t;
+
+constexpr RegionId invalidRegion = 0xffffffffu;
+
+/** Number of OSU banks; fixed at 8 by the hardware design (§5.2). */
+constexpr unsigned numOsuBanks = 8;
+
+/** A register to stage before a region activates. */
+struct Preload
+{
+    RegId reg = invalidReg;
+    /**
+     * When true this preload is the register's last read anywhere: the
+     * backing-store copy is invalidated as it is read (§4.3).
+     */
+    bool invalidate = false;
+};
+
+/** One compiler-created region with all of its annotations. */
+struct Region
+{
+    RegionId id = invalidRegion;
+    ir::BlockId block = ir::invalidBlock;
+    Pc startPc = invalidPc;
+    Pc endPc = invalidPc; ///< inclusive
+
+    /** Registers live into the region that the region reads (staged). */
+    std::vector<RegId> inputs;
+
+    /** Registers written in the region and live after it. */
+    std::vector<RegId> outputs;
+
+    /** Registers whose entire lifetime lies inside the region. */
+    std::vector<RegId> interiors;
+
+    /** Preload list (inputs, with invalidate flags). */
+    std::vector<Preload> preloads;
+
+    /**
+     * Registers known dead on entry due to control flow; their backing-
+     * store copies are invalidated when the region activates (§4.4).
+     */
+    std::vector<RegId> cacheInvalidations;
+
+    /**
+     * Last use of an interior register: the OSU line is freed
+     * immediately (erase annotation).
+     */
+    std::map<Pc, std::vector<RegId>> erases;
+
+    /**
+     * Last use in this region of an input/output register: the line
+     * becomes eligible for eviction (evict annotation).
+     */
+    std::map<Pc, std::vector<RegId>> evicts;
+
+    /** Max concurrently live region-referenced registers, per OSU bank. */
+    std::array<std::uint8_t, numOsuBanks> bankUsage{};
+
+    /** Max concurrently live region-referenced registers overall. */
+    unsigned maxLive = 0;
+
+    /** Metadata instructions the encoder prepends/injects (§5.4). */
+    unsigned metadataInsns = 0;
+
+    unsigned numInsns() const { return endPc - startPc + 1; }
+
+    bool contains(Pc pc) const { return pc >= startPc && pc <= endPc; }
+
+    /** Total lines the CM must reserve across banks on activation. */
+    unsigned reservedLines() const;
+
+    /** Human-readable summary for debugging and the examples. */
+    std::string toString() const;
+};
+
+} // namespace regless::compiler
+
+#endif // REGLESS_COMPILER_REGION_HH

@@ -1,0 +1,30 @@
+#include "energy/area_model.hh"
+
+#include <cmath>
+
+namespace regless::energy
+{
+
+AreaBreakdown
+AreaConfig::regless(unsigned entries, bool with_compressor) const
+{
+    const double ratio = static_cast<double>(entries) / 2048.0;
+    AreaBreakdown area;
+    area.storage = storageFraction * ratio * reglessStorageOverhead;
+    area.logic = logicFraction * std::pow(ratio, logicExponent);
+    area.compressor = with_compressor ? compressorArea : 0.0;
+    return area;
+}
+
+AreaBreakdown
+AreaConfig::plainRf(unsigned entries) const
+{
+    const double ratio = static_cast<double>(entries) / 2048.0;
+    AreaBreakdown area;
+    area.storage = storageFraction * ratio;
+    area.logic = logicFraction * std::pow(ratio, logicExponent);
+    area.compressor = 0.0;
+    return area;
+}
+
+} // namespace regless::energy

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Area model for Figure 11: RegLess configurations normalized to the
+ * 2048-entry baseline register file, split into storage, logic, and
+ * compressor components as in the paper's placed-and-routed results.
+ */
+
+#ifndef REGLESS_ENERGY_AREA_MODEL_HH
+#define REGLESS_ENERGY_AREA_MODEL_HH
+
+namespace regless::energy
+{
+
+/** Area fractions relative to the baseline RF's total area. */
+struct AreaBreakdown
+{
+    double storage = 0.0;
+    double logic = 0.0;
+    double compressor = 0.0;
+
+    double total() const { return storage + logic + compressor; }
+};
+
+/** Analytical area model. */
+struct AreaConfig
+{
+    /** Baseline RF area split (normalized to total = 1.0). */
+    double storageFraction = 0.78;
+    double logicFraction = 0.22;
+    /** Tag/queue logic scales sublinearly with capacity. */
+    double logicExponent = 0.9;
+    /** Fixed compressor area (all four shards), normalized. */
+    double compressorArea = 0.02;
+    /** Extra tag storage RegLess needs vs a plain RF of equal size. */
+    double reglessStorageOverhead = 1.08;
+
+    /** Area of a RegLess design with @a entries OSU registers. */
+    AreaBreakdown regless(unsigned entries,
+                          bool with_compressor = true) const;
+
+    /** Area of a plain register file with @a entries registers. */
+    AreaBreakdown plainRf(unsigned entries) const;
+};
+
+} // namespace regless::energy
+
+#endif // REGLESS_ENERGY_AREA_MODEL_HH

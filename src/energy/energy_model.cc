@@ -1,0 +1,22 @@
+#include "energy/energy_model.hh"
+
+#include <cmath>
+
+namespace regless::energy
+{
+
+double
+EnergyConfig::accessEnergy(unsigned entries) const
+{
+    return rfAccess2048 *
+           std::pow(static_cast<double>(entries) / 2048.0,
+                    capacityExponent);
+}
+
+double
+EnergyConfig::staticPower(unsigned entries) const
+{
+    return rfStatic2048PerCycle * static_cast<double>(entries) / 2048.0;
+}
+
+} // namespace regless::energy

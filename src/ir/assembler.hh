@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Text assembler for the register-level IR.
+ *
+ * Lets kernels be written as plain text instead of through the C++
+ * builder — the CLI driver consumes these, and they make compiler test
+ * cases readable. The syntax mirrors Instruction::toString():
+ *
+ *     .kernel saxpy
+ *     .warps_per_block 8
+ *     .values constant=0.3 stride1=0.3 stride4=0.1 half=0.1
+ *
+ *     tid   r0
+ *     imuli r1, r0, 4
+ *     ld    r2, r1, 0
+ *     imad  r3, r2, r0, r0
+ *     setlt r4, r0, r3
+ *     bra   r4, @skip
+ *     st    r3, r1, 65536
+ *     skip:
+ *     exit
+ *
+ * One instruction per line; `name:` defines a label; `@name` references
+ * it; `#` starts a comment. Destination register first, then sources,
+ * then an optional immediate. Stores take (data, address, offset).
+ */
+
+#ifndef REGLESS_IR_ASSEMBLER_HH
+#define REGLESS_IR_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "ir/kernel.hh"
+
+namespace regless::ir
+{
+
+/** Error with a line number, thrown on malformed input. */
+class AssemblyError : public std::runtime_error
+{
+  public:
+    AssemblyError(unsigned line, const std::string &message);
+
+    unsigned line() const { return _line; }
+
+  private:
+    unsigned _line;
+};
+
+/**
+ * Assemble @a source into a kernel.
+ *
+ * @param source Full assembly text.
+ * @param default_name Kernel name when no `.kernel` directive appears.
+ * @throws AssemblyError on any syntax or semantic problem.
+ */
+Kernel assemble(const std::string &source,
+                const std::string &default_name = "kernel");
+
+/** Read @a path and assemble it. */
+Kernel assembleFile(const std::string &path);
+
+/** Render @a kernel back to assembly accepted by assemble(). */
+std::string disassembleToAsm(const Kernel &kernel);
+
+} // namespace regless::ir
+
+#endif // REGLESS_IR_ASSEMBLER_HH

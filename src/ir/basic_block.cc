@@ -1,0 +1,5 @@
+#include "ir/basic_block.hh"
+
+// BasicBlock is header-only today; this translation unit anchors the
+// header so a future out-of-line method has a home and the build list
+// stays stable.

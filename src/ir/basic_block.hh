@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Basic blocks: maximal straight-line instruction ranges.
+ */
+
+#ifndef REGLESS_IR_BASIC_BLOCK_HH
+#define REGLESS_IR_BASIC_BLOCK_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace regless::ir
+{
+
+/** Index of a basic block within its kernel. */
+using BlockId = std::uint32_t;
+
+constexpr BlockId invalidBlock = 0xffffffffu;
+
+/**
+ * A half-open PC range [firstPc, lastPc] with CFG edges. Blocks are
+ * created by Kernel::buildCfg and never span a branch, jump, barrier,
+ * exit, or branch target.
+ */
+class BasicBlock
+{
+  public:
+    BasicBlock(BlockId id, Pc first_pc, Pc last_pc)
+        : _id(id), _firstPc(first_pc), _lastPc(last_pc)
+    {
+    }
+
+    BlockId id() const { return _id; }
+
+    /** PC of the first instruction in the block. */
+    Pc firstPc() const { return _firstPc; }
+
+    /** PC of the last instruction in the block (inclusive). */
+    Pc lastPc() const { return _lastPc; }
+
+    /** Number of instructions in the block. */
+    unsigned size() const { return _lastPc - _firstPc + 1; }
+
+    const std::vector<BlockId> &successors() const { return _succs; }
+    const std::vector<BlockId> &predecessors() const { return _preds; }
+
+    /** @return true when @a pc falls inside this block. */
+    bool contains(Pc pc) const { return pc >= _firstPc && pc <= _lastPc; }
+
+    void addSuccessor(BlockId succ) { _succs.push_back(succ); }
+    void addPredecessor(BlockId pred) { _preds.push_back(pred); }
+
+  private:
+    BlockId _id;
+    Pc _firstPc;
+    Pc _lastPc;
+    std::vector<BlockId> _succs;
+    std::vector<BlockId> _preds;
+};
+
+} // namespace regless::ir
+
+#endif // REGLESS_IR_BASIC_BLOCK_HH

@@ -1,0 +1,261 @@
+#include "ir/instruction.hh"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace regless::ir
+{
+
+namespace
+{
+
+float
+asFloat(std::uint32_t bits)
+{
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+std::uint32_t
+asBits(float f)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Mov: return "mov";
+      case Opcode::MovImm: return "movi";
+      case Opcode::Tid: return "tid";
+      case Opcode::CtaId: return "ctaid";
+      case Opcode::IAdd: return "iadd";
+      case Opcode::ISub: return "isub";
+      case Opcode::IMul: return "imul";
+      case Opcode::IMad: return "imad";
+      case Opcode::IAddImm: return "iaddi";
+      case Opcode::IMulImm: return "imuli";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FFma: return "ffma";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::IMin: return "imin";
+      case Opcode::IMax: return "imax";
+      case Opcode::SetLt: return "setlt";
+      case Opcode::SetGe: return "setge";
+      case Opcode::SetEq: return "seteq";
+      case Opcode::SetNe: return "setne";
+      case Opcode::Selp: return "selp";
+      case Opcode::Rcp: return "rcp";
+      case Opcode::Sqrt: return "sqrt";
+      case Opcode::LdGlobal: return "ld.global";
+      case Opcode::StGlobal: return "st.global";
+      case Opcode::LdShared: return "ld.shared";
+      case Opcode::StShared: return "st.shared";
+      case Opcode::Bra: return "bra";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Bar: return "bar";
+      case Opcode::Exit: return "exit";
+    }
+    return "?";
+}
+
+Instruction::Instruction(Opcode op, RegId dst, std::vector<RegId> srcs,
+                         std::int64_t imm, Pc target)
+    : _op(op), _dst(dst), _srcs(std::move(srcs)), _imm(imm), _target(target)
+{
+}
+
+bool
+Instruction::isSharedAccess() const
+{
+    return _op == Opcode::LdShared || _op == Opcode::StShared;
+}
+
+bool
+Instruction::isMemAccess() const
+{
+    return isGlobalLoad() || isGlobalStore() || isSharedAccess();
+}
+
+bool
+Instruction::isBlockTerminator() const
+{
+    return isBranch() || isJump() || isExit() || isBarrier();
+}
+
+FuClass
+Instruction::fuClass() const
+{
+    switch (_op) {
+      case Opcode::Rcp:
+      case Opcode::Sqrt:
+        return FuClass::Sfu;
+      case Opcode::LdGlobal:
+      case Opcode::StGlobal:
+      case Opcode::LdShared:
+      case Opcode::StShared:
+        return FuClass::Mem;
+      case Opcode::Bra:
+      case Opcode::Jmp:
+      case Opcode::Bar:
+      case Opcode::Exit:
+        return FuClass::Control;
+      default:
+        return FuClass::Alu;
+    }
+}
+
+LaneValues
+Instruction::evaluate(const std::vector<LaneValues> &srcs) const
+{
+    auto src = [&](unsigned idx, unsigned lane) -> std::uint32_t {
+        return srcs.at(idx)[lane];
+    };
+
+    LaneValues out{};
+    for (unsigned lane = 0; lane < warpSize; ++lane) {
+        std::uint32_t v = 0;
+        switch (_op) {
+          case Opcode::Mov:
+            v = src(0, lane);
+            break;
+          case Opcode::MovImm:
+            v = static_cast<std::uint32_t>(_imm);
+            break;
+          case Opcode::Tid:
+            // Warp-relative offset is added by the SM; evaluate yields
+            // the lane component so the IR stays context-free.
+            v = lane + static_cast<std::uint32_t>(_imm);
+            break;
+          case Opcode::CtaId:
+            v = static_cast<std::uint32_t>(_imm);
+            break;
+          case Opcode::IAdd:
+            v = src(0, lane) + src(1, lane);
+            break;
+          case Opcode::ISub:
+            v = src(0, lane) - src(1, lane);
+            break;
+          case Opcode::IMul:
+            v = src(0, lane) * src(1, lane);
+            break;
+          case Opcode::IMad:
+            v = src(0, lane) * src(1, lane) + src(2, lane);
+            break;
+          case Opcode::IAddImm:
+            v = src(0, lane) + static_cast<std::uint32_t>(_imm);
+            break;
+          case Opcode::IMulImm:
+            v = src(0, lane) * static_cast<std::uint32_t>(_imm);
+            break;
+          case Opcode::FAdd:
+            v = asBits(asFloat(src(0, lane)) + asFloat(src(1, lane)));
+            break;
+          case Opcode::FMul:
+            v = asBits(asFloat(src(0, lane)) * asFloat(src(1, lane)));
+            break;
+          case Opcode::FFma:
+            v = asBits(asFloat(src(0, lane)) * asFloat(src(1, lane)) +
+                       asFloat(src(2, lane)));
+            break;
+          case Opcode::Shl:
+            v = src(0, lane) << (src(1, lane) & 31);
+            break;
+          case Opcode::Shr:
+            v = src(0, lane) >> (src(1, lane) & 31);
+            break;
+          case Opcode::And:
+            v = src(0, lane) & src(1, lane);
+            break;
+          case Opcode::Or:
+            v = src(0, lane) | src(1, lane);
+            break;
+          case Opcode::Xor:
+            v = src(0, lane) ^ src(1, lane);
+            break;
+          case Opcode::IMin:
+            v = static_cast<std::uint32_t>(
+                std::min(static_cast<std::int32_t>(src(0, lane)),
+                         static_cast<std::int32_t>(src(1, lane))));
+            break;
+          case Opcode::IMax:
+            v = static_cast<std::uint32_t>(
+                std::max(static_cast<std::int32_t>(src(0, lane)),
+                         static_cast<std::int32_t>(src(1, lane))));
+            break;
+          case Opcode::SetLt:
+            v = static_cast<std::int32_t>(src(0, lane)) <
+                static_cast<std::int32_t>(src(1, lane));
+            break;
+          case Opcode::SetGe:
+            v = static_cast<std::int32_t>(src(0, lane)) >=
+                static_cast<std::int32_t>(src(1, lane));
+            break;
+          case Opcode::SetEq:
+            v = src(0, lane) == src(1, lane);
+            break;
+          case Opcode::SetNe:
+            v = src(0, lane) != src(1, lane);
+            break;
+          case Opcode::Selp:
+            v = src(2, lane) ? src(0, lane) : src(1, lane);
+            break;
+          case Opcode::Rcp: {
+            float f = asFloat(src(0, lane));
+            v = asBits(f == 0.0f ? 0.0f : 1.0f / f);
+            break;
+          }
+          case Opcode::Sqrt: {
+            float f = asFloat(src(0, lane));
+            v = asBits(f < 0.0f ? 0.0f : std::sqrt(f));
+            break;
+          }
+          default:
+            panic("Instruction::evaluate on non-ALU opcode ",
+                  opcodeName(_op));
+        }
+        out[lane] = v;
+    }
+    return out;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream oss;
+    oss << opcodeName(_op);
+    bool first = true;
+    auto sep = [&]() -> std::ostream & {
+        oss << (first ? " " : ", ");
+        first = false;
+        return oss;
+    };
+    if (_dst != invalidReg)
+        sep() << "r" << _dst;
+    for (RegId s : _srcs)
+        sep() << "r" << s;
+    if (_op == Opcode::MovImm || _op == Opcode::IAddImm ||
+        _op == Opcode::IMulImm || isMemAccess()) {
+        sep() << _imm;
+    }
+    if (_target != invalidPc)
+        sep() << "@" << _target;
+    return oss.str();
+}
+
+} // namespace regless::ir

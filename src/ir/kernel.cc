@@ -1,0 +1,131 @@
+#include "ir/kernel.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace regless::ir
+{
+
+Kernel::Kernel(std::string name, std::vector<Instruction> insns)
+    : _name(std::move(name)), _insns(std::move(insns))
+{
+    if (_insns.empty())
+        fatal("kernel '", _name, "' has no instructions");
+    validate();
+
+    for (const Instruction &insn : _insns) {
+        if (insn.writesReg())
+            _numRegs = std::max<unsigned>(_numRegs, insn.dst() + 1);
+        for (RegId src : insn.srcs())
+            _numRegs = std::max<unsigned>(_numRegs, src + 1);
+    }
+
+    buildCfg();
+}
+
+void
+Kernel::validate() const
+{
+    bool has_exit = false;
+    for (Pc pc = 0; pc < _insns.size(); ++pc) {
+        const Instruction &insn = _insns[pc];
+        if (insn.isBranch() || insn.isJump()) {
+            if (insn.target() >= _insns.size()) {
+                fatal("kernel '", _name, "': pc ", pc,
+                      " branches to out-of-range target ", insn.target());
+            }
+        }
+        if (insn.isBranch() && insn.srcs().empty()) {
+            fatal("kernel '", _name, "': conditional branch at pc ", pc,
+                  " has no predicate source");
+        }
+        if (insn.isExit())
+            has_exit = true;
+    }
+    if (!has_exit)
+        fatal("kernel '", _name, "' has no exit instruction");
+    if (!_insns.back().isExit() && !_insns.back().isJump() &&
+        !_insns.back().isBranch()) {
+        fatal("kernel '", _name, "' can fall off the end of the stream");
+    }
+}
+
+void
+Kernel::buildCfg()
+{
+    // Leaders: entry, branch targets, and instructions following any
+    // terminator (branch, jump, barrier, exit).
+    std::set<Pc> leaders;
+    leaders.insert(0);
+    for (Pc pc = 0; pc < _insns.size(); ++pc) {
+        const Instruction &insn = _insns[pc];
+        if (insn.isBranch() || insn.isJump())
+            leaders.insert(insn.target());
+        if (insn.isBlockTerminator() && pc + 1 < _insns.size())
+            leaders.insert(pc + 1);
+    }
+
+    std::vector<Pc> starts(leaders.begin(), leaders.end());
+    _blocks.clear();
+    _blocks.reserve(starts.size());
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+        Pc first = starts[i];
+        Pc last = (i + 1 < starts.size()) ? starts[i + 1] - 1
+                                          : numInsns() - 1;
+        _blocks.emplace_back(static_cast<BlockId>(i), first, last);
+    }
+
+    _pcToBlock.assign(_insns.size(), invalidBlock);
+    for (const BasicBlock &bb : _blocks) {
+        for (Pc pc = bb.firstPc(); pc <= bb.lastPc(); ++pc)
+            _pcToBlock[pc] = bb.id();
+    }
+
+    for (BasicBlock &bb : _blocks) {
+        const Instruction &term = _insns[bb.lastPc()];
+        std::vector<BlockId> succs;
+        if (term.isExit()) {
+            // no successors
+        } else if (term.isJump()) {
+            succs.push_back(_pcToBlock[term.target()]);
+        } else if (term.isBranch()) {
+            // Fall-through first, then taken target.
+            if (bb.lastPc() + 1 < numInsns())
+                succs.push_back(_pcToBlock[bb.lastPc() + 1]);
+            succs.push_back(_pcToBlock[term.target()]);
+        } else {
+            // Barrier or plain fall-through into the next block.
+            if (bb.lastPc() + 1 < numInsns())
+                succs.push_back(_pcToBlock[bb.lastPc() + 1]);
+        }
+        // Deduplicate (a branch whose target is the fall-through).
+        std::sort(succs.begin(), succs.end());
+        succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+        for (BlockId s : succs)
+            bb.addSuccessor(s);
+    }
+
+    for (const BasicBlock &bb : _blocks) {
+        for (BlockId s : bb.successors())
+            _blocks[s].addPredecessor(bb.id());
+    }
+}
+
+std::string
+Kernel::disassemble() const
+{
+    std::ostringstream oss;
+    oss << "kernel " << _name << " (" << numInsns() << " insns, "
+        << _blocks.size() << " blocks, " << _numRegs << " regs)\n";
+    for (const BasicBlock &bb : _blocks) {
+        oss << "BB" << bb.id() << ":\n";
+        for (Pc pc = bb.firstPc(); pc <= bb.lastPc(); ++pc)
+            oss << "  " << pc << ": " << _insns[pc].toString() << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace regless::ir

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Kernel: an instruction stream plus its control-flow graph.
+ */
+
+#ifndef REGLESS_IR_KERNEL_HH
+#define REGLESS_IR_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "ir/basic_block.hh"
+#include "ir/instruction.hh"
+
+namespace regless::ir
+{
+
+/**
+ * Fractions describing the lane-value structure of data returned by the
+ * kernel's global loads. The eviction compressor (paper section 5.3)
+ * matches constant, stride-1, stride-4, and half-warp patterns, so these
+ * fractions determine each workload's register compressibility.
+ * Fractions must sum to <= 1; the remainder is incompressible noise.
+ */
+struct ValueProfile
+{
+    double constantFrac = 0.3;
+    double stride1Frac = 0.3;
+    double stride4Frac = 0.1;
+    double halfWarpFrac = 0.1;
+};
+
+/**
+ * One GPU kernel. Instructions are immutable after construction;
+ * buildCfg() derives basic blocks and edges. The kernel also records
+ * launch geometry defaults used by the workload generators.
+ */
+class Kernel
+{
+  public:
+    Kernel(std::string name, std::vector<Instruction> insns);
+
+    const std::string &name() const { return _name; }
+
+    const std::vector<Instruction> &instructions() const { return _insns; }
+    const Instruction &insn(Pc pc) const { return _insns.at(pc); }
+    Pc numInsns() const { return static_cast<Pc>(_insns.size()); }
+
+    const std::vector<BasicBlock> &blocks() const { return _blocks; }
+    const BasicBlock &block(BlockId id) const { return _blocks.at(id); }
+
+    /** Block containing @a pc. */
+    BlockId blockOf(Pc pc) const { return _pcToBlock.at(pc); }
+
+    /** Highest register number used, plus one. */
+    unsigned numRegs() const { return _numRegs; }
+
+    /** Warps per thread block (launch geometry default). */
+    unsigned warpsPerBlock() const { return _warpsPerBlock; }
+    void setWarpsPerBlock(unsigned w) { _warpsPerBlock = w; }
+
+    /** Dynamic iteration hint: loop trip counts scale with this. */
+    unsigned workScale() const { return _workScale; }
+    void setWorkScale(unsigned s) { _workScale = s; }
+
+    const ValueProfile &valueProfile() const { return _valueProfile; }
+    void setValueProfile(const ValueProfile &p) { _valueProfile = p; }
+
+    /** Render the full instruction listing for debugging. */
+    std::string disassemble() const;
+
+  private:
+    /** Partition the instruction stream into blocks and wire edges. */
+    void buildCfg();
+
+    /** Validate branch targets and operand register numbers. */
+    void validate() const;
+
+    std::string _name;
+    std::vector<Instruction> _insns;
+    std::vector<BasicBlock> _blocks;
+    std::vector<BlockId> _pcToBlock;
+    unsigned _numRegs = 0;
+    unsigned _warpsPerBlock = 8;
+    unsigned _workScale = 1;
+    ValueProfile _valueProfile;
+};
+
+} // namespace regless::ir
+
+#endif // REGLESS_IR_KERNEL_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * GPU-correct register liveness.
+ *
+ * Standard liveness assumes every definition kills the whole register,
+ * which is wrong under SIMT divergence: a definition executed with a
+ * partial lane mask (a "soft definition", paper section 4.4) leaves the
+ * inactive lanes' old values live. The analysis here runs in two passes:
+ * a conventional pass, then soft-definition detection (paper Algorithm
+ * 2), then a corrected pass in which soft definitions neither kill the
+ * register nor start a fresh range — they additionally *use* the old
+ * value, since the hardware must merge it with the new lanes.
+ */
+
+#ifndef REGLESS_IR_LIVENESS_HH
+#define REGLESS_IR_LIVENESS_HH
+
+#include <vector>
+
+#include "ir/cfg_analysis.hh"
+#include "ir/kernel.hh"
+
+namespace regless::ir
+{
+
+/** Dense bit set over register ids. */
+class RegSet
+{
+  public:
+    explicit RegSet(std::size_t num_regs = 0) : _bits(num_regs, false) {}
+
+    bool test(RegId r) const { return _bits[r]; }
+    void set(RegId r) { _bits[r] = true; }
+    void clear(RegId r) { _bits[r] = false; }
+    std::size_t size() const { return _bits.size(); }
+
+    /** this |= other; @return true when any bit changed. */
+    bool unionWith(const RegSet &other);
+
+    /** Number of set bits. */
+    unsigned count() const;
+
+    /** Set bits as a sorted vector. */
+    std::vector<RegId> toVector() const;
+
+    bool operator==(const RegSet &other) const = default;
+
+  private:
+    std::vector<bool> _bits;
+};
+
+/** Liveness facts for one kernel. */
+class Liveness
+{
+  public:
+    Liveness(const Kernel &kernel, const CfgAnalysis &cfg);
+
+    /** Registers read by @a insn (sources, incl. branch predicates). */
+    static std::vector<RegId> usedRegs(const Instruction &insn);
+
+    /** @return true when @a reg is live immediately before @a pc. */
+    bool liveBefore(Pc pc, RegId reg) const;
+
+    /** @return true when @a reg is live immediately after @a pc. */
+    bool liveAfter(Pc pc, RegId reg) const;
+
+    /** Number of registers live immediately before @a pc. */
+    unsigned liveCountBefore(Pc pc) const;
+
+    /** Registers live immediately before @a pc. */
+    std::vector<RegId> liveRegsBefore(Pc pc) const;
+
+    bool blockLiveIn(BlockId bb, RegId reg) const;
+    bool blockLiveOut(BlockId bb, RegId reg) const;
+
+    /**
+     * @return true when @a reg is live along the CFG edge @a from ->
+     * @a to, i.e. live into @a to.
+     */
+    bool liveOnEdge(BlockId from, BlockId to, RegId reg) const;
+
+    /** @return true when the definition at @a pc is a soft definition. */
+    bool isSoftDef(Pc pc) const { return _softDef[pc]; }
+
+    /** @return true when @a reg has any soft definition in the kernel. */
+    bool hasSoftDef(RegId reg) const;
+
+    /** PCs that define @a reg. */
+    const std::vector<Pc> &defsOf(RegId reg) const;
+
+    /** PCs that read @a reg. */
+    const std::vector<Pc> &usesOf(RegId reg) const;
+
+    /**
+     * @return true when @a pc reads @a reg and the value is dead
+     * afterwards (accounting for divergence-corrected liveness).
+     */
+    bool isLastUse(Pc pc, RegId reg) const;
+
+  private:
+    /** Effective gen/kill at @a pc under the corrected (pass-2) rules. */
+    void applyInsnBackward(Pc pc, RegSet &live, bool corrected) const;
+
+    /** One fixpoint over blocks; fills block live-in/out. */
+    void solveDataflow(bool corrected);
+
+    /** Fill the per-PC live-before cache from block live-outs. */
+    void computePerPcSets();
+
+    void detectSoftDefs();
+
+    const Kernel &_kernel;
+    const CfgAnalysis &_cfg;
+    std::vector<RegSet> _blockLiveIn;
+    std::vector<RegSet> _blockLiveOut;
+    std::vector<RegSet> _liveBeforePc;
+    std::vector<bool> _softDef;
+    std::vector<std::vector<Pc>> _defs;
+    std::vector<std::vector<Pc>> _uses;
+};
+
+} // namespace regless::ir
+
+#endif // REGLESS_IR_LIVENESS_HH

@@ -1,0 +1,38 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mem/cache.hh"
+
+namespace regless::mem
+{
+
+DramModel::DramModel(const DramConfig &config)
+    : _cfg(config),
+      _channelNextFree(config.channels, 0.0),
+      _stats("dram"),
+      _accesses(_stats.counter("accesses")),
+      _queueing(_stats.distribution("queueing_cycles"))
+{
+    if (_cfg.channels == 0)
+        fatal("DRAM needs at least one channel");
+    if (_cfg.bandwidthShare <= 0.0 || _cfg.bandwidthShare > 1.0)
+        fatal("DRAM bandwidth share must be in (0, 1]");
+    _effectiveCyclesPerLine = _cfg.cyclesPerLine / _cfg.bandwidthShare;
+}
+
+Cycle
+DramModel::access(Addr addr, Cycle now)
+{
+    ++_accesses;
+    unsigned channel =
+        static_cast<unsigned>((addr / lineBytes) % _cfg.channels);
+    double start = std::max(static_cast<double>(now),
+                            _channelNextFree[channel]);
+    _queueing.sample(start - static_cast<double>(now));
+    _channelNextFree[channel] = start + _effectiveCyclesPerLine;
+    return static_cast<Cycle>(start) + _cfg.accessLatency;
+}
+
+} // namespace regless::mem

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * DRAM channel bandwidth/latency model.
+ *
+ * Four memory partitions (Table 1), each accepting one 128-byte line
+ * transfer every @a cyclesPerLine cycles, with a fixed access latency.
+ * The per-channel next-free counters capture bandwidth saturation; the
+ * shared-GPU scaling factor models the traffic of the SMs we do not
+ * simulate in detail.
+ */
+
+#ifndef REGLESS_MEM_DRAM_HH
+#define REGLESS_MEM_DRAM_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace regless::mem
+{
+
+/** DRAM configuration. */
+struct DramConfig
+{
+    unsigned channels = 4;
+    /** Core cycles per 128B line per channel (224 GB/s at 1 GHz / 4). */
+    double cyclesPerLine = 2.3;
+    Cycle accessLatency = 220;
+    /**
+     * Fraction of channel bandwidth available to the simulated SM;
+     * the remainder stands in for the other SMs' traffic.
+     */
+    double bandwidthShare = 1.0 / 16.0;
+};
+
+/** Channel-interleaved DRAM timing. */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config);
+
+    /**
+     * Issue one line transfer for @a addr at @a now.
+     * @return the cycle the data is available.
+     */
+    Cycle access(Addr addr, Cycle now);
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+  private:
+    DramConfig _cfg;
+    double _effectiveCyclesPerLine;
+    std::vector<double> _channelNextFree;
+    StatGroup _stats;
+    Counter &_accesses;
+    Distribution &_queueing;
+};
+
+} // namespace regless::mem
+
+#endif // REGLESS_MEM_DRAM_HH

@@ -1,0 +1,191 @@
+#include "mem/memory_system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace regless::mem
+{
+
+namespace
+{
+
+/** Default synthetic value: a cheap address hash (incompressible). */
+std::uint32_t
+hashWord(Addr addr)
+{
+    std::uint64_t x = addr * 0x9e3779b97f4a7c15ull;
+    x ^= x >> 29;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 32;
+    return static_cast<std::uint32_t>(x);
+}
+
+} // namespace
+
+MemorySystem::MemorySystem(const MemConfig &config)
+    : MemorySystem(config, std::make_shared<DramModel>(config.dram))
+{
+}
+
+MemorySystem::MemorySystem(const MemConfig &config,
+                           std::shared_ptr<DramModel> shared_dram)
+    : _cfg(config),
+      _l1("l1", config.l1),
+      _l2("l2", config.l2),
+      _dram(std::move(shared_dram)),
+      _valueGen(hashWord),
+      _stats("mem"),
+      _l1PortUses(_stats.counter("l1_port_uses")),
+      _dataAccesses(_stats.counter("data_accesses")),
+      _registerAccesses(_stats.counter("register_accesses")),
+      _invalidations(_stats.counter("register_invalidations"))
+{
+}
+
+MemAccessResult
+MemorySystem::accessL2(Addr addr, bool is_write, Cycle t)
+{
+    double start = std::max(static_cast<double>(t), _l2NextFree);
+    _l2NextFree = start + _cfg.l2CyclesPerLine;
+    Cycle start_cycle = static_cast<Cycle>(start);
+
+    MemAccessResult result;
+    CacheResult cr =
+        _l2.access(addr, is_write, /*write_back_line=*/true, start_cycle);
+    if (cr.rejected) {
+        // Treat a full L2 MSHR file as extra DRAM latency rather than
+        // propagating back-pressure two levels up.
+        result.readyCycle = _dram->access(addr, start_cycle) +
+                            _cfg.l2Latency;
+        result.source = MemSource::Dram;
+        return result;
+    }
+    if (cr.writeback)
+        _dram->access(cr.writebackAddr, start_cycle);
+    if (cr.hit) {
+        Cycle ready = start_cycle + _cfg.l2Latency;
+        if (cr.mshrMerged)
+            ready = std::max(ready, _l2.outstandingReady(addr));
+        result.readyCycle = ready;
+        result.source = MemSource::L2;
+        return result;
+    }
+    // Miss: fetch the line from DRAM.
+    Cycle dram_ready = _dram->access(addr, start_cycle + _cfg.l2Latency);
+    _l2.fillComplete(addr, dram_ready);
+    result.readyCycle = dram_ready;
+    result.source = MemSource::Dram;
+    return result;
+}
+
+MemAccessResult
+MemorySystem::access(Addr addr, bool is_write, MemSpace space, Cycle now)
+{
+    MemAccessResult result;
+    if (!l1PortFree(now)) {
+        result.accepted = false;
+        return result;
+    }
+    _l1NextFree = now + 1;
+    ++_l1PortUses;
+
+    if (space == MemSpace::Data) {
+        ++_dataAccesses;
+        if (_cfg.bypassL1Data)
+            return accessL2(addr, is_write, now + _cfg.l1Latency);
+        // Non-bypass mode: write-through, write-no-allocate L1.
+        CacheResult cr = _l1.access(addr, is_write,
+                                    /*write_back_line=*/false, now);
+        if (cr.rejected) {
+            result.accepted = false;
+            return result;
+        }
+        if (is_write || !cr.hit) {
+            MemAccessResult down =
+                accessL2(addr, is_write, now + _cfg.l1Latency);
+            if (!cr.hit)
+                _l1.fillComplete(addr, down.readyCycle);
+            return down;
+        }
+        Cycle ready = now + _cfg.l1Latency;
+        if (cr.mshrMerged)
+            ready = std::max(ready, _l1.outstandingReady(addr));
+        result.readyCycle = ready;
+        result.source = MemSource::L1;
+        return result;
+    }
+
+    // Register space: cached in L1 with write-back lines and no
+    // fetch-on-write (the preload guarantees full-line writes).
+    ++_registerAccesses;
+    CacheResult cr =
+        _l1.access(addr, is_write, /*write_back_line=*/true, now);
+    if (cr.rejected) {
+        result.accepted = false;
+        return result;
+    }
+    if (cr.writeback) {
+        // Dirty register victim drains to L2.
+        accessL2(cr.writebackAddr, /*is_write=*/true,
+                 now + _cfg.l1Latency);
+    }
+    if (cr.hit) {
+        Cycle ready = now + _cfg.l1Latency;
+        if (cr.mshrMerged)
+            ready = std::max(ready, _l1.outstandingReady(addr));
+        result.readyCycle = ready;
+        result.source = MemSource::L1;
+        return result;
+    }
+    if (is_write) {
+        // Allocate-on-write without fetching the stale line.
+        result.readyCycle = now + _cfg.l1Latency;
+        result.source = MemSource::L1;
+        return result;
+    }
+    MemAccessResult down = accessL2(addr, /*is_write=*/false,
+                                    now + _cfg.l1Latency);
+    _l1.fillComplete(addr, down.readyCycle);
+    result.readyCycle = down.readyCycle;
+    result.source = down.source;
+    return result;
+}
+
+bool
+MemorySystem::invalidateRegisterLine(Addr addr, Cycle now)
+{
+    if (!l1PortFree(now))
+        return false;
+    _l1NextFree = now + 1;
+    ++_l1PortUses;
+    ++_invalidations;
+    _l1.invalidate(addr);
+    _l2.invalidate(addr);
+    return true;
+}
+
+std::uint32_t
+MemorySystem::readWord(Addr addr) const
+{
+    auto it = _words.find(addr);
+    if (it != _words.end())
+        return it->second;
+    return _valueGen(addr);
+}
+
+void
+MemorySystem::writeWord(Addr addr, std::uint32_t value)
+{
+    _words[addr] = value;
+}
+
+void
+MemorySystem::setValueGenerator(std::function<std::uint32_t(Addr)> gen)
+{
+    if (!gen)
+        fatal("null memory value generator");
+    _valueGen = std::move(gen);
+}
+
+} // namespace regless::mem

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The SM's view of the memory hierarchy: L1 -> L2 -> DRAM.
+ *
+ * Follows the paper's Table 1 model: the L1 accepts one request per
+ * cycle (the critical bandwidth RegLess must conserve), program data
+ * accesses bypass the L1 cache, and register lines are cached in L1
+ * with a write-back policy and no fetch-on-write (the RegLess L1
+ * modification, §5.2.3). Functional word storage is kept separate from
+ * the timing model; untouched addresses yield synthetic values from a
+ * pluggable generator so register compressibility is workload-driven.
+ */
+
+#ifndef REGLESS_MEM_MEMORY_SYSTEM_HH
+#define REGLESS_MEM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace regless::mem
+{
+
+/** Address-space classes with distinct cache policy. */
+enum class MemSpace
+{
+    Data,     ///< program global memory (bypasses L1 by default)
+    Register, ///< RegLess spilled registers (L1 write-back lines)
+};
+
+/** Where a request was ultimately serviced. */
+enum class MemSource
+{
+    L1,
+    L2,
+    Dram,
+};
+
+/** Result of one memory-system transaction. */
+struct MemAccessResult
+{
+    /** False when the request could not be accepted (retry later). */
+    bool accepted = true;
+    /** Cycle at which the data is available / the write retired. */
+    Cycle readyCycle = 0;
+    MemSource source = MemSource::L1;
+};
+
+/** Hierarchy-wide configuration. */
+struct MemConfig
+{
+    CacheConfig l1{48 * 1024, 6, 32, /*writeBack=*/false,
+                   /*writeAllocate=*/false};
+    CacheConfig l2{2 * 1024 * 1024, 16, 128, /*writeBack=*/true,
+                   /*writeAllocate=*/true};
+    DramConfig dram;
+    Cycle l1Latency = 24;
+    Cycle l2Latency = 120;
+    /** Core cycles per L2 line for this SM's bandwidth share. */
+    double l2CyclesPerLine = 4.0;
+    /** Program data accesses skip the L1 cache (Table 1). */
+    bool bypassL1Data = true;
+};
+
+/** One SM's memory hierarchy plus functional storage. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemConfig &config = MemConfig());
+
+    /**
+     * Share a DRAM model across several SMs (multi-SM simulation):
+     * each SM keeps private L1/L2 slices but contends for the same
+     * channels.
+     */
+    MemorySystem(const MemConfig &config,
+                 std::shared_ptr<DramModel> shared_dram);
+
+    /** @return true when the single L1 port can accept a request. */
+    bool l1PortFree(Cycle now) const { return _l1NextFree <= now; }
+
+    /** First cycle at which the L1 port is free. */
+    Cycle l1PortNextFree() const { return _l1NextFree; }
+
+    /**
+     * Issue one transaction through the L1 port.
+     *
+     * @param addr Byte address.
+     * @param is_write True for stores/evictions.
+     * @param space Policy class of the address.
+     * @param now Issue cycle; the port must be free.
+     */
+    MemAccessResult access(Addr addr, bool is_write, MemSpace space,
+                           Cycle now);
+
+    /**
+     * RegLess cache-invalidate annotation: drop a register line from
+     * L1 (and L2) without any data movement. Occupies the L1 port.
+     * @return false when the port is busy.
+     */
+    bool invalidateRegisterLine(Addr addr, Cycle now);
+
+    /** @name Functional storage. */
+    /// @{
+    std::uint32_t readWord(Addr addr) const;
+    void writeWord(Addr addr, std::uint32_t value);
+    void setValueGenerator(std::function<std::uint32_t(Addr)> gen);
+    /// @}
+
+    Cache &l1() { return _l1; }
+    Cache &l2() { return _l2; }
+    DramModel &dram() { return *_dram; }
+    StatGroup &stats() { return _stats; }
+
+    const MemConfig &config() const { return _cfg; }
+
+  private:
+    /** L2 lookup with bandwidth serialisation at time @a t. */
+    MemAccessResult accessL2(Addr addr, bool is_write, Cycle t);
+
+    MemConfig _cfg;
+    Cache _l1;
+    Cache _l2;
+    std::shared_ptr<DramModel> _dram;
+    Cycle _l1NextFree = 0;
+    double _l2NextFree = 0.0;
+    std::unordered_map<Addr, std::uint32_t> _words;
+    std::function<std::uint32_t(Addr)> _valueGen;
+    StatGroup _stats;
+    Counter &_l1PortUses;
+    Counter &_dataAccesses;
+    Counter &_registerAccesses;
+    Counter &_invalidations;
+};
+
+} // namespace regless::mem
+
+#endif // REGLESS_MEM_MEMORY_SYSTEM_HH

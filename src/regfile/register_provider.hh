@@ -1,0 +1,101 @@
+/**
+ * @file
+ * RegisterProvider: the seam between the SM pipeline and the five
+ * operand-storage designs the paper compares (Figure 1).
+ *
+ * The SM asks the provider whether a warp's registers are available
+ * before issuing, notifies it of every issued instruction (so it can
+ * count accesses and manage its structures), and gives it a tick each
+ * cycle for background work (RegLess preloading, evictions). Providers
+ * expose their activity through named counters that the energy model
+ * consumes.
+ */
+
+#ifndef REGLESS_REGFILE_REGISTER_PROVIDER_HH
+#define REGLESS_REGFILE_REGISTER_PROVIDER_HH
+
+#include <ostream>
+#include <string>
+
+#include "arch/warp.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "ir/instruction.hh"
+
+namespace regless::regfile
+{
+
+/** Abstract operand-storage model. */
+class RegisterProvider
+{
+  public:
+    explicit RegisterProvider(std::string name) : _stats(std::move(name))
+    {
+    }
+
+    virtual ~RegisterProvider() = default;
+
+    RegisterProvider(const RegisterProvider &) = delete;
+    RegisterProvider &operator=(const RegisterProvider &) = delete;
+
+    /** Background work at the start of every cycle. */
+    virtual void tick(Cycle now) { (void)now; }
+
+    /**
+     * May @a warp issue the instruction at its current PC?
+     * Called only for warps that already pass scoreboard and
+     * structural checks.
+     */
+    virtual bool canIssue(const arch::Warp &warp, Cycle now) = 0;
+
+    /**
+     * An instruction was issued. Called after functional execution,
+     * so @a warp reflects post-instruction state (PC, values).
+     *
+     * @param warp The issuing warp.
+     * @param pc PC of the issued instruction.
+     * @param insn The instruction.
+     * @param now Issue cycle.
+     * @param writeback Cycle its destination value is produced.
+     */
+    virtual void onIssue(const arch::Warp &warp, Pc pc,
+                         const ir::Instruction &insn, Cycle now,
+                         Cycle writeback) = 0;
+
+    /** @a warp has exited the kernel. */
+    virtual void onWarpFinished(const arch::Warp &warp, Cycle now)
+    {
+        (void)warp;
+        (void)now;
+    }
+
+    /**
+     * Extra issue latency imposed by the operand path this cycle
+     * (e.g. OSU bank conflicts). Sampled at issue.
+     */
+    virtual Cycle operandDelay(const arch::Warp &warp,
+                               const ir::Instruction &insn, Cycle now)
+    {
+        (void)warp;
+        (void)insn;
+        (void)now;
+        return 0;
+    }
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+    /** Write every stat this provider owns as "group.name value". */
+    virtual void
+    dumpStats(std::ostream &os) const
+    {
+        _stats.dump(os);
+    }
+
+  protected:
+    StatGroup _stats;
+};
+
+} // namespace regless::regfile
+
+#endif // REGLESS_REGFILE_REGISTER_PROVIDER_HH

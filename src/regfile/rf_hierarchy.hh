@@ -1,0 +1,85 @@
+/**
+ * @file
+ * RFH: compile-time managed register file hierarchy, Gebhart et
+ * al. [11] (Figure 1b).
+ *
+ * Values are statically assigned to one of three levels: a per-lane
+ * last-result file (LRF), a small operand register file (ORF, a few
+ * entries per warp), or the full main register file (MRF). Short-lived
+ * values never touch the MRF, saving most of its dynamic energy; the
+ * MRF itself remains full size. The technique requires the two-level
+ * warp scheduler (wired by the simulator), which is where its
+ * performance cost relative to GTO comes from.
+ */
+
+#ifndef REGLESS_REGFILE_RF_HIERARCHY_HH
+#define REGLESS_REGFILE_RF_HIERARCHY_HH
+
+#include <vector>
+
+#include "compiler/compiler.hh"
+#include "ir/cfg_analysis.hh"
+#include "ir/liveness.hh"
+#include "regfile/register_provider.hh"
+
+namespace regless::regfile
+{
+
+/** Storage level a register is assigned to. */
+enum class RfLevel : std::uint8_t
+{
+    Lrf, ///< last result file: single-use, next-instruction values
+    Orf, ///< operand register file: short-lived values
+    Mrf, ///< main register file: everything else
+};
+
+/** Compile-time managed three-level register file. */
+class RfHierarchy : public RegisterProvider
+{
+  public:
+    /** Static level-assignment knobs. */
+    struct Params
+    {
+        /** Max def-to-use distance for the LRF (single use). */
+        unsigned lrfMaxDistance = 3;
+        /** Max def-to-last-use distance for the ORF. */
+        unsigned orfMaxDistance = 20;
+        /** ORF entries per warp (capacity of the middle level). */
+        unsigned orfEntriesPerWarp = 6;
+    };
+
+    explicit RfHierarchy(const compiler::CompiledKernel &ck);
+    RfHierarchy(const compiler::CompiledKernel &ck, const Params &params);
+
+    bool canIssue(const arch::Warp &warp, Cycle now) override;
+
+    void onIssue(const arch::Warp &warp, Pc pc,
+                 const ir::Instruction &insn, Cycle now,
+                 Cycle writeback) override;
+
+    /** Static level of a register (exposed for tests). */
+    RfLevel levelOf(RegId reg) const { return _level.at(reg); }
+
+    /** Per-window MRF accesses (the Figure 3 "RF hierarchy" series). */
+    WindowedSeries &mrfSeries() { return _mrfSeries; }
+
+  private:
+    /** Run the static assignment pass. */
+    void assignLevels(const Params &params);
+
+    const compiler::CompiledKernel &_ck;
+    ir::CfgAnalysis _cfg;
+    ir::Liveness _live;
+    std::vector<RfLevel> _level;
+    WindowedSeries _mrfSeries;
+    Counter &_lrfReads;
+    Counter &_lrfWrites;
+    Counter &_orfReads;
+    Counter &_orfWrites;
+    Counter &_mrfReads;
+    Counter &_mrfWrites;
+};
+
+} // namespace regless::regfile
+
+#endif // REGLESS_REGFILE_RF_HIERARCHY_HH

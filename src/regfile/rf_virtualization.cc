@@ -1,0 +1,117 @@
+#include "regfile/rf_virtualization.hh"
+
+#include <algorithm>
+
+namespace regless::regfile
+{
+
+RfVirtualization::RfVirtualization(const compiler::CompiledKernel &ck,
+                                   unsigned physical_entries,
+                                   Cycle spill_penalty)
+    : RegisterProvider("rfv"),
+      _ck(ck),
+      _cfg(ck.kernel()),
+      _live(ck.kernel(), _cfg),
+      _physEntries(physical_entries),
+      _spillPenalty(spill_penalty),
+      _reads(_stats.counter("reads")),
+      _writes(_stats.counter("writes")),
+      _renameLookups(_stats.counter("rename_lookups")),
+      _spillStores(_stats.counter("spill_stores")),
+      _spillLoads(_stats.counter("spill_loads")),
+      _releases(_stats.counter("releases")),
+      _occupancy(_stats.distribution("occupancy"))
+{
+}
+
+bool
+RfVirtualization::canIssue(const arch::Warp &, Cycle)
+{
+    return true;
+}
+
+void
+RfVirtualization::mapRegister(std::uint32_t k)
+{
+    auto it = _mapped.find(k);
+    if (it != _mapped.end()) {
+        it->second = ++_lruCounter;
+        return;
+    }
+    if (_mapped.size() >= _physEntries) {
+        // Spill the least-recently-used mapped value.
+        auto victim = _mapped.begin();
+        for (auto mit = _mapped.begin(); mit != _mapped.end(); ++mit) {
+            if (mit->second < victim->second)
+                victim = mit;
+        }
+        _spilled.insert(victim->first);
+        _mapped.erase(victim);
+        ++_spillStores;
+    }
+    _mapped.emplace(k, ++_lruCounter);
+}
+
+Cycle
+RfVirtualization::operandDelay(const arch::Warp &warp,
+                               const ir::Instruction &insn, Cycle now)
+{
+    (void)now;
+    Cycle delay = 0;
+    for (RegId src : insn.srcs()) {
+        if (_spilled.count(key(warp.id(), src)))
+            delay += _spillPenalty;
+    }
+    return delay;
+}
+
+void
+RfVirtualization::onIssue(const arch::Warp &warp, Pc pc,
+                          const ir::Instruction &insn, Cycle now,
+                          Cycle writeback)
+{
+    (void)now;
+    (void)writeback;
+    ++_renameLookups;
+    for (RegId src : insn.srcs()) {
+        ++_reads;
+        std::uint32_t k = key(warp.id(), src);
+        // A spilled source refills into the physical file first.
+        if (_spilled.erase(k)) {
+            ++_spillLoads;
+            mapRegister(k);
+        }
+        if (_live.isLastUse(pc, src)) {
+            if (_mapped.erase(k))
+                ++_releases;
+            _spilled.erase(k);
+        }
+    }
+    if (insn.writesReg()) {
+        ++_writes;
+        std::uint32_t k = key(warp.id(), insn.dst());
+        _spilled.erase(k); // a fresh definition supersedes any spill
+        mapRegister(k);
+    }
+    _occupancy.sample(static_cast<double>(_mapped.size()));
+}
+
+void
+RfVirtualization::onWarpFinished(const arch::Warp &warp, Cycle now)
+{
+    (void)now;
+    for (auto it = _mapped.begin(); it != _mapped.end();) {
+        if (static_cast<WarpId>(it->first >> 16) == warp.id())
+            it = _mapped.erase(it);
+        else
+            ++it;
+    }
+    for (auto it = _spilled.begin(); it != _spilled.end();) {
+        if (static_cast<WarpId>(*it >> 16) == warp.id())
+            it = _spilled.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace regless::regfile

@@ -1,0 +1,597 @@
+#include "regless/capacity_manager.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace regless::staging
+{
+
+namespace
+{
+
+std::uint32_t
+backingKey(WarpId warp, RegId reg)
+{
+    return (static_cast<std::uint32_t>(warp) << 16) | reg;
+}
+
+} // namespace
+
+CapacityManager::CapacityManager(std::string name,
+                                 std::vector<WarpId> shard_warps,
+                                 const compiler::CompiledKernel &ck,
+                                 OperandStagingUnit &osu,
+                                 Compressor *compressor,
+                                 mem::MemorySystem &mem,
+                                 const ReglessConfig &cfg,
+                                 unsigned num_warps)
+    : _shardWarps(std::move(shard_warps)),
+      _ck(ck),
+      _osu(osu),
+      _compressor(compressor),
+      _mem(mem),
+      _cfg(cfg),
+      _numWarps(num_warps),
+      _stats(std::move(name)),
+      _l1Series(100),
+      _activations(_stats.counter("activations")),
+      _preloadSrcOsu(_stats.counter("preload_src_osu")),
+      _preloadSrcCompressor(_stats.counter("preload_src_compressor")),
+      _preloadSrcL1(_stats.counter("preload_src_l1")),
+      _preloadSrcL2Dram(_stats.counter("preload_src_l2dram")),
+      _l1PreloadReqs(_stats.counter("l1_preload_reqs")),
+      _l1StoreReqs(_stats.counter("l1_store_reqs")),
+      _l1InvalidateReqs(_stats.counter("l1_invalidate_reqs")),
+      _activationBlocked(_stats.counter("activation_blocked_cycles")),
+      _metadataInsns(_stats.counter("metadata_insns"))
+{
+    for (WarpId w : _shardWarps) {
+        _ctx.emplace(w, WarpCtx{});
+        _stack.push_back(w); // lowest id activates first
+    }
+}
+
+CapacityManager::WarpCtx &
+CapacityManager::ctx(WarpId warp)
+{
+    auto it = _ctx.find(warp);
+    if (it == _ctx.end())
+        panic("warp ", warp, " not supervised by this CM");
+    return it->second;
+}
+
+const CapacityManager::WarpCtx &
+CapacityManager::ctx(WarpId warp) const
+{
+    auto it = _ctx.find(warp);
+    if (it == _ctx.end())
+        panic("warp ", warp, " not supervised by this CM");
+    return it->second;
+}
+
+Addr
+CapacityManager::regAddr(WarpId warp, RegId reg) const
+{
+    return _cfg.regBase +
+           (static_cast<Addr>(reg) * _numWarps + warp) * regBytes;
+}
+
+void
+CapacityManager::handleReclaim(const OperandStagingUnit::Reclaim &reclaim,
+                               Cycle now)
+{
+    if (!reclaim.needed || !reclaim.writeback)
+        return;
+    const WarpId vw = reclaim.victimWarp;
+    const RegId vr = reclaim.victimReg;
+    if (_compressor && _warpOf &&
+        _compressor->compressEvict(vw, vr, _warpOf(vw).regValue(vr),
+                                   now)) {
+        // The copy lives in the compressed path; invalidating it later
+        // is a free bit-vector clear, not an L1 request.
+        _inBackingStore.insert(backingKey(vw, vr));
+        _inL1.erase(backingKey(vw, vr));
+        return;
+    }
+    // Incompressible: full-line write to L1 at the next port slot.
+    Cycle t = std::max(now, _mem.l1PortNextFree());
+    _mem.access(regAddr(vw, vr), /*is_write=*/true,
+                mem::MemSpace::Register, t);
+    _inBackingStore.insert(backingKey(vw, vr));
+    _inL1.insert(backingKey(vw, vr));
+    ++_l1StoreReqs;
+    _l1Series.record(now, 1.0);
+}
+
+void
+CapacityManager::allocateLine(WarpCtx &wc, WarpId warp, RegId reg,
+                              bool dirty, Cycle now)
+{
+    unsigned bank = OperandStagingUnit::bankOf(warp, reg);
+    OperandStagingUnit::Reclaim reclaim = _osu.allocate(warp, reg, dirty);
+    handleReclaim(reclaim, now);
+    if (wc.budget[bank] > 0) {
+        --wc.budget[bank];
+        --_reservedFuture[bank];
+    }
+}
+
+void
+CapacityManager::creditLine(WarpCtx &wc, WarpId warp, RegId reg)
+{
+    // A line released mid-region stays earmarked for its region: the
+    // paper's reservation is the region's *peak* concurrent live
+    // count, with non-overlapping short-lived registers sharing the
+    // same allocation (Fig. 19). Crediting the budget keeps the
+    // shared pool sound: other activations see the line as available
+    // only together with the matching reservation.
+    unsigned bank = OperandStagingUnit::bankOf(warp, reg);
+    ++wc.budget[bank];
+    ++_reservedFuture[bank];
+}
+
+void
+CapacityManager::invalidateBacking(WarpId warp, RegId reg,
+                                   bool charge_l1, Cycle now)
+{
+    auto it = _inBackingStore.find(backingKey(warp, reg));
+    if (it == _inBackingStore.end())
+        return;
+    _inBackingStore.erase(it);
+    if (_compressor)
+        _compressor->invalidate(warp, reg);
+    if (charge_l1 && _inL1.erase(backingKey(warp, reg))) {
+        Cycle t = std::max(now, _mem.l1PortNextFree());
+        _mem.invalidateRegisterLine(regAddr(warp, reg), t);
+        ++_l1InvalidateReqs;
+        _l1Series.record(now, 1.0);
+    }
+}
+
+void
+CapacityManager::processInvalidations(WarpCtx &wc, WarpId warp, Cycle now)
+{
+    while (!wc.invalidations.empty()) {
+        RegId reg = wc.invalidations.front();
+        if (_inL1.count(backingKey(warp, reg))) {
+            if (!_mem.l1PortFree(now))
+                return; // retry next cycle
+            invalidateBacking(warp, reg, /*charge_l1=*/true, now);
+        } else {
+            // Compressed or absent: a free bit-vector clear.
+            invalidateBacking(warp, reg, /*charge_l1=*/false, now);
+        }
+        wc.invalidations.pop_front();
+    }
+}
+
+void
+CapacityManager::processPreloads(WarpCtx &wc, WarpId warp, Cycle now,
+                                 std::array<bool, osuBanks> &bank_busy)
+{
+    for (auto it = wc.preloads.begin(); it != wc.preloads.end();) {
+        const compiler::Preload preload = *it;
+        unsigned bank = OperandStagingUnit::bankOf(warp, preload.reg);
+        if (bank_busy[bank]) {
+            ++it;
+            continue;
+        }
+        _osu.countTagLookup();
+
+        // Presence was resolved at activation; entries cannot appear
+        // later, but keep the fast path for robustness.
+        if (_osu.presentEvictable(warp, preload.reg)) {
+            _osu.claim(warp, preload.reg);
+            if (wc.budget[bank] > 0) {
+                --wc.budget[bank];
+                --_reservedFuture[bank];
+            }
+            ++_preloadSrcOsu;
+            bank_busy[bank] = true;
+            ++wc.preloadCount;
+            it = wc.preloads.erase(it);
+            continue;
+        }
+
+        // Fetch from the backing path, then allocate a line.
+        Cycle ready = now;
+        mem::MemSource source = mem::MemSource::L1;
+        bool via_compressor = false;
+        if (_compressor) {
+            Compressor::PreloadResult cr =
+                _compressor->preload(warp, preload.reg, now);
+            if (!cr.accepted) {
+                ++it;
+                continue; // L1 port busy; retry next cycle
+            }
+            if (cr.wasCompressed) {
+                via_compressor = true;
+                ready = cr.ready;
+                if (cr.cacheHit) {
+                    ++_preloadSrcCompressor;
+                } else {
+                    // Compressed line fetched through L1.
+                    ++_l1PreloadReqs;
+                    _l1Series.record(now, 1.0);
+                    source = cr.source;
+                    if (source == mem::MemSource::L1)
+                        ++_preloadSrcL1;
+                    else
+                        ++_preloadSrcL2Dram;
+                }
+            }
+        }
+        if (!via_compressor) {
+            if (!_mem.l1PortFree(now)) {
+                ++it;
+                continue;
+            }
+            mem::MemAccessResult mr =
+                _mem.access(regAddr(warp, preload.reg),
+                            /*is_write=*/false, mem::MemSpace::Register,
+                            now);
+            if (!mr.accepted) {
+                ++it;
+                continue;
+            }
+            ready = mr.readyCycle;
+            source = mr.source;
+            ++_l1PreloadReqs;
+            _l1Series.record(now, 1.0);
+            if (source == mem::MemSource::L1)
+                ++_preloadSrcL1;
+            else
+                ++_preloadSrcL2Dram;
+        }
+
+        allocateLine(wc, warp, preload.reg, /*dirty=*/false, now);
+        if (preload.invalidate)
+            invalidateBacking(warp, preload.reg, /*charge_l1=*/false,
+                              now);
+        wc.preloadReady = std::max(wc.preloadReady, ready);
+        bank_busy[bank] = true;
+        ++wc.preloadCount;
+        it = wc.preloads.erase(it);
+    }
+}
+
+unsigned
+CapacityManager::preloadingWarps() const
+{
+    unsigned n = 0;
+    for (const auto &[w, wc] : _ctx)
+        n += (wc.state == CmState::Preloading);
+    return n;
+}
+
+void
+CapacityManager::sampleRegionStats(const WarpCtx &wc, Cycle now)
+{
+    const compiler::Region &region = _ck.region(wc.region);
+    _regionCycles.sample(static_cast<double>(
+        now > wc.activatedAt ? now - wc.activatedAt : 0));
+    _regionInsns.sample(static_cast<double>(region.numInsns()));
+    _regionLive.sample(static_cast<double>(region.maxLive));
+    _regionPreloads.sample(static_cast<double>(wc.preloadCount));
+}
+
+void
+CapacityManager::finishDrain(WarpCtx &wc, WarpId warp, Cycle now)
+{
+    for (RegId reg : wc.deferredErase)
+        _osu.erase(warp, reg);
+    for (RegId reg : wc.deferredEvict)
+        _osu.markEvictable(warp, reg);
+    wc.deferredErase.clear();
+    wc.deferredEvict.clear();
+
+    // Release any budget the region reserved but never used (its
+    // peak-live estimate is an upper bound on distinct allocations).
+    for (unsigned b = 0; b < osuBanks; ++b) {
+        if (wc.budget[b] > 0) {
+            _reservedFuture[b] -= wc.budget[b];
+            wc.budget[b] = 0;
+        }
+    }
+
+    sampleRegionStats(wc, now);
+    wc.state = CmState::Inactive;
+    wc.region = compiler::invalidRegion;
+    wc.preloadCount = 0;
+    // Last-executed warp goes on top so its outputs are likely still
+    // staged when its next region activates (§2.2).
+    if (_cfg.fifoActivation)
+        _stack.push_back(warp);
+    else
+        _stack.push_front(warp);
+}
+
+void
+CapacityManager::tryActivate(Cycle now)
+{
+    if (!_warpOf)
+        panic("CapacityManager warp source not bound");
+    while (preloadingWarps() < _cfg.preloadSlotsPerShard &&
+           !_stack.empty()) {
+        // Top-of-stack activation; warps parked at a barrier are
+        // skipped so they cannot hoard staging space.
+        auto pick = _stack.end();
+        for (auto it = _stack.begin(); it != _stack.end(); ++it) {
+            if (_warpOf(*it).status() == arch::WarpStatus::Running) {
+                pick = it;
+                break;
+            }
+        }
+        if (pick == _stack.end())
+            return;
+        const WarpId warp = *pick;
+        WarpCtx &wc = ctx(warp);
+        if (wc.state != CmState::Inactive)
+            panic("stacked warp ", warp, " not inactive");
+
+        const Pc pc = _warpOf(warp).pc();
+        compiler::RegionId rid = _ck.regionStartingAt(pc);
+        if (rid == compiler::invalidRegion)
+            panic("warp ", warp, " parked at pc ", pc,
+                  " which is not a region start");
+        const compiler::Region &region = _ck.region(rid);
+
+        // Hardware bank b holds compiler bank (b - warp) mod 8.
+        std::array<unsigned, osuBanks> need{};
+        for (unsigned b = 0; b < osuBanks; ++b) {
+            need[b] = region.bankUsage[(b + osuBanks -
+                                        (warp % osuBanks)) % osuBanks];
+        }
+        // Region inputs still resident from an earlier region are
+        // *pinned* at activation (the preload-hit fast path). Pinning
+        // converts an available line to owned, so the fits check
+        // covers the full per-bank need, not need minus hits —
+        // otherwise pins silently starve other warps' reservations.
+        std::array<unsigned, osuBanks> pinned_in{};
+        std::vector<RegId> pinned;
+        for (const compiler::Preload &p : region.preloads) {
+            if (std::find(pinned.begin(), pinned.end(), p.reg) !=
+                pinned.end()) {
+                continue;
+            }
+            if (_osu.presentEvictable(warp, p.reg)) {
+                pinned.push_back(p.reg);
+                ++pinned_in[OperandStagingUnit::bankOf(warp, p.reg)];
+            }
+        }
+        // Resident pure outputs (hard-defined before any read) hold
+        // values that are dead on entry; erase them now so their
+        // stale lines neither get stolen mid-region nor occupy space
+        // beyond the peak-live reservation.
+        std::vector<RegId> stale_outputs;
+        for (RegId reg : region.outputs) {
+            if (std::find(pinned.begin(), pinned.end(), reg) !=
+                    pinned.end() ||
+                std::find(stale_outputs.begin(), stale_outputs.end(),
+                          reg) != stale_outputs.end()) {
+                continue;
+            }
+            if (_osu.presentEvictable(warp, reg))
+                stale_outputs.push_back(reg);
+        }
+
+        // Erasing a stale output turns an evictable line into a free
+        // one, so it does not change availability; the plain need is
+        // the whole requirement.
+        bool fits = true;
+        for (unsigned b = 0; b < osuBanks; ++b) {
+            auto c = _osu.bankCounts(b);
+            int avail = static_cast<int>(c.free + c.clean + c.dirty) -
+                        _reservedFuture[b];
+            if (avail < static_cast<int>(need[b])) {
+                fits = false;
+                break;
+            }
+        }
+        if (!fits) {
+            ++_activationBlocked;
+            return;
+        }
+        for (RegId reg : stale_outputs)
+            _osu.erase(warp, reg);
+
+        // Commit the activation. The region's metadata instructions
+        // are fetched and decoded as the region enters the pipeline.
+        _metadataInsns += region.metadataInsns;
+        _stack.erase(pick);
+        wc.state = CmState::Preloading;
+        wc.region = rid;
+        wc.preloadReady = now;
+        wc.drainUntil = 0;
+        wc.preloadCount = 0;
+        for (unsigned b = 0; b < osuBanks; ++b) {
+            int needed_new = static_cast<int>(need[b]) -
+                             static_cast<int>(pinned_in[b]);
+            needed_new = std::max(needed_new, 0);
+            wc.budget[b] = needed_new;
+            _reservedFuture[b] += needed_new;
+        }
+        for (RegId reg : pinned) {
+            _osu.countTagLookup();
+            _osu.claim(warp, reg);
+        }
+        for (const compiler::Preload &p : region.preloads) {
+            if (std::find(pinned.begin(), pinned.end(), p.reg) !=
+                pinned.end()) {
+                ++_preloadSrcOsu;
+                ++wc.preloadCount;
+                if (p.invalidate &&
+                    _inBackingStore.count(backingKey(warp, p.reg))) {
+                    wc.invalidations.push_back(p.reg);
+                }
+            } else {
+                wc.preloads.push_back(p);
+            }
+        }
+        for (RegId reg : region.cacheInvalidations)
+            wc.invalidations.push_back(reg);
+
+        if (wc.preloads.empty() && wc.invalidations.empty()) {
+            wc.state = CmState::Active;
+            wc.activatedAt = now;
+            ++_activations;
+        }
+    }
+}
+
+void
+CapacityManager::tick(Cycle now)
+{
+    if (_compressor)
+        _compressor->tick(now);
+
+    // Retire draining warps first so their lines are reusable.
+    for (WarpId w : _shardWarps) {
+        WarpCtx &wc = ctx(w);
+        if (wc.state == CmState::Draining && now >= wc.drainUntil)
+            finishDrain(wc, w, now);
+    }
+
+    // Progress preloading warps (one preload per bank per cycle).
+    std::array<bool, osuBanks> bank_busy{};
+    for (WarpId w : _shardWarps) {
+        WarpCtx &wc = ctx(w);
+        if (wc.state != CmState::Preloading)
+            continue;
+        processInvalidations(wc, w, now);
+        processPreloads(wc, w, now, bank_busy);
+        if (wc.preloads.empty() && wc.invalidations.empty() &&
+            now >= wc.preloadReady) {
+            wc.state = CmState::Active;
+            wc.activatedAt = now;
+            ++_activations;
+        }
+    }
+
+    tryActivate(now);
+}
+
+bool
+CapacityManager::canIssue(const arch::Warp &warp, Cycle now) const
+{
+    (void)now;
+    const WarpCtx &wc = ctx(warp.id());
+    if (wc.state != CmState::Active)
+        return false;
+    return _ck.region(wc.region).contains(warp.pc());
+}
+
+void
+CapacityManager::onIssue(const arch::Warp &warp, Pc pc,
+                         const ir::Instruction &insn, Cycle now,
+                         Cycle writeback)
+{
+    WarpCtx &wc = ctx(warp.id());
+    if (wc.state == CmState::Done)
+        return; // exit instruction already tore the warp down
+    if (wc.state != CmState::Active)
+        panic("onIssue for non-active warp ", warp.id(), " in state ",
+              static_cast<int>(wc.state));
+    const compiler::Region &region = _ck.region(wc.region);
+
+    // Operand reads and the destination write hit the OSU.
+    for (std::size_t i = 0; i < insn.srcs().size(); ++i)
+        _osu.countRead();
+    if (insn.writesReg()) {
+        _osu.countWrite();
+        const RegId dst = insn.dst();
+        if (_osu.presentEvictable(warp.id(), dst)) {
+            // Redefinition of a still-resident value: reuse its line.
+            // The activation budgeted a fresh line for this register,
+            // so consume the reservation here or it leaks.
+            _osu.claim(warp.id(), dst);
+            _osu.recordWrite(warp.id(), dst);
+            unsigned bank = OperandStagingUnit::bankOf(warp.id(), dst);
+            if (wc.budget[bank] > 0) {
+                --wc.budget[bank];
+                --_reservedFuture[bank];
+            }
+        } else if (_osu.present(warp.id(), dst)) {
+            _osu.recordWrite(warp.id(), dst);
+        } else {
+            allocateLine(wc, warp.id(), dst, /*dirty=*/true, now);
+        }
+    }
+
+    // Lifetime annotations at this PC.
+    auto erase_it = region.erases.find(pc);
+    if (erase_it != region.erases.end()) {
+        for (RegId reg : erase_it->second) {
+            if (insn.writesReg() && reg == insn.dst() &&
+                writeback > now) {
+                wc.deferredErase.push_back(reg);
+                wc.drainUntil = std::max(wc.drainUntil, writeback);
+            } else {
+                _osu.erase(warp.id(), reg);
+                creditLine(wc, warp.id(), reg);
+            }
+        }
+    }
+    auto evict_it = region.evicts.find(pc);
+    if (evict_it != region.evicts.end()) {
+        for (RegId reg : evict_it->second) {
+            if (insn.writesReg() && reg == insn.dst() &&
+                writeback > now) {
+                wc.deferredEvict.push_back(reg);
+                wc.drainUntil = std::max(wc.drainUntil, writeback);
+            } else {
+                _osu.markEvictable(warp.id(), reg);
+                creditLine(wc, warp.id(), reg);
+            }
+        }
+    }
+
+    // Region boundary: enter the draining state. The region issues no
+    // further instructions, so its remaining allocation budget is
+    // released immediately — only lines pending write-back stay owned
+    // ("any other registers that were allocated to that region can be
+    // freed for other warps, but the pending register must stay
+    // allocated", §5.1).
+    if (pc == region.endPc) {
+        for (unsigned b = 0; b < osuBanks; ++b) {
+            if (wc.budget[b] > 0) {
+                _reservedFuture[b] -= wc.budget[b];
+                wc.budget[b] = 0;
+            }
+        }
+        wc.drainUntil = std::max({wc.drainUntil, now + 1, writeback});
+        wc.state = CmState::Draining;
+    }
+}
+
+void
+CapacityManager::onWarpFinished(const arch::Warp &warp, Cycle now)
+{
+    WarpCtx &wc = ctx(warp.id());
+    // Release everything the warp still holds; dead values need no
+    // write-back.
+    _osu.dropWarp(warp.id());
+    wc.deferredErase.clear();
+    wc.deferredEvict.clear();
+    for (unsigned b = 0; b < osuBanks; ++b) {
+        if (wc.budget[b] > 0) {
+            _reservedFuture[b] -= wc.budget[b];
+            wc.budget[b] = 0;
+        }
+    }
+    wc.preloads.clear();
+    wc.invalidations.clear();
+    if (wc.region != compiler::invalidRegion)
+        sampleRegionStats(wc, now);
+    wc.state = CmState::Done;
+    wc.region = compiler::invalidRegion;
+    for (auto it = _stack.begin(); it != _stack.end();) {
+        if (*it == warp.id())
+            it = _stack.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace regless::staging

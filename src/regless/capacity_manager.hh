@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Capacity manager (CM), paper §5.1 and Figure 9.
+ *
+ * One CM per warp scheduler. It owns a warp stack of inactive warps
+ * and per-warp state machines (inactive -> preloading -> active ->
+ * draining -> inactive). Each cycle it tries to activate the top
+ * stack warp (reserving per-bank OSU lines for the warp's next
+ * region), drains preload and invalidation queues through the
+ * compressor and L1, and retires draining warps once their last
+ * writes land. Only warps in the active state may issue instructions.
+ */
+
+#ifndef REGLESS_REGLESS_CAPACITY_MANAGER_HH
+#define REGLESS_REGLESS_CAPACITY_MANAGER_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "arch/warp.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "compiler/compiler.hh"
+#include "mem/memory_system.hh"
+#include "regless/compressor.hh"
+#include "regless/operand_staging_unit.hh"
+#include "regless/regless_config.hh"
+
+namespace regless::staging
+{
+
+/** Figure 9 warp states. */
+enum class CmState : std::uint8_t
+{
+    Inactive,
+    Preloading,
+    Active,
+    Draining,
+    Done,
+};
+
+/** One warp scheduler's capacity manager. */
+class CapacityManager
+{
+  public:
+    /** Accessor for a warp's architectural state (PC, status, values). */
+    using WarpSource = std::function<const arch::Warp &(WarpId)>;
+
+    /**
+     * @param name Stats prefix.
+     * @param shard_warps Warps supervised by this CM's scheduler.
+     * @param ck Compiled kernel with region annotations.
+     * @param osu This shard's staging unit.
+     * @param compressor This shard's compressor (null disables the
+     *        compressor, the paper's ablation in Figure 16).
+     * @param mem Shared memory hierarchy.
+     * @param cfg RegLess configuration.
+     * @param num_warps Warps per SM (register address layout).
+     */
+    CapacityManager(std::string name, std::vector<WarpId> shard_warps,
+                    const compiler::CompiledKernel &ck,
+                    OperandStagingUnit &osu, Compressor *compressor,
+                    mem::MemorySystem &mem, const ReglessConfig &cfg,
+                    unsigned num_warps);
+
+    /** Must be called before the first tick. */
+    void setWarpSource(WarpSource ws) { _warpOf = std::move(ws); }
+
+    /** Per-cycle work: queues, drains, activation. */
+    void tick(Cycle now);
+
+    /** Only active warps whose PC is inside their region may issue. */
+    bool canIssue(const arch::Warp &warp, Cycle now) const;
+
+    /** Process annotations and region boundaries for an issue. */
+    void onIssue(const arch::Warp &warp, Pc pc,
+                 const ir::Instruction &insn, Cycle now, Cycle writeback);
+
+    /** Kernel exit: release the warp's staging resources. */
+    void onWarpFinished(const arch::Warp &warp, Cycle now);
+
+    CmState state(WarpId warp) const { return ctx(warp).state; }
+
+    /** Outstanding reserved-but-unallocated lines in @a bank. */
+    int reservedFuture(unsigned bank) const
+    {
+        return _reservedFuture.at(bank);
+    }
+
+    /** Remaining allocation budget of @a warp in @a bank. */
+    int warpBudget(WarpId warp, unsigned bank) const
+    {
+        return ctx(warp).budget.at(bank);
+    }
+
+    /** Current region of @a warp (invalidRegion when inactive). */
+    compiler::RegionId warpRegion(WarpId warp) const
+    {
+        return ctx(warp).region;
+    }
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+    /** L1 transactions attributable to RegLess (Figures 3 and 18). */
+    WindowedSeries &l1Series() { return _l1Series; }
+
+    /** @name Dynamic region statistics (Figure 19, Table 2). */
+    /// @{
+    Distribution &regionPreloads() { return _regionPreloads; }
+    Distribution &regionLive() { return _regionLive; }
+    Distribution &regionCycles() { return _regionCycles; }
+    Distribution &regionInsns() { return _regionInsns; }
+    /// @}
+
+  private:
+    struct WarpCtx
+    {
+        CmState state = CmState::Inactive;
+        compiler::RegionId region = compiler::invalidRegion;
+        std::deque<compiler::Preload> preloads;
+        std::deque<RegId> invalidations;
+        Cycle preloadReady = 0;
+        Cycle activatedAt = 0;
+        Cycle drainUntil = 0;
+        unsigned preloadCount = 0;
+        /** New lines this region may still allocate, per bank. */
+        std::array<int, osuBanks> budget{};
+        std::vector<RegId> deferredErase;
+        std::vector<RegId> deferredEvict;
+    };
+
+    WarpCtx &ctx(WarpId warp);
+    const WarpCtx &ctx(WarpId warp) const;
+
+    Addr regAddr(WarpId warp, RegId reg) const;
+
+    /** Handle a reclaim's write-back duty (compressor or L1). */
+    void handleReclaim(const OperandStagingUnit::Reclaim &reclaim,
+                       Cycle now);
+
+    /** Allocate an owned line, consuming the warp's budget. */
+    void allocateLine(WarpCtx &wc, WarpId warp, RegId reg, bool dirty,
+                      Cycle now);
+
+    /** Return a mid-region released line to the region's budget. */
+    void creditLine(WarpCtx &wc, WarpId warp, RegId reg);
+
+    /** Forget a register's backing-store copy (invalidating read). */
+    void invalidateBacking(WarpId warp, RegId reg, bool charge_l1,
+                           Cycle now);
+
+    void processInvalidations(WarpCtx &wc, WarpId warp, Cycle now);
+    void processPreloads(WarpCtx &wc, WarpId warp, Cycle now,
+                         std::array<bool, osuBanks> &bank_busy);
+    void finishDrain(WarpCtx &wc, WarpId warp, Cycle now);
+    void sampleRegionStats(const WarpCtx &wc, Cycle now);
+    void tryActivate(Cycle now);
+    unsigned preloadingWarps() const;
+
+    std::vector<WarpId> _shardWarps;
+    const compiler::CompiledKernel &_ck;
+    OperandStagingUnit &_osu;
+    Compressor *_compressor;
+    mem::MemorySystem &_mem;
+    ReglessConfig _cfg;
+    unsigned _numWarps;
+    WarpSource _warpOf;
+
+    std::unordered_map<WarpId, WarpCtx> _ctx;
+    std::deque<WarpId> _stack; ///< front = top (last to have executed)
+    std::array<int, osuBanks> _reservedFuture{};
+    /** Registers with a live copy in the compressor/L1/L2 path. */
+    std::unordered_set<std::uint32_t> _inBackingStore;
+    /** Subset whose copy is an uncompressed L1/L2 line. */
+    std::unordered_set<std::uint32_t> _inL1;
+
+    StatGroup _stats;
+    WindowedSeries _l1Series;
+    Distribution _regionPreloads;
+    Distribution _regionLive;
+    Distribution _regionCycles;
+    Distribution _regionInsns;
+    Counter &_activations;
+    Counter &_preloadSrcOsu;
+    Counter &_preloadSrcCompressor;
+    Counter &_preloadSrcL1;
+    Counter &_preloadSrcL2Dram;
+    Counter &_l1PreloadReqs;
+    Counter &_l1StoreReqs;
+    Counter &_l1InvalidateReqs;
+    Counter &_activationBlocked;
+    Counter &_metadataInsns;
+};
+
+} // namespace regless::staging
+
+#endif // REGLESS_REGLESS_CAPACITY_MANAGER_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Eviction compressor (paper §5.3).
+ *
+ * Registers evicted from the OSU are matched against six patterns
+ * (uncompressed, constant, stride-1, stride-4, and half-warp variants
+ * of the strides). Compressed representations pack 15 registers per
+ * 128-byte backing line, so compressed traffic both saves L1 capacity
+ * and batches many registers into one L1 request. A per-register bit
+ * vector records compression state so preloads of uncompressed
+ * registers never touch compressed lines; a small internal cache holds
+ * recently used compressed lines.
+ */
+
+#ifndef REGLESS_REGLESS_COMPRESSOR_HH
+#define REGLESS_REGLESS_COMPRESSOR_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "ir/instruction.hh"
+#include "mem/memory_system.hh"
+#include "regless/regless_config.hh"
+
+namespace regless::staging
+{
+
+/** Value patterns the compressor recognises. */
+enum class Pattern : std::uint8_t
+{
+    None,        ///< incompressible
+    Constant,    ///< all lanes equal
+    Stride1,     ///< lane i = base + i
+    Stride4,     ///< lane i = base + 4 i
+    HalfStride1, ///< independent stride-1 per half warp
+    HalfStride4, ///< independent stride-4 per half warp
+};
+
+/** One shard's compressor. */
+class Compressor
+{
+  public:
+    /** Outcome of routing a preload through the compressor. */
+    struct PreloadResult
+    {
+        /** False when the L1 port was busy; retry next cycle. */
+        bool accepted = true;
+        /** True when the register was stored compressed. */
+        bool wasCompressed = false;
+        /** True when it decompressed from the internal cache. */
+        bool cacheHit = false;
+        Cycle ready = 0;
+        mem::MemSource source = mem::MemSource::L1;
+    };
+
+    /**
+     * @param name Stats prefix.
+     * @param config Compressor parameters.
+     * @param mem Shared memory hierarchy (for line fetch/flush).
+     * @param compressed_base Base address of the compressed space.
+     * @param num_warps Warps per SM (for the register index layout).
+     */
+    Compressor(std::string name, const CompressorConfig &config,
+               mem::MemorySystem &mem, Addr compressed_base,
+               unsigned num_warps);
+
+    /** Classify @a value (pure; exposed for tests and benches). */
+    static Pattern matchPattern(const ir::LaneValues &value);
+
+    /**
+     * Try to absorb a dirty eviction.
+     *
+     * @return true when the value compressed (stored internally, to be
+     * flushed lazily); false when the caller must write the full line
+     * to L1 itself.
+     */
+    bool compressEvict(WarpId warp, RegId reg,
+                       const ir::LaneValues &value, Cycle now);
+
+    /**
+     * Route a preload. Checks the bit vector; for compressed registers
+     * serves from the internal cache or fetches the compressed line.
+     * For uncompressed registers returns wasCompressed = false and the
+     * caller fetches the full line from L1.
+     */
+    PreloadResult preload(WarpId warp, RegId reg, Cycle now);
+
+    /** Invalidating read / cache invalidation: forget the register. */
+    void invalidate(WarpId warp, RegId reg);
+
+    /** Bit-vector check (no latency accounting). */
+    bool isCompressed(WarpId warp, RegId reg) const;
+
+    /** Flush at most one dirty cached line to L1 (background work). */
+    void tick(Cycle now);
+
+    /** Extra latency charged on top of a compressed preload. */
+    Cycle hitLatency() const { return _cfg.hitLatency; }
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+  private:
+    std::uint32_t
+    regIndex(WarpId warp, RegId reg) const
+    {
+        return static_cast<std::uint32_t>(reg) * _numWarps + warp;
+    }
+
+    std::uint32_t
+    lineOf(WarpId warp, RegId reg) const
+    {
+        return regIndex(warp, reg) / _cfg.regsPerLine;
+    }
+
+    Addr
+    lineAddr(std::uint32_t line) const
+    {
+        return _compressedBase + static_cast<Addr>(line) * 128;
+    }
+
+    /** Install @a line in the cache; may queue a dirty victim flush. */
+    void installLine(std::uint32_t line, bool dirty);
+
+    struct CacheEntry
+    {
+        bool dirty = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    CompressorConfig _cfg;
+    mem::MemorySystem &_mem;
+    Addr _compressedBase;
+    unsigned _numWarps;
+    /** Registers currently stored compressed. */
+    std::unordered_set<std::uint32_t> _bitVector;
+    /** Internal compressed-line cache. */
+    std::unordered_map<std::uint32_t, CacheEntry> _cache;
+    /** Dirty lines waiting for an L1 port slot. */
+    std::list<std::uint32_t> _flushQueue;
+    std::uint64_t _lruCounter = 0;
+    StatGroup _stats;
+    Counter &_matches;
+    Counter &_misses;
+    Counter &_cacheHits;
+    Counter &_cacheMisses;
+    Counter &_lineFetches;
+    Counter &_lineFlushes;
+    std::array<Counter *, 6> _patternCounts;
+};
+
+} // namespace regless::staging
+
+#endif // REGLESS_REGLESS_COMPRESSOR_HH

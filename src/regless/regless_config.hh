@@ -1,0 +1,64 @@
+/**
+ * @file
+ * RegLess hardware configuration.
+ */
+
+#ifndef REGLESS_REGLESS_REGLESS_CONFIG_HH
+#define REGLESS_REGLESS_REGLESS_CONFIG_HH
+
+#include "common/types.hh"
+
+namespace regless::staging
+{
+
+/** Victim preference when the OSU must reclaim a line (§5.2). */
+enum class VictimOrder
+{
+    FreeCleanDirty, ///< paper order: free, then clean, then dirty
+    DirtyFirst,     ///< ablation: prefer dirty victims
+};
+
+/** Compressor parameters (§5.3). */
+struct CompressorConfig
+{
+    /** Internal compressed-line cache entries per shard. */
+    unsigned cacheLines = 12;
+    /** Compressed registers per 128-byte backing line. */
+    unsigned regsPerLine = 15;
+    /** Extra preload latency when the value decompresses from cache. */
+    Cycle hitLatency = 2;
+    /** Bit-vector check latency on every non-compressed preload. */
+    Cycle checkLatency = 1;
+
+    /**
+     * Enabled pattern classes, as a bit per Pattern enum value
+     * (bit 1 = Constant .. bit 5 = HalfStride4). Default: all six
+     * paper patterns. Used by the compressor ablation study.
+     */
+    unsigned patternMask = 0x3e;
+};
+
+/** Whole-RegLess parameters. */
+struct ReglessConfig
+{
+    /** OSU entries (128B registers) across the whole SM. */
+    unsigned osuEntriesPerSm = 512;
+    /** One shard per warp scheduler. */
+    unsigned numShards = 4;
+    /** Warps a shard may hold in the preloading state at once. */
+    unsigned preloadSlotsPerShard = 2;
+    /** Enable the eviction compressor. */
+    bool compressorEnabled = true;
+    CompressorConfig compressor;
+    /** Activation order: LIFO warp stack (paper) vs FIFO (ablation). */
+    bool fifoActivation = false;
+    VictimOrder victimOrder = VictimOrder::FreeCleanDirty;
+    /** Base of the uncompressed register backing space. */
+    Addr regBase = 0x4000'0000;
+    /** Base of the compressed register backing space. */
+    Addr compressedBase = 0x6000'0000;
+};
+
+} // namespace regless::staging
+
+#endif // REGLESS_REGLESS_REGLESS_CONFIG_HH

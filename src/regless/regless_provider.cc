@@ -1,0 +1,241 @@
+#include "regless/regless_provider.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace regless::staging
+{
+
+ReglessProvider::ReglessProvider(const compiler::CompiledKernel &ck,
+                                 mem::MemorySystem &mem,
+                                 const ReglessConfig &cfg,
+                                 unsigned num_warps)
+    : RegisterProvider("regless"),
+      _ck(ck),
+      _cfg(cfg),
+      _bankConflicts(_stats.counter("osu_bank_conflicts"))
+{
+    if (cfg.osuEntriesPerSm % cfg.numShards != 0)
+        fatal("OSU entries (", cfg.osuEntriesPerSm,
+              ") must divide across ", cfg.numShards, " shards");
+    const unsigned lines_per_shard = cfg.osuEntriesPerSm / cfg.numShards;
+
+    for (unsigned s = 0; s < cfg.numShards; ++s) {
+        _osus.push_back(std::make_unique<OperandStagingUnit>(
+            "osu" + std::to_string(s), lines_per_shard, cfg.victimOrder));
+    }
+    if (cfg.compressorEnabled) {
+        for (unsigned s = 0; s < cfg.numShards; ++s) {
+            _compressors.push_back(std::make_unique<Compressor>(
+                "compressor" + std::to_string(s), cfg.compressor, mem,
+                cfg.compressedBase, num_warps));
+        }
+    }
+    for (unsigned s = 0; s < cfg.numShards; ++s) {
+        std::vector<WarpId> shard_warps;
+        for (WarpId w = s; w < num_warps; w += cfg.numShards)
+            shard_warps.push_back(w);
+        _cms.push_back(std::make_unique<CapacityManager>(
+            "cm" + std::to_string(s), std::move(shard_warps), ck,
+            *_osus[s],
+            cfg.compressorEnabled ? _compressors[s].get() : nullptr, mem,
+            cfg, num_warps));
+    }
+}
+
+void
+ReglessProvider::setWarpSource(CapacityManager::WarpSource ws)
+{
+    for (auto &cm : _cms)
+        cm->setWarpSource(ws);
+}
+
+void
+ReglessProvider::tick(Cycle now)
+{
+    // Rotate which shard gets first crack at the shared L1 port.
+    const unsigned n = _cfg.numShards;
+    for (unsigned i = 0; i < n; ++i)
+        _cms[(i + _tickRotation) % n]->tick(now);
+    ++_tickRotation;
+}
+
+bool
+ReglessProvider::canIssue(const arch::Warp &warp, Cycle now)
+{
+    return _cms[shardOf(warp.id())]->canIssue(warp, now);
+}
+
+void
+ReglessProvider::onIssue(const arch::Warp &warp, Pc pc,
+                         const ir::Instruction &insn, Cycle now,
+                         Cycle writeback)
+{
+    _cms[shardOf(warp.id())]->onIssue(warp, pc, insn, now, writeback);
+}
+
+void
+ReglessProvider::onWarpFinished(const arch::Warp &warp, Cycle now)
+{
+    _cms[shardOf(warp.id())]->onWarpFinished(warp, now);
+}
+
+Cycle
+ReglessProvider::operandDelay(const arch::Warp &warp,
+                              const ir::Instruction &insn, Cycle now)
+{
+    (void)now;
+    // Two sources in the same OSU bank serialise on the bank port.
+    std::array<unsigned, osuBanks> uses{};
+    unsigned worst = 0;
+    for (RegId src : insn.srcs()) {
+        unsigned b = OperandStagingUnit::bankOf(warp.id(), src);
+        worst = std::max(worst, ++uses[b]);
+    }
+    if (worst > 1) {
+        ++_bankConflicts;
+        return worst - 1;
+    }
+    return 0;
+}
+
+void
+ReglessProvider::dumpStats(std::ostream &os) const
+{
+    _stats.dump(os);
+    for (const auto &osu : _osus)
+        osu->stats().dump(os);
+    for (const auto &comp : _compressors)
+        comp->stats().dump(os);
+    for (const auto &cm : _cms)
+        cm->stats().dump(os);
+}
+
+std::uint64_t
+ReglessProvider::preloadsFrom(const char *counter_name)
+{
+    std::uint64_t total = 0;
+    for (const auto &cm : _cms)
+        total += cm->stats().counter(counter_name).value();
+    return total;
+}
+
+std::uint64_t
+ReglessProvider::l1Requests(const char *counter_name)
+{
+    return preloadsFrom(counter_name);
+}
+
+double
+ReglessProvider::meanRegionPreloads()
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto &cm : _cms) {
+        auto &d = cm->regionPreloads();
+        sum += d.sum();
+        n += d.count();
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double
+ReglessProvider::meanRegionLive()
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto &cm : _cms) {
+        auto &d = cm->regionLive();
+        sum += d.sum();
+        n += d.count();
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double
+ReglessProvider::stddevRegionLive()
+{
+    // Combine shard distributions via the law of total variance.
+    double total_n = 0.0, mean = meanRegionLive(), acc = 0.0;
+    for (const auto &cm : _cms) {
+        auto &d = cm->regionLive();
+        if (d.count() == 0)
+            continue;
+        double n = static_cast<double>(d.count());
+        double var = d.stddev() * d.stddev();
+        double dm = d.mean() - mean;
+        acc += n * (var + dm * dm);
+        total_n += n;
+    }
+    return total_n > 0.0 ? std::sqrt(acc / total_n) : 0.0;
+}
+
+double
+ReglessProvider::meanRegionCycles()
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto &cm : _cms) {
+        auto &d = cm->regionCycles();
+        sum += d.sum();
+        n += d.count();
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double
+ReglessProvider::meanRegionInsns()
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto &cm : _cms) {
+        auto &d = cm->regionInsns();
+        sum += d.sum();
+        n += d.count();
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::uint64_t
+ReglessProvider::osuAccesses()
+{
+    std::uint64_t total = 0;
+    for (const auto &osu : _osus) {
+        auto &s = osu->stats();
+        total += s.counter("reads").value() + s.counter("writes").value();
+    }
+    return total;
+}
+
+std::uint64_t
+ReglessProvider::compressorAccesses()
+{
+    std::uint64_t total = 0;
+    for (const auto &comp : _compressors) {
+        auto &s = comp->stats();
+        total += s.counter("matches").value() +
+                 s.counter("incompressible").value() +
+                 s.counter("cache_hits").value() +
+                 s.counter("cache_misses").value();
+    }
+    return total;
+}
+
+std::vector<double>
+ReglessProvider::l1SeriesPoints()
+{
+    std::vector<double> merged;
+    for (auto &cm : _cms) {
+        cm->l1Series().flush();
+        const auto &pts = cm->l1Series().points();
+        if (pts.size() > merged.size())
+            merged.resize(pts.size(), 0.0);
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            merged[i] += pts[i];
+    }
+    return merged;
+}
+
+} // namespace regless::staging

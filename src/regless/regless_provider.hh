@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The RegLess operand provider: four shards (one per warp scheduler),
+ * each with its own capacity manager, operand staging unit, and
+ * compressor, sharing the SM's single L1 port (paper Figure 8).
+ */
+
+#ifndef REGLESS_REGLESS_REGLESS_PROVIDER_HH
+#define REGLESS_REGLESS_REGLESS_PROVIDER_HH
+
+#include <memory>
+#include <vector>
+
+#include "compiler/compiler.hh"
+#include "mem/memory_system.hh"
+#include "regfile/register_provider.hh"
+#include "regless/capacity_manager.hh"
+#include "regless/compressor.hh"
+#include "regless/operand_staging_unit.hh"
+#include "regless/regless_config.hh"
+
+namespace regless::staging
+{
+
+/** Operand staging replacing the register file (Figure 1e). */
+class ReglessProvider : public regfile::RegisterProvider
+{
+  public:
+    /**
+     * @param ck Compiled kernel with region annotations.
+     * @param mem The SM's memory hierarchy.
+     * @param cfg RegLess parameters.
+     * @param num_warps Warp slots in the SM.
+     */
+    ReglessProvider(const compiler::CompiledKernel &ck,
+                    mem::MemorySystem &mem, const ReglessConfig &cfg,
+                    unsigned num_warps);
+
+    /** Bind the warp-state accessor; must precede the first tick. */
+    void setWarpSource(CapacityManager::WarpSource ws);
+
+    void tick(Cycle now) override;
+    bool canIssue(const arch::Warp &warp, Cycle now) override;
+    void onIssue(const arch::Warp &warp, Pc pc,
+                 const ir::Instruction &insn, Cycle now,
+                 Cycle writeback) override;
+    void onWarpFinished(const arch::Warp &warp, Cycle now) override;
+    Cycle operandDelay(const arch::Warp &warp,
+                       const ir::Instruction &insn, Cycle now) override;
+
+    void dumpStats(std::ostream &os) const override;
+
+    unsigned numShards() const { return _cfg.numShards; }
+    CapacityManager &cm(unsigned shard) { return *_cms.at(shard); }
+    OperandStagingUnit &osu(unsigned shard) { return *_osus.at(shard); }
+    Compressor *compressor(unsigned shard)
+    {
+        return _compressors.empty() ? nullptr
+                                    : _compressors.at(shard).get();
+    }
+
+    const ReglessConfig &config() const { return _cfg; }
+
+    /** @name Aggregates across shards (Figures 3, 17, 18, 19). */
+    /// @{
+    std::uint64_t preloadsFrom(const char *counter_name);
+    std::uint64_t l1Requests(const char *counter_name);
+    double meanRegionPreloads();
+    double meanRegionLive();
+    double stddevRegionLive();
+    double meanRegionCycles();
+    double meanRegionInsns();
+    std::uint64_t osuAccesses();
+    std::uint64_t compressorAccesses();
+    /** Sum of all shards' per-100-cycle L1 request series. */
+    std::vector<double> l1SeriesPoints();
+    /// @}
+
+  private:
+    unsigned shardOf(WarpId warp) const { return warp % _cfg.numShards; }
+
+    const compiler::CompiledKernel &_ck;
+    ReglessConfig _cfg;
+    std::vector<std::unique_ptr<OperandStagingUnit>> _osus;
+    std::vector<std::unique_ptr<Compressor>> _compressors;
+    std::vector<std::unique_ptr<CapacityManager>> _cms;
+    Cycle _tickRotation = 0;
+    Counter &_bankConflicts;
+};
+
+} // namespace regless::staging
+
+#endif // REGLESS_REGLESS_REGLESS_PROVIDER_HH

@@ -1,0 +1,61 @@
+#include "sim/experiment.hh"
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace regless::sim
+{
+
+RunStats
+runKernel(const ir::Kernel &kernel, ProviderKind kind)
+{
+    return runKernel(kernel, GpuConfig::forProvider(kind));
+}
+
+RunStats
+runKernel(const ir::Kernel &kernel, const GpuConfig &config)
+{
+    GpuSimulator simulator(kernel, config);
+    return simulator.run();
+}
+
+RunStats
+runRegless(const ir::Kernel &kernel, unsigned osu_entries,
+           bool compressor)
+{
+    GpuConfig config = GpuConfig::forProvider(
+        compressor ? ProviderKind::Regless
+                   : ProviderKind::ReglessNoCompressor);
+    config.setOsuCapacity(osu_entries);
+    return runKernel(kernel, config);
+}
+
+std::string
+cell(const std::string &text, unsigned width)
+{
+    std::ostringstream oss;
+    oss << std::left << std::setw(width) << text;
+    return oss.str();
+}
+
+std::string
+cell(double value, unsigned width, unsigned digits)
+{
+    std::ostringstream oss;
+    oss << std::left << std::setw(width) << std::fixed
+        << std::setprecision(digits) << value;
+    return oss.str();
+}
+
+void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "# " << title << "\n";
+    std::cout << "# Reproduces: " << paper_ref
+              << " (RegLess, MICRO-50 2017)\n";
+    std::cout << "#" << std::string(70, '-') << "\n";
+}
+
+} // namespace regless::sim

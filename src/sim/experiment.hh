@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared experiment drivers and table formatting for the benchmark
+ * harnesses (one binary per paper figure/table; see DESIGN.md §4).
+ */
+
+#ifndef REGLESS_SIM_EXPERIMENT_HH
+#define REGLESS_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hh"
+#include "sim/gpu_config.hh"
+#include "sim/gpu_simulator.hh"
+#include "sim/run_stats.hh"
+
+namespace regless::sim
+{
+
+/** Run @a kernel under the canonical configuration for @a kind. */
+RunStats runKernel(const ir::Kernel &kernel, ProviderKind kind);
+
+/** Run @a kernel under an explicit configuration. */
+RunStats runKernel(const ir::Kernel &kernel, const GpuConfig &config);
+
+/**
+ * Run @a kernel under RegLess with a specific OSU capacity (derives
+ * matching compiler constraints).
+ */
+RunStats runRegless(const ir::Kernel &kernel, unsigned osu_entries,
+                    bool compressor = true);
+
+/** Fixed-width left-aligned cell. */
+std::string cell(const std::string &text, unsigned width);
+
+/** Fixed-width numeric cell with @a digits decimals. */
+std::string cell(double value, unsigned width, unsigned digits = 3);
+
+/** Print a standard bench banner with the figure/table reference. */
+void banner(const std::string &title, const std::string &paper_ref);
+
+} // namespace regless::sim
+
+#endif // REGLESS_SIM_EXPERIMENT_HH

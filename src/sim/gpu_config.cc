@@ -1,0 +1,54 @@
+#include "sim/gpu_config.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace regless::sim
+{
+
+const char *
+providerName(ProviderKind kind)
+{
+    switch (kind) {
+      case ProviderKind::Baseline: return "baseline";
+      case ProviderKind::Rfh: return "rfh";
+      case ProviderKind::Rfv: return "rfv";
+      case ProviderKind::Regless: return "regless";
+      case ProviderKind::ReglessNoCompressor: return "regless_nocomp";
+    }
+    return "?";
+}
+
+GpuConfig
+GpuConfig::forProvider(ProviderKind kind)
+{
+    GpuConfig config;
+    config.provider = kind;
+    // Both prior techniques are built around the two-level scheduler
+    // ([11] integrally; [19] as evaluated in the paper, Fig. 16);
+    // baseline and RegLess use GTO (Table 1).
+    if (kind == ProviderKind::Rfh || kind == ProviderKind::Rfv)
+        config.sm.scheduler = arch::SchedulerPolicy::TwoLevel;
+    if (kind == ProviderKind::ReglessNoCompressor)
+        config.regless.compressorEnabled = false;
+    return config;
+}
+
+void
+GpuConfig::setOsuCapacity(unsigned entries)
+{
+    regless.osuEntriesPerSm = entries;
+    const unsigned shards = regless.numShards;
+    if (entries % (shards * 8) != 0)
+        fatal("OSU capacity ", entries, " must divide into ", shards,
+              " shards of 8 banks");
+    const unsigned lines_per_bank = entries / shards / 8;
+    // Regions must leave headroom so several warps stay concurrent.
+    compiler.maxRegsPerBank =
+        std::max(1u, std::min(12u, lines_per_bank * 3 / 4));
+    compiler.maxRegsPerRegion =
+        std::max(4u, std::min(32u, entries / shards / 2));
+}
+
+} // namespace regless::sim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Top-level simulation configuration: which operand-storage design to
+ * run and all sub-component parameters (Table 1 defaults).
+ */
+
+#ifndef REGLESS_SIM_GPU_CONFIG_HH
+#define REGLESS_SIM_GPU_CONFIG_HH
+
+#include "arch/sm.hh"
+#include "compiler/config.hh"
+#include "energy/area_model.hh"
+#include "energy/energy_model.hh"
+#include "mem/memory_system.hh"
+#include "regfile/rf_hierarchy.hh"
+#include "regless/regless_config.hh"
+
+namespace regless::sim
+{
+
+/** Operand-storage designs compared in the evaluation. */
+enum class ProviderKind
+{
+    Baseline,            ///< full register file (Figure 1a)
+    Rfh,                 ///< register file hierarchy [11] (Figure 1b)
+    Rfv,                 ///< register file virtualization [19] (1c)
+    Regless,             ///< operand staging (Figure 1e)
+    ReglessNoCompressor, ///< Figure 16 ablation
+};
+
+/** Human-readable provider name. */
+const char *providerName(ProviderKind kind);
+
+/** Full simulator configuration. */
+struct GpuConfig
+{
+    ProviderKind provider = ProviderKind::Baseline;
+    arch::SmConfig sm;
+    mem::MemConfig mem;
+    compiler::CompilerConfig compiler;
+    staging::ReglessConfig regless;
+    energy::EnergyConfig energy;
+    energy::AreaConfig area;
+
+    /** Baseline register-file entries per SM (2048 = 256 KB). */
+    unsigned baselineRfEntries = 2048;
+
+    /**
+     * Model register-file occupancy limits: providers with a fixed
+     * architectural file (baseline, RFH) can only keep
+     * rfEntries / kernelRegs warps resident. RegLess and RFV
+     * oversubscribe (the paper's §7 observation that RegLess needs no
+     * design change to do so). Off by default: Table 1 kernels fit.
+     */
+    bool limitOccupancyByRf = false;
+
+    /** RFV physical file entries (half the baseline). */
+    unsigned rfvPhysEntries = 1024;
+
+    regfile::RfHierarchy::Params rfh;
+
+    /** Canonical configuration for @a kind (wires the RFH scheduler). */
+    static GpuConfig forProvider(ProviderKind kind);
+
+    /**
+     * Set the RegLess OSU capacity and derive matching compiler
+     * constraints (regions must fit in the smaller banks).
+     */
+    void setOsuCapacity(unsigned entries);
+};
+
+} // namespace regless::sim
+
+#endif // REGLESS_SIM_GPU_CONFIG_HH

@@ -1,0 +1,247 @@
+#include "sim/gpu_simulator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "regfile/rf_hierarchy.hh"
+#include "regfile/rf_virtualization.hh"
+#include "regless/regless_provider.hh"
+
+namespace regless::sim
+{
+
+namespace
+{
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+std::function<std::uint32_t(Addr)>
+GpuSimulator::valueGenerator(const ir::ValueProfile &profile)
+{
+    return [profile](Addr addr) -> std::uint32_t {
+        const std::uint64_t line = addr / 128;
+        const unsigned off = static_cast<unsigned>((addr % 128) / 4);
+        const std::uint64_t h = mix64(line + 0x1234'5678);
+        double sel =
+            static_cast<double>(h >> 40) / static_cast<double>(1 << 24);
+        const std::uint32_t base =
+            static_cast<std::uint32_t>(mix64(line * 2654435761ull + 1));
+        if ((sel -= profile.constantFrac) < 0.0)
+            return base;
+        if ((sel -= profile.stride1Frac) < 0.0)
+            return base + off;
+        if ((sel -= profile.stride4Frac) < 0.0)
+            return base + 4 * off;
+        if ((sel -= profile.halfWarpFrac) < 0.0) {
+            if (off < 16)
+                return base + off;
+            return static_cast<std::uint32_t>(mix64(line * 31 + 7)) +
+                   (off - 16);
+        }
+        return static_cast<std::uint32_t>(mix64(addr));
+    };
+}
+
+GpuSimulator::GpuSimulator(const ir::Kernel &kernel, GpuConfig config)
+    : GpuSimulator(kernel, std::move(config), nullptr)
+{
+}
+
+GpuSimulator::GpuSimulator(const ir::Kernel &kernel, GpuConfig config,
+                           std::shared_ptr<mem::DramModel> shared_dram)
+    : _config(std::move(config))
+{
+    _ck = std::make_unique<compiler::CompiledKernel>(
+        compiler::compile(kernel, _config.compiler));
+    _mem = shared_dram
+               ? std::make_unique<mem::MemorySystem>(
+                     _config.mem, std::move(shared_dram))
+               : std::make_unique<mem::MemorySystem>(_config.mem);
+    _mem->setValueGenerator(valueGenerator(kernel.valueProfile()));
+
+    // Occupancy limit: a fixed architectural register file can only
+    // host rfEntries / kernelRegs warps. RegLess and RFV virtualise
+    // the name space and keep full occupancy (oversubscription).
+    if (_config.limitOccupancyByRf &&
+        (_config.provider == ProviderKind::Baseline ||
+         _config.provider == ProviderKind::Rfh)) {
+        unsigned regs = std::max(1u, _ck->kernel().numRegs());
+        unsigned wpb = _ck->kernel().warpsPerBlock();
+        unsigned fit = _config.baselineRfEntries / regs;
+        fit = std::max(wpb, fit - fit % wpb); // block granularity
+        if (fit < _config.sm.numWarps) {
+            inform("occupancy limited to ", fit, " of ",
+                   _config.sm.numWarps, " resident warps (", regs,
+                   " registers per warp)");
+            _config.sm.maxResidentWarps = fit;
+        }
+    }
+
+    switch (_config.provider) {
+      case ProviderKind::Baseline:
+        _provider = std::make_unique<regfile::BaselineRf>();
+        break;
+      case ProviderKind::Rfv:
+        _provider = std::make_unique<regfile::RfVirtualization>(
+            *_ck, _config.rfvPhysEntries);
+        break;
+      case ProviderKind::Rfh:
+        _provider = std::make_unique<regfile::RfHierarchy>(
+            *_ck, _config.rfh);
+        if (_config.sm.scheduler != arch::SchedulerPolicy::TwoLevel)
+            warn("RFH without the two-level scheduler is not the "
+                 "published technique");
+        break;
+      case ProviderKind::Regless:
+      case ProviderKind::ReglessNoCompressor: {
+        staging::ReglessConfig rcfg = _config.regless;
+        if (_config.provider == ProviderKind::ReglessNoCompressor)
+            rcfg.compressorEnabled = false;
+        _provider = std::make_unique<staging::ReglessProvider>(
+            *_ck, *_mem, rcfg, _config.sm.numWarps);
+        break;
+      }
+    }
+
+    _sm = std::make_unique<arch::Sm>(*_ck, *_mem, *_provider,
+                                     _config.sm);
+
+    if (auto *rp =
+            dynamic_cast<staging::ReglessProvider *>(_provider.get())) {
+        rp->setWarpSource([this](WarpId w) -> const arch::Warp & {
+            return _sm->warp(w);
+        });
+    }
+}
+
+GpuSimulator::~GpuSimulator() = default;
+
+void
+GpuSimulator::harvest(RunStats &stats)
+{
+    stats.insns = _sm->totalInsns();
+
+    // Memory hierarchy counts.
+    auto cache_accesses = [](mem::Cache &cache) {
+        return cache.stats().counter("hits").value() +
+               cache.stats().counter("misses").value();
+    };
+    stats.l1Accesses = cache_accesses(_mem->l1());
+    stats.l2Accesses = cache_accesses(_mem->l2());
+    stats.dramAccesses = _mem->dram().stats().counter("accesses").value();
+
+    switch (_config.provider) {
+      case ProviderKind::Baseline: {
+        auto &rf = static_cast<regfile::BaselineRf &>(*_provider);
+        stats.rfReads = rf.stats().counter("reads").value();
+        stats.rfWrites = rf.stats().counter("writes").value();
+        stats.meanWorkingSetBytes = rf.meanWorkingSetBytes();
+        rf.flushSeries();
+        stats.backingSeries = rf.accessSeries().points();
+        break;
+      }
+      case ProviderKind::Rfv: {
+        auto &rfv = static_cast<regfile::RfVirtualization &>(*_provider);
+        stats.rfReads = rfv.stats().counter("reads").value();
+        stats.rfWrites = rfv.stats().counter("writes").value();
+        stats.renameLookups =
+            rfv.stats().counter("rename_lookups").value();
+        break;
+      }
+      case ProviderKind::Rfh: {
+        auto &rfh = static_cast<regfile::RfHierarchy &>(*_provider);
+        auto &s = rfh.stats();
+        stats.lrfAccesses = s.counter("lrf_reads").value() +
+                            s.counter("lrf_writes").value();
+        stats.orfAccesses = s.counter("orf_reads").value() +
+                            s.counter("orf_writes").value();
+        stats.mrfAccesses = s.counter("mrf_reads").value() +
+                            s.counter("mrf_writes").value();
+        rfh.mrfSeries().flush();
+        stats.backingSeries = rfh.mrfSeries().points();
+        break;
+      }
+      case ProviderKind::Regless:
+      case ProviderKind::ReglessNoCompressor: {
+        auto &rp = static_cast<staging::ReglessProvider &>(*_provider);
+        stats.osuAccesses = rp.osuAccesses();
+        stats.compressorAccesses = rp.compressorAccesses();
+        std::uint64_t tags = 0;
+        for (unsigned s = 0; s < rp.numShards(); ++s)
+            tags += rp.osu(s).stats().counter("tag_lookups").value();
+        stats.osuTagLookups = tags;
+        stats.preloadSrcOsu = rp.preloadsFrom("preload_src_osu");
+        stats.preloadSrcCompressor =
+            rp.preloadsFrom("preload_src_compressor");
+        stats.preloadSrcL1 = rp.preloadsFrom("preload_src_l1");
+        stats.preloadSrcL2Dram = rp.preloadsFrom("preload_src_l2dram");
+        stats.l1PreloadReqs = rp.l1Requests("l1_preload_reqs");
+        stats.l1StoreReqs = rp.l1Requests("l1_store_reqs");
+        stats.l1InvalidateReqs = rp.l1Requests("l1_invalidate_reqs");
+        stats.metadataInsns = rp.l1Requests("metadata_insns");
+        stats.regionPreloadsMean = rp.meanRegionPreloads();
+        stats.regionLiveMean = rp.meanRegionLive();
+        stats.regionLiveStddev = rp.stddevRegionLive();
+        stats.regionCyclesMean = rp.meanRegionCycles();
+        stats.regionInsnsMean = rp.meanRegionInsns();
+        stats.backingSeries = rp.l1SeriesPoints();
+        // Compressed line flushes are L1 stores too (Figure 18).
+        for (unsigned s = 0; s < rp.numShards(); ++s) {
+            if (auto *comp = rp.compressor(s)) {
+                stats.l1StoreReqs +=
+                    comp->stats().counter("line_flushes").value();
+            }
+        }
+        break;
+      }
+    }
+
+    stats.staticInsnsPerRegion = _ck->meanInsnsPerRegion();
+    stats.numRegions = static_cast<unsigned>(_ck->regions().size());
+
+    computeEnergy(stats, _config);
+}
+
+void
+GpuSimulator::dumpStats(std::ostream &os)
+{
+    _sm->stats().dump(os);
+    _provider->dumpStats(os);
+    _mem->stats().dump(os);
+    _mem->l1().stats().dump(os);
+    _mem->l2().stats().dump(os);
+    _mem->dram().stats().dump(os);
+}
+
+RunStats
+GpuSimulator::run()
+{
+    _sm->run();
+    return collect();
+}
+
+RunStats
+GpuSimulator::collect()
+{
+    if (!_sm->done())
+        fatal("collect() before the kernel finished");
+    RunStats stats;
+    stats.kernel = _ck->kernel().name();
+    stats.provider = _config.provider;
+    stats.cycles = _sm->now();
+    harvest(stats);
+    return stats;
+}
+
+} // namespace regless::sim

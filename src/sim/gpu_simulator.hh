@@ -1,0 +1,83 @@
+/**
+ * @file
+ * GpuSimulator: the library's top-level entry point. Compiles a
+ * kernel, builds the configured operand-storage provider, runs it on
+ * one SM, and returns RunStats. This is the API the examples and
+ * every benchmark harness use.
+ */
+
+#ifndef REGLESS_SIM_GPU_SIMULATOR_HH
+#define REGLESS_SIM_GPU_SIMULATOR_HH
+
+#include <memory>
+#include <ostream>
+
+#include "arch/sm.hh"
+#include "compiler/compiler.hh"
+#include "ir/kernel.hh"
+#include "mem/memory_system.hh"
+#include "regfile/baseline_rf.hh"
+#include "regfile/register_provider.hh"
+#include "sim/gpu_config.hh"
+#include "sim/run_stats.hh"
+
+namespace regless::sim
+{
+
+/** One-SM GPU simulation of one kernel launch. */
+class GpuSimulator
+{
+  public:
+    /**
+     * Compile @a kernel under @a config and assemble the machine.
+     * Nothing executes until run().
+     */
+    GpuSimulator(const ir::Kernel &kernel, GpuConfig config);
+
+    /** Variant with an externally shared DRAM (multi-SM simulation). */
+    GpuSimulator(const ir::Kernel &kernel, GpuConfig config,
+                 std::shared_ptr<mem::DramModel> shared_dram);
+
+    ~GpuSimulator();
+
+    GpuSimulator(const GpuSimulator &) = delete;
+    GpuSimulator &operator=(const GpuSimulator &) = delete;
+
+    /** Execute the kernel to completion and harvest statistics. */
+    RunStats run();
+
+    /** Harvest statistics without running (the SM must be done). */
+    RunStats collect();
+
+    /** @name Introspection (valid after construction). */
+    /// @{
+    const compiler::CompiledKernel &compiled() const { return *_ck; }
+    mem::MemorySystem &memory() { return *_mem; }
+    arch::Sm &sm() { return *_sm; }
+    regfile::RegisterProvider &provider() { return *_provider; }
+    const GpuConfig &config() const { return _config; }
+    /// @}
+
+    /** Dump every component's raw statistics as text. */
+    void dumpStats(std::ostream &os);
+
+    /**
+     * Build the synthetic memory-value generator for @a profile
+     * (exposed so tests can validate the value mix).
+     */
+    static std::function<std::uint32_t(Addr)>
+    valueGenerator(const ir::ValueProfile &profile);
+
+  private:
+    void harvest(RunStats &stats);
+
+    GpuConfig _config;
+    std::unique_ptr<compiler::CompiledKernel> _ck;
+    std::unique_ptr<mem::MemorySystem> _mem;
+    std::unique_ptr<regfile::RegisterProvider> _provider;
+    std::unique_ptr<arch::Sm> _sm;
+};
+
+} // namespace regless::sim
+
+#endif // REGLESS_SIM_GPU_SIMULATOR_HH

@@ -1,0 +1,93 @@
+#include "sim/multi_sm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace regless::sim
+{
+
+struct MultiSmSimulator::Instance
+{
+    explicit Instance(std::unique_ptr<GpuSimulator> s)
+        : simulator(std::move(s))
+    {
+    }
+    std::unique_ptr<GpuSimulator> simulator;
+};
+
+MultiSmSimulator::MultiSmSimulator(const ir::Kernel &kernel,
+                                   GpuConfig config, unsigned num_sms)
+    : _config(std::move(config))
+{
+    if (num_sms == 0)
+        fatal("multi-SM simulation needs at least one SM");
+
+    // Contention is simulated, not scaled: each SM sees the full DRAM
+    // and an L2 slice.
+    _config.mem.dram.bandwidthShare = 1.0;
+    _config.mem.l2.sizeBytes =
+        std::max(64u * 1024u, _config.mem.l2.sizeBytes / num_sms);
+    _dram = std::make_shared<mem::DramModel>(_config.mem.dram);
+
+    for (unsigned i = 0; i < num_sms; ++i) {
+        _sms.push_back(std::make_unique<Instance>(
+            std::make_unique<GpuSimulator>(kernel, _config, _dram)));
+    }
+}
+
+MultiSmSimulator::~MultiSmSimulator() = default;
+
+RunStats
+MultiSmSimulator::run()
+{
+    bool all_done = false;
+    while (!all_done) {
+        all_done = true;
+        for (auto &instance : _sms) {
+            arch::Sm &sm = instance->simulator->sm();
+            if (!sm.done()) {
+                sm.step();
+                all_done = false;
+            }
+        }
+    }
+
+    _perSm.clear();
+    for (auto &instance : _sms)
+        _perSm.push_back(instance->simulator->collect());
+
+    // Aggregate: wall clock is the slowest SM; everything else sums.
+    RunStats total = _perSm.front();
+    for (std::size_t i = 1; i < _perSm.size(); ++i) {
+        const RunStats &s = _perSm[i];
+        total.cycles = std::max(total.cycles, s.cycles);
+        total.insns += s.insns;
+        total.metadataInsns += s.metadataInsns;
+        total.l1Accesses += s.l1Accesses;
+        total.l2Accesses += s.l2Accesses;
+        total.rfReads += s.rfReads;
+        total.rfWrites += s.rfWrites;
+        total.osuAccesses += s.osuAccesses;
+        total.osuTagLookups += s.osuTagLookups;
+        total.compressorAccesses += s.compressorAccesses;
+        total.preloadSrcOsu += s.preloadSrcOsu;
+        total.preloadSrcCompressor += s.preloadSrcCompressor;
+        total.preloadSrcL1 += s.preloadSrcL1;
+        total.preloadSrcL2Dram += s.preloadSrcL2Dram;
+        total.l1PreloadReqs += s.l1PreloadReqs;
+        total.l1StoreReqs += s.l1StoreReqs;
+        total.l1InvalidateReqs += s.l1InvalidateReqs;
+        total.energy.regDynamic += s.energy.regDynamic;
+        total.energy.regStatic += s.energy.regStatic;
+        total.energy.compressor += s.energy.compressor;
+        total.energy.memory += s.energy.memory;
+        total.energy.rest += s.energy.rest;
+    }
+    // The shared DRAM's accesses were counted once per instance
+    // harvest; take them from the shared model directly.
+    total.dramAccesses = _dram->stats().counter("accesses").value();
+    return total;
+}
+
+} // namespace regless::sim

@@ -1,0 +1,80 @@
+#include "sim/run_stats.hh"
+
+#include "common/logging.hh"
+
+namespace regless::sim
+{
+
+void
+computeEnergy(RunStats &stats, const GpuConfig &config)
+{
+    const energy::EnergyConfig &e = config.energy;
+    energy::EnergyBreakdown out;
+
+    const double cycles = static_cast<double>(stats.cycles);
+    switch (stats.provider) {
+      case ProviderKind::Baseline:
+        out.regDynamic = static_cast<double>(stats.rfReads +
+                                             stats.rfWrites) *
+                         e.accessEnergy(config.baselineRfEntries);
+        out.regStatic = e.staticPower(config.baselineRfEntries) * cycles;
+        break;
+      case ProviderKind::Rfv:
+        out.regDynamic =
+            static_cast<double>(stats.rfReads + stats.rfWrites) *
+                e.accessEnergy(config.rfvPhysEntries) +
+            static_cast<double>(stats.renameLookups) * e.renameAccess;
+        out.regStatic = e.staticPower(config.rfvPhysEntries) * cycles;
+        break;
+      case ProviderKind::Rfh:
+        // The MRF stays full size; short-lived values hit the small
+        // levels instead.
+        out.regDynamic =
+            static_cast<double>(stats.lrfAccesses) * e.lrfAccess +
+            static_cast<double>(stats.orfAccesses) * e.orfAccess +
+            static_cast<double>(stats.mrfAccesses) *
+                e.accessEnergy(config.baselineRfEntries);
+        out.regStatic = e.staticPower(config.baselineRfEntries) * cycles;
+        break;
+      case ProviderKind::Regless:
+      case ProviderKind::ReglessNoCompressor:
+        out.regDynamic =
+            (static_cast<double>(stats.osuAccesses) *
+                 e.accessEnergy(config.regless.osuEntriesPerSm) +
+             static_cast<double>(stats.osuTagLookups) * e.tagAccess) *
+            e.osuOverheadFactor;
+        out.regStatic = e.staticPower(config.regless.osuEntriesPerSm) *
+                        e.osuOverheadFactor * cycles;
+        if (stats.provider == ProviderKind::Regless) {
+            out.compressor =
+                static_cast<double>(stats.compressorAccesses) *
+                    e.compressorAccess +
+                e.compressorStaticPerCycle * cycles;
+        }
+        break;
+    }
+
+    out.memory = static_cast<double>(stats.l1Accesses) * e.l1Access +
+                 static_cast<double>(stats.l2Accesses) * e.l2Access +
+                 static_cast<double>(stats.dramAccesses) * e.dramAccess;
+    out.rest = static_cast<double>(stats.insns) * e.restPerInsn +
+               static_cast<double>(stats.metadataInsns) *
+                   e.metadataInsnEnergy +
+               e.restStaticPerCycle * cycles;
+
+    stats.energy = out;
+}
+
+energy::EnergyBreakdown
+noRfBound(const RunStats &baseline)
+{
+    if (baseline.provider != ProviderKind::Baseline)
+        fatal("the No-RF bound is defined relative to a baseline run");
+    energy::EnergyBreakdown bound = baseline.energy;
+    bound.regDynamic = 0.0;
+    bound.regStatic = 0.0;
+    bound.compressor = 0.0;
+    return bound;
+}
+
+} // namespace regless::sim

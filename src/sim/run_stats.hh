@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-run results: timing, traffic, provider activity, and energy.
+ * Everything the benches need to regenerate the paper's tables and
+ * figures comes out of this structure.
+ */
+
+#ifndef REGLESS_SIM_RUN_STATS_HH
+#define REGLESS_SIM_RUN_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "energy/energy_model.hh"
+#include "sim/gpu_config.hh"
+
+namespace regless::sim
+{
+
+/** Everything measured in one kernel execution. */
+struct RunStats
+{
+    std::string kernel;
+    ProviderKind provider = ProviderKind::Baseline;
+
+    /** @name Timing. */
+    /// @{
+    Cycle cycles = 0;
+    std::uint64_t insns = 0;
+    std::uint64_t metadataInsns = 0; ///< dynamic metadata fetches
+    /// @}
+
+    /** @name Memory hierarchy. */
+    /// @{
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t dramAccesses = 0;
+    /// @}
+
+    /** @name Register-structure activity (per provider). */
+    /// @{
+    std::uint64_t rfReads = 0;
+    std::uint64_t rfWrites = 0;
+    std::uint64_t renameLookups = 0;
+    std::uint64_t lrfAccesses = 0;
+    std::uint64_t orfAccesses = 0;
+    std::uint64_t mrfAccesses = 0;
+    std::uint64_t osuAccesses = 0;
+    std::uint64_t osuTagLookups = 0;
+    std::uint64_t compressorAccesses = 0;
+    /// @}
+
+    /** @name RegLess preload/traffic detail (Figures 17, 18). */
+    /// @{
+    std::uint64_t preloadSrcOsu = 0;
+    std::uint64_t preloadSrcCompressor = 0;
+    std::uint64_t preloadSrcL1 = 0;
+    std::uint64_t preloadSrcL2Dram = 0;
+    std::uint64_t l1PreloadReqs = 0;
+    std::uint64_t l1StoreReqs = 0;
+    std::uint64_t l1InvalidateReqs = 0;
+    /// @}
+
+    /** Mean register working set per 100 cycles, bytes (Figure 2). */
+    double meanWorkingSetBytes = 0.0;
+
+    /** Backing-store accesses per 100 cycles over time (Figure 3). */
+    std::vector<double> backingSeries;
+
+    /** @name Dynamic region behaviour (Figure 19, Table 2). */
+    /// @{
+    double regionPreloadsMean = 0.0;
+    double regionLiveMean = 0.0;
+    double regionLiveStddev = 0.0;
+    double regionCyclesMean = 0.0;
+    double regionInsnsMean = 0.0;
+    double staticInsnsPerRegion = 0.0;
+    unsigned numRegions = 0;
+    /// @}
+
+    /** Energy under the model (filled by computeEnergy). */
+    energy::EnergyBreakdown energy;
+
+    /** Total preloads (all sources). */
+    std::uint64_t
+    totalPreloads() const
+    {
+        return preloadSrcOsu + preloadSrcCompressor + preloadSrcL1 +
+               preloadSrcL2Dram;
+    }
+};
+
+/** Fill @a stats.energy from its counters under @a config's model. */
+void computeEnergy(RunStats &stats, const GpuConfig &config);
+
+/** The "No RF" bound: @a baseline's run with free register accesses. */
+energy::EnergyBreakdown noRfBound(const RunStats &baseline);
+
+} // namespace regless::sim
+
+#endif // REGLESS_SIM_RUN_STATS_HH

@@ -1,0 +1,133 @@
+#include "sim/stats_io.hh"
+
+#include <sstream>
+
+namespace regless::sim
+{
+
+namespace
+{
+
+/** Minimal JSON object writer: key ordering is emission order. */
+class JsonObject
+{
+  public:
+    explicit JsonObject(std::ostream &os) : _os(os) { _os << "{"; }
+
+    ~JsonObject() { _os << "}"; }
+
+    void
+    field(const char *key, const std::string &value)
+    {
+        sep();
+        _os << "\"" << key << "\":\"";
+        for (char c : value) {
+            if (c == '"' || c == '\\')
+                _os << '\\';
+            _os << c;
+        }
+        _os << "\"";
+    }
+
+    void
+    field(const char *key, std::uint64_t value)
+    {
+        sep();
+        _os << "\"" << key << "\":" << value;
+    }
+
+    void
+    field(const char *key, double value)
+    {
+        sep();
+        _os << "\"" << key << "\":" << value;
+    }
+
+    void
+    fieldArray(const char *key, const std::vector<double> &values)
+    {
+        sep();
+        _os << "\"" << key << "\":[";
+        for (std::size_t i = 0; i < values.size(); ++i)
+            _os << (i ? "," : "") << values[i];
+        _os << "]";
+    }
+
+  private:
+    void
+    sep()
+    {
+        if (_first)
+            _first = false;
+        else
+            _os << ",";
+    }
+
+    std::ostream &_os;
+    bool _first = true;
+};
+
+} // namespace
+
+void
+writeJson(std::ostream &os, const RunStats &stats)
+{
+    JsonObject obj(os);
+    obj.field("kernel", stats.kernel);
+    obj.field("provider", std::string(providerName(stats.provider)));
+    obj.field("cycles", static_cast<std::uint64_t>(stats.cycles));
+    obj.field("insns", stats.insns);
+    obj.field("metadata_insns", stats.metadataInsns);
+    obj.field("l1_accesses", stats.l1Accesses);
+    obj.field("l2_accesses", stats.l2Accesses);
+    obj.field("dram_accesses", stats.dramAccesses);
+    obj.field("rf_reads", stats.rfReads);
+    obj.field("rf_writes", stats.rfWrites);
+    obj.field("osu_accesses", stats.osuAccesses);
+    obj.field("osu_tag_lookups", stats.osuTagLookups);
+    obj.field("compressor_accesses", stats.compressorAccesses);
+    obj.field("preload_src_osu", stats.preloadSrcOsu);
+    obj.field("preload_src_compressor", stats.preloadSrcCompressor);
+    obj.field("preload_src_l1", stats.preloadSrcL1);
+    obj.field("preload_src_l2dram", stats.preloadSrcL2Dram);
+    obj.field("l1_preload_reqs", stats.l1PreloadReqs);
+    obj.field("l1_store_reqs", stats.l1StoreReqs);
+    obj.field("l1_invalidate_reqs", stats.l1InvalidateReqs);
+    obj.field("working_set_bytes", stats.meanWorkingSetBytes);
+    obj.field("region_preloads_mean", stats.regionPreloadsMean);
+    obj.field("region_live_mean", stats.regionLiveMean);
+    obj.field("region_live_stddev", stats.regionLiveStddev);
+    obj.field("region_cycles_mean", stats.regionCyclesMean);
+    obj.field("static_insns_per_region", stats.staticInsnsPerRegion);
+    obj.field("num_regions",
+              static_cast<std::uint64_t>(stats.numRegions));
+    obj.field("energy_reg_dynamic", stats.energy.regDynamic);
+    obj.field("energy_reg_static", stats.energy.regStatic);
+    obj.field("energy_compressor", stats.energy.compressor);
+    obj.field("energy_memory", stats.energy.memory);
+    obj.field("energy_rest", stats.energy.rest);
+    obj.field("energy_total", stats.energy.total());
+    obj.fieldArray("backing_series", stats.backingSeries);
+}
+
+void
+writeJson(std::ostream &os, const std::vector<RunStats> &runs)
+{
+    os << "[";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (i)
+            os << ",";
+        writeJson(os, runs[i]);
+    }
+    os << "]";
+}
+
+std::string
+toJson(const RunStats &stats)
+{
+    std::ostringstream oss;
+    writeJson(oss, stats);
+    return oss.str();
+}
+
+} // namespace regless::sim

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Machine-readable export of run results: RunStats as JSON, for
+ * downstream plotting and regression tracking. Hand-rolled writer (no
+ * dependency); the schema is flat and stable.
+ */
+
+#ifndef REGLESS_SIM_STATS_IO_HH
+#define REGLESS_SIM_STATS_IO_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/run_stats.hh"
+
+namespace regless::sim
+{
+
+/** Write @a stats as a single JSON object. */
+void writeJson(std::ostream &os, const RunStats &stats);
+
+/** Write several runs as a JSON array. */
+void writeJson(std::ostream &os, const std::vector<RunStats> &runs);
+
+/** JSON string of one run (convenience). */
+std::string toJson(const RunStats &stats);
+
+} // namespace regless::sim
+
+#endif // REGLESS_SIM_STATS_IO_HH

@@ -1,0 +1,101 @@
+#include "sim/trace_checker.hh"
+
+#include <sstream>
+
+namespace regless::sim
+{
+
+TraceChecker::TraceChecker(const compiler::CompiledKernel &ck,
+                           unsigned num_warps, bool check_regions,
+                           bool keep_events)
+    : _ck(ck),
+      _kernel(ck.kernel()),
+      _checkRegions(check_regions),
+      _keepEvents(keep_events)
+{
+    _warps.resize(num_warps);
+    for (WarpTrace &wt : _warps)
+        wt.defined.assign(_kernel.numRegs(), false);
+}
+
+void
+TraceChecker::attach(arch::Sm &sm)
+{
+    sm.setIssueHook([this](const arch::Warp &warp, Pc pc,
+                           const ir::Instruction &insn, Cycle now) {
+        onIssue(warp, pc, insn, now);
+    });
+}
+
+void
+TraceChecker::flag(const std::string &message)
+{
+    if (_violations.size() < 64)
+        _violations.push_back(message);
+}
+
+bool
+TraceChecker::legalSuccessor(Pc from, Pc to) const
+{
+    const ir::Instruction &insn = _kernel.insn(from);
+    // Straight-line successor.
+    if (!insn.isExit() && to == from + 1)
+        return true;
+    // Branch / jump target.
+    if ((insn.isBranch() || insn.isJump()) && to == insn.target())
+        return true;
+    // Divergence: after any instruction the SIMT stack may switch to
+    // another pending side, which always resumes at a block start.
+    return _kernel.block(_kernel.blockOf(to)).firstPc() == to;
+}
+
+void
+TraceChecker::onIssue(const arch::Warp &warp, Pc pc,
+                      const ir::Instruction &insn, Cycle now)
+{
+    ++_eventCount;
+    if (_keepEvents)
+        _events.push_back(IssueEvent{now, warp.id(), pc});
+
+    WarpTrace &wt = _warps.at(warp.id());
+    std::ostringstream where;
+    where << "warp " << warp.id() << " pc " << pc << " cycle " << now;
+
+    // Program order.
+    if (wt.lastPc == invalidPc) {
+        if (pc != 0 &&
+            _kernel.block(_kernel.blockOf(pc)).firstPc() != pc) {
+            flag(where.str() + ": first issue not at a block start");
+        }
+    } else if (!legalSuccessor(wt.lastPc, pc)) {
+        flag(where.str() + ": illegal successor of pc " +
+             std::to_string(wt.lastPc));
+    }
+    wt.lastPc = pc;
+
+    // Define-before-use.
+    for (RegId src : insn.srcs()) {
+        if (!wt.defined[src]) {
+            flag(where.str() + ": reads r" + std::to_string(src) +
+                 " before any definition");
+        }
+    }
+    if (insn.writesReg())
+        wt.defined[insn.dst()] = true;
+
+    // Region atomicity.
+    if (_checkRegions) {
+        compiler::RegionId rid = _ck.regionAt(pc);
+        const compiler::Region &region = _ck.region(rid);
+        if (pc == region.startPc) {
+            wt.region = rid;
+        } else if (wt.region != rid) {
+            flag(where.str() + ": entered region " +
+                 std::to_string(rid) + " mid-way");
+        }
+        if (pc == region.endPc)
+            wt.region = compiler::invalidRegion;
+    }
+}
+
+} // namespace regless::sim

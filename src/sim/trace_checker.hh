@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Issue-trace recorder and invariant checker.
+ *
+ * Attaches to the SM's issue hook and validates, instruction by
+ * instruction, properties the rest of the system relies on:
+ *
+ *  - program order per warp: every issued PC is a legal successor of
+ *    the previous one (fall-through, branch target, divergence re-entry
+ *    at a block start, or barrier fall-through);
+ *  - define-before-use: a warp never reads a register it has not
+ *    written (catches malformed workloads and DSL bugs);
+ *  - region atomicity (RegLess runs): once a warp issues from a
+ *    region, it issues that region's instructions contiguously in
+ *    ascending PC order until the region ends.
+ *
+ * Violations are recorded, not fatal, so tests can assert on them.
+ */
+
+#ifndef REGLESS_SIM_TRACE_CHECKER_HH
+#define REGLESS_SIM_TRACE_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/sm.hh"
+#include "compiler/compiler.hh"
+
+namespace regless::sim
+{
+
+/** One recorded issue event. */
+struct IssueEvent
+{
+    Cycle cycle;
+    WarpId warp;
+    Pc pc;
+};
+
+/** Records and validates the issue stream of one SM. */
+class TraceChecker
+{
+  public:
+    /**
+     * @param ck Compiled kernel (region map + CFG source).
+     * @param num_warps SM warp count.
+     * @param check_regions Enforce region atomicity (RegLess runs).
+     * @param keep_events Retain the raw event list (memory heavy).
+     */
+    TraceChecker(const compiler::CompiledKernel &ck, unsigned num_warps,
+                 bool check_regions, bool keep_events = false);
+
+    /** Bind to @a sm's issue hook. */
+    void attach(arch::Sm &sm);
+
+    /** Number of events observed. */
+    std::uint64_t events() const { return _eventCount; }
+
+    /** All violations found so far (empty = clean trace). */
+    const std::vector<std::string> &violations() const
+    {
+        return _violations;
+    }
+
+    /** Raw events (only when keep_events was set). */
+    const std::vector<IssueEvent> &eventLog() const { return _events; }
+
+  private:
+    void onIssue(const arch::Warp &warp, Pc pc,
+                 const ir::Instruction &insn, Cycle now);
+
+    void flag(const std::string &message);
+
+    /** @return true when @a to can follow @a from in program order. */
+    bool legalSuccessor(Pc from, Pc to) const;
+
+    const compiler::CompiledKernel &_ck;
+    const ir::Kernel &_kernel;
+    bool _checkRegions;
+    bool _keepEvents;
+
+    struct WarpTrace
+    {
+        Pc lastPc = invalidPc;
+        compiler::RegionId region = compiler::invalidRegion;
+        std::vector<bool> defined;
+    };
+    std::vector<WarpTrace> _warps;
+    std::uint64_t _eventCount = 0;
+    std::vector<IssueEvent> _events;
+    std::vector<std::string> _violations;
+};
+
+} // namespace regless::sim
+
+#endif // REGLESS_SIM_TRACE_CHECKER_HH

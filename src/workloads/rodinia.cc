@@ -1,0 +1,821 @@
+#include "workloads/rodinia.hh"
+
+#include <functional>
+#include <map>
+
+#include "common/logging.hh"
+#include "workloads/kernel_builder.hh"
+
+namespace regless::workloads
+{
+
+namespace
+{
+
+using ir::Kernel;
+using ir::ValueProfile;
+
+/** Counted-loop helper: body(i) runs trips times. */
+void
+countedLoop(KernelBuilder &b, unsigned trips,
+            const std::function<void(RegId)> &body)
+{
+    RegId i = b.reg();
+    b.moviTo(i, 0);
+    RegId limit = b.movi(trips);
+    Label head = b.newLabel();
+    b.bind(head);
+    body(i);
+    b.iaddiTo(i, i, 1);
+    RegId p = b.setLt(i, limit);
+    b.braIf(p, head);
+}
+
+/** Divergent if: lanes where (tid & mask) == match run then(). */
+void
+divergentIf(KernelBuilder &b, RegId tid, unsigned mask, unsigned match,
+            const std::function<void()> &then_body)
+{
+    RegId bits = b.band(tid, b.movi(mask));
+    RegId miss = b.setNe(bits, b.movi(match));
+    Label skip = b.newLabel();
+    b.braIf(miss, skip);
+    then_body();
+    b.bind(skip);
+}
+
+/** Highly compressible load values (regular data structures). */
+ValueProfile
+compressibleProfile()
+{
+    ValueProfile p;
+    p.constantFrac = 0.45;
+    p.stride1Frac = 0.30;
+    p.stride4Frac = 0.10;
+    p.halfWarpFrac = 0.05;
+    return p;
+}
+
+/** Mostly incompressible values (transformed/float-noise data). */
+ValueProfile
+noisyProfile()
+{
+    ValueProfile p;
+    p.constantFrac = 0.05;
+    p.stride1Frac = 0.05;
+    p.stride4Frac = 0.02;
+    p.halfWarpFrac = 0.03;
+    return p;
+}
+
+ValueProfile
+mediumProfile()
+{
+    return ValueProfile{}; // 0.3 / 0.3 / 0.1 / 0.1
+}
+
+// ---------------------------------------------------------------------
+// Individual benchmark generators. Paper traits cited from Table 2 and
+// Figures 16-19 are noted on each.
+// ---------------------------------------------------------------------
+
+/**
+ * b+tree: pointer-chasing tree search. Dependent loads force small
+ * regions (3.7 insns / 150 cycles); uses compressor capacity (Fig 17).
+ */
+Kernel
+makeBtree(unsigned scale)
+{
+    KernelBuilder b("b+tree");
+    b.setValueProfile(compressibleProfile());
+    RegId t = b.tid();
+    RegId out_addr = b.imuli(t, 4);
+    RegId key = b.iaddi(b.band(t, b.movi(1023)), 17);
+    RegId node = b.reg();
+    b.movTo(node, b.band(t, b.movi(255)));
+    countedLoop(b, 8 * scale, [&](RegId) {
+        RegId addr = b.imuli(node, 4);
+        RegId v = b.ld(addr);
+        RegId go_right = b.setLt(v, key);
+        RegId left = b.band(v, b.movi(511));
+        RegId right = b.iaddi(left, 1);
+        RegId next = b.selp(right, left, go_right);
+        b.movTo(node, next);
+    });
+    b.st(node, out_addr, 8192);
+    return b.build();
+}
+
+/**
+ * backprop: two phases through shared memory with a barrier between
+ * (6.7 insns / 323 cycles per region).
+ */
+Kernel
+makeBackprop(unsigned scale)
+{
+    KernelBuilder b("backprop");
+    b.setWarpsPerBlock(4);
+    b.setValueProfile(mediumProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId acc = b.reg();
+    b.moviTo(acc, 0);
+    countedLoop(b, 6 * scale, [&](RegId i) {
+        RegId w_addr = b.iadd(addr, b.imuli(i, 256));
+        RegId w = b.ld(w_addr);
+        RegId x = b.ld(w_addr, 4096);
+        RegId prod = b.imul(w, x);
+        b.iaddTo(acc, acc, prod);
+    });
+    b.sts(acc, addr);
+    b.bar();
+    RegId partial = b.lds(addr);
+    RegId neighbor = b.lds(b.bxor(addr, b.movi(128)));
+    RegId delta = b.isub(partial, neighbor);
+    RegId scaled = b.imuli(delta, 3);
+    b.st(scaled, addr, 16384);
+    return b.build();
+}
+
+/**
+ * bfs: memory-bound frontier expansion with per-node divergence.
+ * Smallest regions in the suite (3.3 insns / 60 cycles); register
+ * working set small enough that preloads never miss the OSU (Fig 17).
+ */
+Kernel
+makeBfs(unsigned scale)
+{
+    KernelBuilder b("bfs");
+    b.setValueProfile(compressibleProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    countedLoop(b, 6 * scale, [&](RegId i) {
+        RegId node_addr = b.iadd(addr, b.imuli(i, 512));
+        RegId v = b.ld(node_addr);
+        divergentIf(b, t, 1, 0, [&] {
+            RegId n0 = b.ld(b.imuli(b.band(v, b.movi(1023)), 4));
+            RegId cost = b.iaddi(n0, 1);
+            RegId frontier = b.iadd(addr, b.imuli(i, 16384));
+            b.st(cost, frontier, 65536);
+        });
+    });
+    return b.build();
+}
+
+/**
+ * dwt2d: wavelet transform. Many simultaneously live registers (20+,
+ * Fig 19), few of them compressible -> the suite's worst added-L2
+ * traffic (2.6%, Fig 17). Regions 9.5 insns / 457 cycles.
+ */
+Kernel
+makeDwt2d(unsigned scale)
+{
+    KernelBuilder b("dwt2d");
+    b.setValueProfile(noisyProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    countedLoop(b, 3 * scale, [&](RegId i) {
+        RegId base = b.iadd(addr, b.imuli(i, 8192));
+        // Load a 16-coefficient window: all live at once.
+        std::vector<RegId> coeff;
+        for (int k = 0; k < 16; ++k)
+            coeff.push_back(b.ld(base, 128 * k));
+        // Butterfly-style combination keeps the window live.
+        std::vector<RegId> low, high;
+        for (int k = 0; k < 8; ++k) {
+            low.push_back(b.iadd(coeff[2 * k], coeff[2 * k + 1]));
+            high.push_back(b.isub(coeff[2 * k], coeff[2 * k + 1]));
+        }
+        RegId acc_l = low[0];
+        RegId acc_h = high[0];
+        for (int k = 1; k < 8; ++k) {
+            acc_l = b.imad(low[k], b.movi(3), acc_l);
+            acc_h = b.imad(high[k], b.movi(5), acc_h);
+        }
+        b.st(acc_l, base, 65536);
+        b.st(acc_h, base, 65536 + 32768);
+    });
+    return b.build();
+}
+
+/**
+ * gaussian: elimination with many registers live across global loads
+ * (8.1 insns / 1207 cycles) - the paper's worst slowdown case, since
+ * consecutive regions from one warp rarely chain.
+ */
+Kernel
+makeGaussian(unsigned scale)
+{
+    KernelBuilder b("gaussian");
+    b.setValueProfile(mediumProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    // Long-lived accumulators spanning every load in the loop.
+    std::vector<RegId> acc;
+    for (int k = 0; k < 4; ++k) {
+        RegId r = b.reg();
+        b.moviTo(r, k + 1);
+        acc.push_back(r);
+    }
+    countedLoop(b, 8 * scale, [&](RegId i) {
+        RegId row = b.iadd(addr, b.imuli(i, 1024));
+        RegId pivot = b.ld(row);
+        for (int k = 0; k < 4; ++k) {
+            RegId scaled = b.imul(pivot, acc[k]);
+            b.iaddTo(acc[k], acc[k], scaled);
+        }
+    });
+    RegId result = acc[0];
+    for (int k = 1; k < 4; ++k)
+        result = b.iadd(result, acc[k]);
+    b.st(result, addr, 131072);
+    return b.build();
+}
+
+/**
+ * heartwall: tracking with complex nested control flow (4.6 insns /
+ * 32 cycles): registers stay conservatively live across paths, one of
+ * the paper's >5% slowdown cases.
+ */
+Kernel
+makeHeartwall(unsigned scale)
+{
+    KernelBuilder b("heartwall");
+    b.setValueProfile(noisyProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId best = b.reg();
+    b.moviTo(best, 0x7fffff);
+    countedLoop(b, 10 * scale, [&](RegId i) {
+        RegId sample = b.ld(b.iadd(addr, b.imuli(i, 256)));
+        RegId sel = b.band(b.iadd(t, i), b.movi(3));
+        RegId is0 = b.setEq(sel, b.movi(0));
+        Label not0 = b.newLabel();
+        Label done = b.newLabel();
+        RegId n0 = b.setEq(is0, b.movi(0));
+        b.braIf(n0, not0);
+        {
+            // Path A: nested divergence on another bit.
+            divergentIf(b, t, 4, 0, [&] {
+                RegId cand = b.iaddi(sample, 3);
+                b.movTo(best, b.imin(best, cand));
+            });
+            b.jmp(done);
+        }
+        b.bind(not0);
+        {
+            RegId cand = b.bxor(sample, b.movi(0x55));
+            b.movTo(best, b.imin(best, cand));
+        }
+        b.bind(done);
+    });
+    b.st(best, addr, 262144);
+    return b.build();
+}
+
+/**
+ * hotspot: 5-point stencil, register-intensive but with regular,
+ * compressible temperature values (uses the compressor, Fig 17).
+ */
+Kernel
+makeHotspot(unsigned scale)
+{
+    KernelBuilder b("hotspot");
+    b.setValueProfile(compressibleProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    countedLoop(b, 5 * scale, [&](RegId i) {
+        RegId base = b.iadd(addr, b.imuli(i, 16384));
+        RegId center = b.ld(base);
+        RegId north = b.ld(base, 128);
+        RegId south = b.ld(base, 256);
+        RegId east = b.ld(base, 384);
+        RegId west = b.ld(base, 512);
+        RegId vertical = b.iadd(north, south);
+        RegId horizontal = b.iadd(east, west);
+        RegId ring = b.iadd(vertical, horizontal);
+        RegId scaled_c = b.imuli(center, 4);
+        RegId laplacian = b.isub(ring, scaled_c);
+        RegId damped = b.shr(laplacian, b.movi(2));
+        RegId next = b.iadd(center, damped);
+        b.st(next, base, 1 << 18);
+    });
+    return b.build();
+}
+
+/**
+ * hybridsort: bucket/merge phases with registers redefined on some
+ * control paths before being read - the conservative-liveness
+ * pathology (more L1 stores than loads, Fig 18; >5% slowdown).
+ */
+Kernel
+makeHybridsort(unsigned scale)
+{
+    KernelBuilder b("hybridsort");
+    b.setValueProfile(noisyProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId pivot = b.reg();
+    b.moviTo(pivot, 500);
+    countedLoop(b, 8 * scale, [&](RegId i) {
+        RegId v = b.ld(b.iadd(addr, b.imuli(i, 512)));
+        // pivot conditionally redefined (soft definition) before use.
+        divergentIf(b, t, 3, 0, [&] {
+            RegId mixed = b.bxor(v, pivot);
+            b.movTo(pivot, b.band(mixed, b.movi(1023)));
+        });
+        RegId bucket = b.setLt(v, pivot);
+        divergentIf(b, t, 3, 1, [&] {
+            // A value written on this path only, then dead on the
+            // reconverged path: liveness must stay conservative.
+            RegId stash = b.iadd(v, bucket);
+            b.st(stash, addr, 1 << 19);
+        });
+    });
+    b.st(pivot, addr, (1 << 19) + 8192);
+    return b.build();
+}
+
+/**
+ * kmeans: distance loop over cluster centres; saw speedup under
+ * RegLess from improved memory locality (3.9 insns / 993 cycles).
+ */
+Kernel
+makeKmeans(unsigned scale)
+{
+    KernelBuilder b("kmeans");
+    b.setValueProfile(mediumProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId feature = b.ld(addr);
+    RegId best_dist = b.reg();
+    RegId best_idx = b.reg();
+    b.moviTo(best_dist, 0x7fffffff);
+    b.moviTo(best_idx, 0);
+    countedLoop(b, 8 * scale, [&](RegId i) {
+        RegId center = b.ld(b.imuli(i, 4), 65536);
+        RegId diff = b.isub(feature, center);
+        RegId dist = b.imul(diff, diff);
+        RegId closer = b.setLt(dist, best_dist);
+        b.movTo(best_dist, b.selp(dist, best_dist, closer));
+        b.movTo(best_idx, b.selp(i, best_idx, closer));
+    });
+    b.st(best_idx, addr, 1 << 20);
+    return b.build();
+}
+
+/**
+ * lavaMD: particle interactions. Big compute regions holding many
+ * registers (7.5 insns / 1601 cycles - the longest-lived regions).
+ */
+Kernel
+makeLavaMD(unsigned scale)
+{
+    KernelBuilder b("lavaMD");
+    b.setValueProfile(mediumProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId fx = b.reg(), fy = b.reg(), fz = b.reg();
+    b.moviTo(fx, 0);
+    b.moviTo(fy, 0);
+    b.moviTo(fz, 0);
+    countedLoop(b, 4 * scale, [&](RegId i) {
+        RegId base = b.iadd(addr, b.imuli(i, 2048));
+        RegId px = b.ld(base);
+        RegId py = b.ld(base, 128);
+        RegId pz = b.ld(base, 256);
+        RegId dx = b.isub(px, t);
+        RegId dy = b.isub(py, t);
+        RegId dz = b.isub(pz, t);
+        RegId r2 = b.imad(dx, dx, b.imad(dy, dy, b.imul(dz, dz)));
+        RegId inv = b.iaddi(b.shr(r2, b.movi(8)), 1);
+        RegId s1 = b.imul(inv, dx);
+        RegId s2 = b.imul(inv, dy);
+        RegId s3 = b.imul(inv, dz);
+        RegId w1 = b.imad(s1, inv, dx);
+        RegId w2 = b.imad(s2, inv, dy);
+        RegId w3 = b.imad(s3, inv, dz);
+        b.iaddTo(fx, fx, w1);
+        b.iaddTo(fy, fy, w2);
+        b.iaddTo(fz, fz, w3);
+    });
+    b.st(fx, addr, 1 << 21);
+    b.st(fy, addr, (1 << 21) + 8192);
+    b.st(fz, addr, (1 << 21) + 16384);
+    return b.build();
+}
+
+/**
+ * leukocyte: cell tracking dominated by special-function math
+ * (7.7 insns / 297 cycles); saw slight speedup under RegLess.
+ */
+Kernel
+makeLeukocyte(unsigned scale)
+{
+    KernelBuilder b("leukocyte");
+    b.setValueProfile(mediumProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId acc = b.reg();
+    b.moviTo(acc, 0);
+    countedLoop(b, 6 * scale, [&](RegId i) {
+        RegId v = b.ld(b.iadd(addr, b.imuli(i, 1024)));
+        RegId f = b.bor(v, b.movi(0x3f800000)); // force positive float
+        RegId root = b.fsqrt(f);
+        RegId inv = b.rcp(root);
+        RegId grad = b.fmul(inv, f);
+        b.iaddTo(acc, acc, grad);
+    });
+    b.st(acc, addr, 1 << 22);
+    return b.build();
+}
+
+/**
+ * lud: dense factorisation; the suite's largest regions (16.0 insns /
+ * 816 cycles) - pure compute with deep FMA chains.
+ */
+Kernel
+makeLud(unsigned scale)
+{
+    KernelBuilder b("lud");
+    b.setValueProfile(mediumProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId diag = b.ld(addr);
+    RegId acc = b.reg();
+    b.movTo(acc, diag);
+    countedLoop(b, 3 * scale, [&](RegId i) {
+        RegId row = b.ld(b.iadd(addr, b.imuli(i, 4096)));
+        // Deep in-region chain: 16+ ALU ops, all interior.
+        RegId x1 = b.imad(row, acc, diag);
+        RegId x2 = b.imad(x1, row, acc);
+        RegId x3 = b.imad(x2, x1, row);
+        RegId x4 = b.iadd(x3, x2);
+        RegId x5 = b.imul(x4, x1);
+        RegId x6 = b.imad(x5, x4, x3);
+        RegId x7 = b.isub(x6, x5);
+        RegId x8 = b.imad(x7, x6, x5);
+        RegId x9 = b.iadd(x8, x7);
+        RegId x10 = b.imul(x9, x8);
+        RegId x11 = b.imad(x10, x9, x8);
+        RegId x12 = b.iadd(x11, x10);
+        RegId x13 = b.imad(x12, x11, x10);
+        RegId x14 = b.bxor(x13, x12);
+        RegId x15 = b.imad(x14, x13, x12);
+        b.movTo(acc, x15);
+    });
+    b.st(acc, addr, 1 << 23);
+    return b.build();
+}
+
+/**
+ * mummergpu: suffix-tree matching - pointer chasing with data-
+ * dependent early exit (6.4 insns / 240 cycles).
+ */
+Kernel
+makeMummergpu(unsigned scale)
+{
+    KernelBuilder b("mummergpu");
+    b.setValueProfile(mediumProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId pos = b.reg();
+    b.movTo(pos, b.band(t, b.movi(511)));
+    RegId matched = b.reg();
+    b.moviTo(matched, 0);
+    countedLoop(b, 7 * scale, [&](RegId i) {
+        RegId node = b.ld(b.imuli(pos, 4), 32768);
+        RegId want = b.band(b.iadd(t, i), b.movi(255));
+        RegId hit = b.setEq(b.band(node, b.movi(255)), want);
+        // Divergent bookkeeping on a match.
+        Label miss = b.newLabel();
+        RegId no_hit = b.setEq(hit, b.movi(0));
+        b.braIf(no_hit, miss);
+        b.iaddiTo(matched, matched, 1);
+        b.bind(miss);
+        b.movTo(pos, b.band(b.shr(node, b.movi(8)), b.movi(511)));
+    });
+    b.st(matched, addr, 1 << 24);
+    return b.build();
+}
+
+/**
+ * myocyte: enormous straight-line ODE expressions - 20+ concurrent
+ * live registers (Fig 19) but a tiny total working set, so RegLess
+ * handles it with no performance change.
+ */
+Kernel
+makeMyocyte(unsigned scale)
+{
+    KernelBuilder b("myocyte");
+    b.setValueProfile(mediumProfile());
+    RegId t = b.tid();
+    // Rodinia's myocyte solves ODEs with very few threads: most warps
+    // exit immediately, so the per-window register working set is tiny
+    // even though each surviving warp holds 20+ live registers.
+    Label done = b.newLabel();
+    RegId inactive = b.setGe(t, b.movi(256));
+    b.braIf(inactive, done);
+    RegId addr = b.imuli(t, 4);
+    RegId state = b.ld(addr);
+    RegId out = b.reg();
+    b.moviTo(out, 0);
+    countedLoop(b, 4 * scale, [&](RegId i) {
+        // Build a wide window of live temporaries, then collapse with
+        // a balanced tree (the ODE expressions are wide, not serial).
+        std::vector<RegId> terms;
+        RegId seed = b.iadd(state, i);
+        for (int k = 0; k < 20; ++k)
+            terms.push_back(b.imad(seed, b.movi(k + 2), t));
+        while (terms.size() > 1) {
+            std::vector<RegId> next;
+            for (std::size_t k = 0; k + 1 < terms.size(); k += 2)
+                next.push_back(b.iadd(terms[k], terms[k + 1]));
+            if (terms.size() % 2)
+                next.push_back(terms.back());
+            terms = std::move(next);
+        }
+        b.iaddTo(out, out, terms[0]);
+    });
+    b.st(out, addr, 1 << 25);
+    b.bind(done);
+    return b.build();
+}
+
+/**
+ * nn: nearest neighbour - a very small kernel (6.3 insns / 940
+ * cycles); saw speedup under RegLess from fewer active warps.
+ */
+Kernel
+makeNn(unsigned scale)
+{
+    KernelBuilder b("nn");
+    b.setValueProfile(compressibleProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    countedLoop(b, 2 * scale, [&](RegId i) {
+        RegId base = b.iadd(addr, b.imuli(i, 16384));
+        RegId lat = b.ld(base);
+        RegId lng = b.ld(base, 4096);
+        RegId dlat = b.isub(lat, t);
+        RegId dlng = b.isub(lng, t);
+        RegId dist = b.imad(dlat, dlat, b.imul(dlng, dlng));
+        b.st(dist, base, 1 << 26);
+    });
+    return b.build();
+}
+
+/**
+ * nw: Needleman-Wunsch wavefront through shared memory; compute-heavy
+ * regions (10.8 insns / 78 cycles) whose preloads never miss the OSU.
+ */
+Kernel
+makeNw(unsigned scale)
+{
+    KernelBuilder b("nw");
+    b.setWarpsPerBlock(4);
+    b.setValueProfile(compressibleProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId score = b.ld(addr);
+    b.sts(score, addr);
+    b.bar();
+    countedLoop(b, 4 * scale, [&](RegId i) {
+        RegId up = b.lds(addr, 0);
+        RegId left = b.lds(b.bxor(addr, b.movi(4)));
+        RegId diag = b.lds(b.bxor(addr, b.movi(8)));
+        RegId gap_up = b.iaddi(up, -1);
+        RegId gap_left = b.iaddi(left, -1);
+        RegId match = b.iadd(diag, b.band(b.iadd(t, i), b.movi(1)));
+        RegId best = b.imax(b.imax(gap_up, gap_left), match);
+        b.sts(best, addr);
+        b.bar();
+    });
+    RegId final_score = b.lds(addr);
+    b.st(final_score, addr, 1 << 27);
+    return b.build();
+}
+
+/**
+ * particle_filter: alternating expression build-up and collapse - the
+ * Figure 5 kernel whose live-register seams the region splitter uses
+ * (10.0 insns / 20 cycles).
+ */
+Kernel
+makeParticleFilter(unsigned scale)
+{
+    KernelBuilder b("particle_filter");
+    b.setValueProfile(mediumProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId weight = b.reg();
+    b.movTo(weight, t);
+    countedLoop(b, 3 * scale, [&](RegId i) {
+        // Phase: grow 6 temporaries, collapse to one (a seam), twice.
+        for (int phase = 0; phase < 2; ++phase) {
+            std::vector<RegId> temps;
+            RegId seed = b.iadd(weight, i);
+            for (int k = 0; k < 6; ++k)
+                temps.push_back(b.imad(seed, b.movi(3 + k + phase), t));
+            while (temps.size() > 1) {
+                std::vector<RegId> next;
+                for (std::size_t k = 0; k + 1 < temps.size(); k += 2)
+                    next.push_back(b.iadd(temps[k], temps[k + 1]));
+                if (temps.size() % 2)
+                    next.push_back(temps.back());
+                temps = std::move(next);
+            }
+            b.movTo(weight, temps[0]);
+        }
+    });
+    b.st(weight, addr, 1 << 28);
+    return b.build();
+}
+
+/**
+ * pathfinder: dynamic-programming stencil through shared memory with
+ * highly regular (compressible) cost values (4.9 insns / 72 cycles).
+ */
+Kernel
+makePathfinder(unsigned scale)
+{
+    KernelBuilder b("pathfinder");
+    b.setWarpsPerBlock(4);
+    b.setValueProfile(compressibleProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId cost = b.ld(addr);
+    b.sts(cost, addr);
+    b.bar();
+    countedLoop(b, 4 * scale, [&](RegId i) {
+        RegId center = b.lds(addr);
+        RegId left = b.lds(b.bxor(addr, b.movi(4)));
+        RegId right = b.lds(b.bxor(addr, b.movi(8)));
+        RegId best = b.imin(b.imin(left, right), center);
+        RegId step = b.ld(b.iadd(addr, b.imuli(i, 8192)), 65536);
+        RegId next = b.iadd(best, step);
+        b.sts(next, addr);
+        b.bar();
+    });
+    RegId out = b.lds(addr);
+    b.st(out, addr, 1 << 29);
+    return b.build();
+}
+
+/**
+ * srad_v1: speckle-reducing diffusion; boundary-check divergence and
+ * reciprocal math (9.1 insns / 350 cycles).
+ */
+Kernel
+makeSradV1(unsigned scale)
+{
+    KernelBuilder b("srad_v1");
+    b.setValueProfile(mediumProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    countedLoop(b, 4 * scale, [&](RegId i) {
+        RegId base = b.iadd(addr, b.imuli(i, 16384));
+        RegId c = b.ld(base);
+        RegId n = b.ld(base, 128);
+        RegId s = b.ld(base, 256);
+        RegId grad = b.isub(n, s);
+        RegId mag = b.imul(grad, grad);
+        RegId denom = b.iaddi(mag, 16);
+        RegId coef = b.rcp(b.bor(denom, b.movi(0x3f800000)));
+        RegId update = b.imad(grad, coef, c);
+        divergentIf(b, t, 7, 0, [&] {
+            // Boundary lanes store a clamped value instead.
+            RegId clamped = b.imin(update, b.movi(4096));
+            b.st(clamped, base, 1 << 30);
+        });
+        b.st(update, base, (1 << 30) + 65536);
+    });
+    return b.build();
+}
+
+/**
+ * srad_v2: like v1 but with registers redefined on a control path
+ * before being read, producing the more-stores-than-loads L1 pattern
+ * the paper reports (Fig 18).
+ */
+Kernel
+makeSradV2(unsigned scale)
+{
+    KernelBuilder b("srad_v2");
+    b.setValueProfile(noisyProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId carry = b.reg();
+    b.moviTo(carry, 7);
+    countedLoop(b, 5 * scale, [&](RegId i) {
+        RegId base = b.iadd(addr, b.imuli(i, 16384));
+        RegId v = b.ld(base);
+        // carry written every iteration but read only on one path of
+        // the *next* iteration: redefinition-before-read on the other.
+        divergentIf(b, t, 3, 2, [&] {
+            RegId used = b.imad(carry, v, t);
+            b.st(used, base, 1u << 31);
+        });
+        RegId fresh = b.bxor(v, b.imuli(t, 13));
+        b.movTo(carry, fresh);
+    });
+    b.st(carry, addr, (1u << 31) + 65536);
+    return b.build();
+}
+
+/**
+ * streamcluster: tiny memory-bound regions (4.3 insns / 16 cycles -
+ * the shortest in the suite); no performance change under RegLess.
+ */
+Kernel
+makeStreamcluster(unsigned scale)
+{
+    KernelBuilder b("streamcluster");
+    b.setValueProfile(compressibleProfile());
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId opened = b.reg();
+    b.moviTo(opened, 0);
+    countedLoop(b, 12 * scale, [&](RegId i) {
+        RegId p = b.ld(b.iadd(addr, b.imuli(i, 1024)));
+        RegId c = b.ld(b.iadd(addr, b.imuli(i, 512)), 262144);
+        RegId d = b.isub(p, c);
+        RegId gain = b.imul(d, d);
+        RegId worth = b.setLt(gain, b.movi(1000000));
+        b.iaddTo(opened, opened, worth);
+    });
+    b.st(opened, addr, 3u << 30);
+    return b.build();
+}
+
+using Generator = Kernel (*)(unsigned);
+
+const std::map<std::string, Generator> &
+generators()
+{
+    static const std::map<std::string, Generator> map = {
+        {"b+tree", makeBtree},
+        {"backprop", makeBackprop},
+        {"bfs", makeBfs},
+        {"dwt2d", makeDwt2d},
+        {"gaussian", makeGaussian},
+        {"heartwall", makeHeartwall},
+        {"hotspot", makeHotspot},
+        {"hybridsort", makeHybridsort},
+        {"kmeans", makeKmeans},
+        {"lavaMD", makeLavaMD},
+        {"leukocyte", makeLeukocyte},
+        {"lud", makeLud},
+        {"mummergpu", makeMummergpu},
+        {"myocyte", makeMyocyte},
+        {"nn", makeNn},
+        {"nw", makeNw},
+        {"particle_filter", makeParticleFilter},
+        {"pathfinder", makePathfinder},
+        {"srad_v1", makeSradV1},
+        {"srad_v2", makeSradV2},
+        {"streamcluster", makeStreamcluster},
+    };
+    return map;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+rodiniaNames()
+{
+    static const std::vector<std::string> names = {
+        "b+tree",     "backprop",  "bfs",
+        "dwt2d",      "gaussian",  "heartwall",
+        "hotspot",    "hybridsort", "kmeans",
+        "lavaMD",     "leukocyte", "lud",
+        "mummergpu",  "myocyte",   "nn",
+        "nw",         "particle_filter", "pathfinder",
+        "srad_v1",    "srad_v2",   "streamcluster",
+    };
+    return names;
+}
+
+ir::Kernel
+makeRodinia(const std::string &name, unsigned work_scale)
+{
+    auto it = generators().find(name);
+    if (it == generators().end())
+        fatal("unknown Rodinia benchmark '", name, "'");
+    if (work_scale == 0)
+        fatal("work scale must be positive");
+    ir::Kernel kernel = it->second(work_scale);
+    return kernel;
+}
+
+std::vector<ir::Kernel>
+allRodinia(unsigned work_scale)
+{
+    std::vector<ir::Kernel> kernels;
+    kernels.reserve(rodiniaNames().size());
+    for (const std::string &name : rodiniaNames())
+        kernels.push_back(makeRodinia(name, work_scale));
+    return kernels;
+}
+
+} // namespace regless::workloads

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Synthetic stand-ins for the 21 Rodinia benchmarks the paper
+ * evaluates. Each generator reproduces the published character of its
+ * namesake — register pressure, region sizes, control divergence,
+ * memory intensity, and value compressibility — so the evaluation's
+ * per-benchmark *shape* (which apps stress the OSU, which compress
+ * well, which suffer conservative liveness) carries over. See
+ * DESIGN.md §2 for the substitution rationale.
+ */
+
+#ifndef REGLESS_WORKLOADS_RODINIA_HH
+#define REGLESS_WORKLOADS_RODINIA_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hh"
+
+namespace regless::workloads
+{
+
+/** The 21 benchmark names, in the paper's figure order. */
+const std::vector<std::string> &rodiniaNames();
+
+/**
+ * Build the synthetic kernel for @a name.
+ * @param work_scale Multiplies loop trip counts (1 = bench default).
+ */
+ir::Kernel makeRodinia(const std::string &name, unsigned work_scale = 1);
+
+/** All 21 kernels at the given scale. */
+std::vector<ir::Kernel> allRodinia(unsigned work_scale = 1);
+
+} // namespace regless::workloads
+
+#endif // REGLESS_WORKLOADS_RODINIA_HH

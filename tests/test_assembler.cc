@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Assembler tests: syntax acceptance, error reporting with line
+ * numbers, directive handling, and the assemble/disassemble round
+ * trip for every benchmark kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/assembler.hh"
+#include "sim/experiment.hh"
+#include "sim/gpu_simulator.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless
+{
+namespace
+{
+
+TEST(AssemblerTest, MinimalKernel)
+{
+    ir::Kernel k = ir::assemble("tid r0\nexit\n");
+    EXPECT_EQ(k.numInsns(), 2u);
+    EXPECT_EQ(k.insn(0).op(), ir::Opcode::Tid);
+    EXPECT_TRUE(k.insn(1).isExit());
+}
+
+TEST(AssemblerTest, AppendsExitWhenMissing)
+{
+    ir::Kernel k = ir::assemble("tid r0\nst r0, r0, 64\n");
+    EXPECT_TRUE(k.instructions().back().isExit());
+}
+
+TEST(AssemblerTest, FullSyntax)
+{
+    const char *src = R"(
+        .kernel demo
+        .warps_per_block 4
+        .values constant=0.5 stride1=0.2 stride4=0.1 half=0.05
+
+        tid   r0
+        imuli r1, r0, 4          # address
+        ld    r2, r1, 0
+        imad  r3, r2, r0, r0
+        setlt r4, r0, r3
+        bra   r4, @skip
+        st    r3, r1, 65536
+        skip:
+        exit
+    )";
+    ir::Kernel k = ir::assemble(src);
+    EXPECT_EQ(k.name(), "demo");
+    EXPECT_EQ(k.warpsPerBlock(), 4u);
+    EXPECT_DOUBLE_EQ(k.valueProfile().constantFrac, 0.5);
+    EXPECT_DOUBLE_EQ(k.valueProfile().halfWarpFrac, 0.05);
+    // The branch targets the instruction after the store.
+    const ir::Instruction &bra = k.insn(5);
+    ASSERT_TRUE(bra.isBranch());
+    EXPECT_EQ(bra.target(), 7u);
+    EXPECT_EQ(bra.srcs().at(0), 4);
+}
+
+TEST(AssemblerTest, BackwardBranchLoops)
+{
+    const char *src = R"(
+        movi r0, 0
+        movi r1, 10
+        head:
+        iaddi r0, r0, 1
+        setlt r2, r0, r1
+        bra r2, @head
+        exit
+    )";
+    ir::Kernel k = ir::assemble(src);
+    EXPECT_EQ(k.insn(4).target(), 2u);
+}
+
+TEST(AssemblerTest, HexAndNegativeImmediates)
+{
+    ir::Kernel k = ir::assemble("movi r0, 0x40\niaddi r1, r0, -3\nexit\n");
+    EXPECT_EQ(k.insn(0).imm(), 0x40);
+    EXPECT_EQ(k.insn(1).imm(), -3);
+}
+
+TEST(AssemblerTest, CaseInsensitiveMnemonics)
+{
+    ir::Kernel k = ir::assemble("TID r0\nIADD r1, r0, r0\nEXIT\n");
+    EXPECT_EQ(k.insn(1).op(), ir::Opcode::IAdd);
+}
+
+TEST(AssemblerErrors, ReportLineNumbers)
+{
+    try {
+        ir::assemble("tid r0\nbogus r1\nexit\n");
+        FAIL() << "expected AssemblyError";
+    } catch (const ir::AssemblyError &e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_NE(std::string(e.what()).find("bogus"),
+                  std::string::npos);
+    }
+}
+
+TEST(AssemblerErrors, RejectsBadInput)
+{
+    EXPECT_THROW(ir::assemble("iadd r0, r1\nexit\n"), ir::AssemblyError);
+    EXPECT_THROW(ir::assemble("movi r0\nexit\n"), ir::AssemblyError);
+    EXPECT_THROW(ir::assemble("tid x0\nexit\n"), ir::AssemblyError);
+    EXPECT_THROW(ir::assemble("bra r0, nowhere\nexit\n"),
+                 ir::AssemblyError);
+    EXPECT_THROW(ir::assemble("bra r0, @missing\nexit\n"),
+                 ir::AssemblyError);
+    EXPECT_THROW(ir::assemble("l:\nl:\ntid r0\nexit\n"),
+                 ir::AssemblyError);
+    EXPECT_THROW(ir::assemble(".bogus 3\ntid r0\nexit\n"),
+                 ir::AssemblyError);
+    EXPECT_THROW(ir::assemble("tid r0, r1\nexit\n"), ir::AssemblyError);
+    EXPECT_THROW(ir::assemble("# only a comment\n"), ir::AssemblyError);
+}
+
+class RoundTripTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RoundTripTest, DisassembleReassembleIsStable)
+{
+    ir::Kernel original = workloads::makeRodinia(GetParam());
+    std::string text = ir::disassembleToAsm(original);
+    ir::Kernel rebuilt = ir::assemble(text);
+
+    ASSERT_EQ(rebuilt.numInsns(), original.numInsns()) << text;
+    for (Pc pc = 0; pc < original.numInsns(); ++pc) {
+        EXPECT_EQ(rebuilt.insn(pc).op(), original.insn(pc).op());
+        EXPECT_EQ(rebuilt.insn(pc).dst(), original.insn(pc).dst());
+        EXPECT_EQ(rebuilt.insn(pc).srcs(), original.insn(pc).srcs());
+        EXPECT_EQ(rebuilt.insn(pc).imm(), original.insn(pc).imm());
+        EXPECT_EQ(rebuilt.insn(pc).target(), original.insn(pc).target());
+    }
+    EXPECT_EQ(rebuilt.warpsPerBlock(), original.warpsPerBlock());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, RoundTripTest,
+    ::testing::ValuesIn(workloads::rodiniaNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(AssemblerEndToEnd, AssembledKernelRunsIdentically)
+{
+    ir::Kernel original = workloads::makeRodinia("hotspot");
+    ir::Kernel rebuilt =
+        ir::assemble(ir::disassembleToAsm(original));
+
+    sim::GpuConfig cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    sim::RunStats a = sim::runKernel(original, cfg);
+    sim::RunStats b = sim::runKernel(rebuilt, cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.insns, b.insns);
+}
+
+} // namespace
+} // namespace regless

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for liveness: dataflow facts, last uses, and the GPU
+ * divergence-aware soft-definition analysis (paper Algorithm 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/cfg_analysis.hh"
+#include "ir/liveness.hh"
+#include "workloads/kernel_builder.hh"
+
+namespace regless
+{
+namespace
+{
+
+using workloads::KernelBuilder;
+using workloads::Label;
+
+struct Analysis
+{
+    explicit Analysis(ir::Kernel k)
+        : kernel(std::move(k)), cfg(kernel), live(kernel, cfg)
+    {
+    }
+    ir::Kernel kernel;
+    ir::CfgAnalysis cfg;
+    ir::Liveness live;
+};
+
+TEST(LivenessTest, StraightLineLastUse)
+{
+    KernelBuilder b("straight");
+    RegId t = b.tid();          // pc 0
+    RegId x = b.iaddi(t, 1);    // pc 1, reads t
+    RegId y = b.imul(x, x);     // pc 2, last use of x
+    b.st(y, t);                 // pc 3, last uses of y and t
+    ir::Kernel k = b.build();
+    Analysis a(std::move(k));
+
+    EXPECT_TRUE(a.live.liveBefore(1, t));
+    EXPECT_TRUE(a.live.liveBefore(2, x));
+    EXPECT_FALSE(a.live.liveAfter(2, x));
+    EXPECT_TRUE(a.live.isLastUse(2, x));
+    EXPECT_FALSE(a.live.isLastUse(1, t));
+    EXPECT_TRUE(a.live.isLastUse(3, t));
+    EXPECT_TRUE(a.live.isLastUse(3, y));
+    // Nothing is live after the store except nothing.
+    EXPECT_FALSE(a.live.liveAfter(3, y));
+}
+
+TEST(LivenessTest, DefKillsValue)
+{
+    KernelBuilder b("kill");
+    RegId t = b.tid();   // pc 0
+    RegId x = b.reg();
+    b.moviTo(x, 5);      // pc 1
+    b.st(x, t);          // pc 2
+    b.moviTo(x, 9);      // pc 3: fresh def, old x dead after pc 2
+    b.st(x, t);          // pc 4
+    ir::Kernel k = b.build();
+    Analysis a(std::move(k));
+
+    EXPECT_FALSE(a.live.liveAfter(2, x));
+    EXPECT_TRUE(a.live.liveBefore(4, x));
+    EXPECT_TRUE(a.live.isLastUse(2, x));
+    EXPECT_TRUE(a.live.isLastUse(4, x));
+}
+
+TEST(LivenessTest, LiveCountTracksExpressionTemporaries)
+{
+    KernelBuilder b("temps");
+    RegId t = b.tid();      // pc 0
+    RegId a1 = b.iaddi(t, 1);
+    RegId a2 = b.iaddi(t, 2);
+    RegId a3 = b.iaddi(t, 3);
+    RegId s1 = b.iadd(a1, a2);
+    RegId s2 = b.iadd(s1, a3);
+    b.st(s2, t);
+    ir::Kernel k = b.build();
+    Analysis a(std::move(k));
+
+    // At the first iadd (pc 4) t, a1, a2, a3 are live.
+    EXPECT_EQ(a.live.liveCountBefore(4), 4u);
+    // After collapsing, before the store only s2 and t are live.
+    EXPECT_EQ(a.live.liveCountBefore(6), 2u);
+}
+
+TEST(LivenessTest, LoopCarriedRegisterLiveAroundBackEdge)
+{
+    KernelBuilder b("loop");
+    RegId i = b.reg();
+    RegId acc = b.reg();
+    b.moviTo(i, 0);
+    b.moviTo(acc, 0);
+    RegId limit = b.movi(16);
+    Label head = b.newLabel();
+    b.bind(head);
+    b.iaddTo(acc, acc, i); // loop body start
+    b.iaddiTo(i, i, 1);
+    RegId p = b.setLt(i, limit);
+    b.braIf(p, head);
+    b.st(acc, i);
+    ir::Kernel k = b.build();
+    Analysis a(std::move(k));
+
+    Pc body = 3;
+    ir::BlockId body_bb = a.kernel.blockOf(body);
+    // acc and i are live into and out of the loop body.
+    EXPECT_TRUE(a.live.blockLiveIn(body_bb, acc));
+    EXPECT_TRUE(a.live.blockLiveOut(body_bb, acc));
+    EXPECT_TRUE(a.live.blockLiveOut(body_bb, i));
+    // limit is live out of the body only because of the back edge.
+    EXPECT_TRUE(a.live.blockLiveOut(body_bb, limit));
+    // The add in the body is NOT a last use of acc.
+    EXPECT_FALSE(a.live.isLastUse(body, acc));
+}
+
+/**
+ * Build the paper's Figure 7 shape: a register defined before a branch,
+ * conditionally redefined on one side, and used at the join.
+ *
+ *   r = ...            (dominating definition)
+ *   if (p) r = ...     (candidate soft definition)
+ *   use r              (reads either value)
+ */
+ir::Kernel
+softDefKernel(Pc *soft_pc, RegId *reg)
+{
+    KernelBuilder b("softdef");
+    RegId t = b.tid();
+    RegId r = b.reg();
+    b.moviTo(r, 7);           // dominating def, pc 1
+    RegId p = b.setLt(t, b.movi(8));
+    Label join = b.newLabel();
+    RegId notp = b.setEq(p, b.movi(0));
+    b.braIf(notp, join);
+    *soft_pc = b.here();
+    b.moviTo(r, 9);           // soft def: only lanes with tid < 8
+    b.bind(join);
+    b.st(r, t);
+    *reg = r;
+    return b.build();
+}
+
+TEST(SoftDefTest, PartialRedefinitionIsSoft)
+{
+    Pc soft_pc = 0;
+    RegId r = 0;
+    ir::Kernel k = softDefKernel(&soft_pc, &r);
+    Analysis a(std::move(k));
+
+    EXPECT_TRUE(a.live.isSoftDef(soft_pc));
+    EXPECT_TRUE(a.live.hasSoftDef(r));
+    // The dominating definition itself is not soft.
+    EXPECT_FALSE(a.live.isSoftDef(1));
+    // Corrected liveness: r stays live across the soft definition.
+    EXPECT_TRUE(a.live.liveBefore(soft_pc, r));
+}
+
+TEST(SoftDefTest, FullDiamondRedefinitionIsNotSoft)
+{
+    // Both sides of the branch define r; the old value never survives.
+    KernelBuilder b("diamond");
+    RegId t = b.tid();
+    RegId r = b.reg();
+    RegId p = b.setLt(t, b.movi(8));
+    Label else_l = b.newLabel();
+    Label join = b.newLabel();
+    RegId notp = b.setEq(p, b.movi(0));
+    b.braIf(notp, else_l);
+    Pc then_def = b.here();
+    b.moviTo(r, 1);
+    b.jmp(join);
+    b.bind(else_l);
+    Pc else_def = b.here();
+    b.moviTo(r, 2);
+    b.bind(join);
+    b.st(r, t);
+    ir::Kernel k = b.build();
+    Analysis a(std::move(k));
+
+    // No dominating definition exists, so neither def can be soft: no
+    // other value reaches the join.
+    EXPECT_FALSE(a.live.isSoftDef(then_def));
+    EXPECT_FALSE(a.live.isSoftDef(else_def));
+    EXPECT_FALSE(a.live.hasSoftDef(r));
+}
+
+TEST(SoftDefTest, StraightLineRedefinitionIsNotSoft)
+{
+    KernelBuilder b("redef");
+    RegId t = b.tid();
+    RegId r = b.reg();
+    b.moviTo(r, 1);
+    b.st(r, t);
+    Pc redef = b.here();
+    b.moviTo(r, 2); // full redefinition, no divergence
+    b.st(r, t);
+    ir::Kernel k = b.build();
+    Analysis a(std::move(k));
+    EXPECT_FALSE(a.live.isSoftDef(redef));
+}
+
+TEST(SoftDefTest, SoftDefKeepsRegionInputSemantics)
+{
+    // The corrected analysis must treat the soft def as a use, so the
+    // value is live on entry to the redefining block.
+    Pc soft_pc = 0;
+    RegId r = 0;
+    ir::Kernel k = softDefKernel(&soft_pc, &r);
+    Analysis a(std::move(k));
+    ir::BlockId soft_bb = a.kernel.blockOf(soft_pc);
+    EXPECT_TRUE(a.live.blockLiveIn(soft_bb, r));
+}
+
+TEST(LivenessTest, DefsAndUsesIndexes)
+{
+    KernelBuilder b("indexes");
+    RegId t = b.tid(); // def of t at 0
+    RegId x = b.iaddi(t, 3);
+    b.st(x, t);
+    ir::Kernel k = b.build();
+    Analysis a(std::move(k));
+
+    ASSERT_EQ(a.live.defsOf(t).size(), 1u);
+    EXPECT_EQ(a.live.defsOf(t)[0], 0u);
+    EXPECT_EQ(a.live.usesOf(t).size(), 2u);
+    EXPECT_EQ(a.live.usesOf(x).size(), 1u);
+}
+
+TEST(LivenessTest, UsedRegsDeduplicates)
+{
+    ir::Instruction sq(ir::Opcode::IMul, 5, {3, 3});
+    auto regs = ir::Liveness::usedRegs(sq);
+    ASSERT_EQ(regs.size(), 1u);
+    EXPECT_EQ(regs[0], 3);
+}
+
+} // namespace
+} // namespace regless

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Property-based differential tests: randomly generated (but always
+ * valid) kernels must produce byte-identical architectural results
+ * under the baseline register file and under RegLess, across OSU
+ * capacities, compressor settings, and activation policies. This is
+ * the strongest invariant in the repository: operand staging must be
+ * semantically invisible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/experiment.hh"
+#include "sim/gpu_simulator.hh"
+#include "workloads/kernel_builder.hh"
+
+namespace regless
+{
+namespace
+{
+
+using workloads::KernelBuilder;
+using workloads::Label;
+
+/**
+ * Generate a random, guaranteed-valid kernel: every register is
+ * written before it is read, loops are counted, branches reconverge,
+ * and all addresses stay inside a bounded data window.
+ */
+ir::Kernel
+randomKernel(std::uint64_t seed)
+{
+    Rng rng(seed);
+    KernelBuilder b("prop_" + std::to_string(seed));
+
+    RegId tid = b.tid();
+    RegId addr = b.imuli(tid, 4);
+    std::vector<RegId> pool{tid, addr};
+    auto any = [&]() -> RegId {
+        return pool[rng.nextBelow(pool.size())];
+    };
+    unsigned store_segment = 0;
+
+    const unsigned segments = 2 + rng.nextBelow(4);
+    for (unsigned seg = 0; seg < segments; ++seg) {
+        switch (rng.nextBelow(4)) {
+          case 0: {
+            // Straight-line arithmetic.
+            unsigned n = 2 + rng.nextBelow(6);
+            for (unsigned i = 0; i < n; ++i) {
+                RegId a = any(), c = any();
+                switch (rng.nextBelow(5)) {
+                  case 0: pool.push_back(b.iadd(a, c)); break;
+                  case 1: pool.push_back(b.imul(a, c)); break;
+                  case 2: pool.push_back(b.bxor(a, c)); break;
+                  case 3: pool.push_back(b.imin(a, c)); break;
+                  default:
+                    pool.push_back(
+                        b.iaddi(a, rng.nextRange(-100, 100)));
+                }
+            }
+            break;
+          }
+          case 1: {
+            // Load, combine, store.
+            RegId masked = b.band(any(), b.movi(8191));
+            RegId la = b.imuli(masked, 4);
+            RegId v = b.ld(la, 1 << 16);
+            RegId sum = b.iadd(v, any());
+            pool.push_back(sum);
+            b.st(sum, addr, (2u << 20) + 16384 * store_segment++);
+            break;
+          }
+          case 2: {
+            // Diamond with divergent sides.
+            RegId bit = b.band(tid, b.movi(1 + rng.nextBelow(7)));
+            RegId p = b.setNe(bit, b.movi(0));
+            Label else_l = b.newLabel();
+            Label join = b.newLabel();
+            RegId shared = b.reg();
+            RegId np = b.setEq(p, b.movi(0));
+            b.braIf(np, else_l);
+            b.iaddTo(shared, any(), any());
+            b.jmp(join);
+            b.bind(else_l);
+            b.iaddTo(shared, any(), b.movi(rng.nextRange(1, 50)));
+            b.bind(join);
+            pool.push_back(shared);
+            break;
+          }
+          default: {
+            // Counted loop with a loop-carried accumulator and,
+            // sometimes, a divergent conditional in the body (the
+            // soft-definition-inside-loop corner).
+            RegId acc = b.reg();
+            b.movTo(acc, any());
+            RegId i = b.reg();
+            b.moviTo(i, 0);
+            RegId limit = b.movi(2 + rng.nextBelow(6));
+            bool divergent_body = rng.chance(0.5);
+            Label head = b.newLabel();
+            b.bind(head);
+            b.iaddTo(acc, acc, any());
+            if (divergent_body) {
+                RegId bit = b.band(tid, b.movi(1 + rng.nextBelow(7)));
+                RegId p2 = b.setNe(bit, b.movi(0));
+                Label skip = b.newLabel();
+                RegId np = b.setEq(p2, b.movi(0));
+                b.braIf(np, skip);
+                // Soft definition of acc: only some lanes update.
+                b.iaddTo(acc, acc, b.movi(rng.nextRange(1, 9)));
+                b.bind(skip);
+            }
+            b.iaddiTo(i, i, 1);
+            RegId p = b.setLt(i, limit);
+            b.braIf(p, head);
+            pool.push_back(acc);
+            break;
+          }
+        }
+    }
+    // Final observable store of a mixed value.
+    RegId out = any();
+    for (unsigned i = 0; i < 2 && pool.size() > 1; ++i)
+        out = b.bxor(out, any());
+    b.st(out, addr, 3u << 20);
+    return b.build();
+}
+
+struct PropCase
+{
+    std::uint64_t seed;
+    unsigned capacity;
+    bool compressor;
+    bool fifo;
+};
+
+class ReglessEquivalence : public ::testing::TestWithParam<PropCase>
+{
+};
+
+TEST_P(ReglessEquivalence, MatchesBaselineMemoryImage)
+{
+    const PropCase &param = GetParam();
+    ir::Kernel base_kernel = randomKernel(param.seed);
+    ir::Kernel rl_kernel = randomKernel(param.seed);
+
+    sim::GpuConfig base_cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Baseline);
+    sim::GpuConfig rl_cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    rl_cfg.setOsuCapacity(param.capacity);
+    rl_cfg.regless.compressorEnabled = param.compressor;
+    rl_cfg.regless.fifoActivation = param.fifo;
+
+    sim::GpuSimulator base(base_kernel, base_cfg);
+    sim::GpuSimulator rl(rl_kernel, rl_cfg);
+    base.run();
+    rl.run();
+    ASSERT_TRUE(base.sm().done());
+    ASSERT_TRUE(rl.sm().done());
+
+    // Compare the observable data segment (all store windows).
+    for (Addr off = 2u << 20; off < (3u << 20) + (1u << 14);
+         off += 4 * 61) {
+        Addr a = base_cfg.sm.dataBase + off;
+        ASSERT_EQ(base.memory().readWord(a), rl.memory().readWord(a))
+            << "seed " << param.seed << " capacity " << param.capacity
+            << " offset " << off;
+    }
+}
+
+std::vector<PropCase>
+propCases()
+{
+    std::vector<PropCase> cases;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        cases.push_back({seed, 512, true, false});
+        cases.push_back({seed, 128, true, false});
+    }
+    // A few configuration corners on fixed seeds.
+    cases.push_back({3, 512, false, false});
+    cases.push_back({5, 512, true, true});
+    cases.push_back({7, 256, false, true});
+    cases.push_back({11, 2048, true, false});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomKernels, ReglessEquivalence, ::testing::ValuesIn(propCases()),
+    [](const ::testing::TestParamInfo<PropCase> &info) {
+        const PropCase &p = info.param;
+        return "seed" + std::to_string(p.seed) + "_cap" +
+               std::to_string(p.capacity) +
+               (p.compressor ? "_comp" : "_nocomp") +
+               (p.fifo ? "_fifo" : "_lifo");
+    });
+
+/** Region-partition invariants on the same random kernels. */
+class RegionInvariants
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RegionInvariants, PartitionIsSoundForRandomKernels)
+{
+    ir::Kernel kernel = randomKernel(GetParam());
+    compiler::CompiledKernel ck = compiler::compile(kernel);
+    const ir::Kernel &k = ck.kernel();
+
+    std::vector<unsigned> covered(k.numInsns(), 0);
+    for (const compiler::Region &region : ck.regions()) {
+        // Coverage and block containment.
+        EXPECT_EQ(k.blockOf(region.startPc), k.blockOf(region.endPc));
+        for (Pc pc = region.startPc; pc <= region.endPc; ++pc)
+            ++covered[pc];
+        // Annotation PCs are inside the region.
+        for (const auto &[pc, regs] : region.erases) {
+            EXPECT_TRUE(region.contains(pc));
+            (void)regs;
+        }
+        for (const auto &[pc, regs] : region.evicts) {
+            EXPECT_TRUE(region.contains(pc));
+            (void)regs;
+        }
+        // Interior registers never appear as inputs or outputs.
+        for (RegId r : region.interiors) {
+            EXPECT_EQ(std::count(region.inputs.begin(),
+                                 region.inputs.end(), r),
+                      0);
+            EXPECT_EQ(std::count(region.outputs.begin(),
+                                 region.outputs.end(), r),
+                      0);
+        }
+        // Bank usage covers the peak.
+        EXPECT_GE(region.reservedLines(), region.maxLive);
+    }
+    for (unsigned c : covered)
+        EXPECT_EQ(c, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionInvariants,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+} // namespace
+} // namespace regless

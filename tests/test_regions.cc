@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Unit tests for the compiler: region creation (Algorithm 1), register
+ * classification, annotation placement, bank assignment, and metadata
+ * encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "compiler/bank_assigner.hh"
+#include "compiler/compiler.hh"
+#include "compiler/metadata_encoder.hh"
+#include "compiler/region_builder.hh"
+#include "ir/cfg_analysis.hh"
+#include "ir/liveness.hh"
+#include "workloads/kernel_builder.hh"
+
+namespace regless
+{
+namespace
+{
+
+using compiler::CompiledKernel;
+using compiler::CompilerConfig;
+using compiler::Region;
+using workloads::KernelBuilder;
+using workloads::Label;
+
+bool
+contains(const std::vector<RegId> &v, RegId r)
+{
+    return std::find(v.begin(), v.end(), r) != v.end();
+}
+
+/** Kernel with a load whose use follows immediately. */
+ir::Kernel
+loadUseKernel()
+{
+    KernelBuilder b("loaduse");
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId v = b.ld(addr);
+    RegId w = b.iaddi(v, 1); // first use of the load
+    b.st(w, addr);
+    return b.build();
+}
+
+TEST(RegionBuilderTest, SplitsLoadFromUse)
+{
+    ir::Kernel k = loadUseKernel();
+    CompilerConfig cfg;
+    CompiledKernel ck = compiler::compile(k, cfg);
+
+    // The load and its use must land in different regions.
+    Pc load_pc = invalidPc, use_pc = invalidPc;
+    for (Pc pc = 0; pc < ck.kernel().numInsns(); ++pc) {
+        if (ck.kernel().insn(pc).isGlobalLoad())
+            load_pc = pc;
+    }
+    ASSERT_NE(load_pc, invalidPc);
+    RegId dst = ck.kernel().insn(load_pc).dst();
+    for (Pc pc = load_pc + 1; pc < ck.kernel().numInsns(); ++pc) {
+        const auto &srcs = ck.kernel().insn(pc).srcs();
+        if (std::find(srcs.begin(), srcs.end(), dst) != srcs.end()) {
+            use_pc = pc;
+            break;
+        }
+    }
+    ASSERT_NE(use_pc, invalidPc);
+    EXPECT_NE(ck.regionAt(load_pc), ck.regionAt(use_pc));
+}
+
+TEST(RegionBuilderTest, RegionsCoverKernelOncePerPc)
+{
+    ir::Kernel k = loadUseKernel();
+    CompiledKernel ck = compiler::compile(k);
+    std::vector<unsigned> covered(ck.kernel().numInsns(), 0);
+    for (const Region &region : ck.regions()) {
+        EXPECT_LE(region.startPc, region.endPc);
+        for (Pc pc = region.startPc; pc <= region.endPc; ++pc)
+            ++covered[pc];
+        // A region never spans a basic-block boundary.
+        EXPECT_EQ(ck.kernel().blockOf(region.startPc),
+                  ck.kernel().blockOf(region.endPc));
+    }
+    for (unsigned c : covered)
+        EXPECT_EQ(c, 1u);
+}
+
+TEST(RegionBuilderTest, MaxLiveRespectsCap)
+{
+    // A long expression chain forcing many temporaries.
+    KernelBuilder b("pressure");
+    RegId t = b.tid();
+    std::vector<RegId> temps;
+    for (int i = 0; i < 24; ++i)
+        temps.push_back(b.iaddi(t, i));
+    RegId acc = b.movi(0);
+    for (RegId r : temps)
+        acc = b.iadd(acc, r);
+    b.st(acc, t);
+    ir::Kernel k = b.build();
+
+    CompilerConfig cfg;
+    cfg.maxRegsPerRegion = 8;
+    cfg.maxRegsPerBank = 4;
+    CompiledKernel ck = compiler::compile(k, cfg);
+    for (const Region &region : ck.regions()) {
+        if (region.numInsns() > 1) {
+            EXPECT_LE(region.maxLive, 8u + 8u)
+                << "region " << region.id;
+        }
+    }
+    EXPECT_GT(ck.regions().size(), 2u);
+}
+
+TEST(RegionBuilderTest, ValidityChecksDirectly)
+{
+    ir::Kernel k = loadUseKernel();
+    ir::CfgAnalysis cfg(k);
+    ir::Liveness live(k, cfg);
+    CompilerConfig cc;
+    compiler::RegionBuilder builder(k, live, cc);
+
+    EXPECT_TRUE(builder.containsLoadAndUse(0, k.numInsns() - 1));
+    EXPECT_FALSE(builder.isValid(0, k.numInsns() - 1));
+    // The prefix up to the load is fine.
+    EXPECT_FALSE(builder.containsLoadAndUse(0, 2));
+}
+
+TEST(RegionClassificationTest, InteriorInputOutput)
+{
+    // Two regions forced by a load/use split:
+    //   region A: compute addr (t interior-ish), load v
+    //   region B: use v, store
+    ir::Kernel k = loadUseKernel();
+    CompilerConfig cfg;
+    cfg.reassignBanks = false; // keep register ids stable
+    cfg.minRegionInsns = 1;
+    CompiledKernel ck = compiler::compile(k, cfg);
+    ASSERT_GE(ck.regions().size(), 2u);
+
+    // Find the region containing the use of the load result.
+    Pc load_pc = 2;
+    ASSERT_TRUE(ck.kernel().insn(load_pc).isGlobalLoad());
+    RegId v = ck.kernel().insn(load_pc).dst();
+    const Region &load_region = ck.region(ck.regionAt(load_pc));
+    const Region &use_region = ck.region(ck.regionAt(load_pc + 1));
+
+    // v is an output of the load region and an input of the use region.
+    EXPECT_TRUE(contains(load_region.outputs, v));
+    EXPECT_TRUE(contains(use_region.inputs, v));
+    // The use region preloads v; since v dies there, it is invalidating.
+    bool found = false;
+    for (const compiler::Preload &p : use_region.preloads) {
+        if (p.reg == v) {
+            found = true;
+            EXPECT_TRUE(p.invalidate);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(RegionClassificationTest, InteriorRegisterErased)
+{
+    // Single-region straight-line kernel: temporaries are interior and
+    // get erase annotations at their last uses.
+    KernelBuilder b("interior");
+    RegId t = b.tid();
+    RegId x = b.iaddi(t, 1);
+    RegId y = b.imul(x, x); // last use of x
+    b.st(y, t);
+    ir::Kernel k = b.build();
+    CompilerConfig cfg;
+    cfg.reassignBanks = false;
+    CompiledKernel ck = compiler::compile(k, cfg);
+    ASSERT_EQ(ck.regions().size(), 1u);
+    const Region &region = ck.regions()[0];
+
+    EXPECT_TRUE(contains(region.interiors, x));
+    EXPECT_TRUE(contains(region.interiors, y));
+    EXPECT_TRUE(region.inputs.empty());
+    EXPECT_TRUE(region.outputs.empty());
+
+    // x erased at pc 2 (the imul).
+    auto it = region.erases.find(2);
+    ASSERT_NE(it, region.erases.end());
+    EXPECT_TRUE(contains(it->second, x));
+}
+
+TEST(RegionClassificationTest, EveryRegisterAccountedOnce)
+{
+    ir::Kernel k = loadUseKernel();
+    CompiledKernel ck = compiler::compile(k);
+    for (const Region &region : ck.regions()) {
+        for (RegId r : region.interiors) {
+            EXPECT_FALSE(contains(region.inputs, r));
+            EXPECT_FALSE(contains(region.outputs, r));
+        }
+        // Every interior register has exactly one erase point.
+        std::set<RegId> erased;
+        for (const auto &[pc, regs] : region.erases) {
+            EXPECT_TRUE(region.contains(pc));
+            for (RegId r : regs) {
+                EXPECT_TRUE(contains(region.interiors, r));
+                EXPECT_TRUE(erased.insert(r).second);
+            }
+        }
+        EXPECT_EQ(erased.size(), region.interiors.size());
+        // Every input/output register has exactly one evict point.
+        std::set<RegId> evicted;
+        for (const auto &[pc, regs] : region.evicts) {
+            EXPECT_TRUE(region.contains(pc));
+            for (RegId r : regs)
+                EXPECT_TRUE(evicted.insert(r).second);
+        }
+        EXPECT_EQ(evicted.size(),
+                  [&] {
+                      std::set<RegId> boundary(region.inputs.begin(),
+                                               region.inputs.end());
+                      boundary.insert(region.outputs.begin(),
+                                      region.outputs.end());
+                      return boundary.size();
+                  }());
+    }
+}
+
+TEST(RegionCapacityTest, BankUsageSumsAndBounds)
+{
+    ir::Kernel k = loadUseKernel();
+    CompiledKernel ck = compiler::compile(k);
+    for (const Region &region : ck.regions()) {
+        unsigned sum = 0;
+        for (unsigned b = 0; b < compiler::numOsuBanks; ++b)
+            sum += region.bankUsage[b];
+        EXPECT_GE(sum, region.maxLive);
+        EXPECT_EQ(sum, region.reservedLines());
+        EXPECT_GT(region.maxLive, 0u);
+    }
+}
+
+TEST(CacheInvalidationTest, DivergentDeathGetsInvalidation)
+{
+    // r is used only on one side of a branch; on the other path it dies
+    // on the control-flow edge, so an invalidation must be placed at
+    // the join (which postdominates defs and deaths).
+    KernelBuilder b("edge_death");
+    RegId t = b.tid();
+    RegId r = b.reg();
+    b.moviTo(r, 3);
+    // Force r to be cross-region: a load/use split keeps the def and
+    // the conditional use in different regions.
+    RegId addr = b.imuli(t, 4);
+    RegId v = b.ld(addr);
+    RegId p = b.setLt(t, b.movi(8));
+    Label skip = b.newLabel();
+    RegId notp = b.setEq(p, b.movi(0));
+    b.braIf(notp, skip);
+    RegId sum = b.iadd(r, v); // use of r on the taken path only
+    b.st(sum, addr);
+    b.bind(skip);
+    b.st(v, addr);
+    ir::Kernel k = b.build();
+
+    CompilerConfig cfg;
+    cfg.reassignBanks = false;
+    CompiledKernel ck = compiler::compile(k, cfg);
+
+    // Some region invalidates r.
+    bool invalidated = false;
+    for (const Region &region : ck.regions()) {
+        if (contains(region.cacheInvalidations, r))
+            invalidated = true;
+    }
+    EXPECT_TRUE(invalidated);
+    EXPECT_GE(ck.lifetimeStats().edgeDeathRegs, 1u);
+}
+
+TEST(BankAssignerTest, MappingIsPermutation)
+{
+    ir::Kernel k = loadUseKernel();
+    ir::CfgAnalysis cfg(k);
+    ir::Liveness live(k, cfg);
+    compiler::BankAssigner assigner(k, live);
+    std::vector<RegId> mapping = assigner.computeMapping();
+    ASSERT_EQ(mapping.size(), k.numRegs());
+    std::set<RegId> targets(mapping.begin(), mapping.end());
+    EXPECT_EQ(targets.size(), mapping.size());
+    for (RegId r : targets)
+        EXPECT_LT(r, k.numRegs());
+}
+
+TEST(BankAssignerTest, ApplyPreservesSemanticsShape)
+{
+    ir::Kernel k = loadUseKernel();
+    ir::CfgAnalysis cfg(k);
+    ir::Liveness live(k, cfg);
+    compiler::BankAssigner assigner(k, live);
+    ir::Kernel remapped =
+        compiler::BankAssigner::apply(k, assigner.computeMapping());
+    ASSERT_EQ(remapped.numInsns(), k.numInsns());
+    for (Pc pc = 0; pc < k.numInsns(); ++pc) {
+        EXPECT_EQ(remapped.insn(pc).op(), k.insn(pc).op());
+        EXPECT_EQ(remapped.insn(pc).srcs().size(),
+                  k.insn(pc).srcs().size());
+    }
+    EXPECT_EQ(remapped.numRegs(), k.numRegs());
+}
+
+TEST(BankAssignerTest, SpreadsCoLiveRegistersAcrossBanks)
+{
+    // 8 long-lived registers, all co-live: a perfect assignment puts
+    // each in a distinct bank.
+    KernelBuilder b("spread");
+    RegId t = b.tid();
+    std::vector<RegId> regs;
+    for (int i = 0; i < 8; ++i)
+        regs.push_back(b.iaddi(t, i));
+    RegId acc = b.movi(0);
+    for (RegId r : regs)
+        acc = b.iadd(acc, r);
+    b.st(acc, t);
+    ir::Kernel k = b.build();
+    ir::CfgAnalysis cfg(k);
+    ir::Liveness live(k, cfg);
+    compiler::BankAssigner assigner(k, live);
+    std::vector<RegId> mapping = assigner.computeMapping();
+
+    // Together with t and the accumulator, ~10 registers are co-live,
+    // so a perfect 1-per-bank split of these 8 is not always possible;
+    // but the greedy must spread them widely and never pile up.
+    std::array<unsigned, compiler::numOsuBanks> per_bank{};
+    for (RegId r : regs)
+        ++per_bank[mapping[r] % compiler::numOsuBanks];
+    unsigned distinct = 0, worst = 0;
+    for (unsigned n : per_bank) {
+        distinct += (n > 0);
+        worst = std::max(worst, n);
+    }
+    EXPECT_GE(distinct, 6u);
+    EXPECT_LE(worst, 2u);
+}
+
+TEST(MetadataEncoderTest, CompactEncodingForSmallRegions)
+{
+    Region region;
+    region.startPc = 0;
+    region.endPc = 3; // 4 instructions
+    region.preloads.resize(2);
+    EXPECT_EQ(compiler::MetadataEncoder::metadataForRegion(region), 1u);
+}
+
+TEST(MetadataEncoderTest, FlagPlusOverflowAndMarkers)
+{
+    Region region;
+    region.startPc = 0;
+    region.endPc = 17; // 18 instructions -> 2 lifetime markers
+    region.preloads.resize(7); // 3 in flag + ceil(4/3) = 2 overflow
+    EXPECT_EQ(compiler::MetadataEncoder::metadataForRegion(region),
+              1u + 2u + 2u);
+}
+
+TEST(MetadataEncoderTest, EncodeFillsTotals)
+{
+    ir::Kernel k = loadUseKernel();
+    CompiledKernel ck = compiler::compile(k);
+    unsigned total = 0;
+    for (const Region &region : ck.regions()) {
+        EXPECT_GE(region.metadataInsns, 1u);
+        total += region.metadataInsns;
+    }
+    EXPECT_EQ(ck.metadataInsns(), total);
+}
+
+TEST(CompiledKernelTest, RegionLookupHelpers)
+{
+    ir::Kernel k = loadUseKernel();
+    CompiledKernel ck = compiler::compile(k);
+    for (const Region &region : ck.regions()) {
+        EXPECT_EQ(ck.regionStartingAt(region.startPc), region.id);
+        EXPECT_EQ(ck.regionAt(region.endPc), region.id);
+    }
+    EXPECT_GT(ck.meanInsnsPerRegion(), 0.0);
+    EXPECT_GE(ck.meanMaxLivePerRegion(), 1.0);
+}
+
+} // namespace
+} // namespace regless
+
+namespace regless
+{
+namespace
+{
+
+using compiler::RegionBuilder;
+using workloads::KernelBuilder;
+
+/** A block long enough that the builder must split it repeatedly. */
+ir::Kernel
+longBlockKernel()
+{
+    KernelBuilder b("longblock");
+    RegId t = b.tid();
+    RegId x = t;
+    for (int i = 0; i < 60; ++i) {
+        RegId addr = b.imuli(x, 4);
+        RegId v = b.ld(b.band(addr, b.movi(8191)));
+        x = b.bxor(v, b.iaddi(x, i));
+    }
+    b.st(x, b.imuli(t, 4), 1 << 20);
+    return b.build();
+}
+
+TEST(SplitPointTest, FirstHalfOfEverySplitIsValid)
+{
+    ir::Kernel k = longBlockKernel();
+    ir::CfgAnalysis cfg(k);
+    ir::Liveness live(k, cfg);
+    compiler::CompilerConfig cc;
+    RegionBuilder builder(k, live, cc);
+
+    // For the big block: splitting at findSplitPoint must leave a
+    // valid first half (Algorithm 1's guarantee).
+    const ir::BasicBlock &bb = k.block(k.blockOf(5));
+    Pc start = bb.firstPc(), end = bb.lastPc();
+    ASSERT_FALSE(builder.isValid(start, end));
+    Pc split = builder.findSplitPoint(start, end);
+    ASSERT_GT(split, start);
+    ASSERT_LE(split, end);
+    EXPECT_TRUE(builder.isValid(start, split - 1));
+}
+
+TEST(SplitPointTest, WorklistTerminatesOnPathologicalBlocks)
+{
+    // Every instruction both loads and feeds the next load: maximal
+    // split pressure, still must terminate with full coverage.
+    ir::Kernel k = longBlockKernel();
+    compiler::CompilerConfig cc;
+    cc.maxRegsPerRegion = 4;
+    cc.maxRegsPerBank = 1;
+    cc.minRegionInsns = 1;
+    compiler::CompiledKernel ck = compiler::compile(k, cc);
+    std::vector<unsigned> covered(ck.kernel().numInsns(), 0);
+    for (const compiler::Region &region : ck.regions()) {
+        for (Pc pc = region.startPc; pc <= region.endPc; ++pc)
+            ++covered[pc];
+    }
+    for (unsigned c : covered)
+        EXPECT_EQ(c, 1u);
+}
+
+TEST(OccupancyTest2, DeadGapKeepsLineOccupied)
+{
+    // r is read early, then redefined late: the line is occupied
+    // across the gap even though liveness says dead.
+    KernelBuilder b("gap");
+    RegId t = b.tid();
+    RegId r = b.reg();
+    b.moviTo(r, 1);
+    RegId u1 = b.iadd(r, t); // last read of the first value
+    RegId f1 = b.iaddi(u1, 1);
+    RegId f2 = b.iaddi(f1, 2);
+    b.moviTo(r, 9);          // redefinition after a dead gap
+    RegId u2 = b.iadd(r, f2);
+    b.st(u2, b.imuli(t, 4));
+    ir::Kernel k = b.build();
+    ir::CfgAnalysis cfg(k);
+    ir::Liveness live(k, cfg);
+
+    compiler::Occupancy occ =
+        compiler::computeOccupancy(k, live, 0, k.numInsns() - 1);
+    // At the f1/f2 computations, liveness says r is dead, but its
+    // line is held: occupancy must count it.
+    unsigned live_at_gap = live.liveCountBefore(4);
+    EXPECT_GT(occ.maxLive, live_at_gap);
+}
+
+TEST(OccupancyTest2, WriteLastTouchExtendsToRegionEnd)
+{
+    // A load whose result is only used after the region would keep
+    // its line through write-back: interval ends at the range end.
+    KernelBuilder b("wb");
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId v = b.ld(addr);     // last touch in range = the write
+    RegId pad1 = b.iaddi(t, 1);
+    RegId pad2 = b.iadd(pad1, t);
+    b.st(pad2, addr, 4096);
+    b.st(v, addr, 8192);
+    ir::Kernel k = b.build();
+    ir::CfgAnalysis cfg(k);
+    ir::Liveness live(k, cfg);
+
+    // Range covering only the load + padding (excludes v's use).
+    compiler::Occupancy occ = compiler::computeOccupancy(k, live, 0, 4);
+    // v occupies a line at pc 4 even though its next use is later.
+    EXPECT_GE(occ.maxLive, 3u);
+}
+
+} // namespace
+} // namespace regless
