@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compressor.dir/ablation_compressor.cc.o"
+  "CMakeFiles/ablation_compressor.dir/ablation_compressor.cc.o.d"
+  "ablation_compressor"
+  "ablation_compressor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_divergence.dir/ablation_divergence.cc.o"
+  "CMakeFiles/ablation_divergence.dir/ablation_divergence.cc.o.d"
+  "ablation_divergence"
+  "ablation_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regless.dir/ablation_regless.cc.o"
+  "CMakeFiles/ablation_regless.dir/ablation_regless.cc.o.d"
+  "ablation_regless"
+  "ablation_regless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

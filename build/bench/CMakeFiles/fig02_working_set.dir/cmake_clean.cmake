@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_working_set.dir/fig02_working_set.cc.o"
+  "CMakeFiles/fig02_working_set.dir/fig02_working_set.cc.o.d"
+  "fig02_working_set"
+  "fig02_working_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_backing_store.dir/fig03_backing_store.cc.o"
+  "CMakeFiles/fig03_backing_store.dir/fig03_backing_store.cc.o.d"
+  "fig03_backing_store"
+  "fig03_backing_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_backing_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_liveness_seams.dir/fig05_liveness_seams.cc.o"
+  "CMakeFiles/fig05_liveness_seams.dir/fig05_liveness_seams.cc.o.d"
+  "fig05_liveness_seams"
+  "fig05_liveness_seams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_liveness_seams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

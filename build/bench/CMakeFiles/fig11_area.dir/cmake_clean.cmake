@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_area.dir/fig11_area.cc.o"
+  "CMakeFiles/fig11_area.dir/fig11_area.cc.o.d"
+  "fig11_area"
+  "fig11_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_power.dir/fig12_power.cc.o"
+  "CMakeFiles/fig12_power.dir/fig12_power.cc.o.d"
+  "fig12_power"
+  "fig12_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_pareto.dir/fig13_pareto.cc.o"
+  "CMakeFiles/fig13_pareto.dir/fig13_pareto.cc.o.d"
+  "fig13_pareto"
+  "fig13_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

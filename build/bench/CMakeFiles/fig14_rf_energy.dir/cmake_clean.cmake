@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_rf_energy.dir/fig14_rf_energy.cc.o"
+  "CMakeFiles/fig14_rf_energy.dir/fig14_rf_energy.cc.o.d"
+  "fig14_rf_energy"
+  "fig14_rf_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_rf_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_gpu_energy.dir/fig15_gpu_energy.cc.o"
+  "CMakeFiles/fig15_gpu_energy.dir/fig15_gpu_energy.cc.o.d"
+  "fig15_gpu_energy"
+  "fig15_gpu_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_gpu_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_runtime.dir/fig16_runtime.cc.o"
+  "CMakeFiles/fig16_runtime.dir/fig16_runtime.cc.o.d"
+  "fig16_runtime"
+  "fig16_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

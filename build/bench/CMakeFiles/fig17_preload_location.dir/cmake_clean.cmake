@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_preload_location.dir/fig17_preload_location.cc.o"
+  "CMakeFiles/fig17_preload_location.dir/fig17_preload_location.cc.o.d"
+  "fig17_preload_location"
+  "fig17_preload_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_preload_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_l1_bandwidth.dir/fig18_l1_bandwidth.cc.o"
+  "CMakeFiles/fig18_l1_bandwidth.dir/fig18_l1_bandwidth.cc.o.d"
+  "fig18_l1_bandwidth"
+  "fig18_l1_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_l1_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

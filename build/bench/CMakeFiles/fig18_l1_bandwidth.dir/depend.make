@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_l1_bandwidth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_region_registers.dir/fig19_region_registers.cc.o"
+  "CMakeFiles/fig19_region_registers.dir/fig19_region_registers.cc.o.d"
+  "fig19_region_registers"
+  "fig19_region_registers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_region_registers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sm_scaling.dir/multi_sm_scaling.cc.o"
+  "CMakeFiles/multi_sm_scaling.dir/multi_sm_scaling.cc.o.d"
+  "multi_sm_scaling"
+  "multi_sm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversubscription_sweep.dir/oversubscription_sweep.cc.o"
+  "CMakeFiles/oversubscription_sweep.dir/oversubscription_sweep.cc.o.d"
+  "oversubscription_sweep"
+  "oversubscription_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversubscription_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

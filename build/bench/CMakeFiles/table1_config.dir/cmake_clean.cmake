@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_config.dir/table1_config.cc.o"
+  "CMakeFiles/table1_config.dir/table1_config.cc.o.d"
+  "table1_config"
+  "table1_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

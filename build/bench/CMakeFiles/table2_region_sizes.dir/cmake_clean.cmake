@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_region_sizes.dir/table2_region_sizes.cc.o"
+  "CMakeFiles/table2_region_sizes.dir/table2_region_sizes.cc.o.d"
+  "table2_region_sizes"
+  "table2_region_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_region_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

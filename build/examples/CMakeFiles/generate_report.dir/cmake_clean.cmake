@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_report.dir/generate_report.cpp.o"
+  "CMakeFiles/generate_report.dir/generate_report.cpp.o.d"
+  "generate_report"
+  "generate_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

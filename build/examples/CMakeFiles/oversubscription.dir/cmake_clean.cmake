@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversubscription.dir/oversubscription.cpp.o"
+  "CMakeFiles/oversubscription.dir/oversubscription.cpp.o.d"
+  "oversubscription"
+  "oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

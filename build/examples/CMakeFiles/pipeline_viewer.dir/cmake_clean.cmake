@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_viewer.dir/pipeline_viewer.cpp.o"
+  "CMakeFiles/pipeline_viewer.dir/pipeline_viewer.cpp.o.d"
+  "pipeline_viewer"
+  "pipeline_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

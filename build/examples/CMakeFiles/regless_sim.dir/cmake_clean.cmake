@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regless_sim.dir/regless_sim.cpp.o"
+  "CMakeFiles/regless_sim.dir/regless_sim.cpp.o.d"
+  "regless_sim"
+  "regless_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regless_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/exec_unit.cc" "src/CMakeFiles/regless_lib.dir/arch/exec_unit.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/arch/exec_unit.cc.o.d"
+  "/root/repo/src/arch/scheduler.cc" "src/CMakeFiles/regless_lib.dir/arch/scheduler.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/arch/scheduler.cc.o.d"
+  "/root/repo/src/arch/scoreboard.cc" "src/CMakeFiles/regless_lib.dir/arch/scoreboard.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/arch/scoreboard.cc.o.d"
+  "/root/repo/src/arch/simt_stack.cc" "src/CMakeFiles/regless_lib.dir/arch/simt_stack.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/arch/simt_stack.cc.o.d"
+  "/root/repo/src/arch/sm.cc" "src/CMakeFiles/regless_lib.dir/arch/sm.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/arch/sm.cc.o.d"
+  "/root/repo/src/arch/warp.cc" "src/CMakeFiles/regless_lib.dir/arch/warp.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/arch/warp.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/regless_lib.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/regless_lib.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/regless_lib.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/common/stats.cc.o.d"
+  "/root/repo/src/compiler/bank_assigner.cc" "src/CMakeFiles/regless_lib.dir/compiler/bank_assigner.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/compiler/bank_assigner.cc.o.d"
+  "/root/repo/src/compiler/compiler.cc" "src/CMakeFiles/regless_lib.dir/compiler/compiler.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/compiler/compiler.cc.o.d"
+  "/root/repo/src/compiler/lifetime_annotator.cc" "src/CMakeFiles/regless_lib.dir/compiler/lifetime_annotator.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/compiler/lifetime_annotator.cc.o.d"
+  "/root/repo/src/compiler/metadata_encoder.cc" "src/CMakeFiles/regless_lib.dir/compiler/metadata_encoder.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/compiler/metadata_encoder.cc.o.d"
+  "/root/repo/src/compiler/name_compactor.cc" "src/CMakeFiles/regless_lib.dir/compiler/name_compactor.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/compiler/name_compactor.cc.o.d"
+  "/root/repo/src/compiler/region.cc" "src/CMakeFiles/regless_lib.dir/compiler/region.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/compiler/region.cc.o.d"
+  "/root/repo/src/compiler/region_builder.cc" "src/CMakeFiles/regless_lib.dir/compiler/region_builder.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/compiler/region_builder.cc.o.d"
+  "/root/repo/src/compiler/verifier.cc" "src/CMakeFiles/regless_lib.dir/compiler/verifier.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/compiler/verifier.cc.o.d"
+  "/root/repo/src/energy/area_model.cc" "src/CMakeFiles/regless_lib.dir/energy/area_model.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/energy/area_model.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/regless_lib.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/ir/assembler.cc" "src/CMakeFiles/regless_lib.dir/ir/assembler.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/ir/assembler.cc.o.d"
+  "/root/repo/src/ir/basic_block.cc" "src/CMakeFiles/regless_lib.dir/ir/basic_block.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/ir/basic_block.cc.o.d"
+  "/root/repo/src/ir/cfg_analysis.cc" "src/CMakeFiles/regless_lib.dir/ir/cfg_analysis.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/ir/cfg_analysis.cc.o.d"
+  "/root/repo/src/ir/instruction.cc" "src/CMakeFiles/regless_lib.dir/ir/instruction.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/ir/instruction.cc.o.d"
+  "/root/repo/src/ir/kernel.cc" "src/CMakeFiles/regless_lib.dir/ir/kernel.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/ir/kernel.cc.o.d"
+  "/root/repo/src/ir/liveness.cc" "src/CMakeFiles/regless_lib.dir/ir/liveness.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/ir/liveness.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/regless_lib.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/regless_lib.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/regless_lib.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/regfile/baseline_rf.cc" "src/CMakeFiles/regless_lib.dir/regfile/baseline_rf.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/regfile/baseline_rf.cc.o.d"
+  "/root/repo/src/regfile/rf_hierarchy.cc" "src/CMakeFiles/regless_lib.dir/regfile/rf_hierarchy.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/regfile/rf_hierarchy.cc.o.d"
+  "/root/repo/src/regfile/rf_virtualization.cc" "src/CMakeFiles/regless_lib.dir/regfile/rf_virtualization.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/regfile/rf_virtualization.cc.o.d"
+  "/root/repo/src/regless/capacity_manager.cc" "src/CMakeFiles/regless_lib.dir/regless/capacity_manager.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/regless/capacity_manager.cc.o.d"
+  "/root/repo/src/regless/compressor.cc" "src/CMakeFiles/regless_lib.dir/regless/compressor.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/regless/compressor.cc.o.d"
+  "/root/repo/src/regless/operand_staging_unit.cc" "src/CMakeFiles/regless_lib.dir/regless/operand_staging_unit.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/regless/operand_staging_unit.cc.o.d"
+  "/root/repo/src/regless/regless_provider.cc" "src/CMakeFiles/regless_lib.dir/regless/regless_provider.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/regless/regless_provider.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/regless_lib.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/gpu_config.cc" "src/CMakeFiles/regless_lib.dir/sim/gpu_config.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/sim/gpu_config.cc.o.d"
+  "/root/repo/src/sim/gpu_simulator.cc" "src/CMakeFiles/regless_lib.dir/sim/gpu_simulator.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/sim/gpu_simulator.cc.o.d"
+  "/root/repo/src/sim/multi_sm.cc" "src/CMakeFiles/regless_lib.dir/sim/multi_sm.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/sim/multi_sm.cc.o.d"
+  "/root/repo/src/sim/run_stats.cc" "src/CMakeFiles/regless_lib.dir/sim/run_stats.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/sim/run_stats.cc.o.d"
+  "/root/repo/src/sim/stats_io.cc" "src/CMakeFiles/regless_lib.dir/sim/stats_io.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/sim/stats_io.cc.o.d"
+  "/root/repo/src/sim/trace_checker.cc" "src/CMakeFiles/regless_lib.dir/sim/trace_checker.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/sim/trace_checker.cc.o.d"
+  "/root/repo/src/workloads/kernel_builder.cc" "src/CMakeFiles/regless_lib.dir/workloads/kernel_builder.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/workloads/kernel_builder.cc.o.d"
+  "/root/repo/src/workloads/rodinia.cc" "src/CMakeFiles/regless_lib.dir/workloads/rodinia.cc.o" "gcc" "src/CMakeFiles/regless_lib.dir/workloads/rodinia.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libregless_lib.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch.cc" "tests/CMakeFiles/regless_tests.dir/test_arch.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_arch.cc.o.d"
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/regless_tests.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_assembler.cc.o.d"
+  "/root/repo/tests/test_capacity_manager.cc" "tests/CMakeFiles/regless_tests.dir/test_capacity_manager.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_capacity_manager.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/regless_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_ir.cc" "tests/CMakeFiles/regless_tests.dir/test_ir.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_ir.cc.o.d"
+  "/root/repo/tests/test_liveness.cc" "tests/CMakeFiles/regless_tests.dir/test_liveness.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_liveness.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/regless_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_property.cc" "tests/CMakeFiles/regless_tests.dir/test_property.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_property.cc.o.d"
+  "/root/repo/tests/test_providers.cc" "tests/CMakeFiles/regless_tests.dir/test_providers.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_providers.cc.o.d"
+  "/root/repo/tests/test_regions.cc" "tests/CMakeFiles/regless_tests.dir/test_regions.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_regions.cc.o.d"
+  "/root/repo/tests/test_regless.cc" "tests/CMakeFiles/regless_tests.dir/test_regless.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_regless.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/regless_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_tools.cc" "tests/CMakeFiles/regless_tests.dir/test_tools.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_tools.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/regless_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/regless_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/regless_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

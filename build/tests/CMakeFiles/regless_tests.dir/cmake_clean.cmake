@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regless_tests.dir/test_arch.cc.o"
+  "CMakeFiles/regless_tests.dir/test_arch.cc.o.d"
+  "CMakeFiles/regless_tests.dir/test_assembler.cc.o"
+  "CMakeFiles/regless_tests.dir/test_assembler.cc.o.d"
+  "CMakeFiles/regless_tests.dir/test_capacity_manager.cc.o"
+  "CMakeFiles/regless_tests.dir/test_capacity_manager.cc.o.d"
+  "CMakeFiles/regless_tests.dir/test_common.cc.o"
+  "CMakeFiles/regless_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/regless_tests.dir/test_ir.cc.o"
+  "CMakeFiles/regless_tests.dir/test_ir.cc.o.d"
+  "CMakeFiles/regless_tests.dir/test_liveness.cc.o"
+  "CMakeFiles/regless_tests.dir/test_liveness.cc.o.d"
+  "CMakeFiles/regless_tests.dir/test_mem.cc.o"
+  "CMakeFiles/regless_tests.dir/test_mem.cc.o.d"
+  "CMakeFiles/regless_tests.dir/test_property.cc.o"
+  "CMakeFiles/regless_tests.dir/test_property.cc.o.d"
+  "CMakeFiles/regless_tests.dir/test_providers.cc.o"
+  "CMakeFiles/regless_tests.dir/test_providers.cc.o.d"
+  "CMakeFiles/regless_tests.dir/test_regions.cc.o"
+  "CMakeFiles/regless_tests.dir/test_regions.cc.o.d"
+  "CMakeFiles/regless_tests.dir/test_regless.cc.o"
+  "CMakeFiles/regless_tests.dir/test_regless.cc.o.d"
+  "CMakeFiles/regless_tests.dir/test_sim.cc.o"
+  "CMakeFiles/regless_tests.dir/test_sim.cc.o.d"
+  "CMakeFiles/regless_tests.dir/test_tools.cc.o"
+  "CMakeFiles/regless_tests.dir/test_tools.cc.o.d"
+  "CMakeFiles/regless_tests.dir/test_workloads.cc.o"
+  "CMakeFiles/regless_tests.dir/test_workloads.cc.o.d"
+  "regless_tests"
+  "regless_tests.pdb"
+  "regless_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regless_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
