@@ -5,39 +5,98 @@
  * scaling the SM count raises DRAM contention identically for the
  * baseline and RegLess — operand staging adds no shared-resource
  * pressure.
+ *
+ * Modes:
+ *  - no arguments: the §6.5 sweep over SM counts (both providers).
+ *  - --threads N [--sms M] [--kernel K] [--provider P]: one full-chip
+ *    run (default 16 SMs) on N worker threads, reporting wall-clock
+ *    time and simulated cycles per wall-clock second. Results are
+ *    bit-identical for every N; only the wall clock changes.
  */
 
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "common/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/multi_sm.hh"
 #include "workloads/rodinia.hh"
 
 using namespace regless;
 
+namespace
+{
+
+/** Wall-clock seconds of one run(). */
+double
+timedRun(sim::MultiSmSimulator &multi, sim::RunStats &out)
+{
+    auto start = std::chrono::steady_clock::now();
+    out = multi.run();
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
 int
-main()
+timedMode(unsigned threads, unsigned sms, const std::string &kernel,
+          sim::ProviderKind provider)
+{
+    sim::banner("Multi-SM parallel execution",
+                "epoch-barrier executor; results thread-invariant");
+    sim::MultiSmSimulator multi(workloads::makeRodinia(kernel),
+                                sim::GpuConfig::forProvider(provider),
+                                sms, threads);
+    sim::RunStats stats;
+    double wall = timedRun(multi, stats);
+    double cps = static_cast<double>(stats.cycles) / wall;
+
+    std::cout << sim::cell("kernel", 15) << sim::cell("sms", 5)
+              << sim::cell("threads", 9) << sim::cell("cycles", 12)
+              << sim::cell("insns", 12) << sim::cell("wall_s", 9)
+              << sim::cell("Mcycles/s", 11) << "\n";
+    std::cout << sim::cell(kernel, 15)
+              << sim::cell(static_cast<double>(sms), 5, 0)
+              << sim::cell(static_cast<double>(multi.threads()), 9, 0)
+              << sim::cell(static_cast<double>(stats.cycles), 12, 0)
+              << sim::cell(static_cast<double>(stats.insns), 12, 0)
+              << sim::cell(wall, 9)
+              << sim::cell(cps / 1e6, 11) << "\n";
+    std::cout << "# rerun with --threads 1 for the serial reference; "
+                 "stats are bit-identical\n";
+    return 0;
+}
+
+int
+sweepMode()
 {
     sim::banner("Multi-SM scaling with shared DRAM",
                 "section 6.5 (RegLess adds no L2/DRAM pressure)");
     std::cout << sim::cell("sms", 5) << sim::cell("base_cycles", 13)
               << sim::cell("rl_cycles", 11) << sim::cell("ratio", 8)
               << sim::cell("dram_accesses", 15)
-              << sim::cell("rl_dram", 9) << "\n";
+              << sim::cell("rl_dram", 9)
+              << sim::cell("Mcycles/s", 11) << "\n";
 
     for (unsigned sms : {1u, 2u, 4u, 8u}) {
         sim::MultiSmSimulator base(
             workloads::makeRodinia("streamcluster"),
             sim::GpuConfig::forProvider(sim::ProviderKind::Baseline),
             sms);
-        sim::RunStats b = base.run();
+        sim::RunStats b;
+        double wall = timedRun(base, b);
 
         sim::MultiSmSimulator rl(
             workloads::makeRodinia("streamcluster"),
             sim::GpuConfig::forProvider(sim::ProviderKind::Regless),
             sms);
-        sim::RunStats r = rl.run();
+        sim::RunStats r;
+        wall += timedRun(rl, r);
 
+        double cps =
+            static_cast<double>(b.cycles + r.cycles) / wall / 1e6;
         std::cout << sim::cell(static_cast<double>(sms), 5, 0)
                   << sim::cell(static_cast<double>(b.cycles), 13, 0)
                   << sim::cell(static_cast<double>(r.cycles), 11, 0)
@@ -48,9 +107,51 @@ main()
                                0)
                   << sim::cell(static_cast<double>(r.dramAccesses), 9,
                                0)
-                  << "\n";
+                  << sim::cell(cps, 11) << "\n";
     }
     std::cout << "# RegLess's runtime ratio and DRAM footprint stay "
                  "flat as SMs contend\n";
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned threads = 0;
+    unsigned sms = 16;
+    std::string kernel = "streamcluster";
+    sim::ProviderKind provider = sim::ProviderKind::Baseline;
+    bool timed = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--threads") {
+            threads = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+            timed = true;
+        } else if (arg == "--sms") {
+            sms = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--kernel") {
+            kernel = value();
+        } else if (arg == "--provider") {
+            provider = sim::providerFromName(value());
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--threads N [--sms M] [--kernel K]"
+                         " [--provider P]]\n";
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    if (timed)
+        return timedMode(threads, sms, kernel, provider);
+    return sweepMode();
 }

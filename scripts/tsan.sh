@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build with ThreadSanitizer and run the multi-SM determinism tests —
+# the parallel executor's data-race check (see README "Sanitizers").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+
+cmake -B "$BUILD_DIR" -S . -DREGLESS_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j --target regless_tests
+
+# The parallel executor and thread-pool suites; MultiSmTest covers the
+# shared-DRAM path at its default thread count.
+"$BUILD_DIR"/tests/regless_tests \
+    --gtest_filter='*ThreadCountInvariance*:*ParallelStress*:MultiSmParallel.*:ThreadPoolTest.*:MultiSmTest.*'
+echo "tsan: multi-SM tests passed with -fsanitize=thread"

@@ -1,0 +1,113 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace regless
+{
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    unsigned extra = num_threads > 1 ? num_threads - 1 : 0;
+    _workers.reserve(extra);
+    for (unsigned i = 0; i < extra; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _wakeWorkers.notify_all();
+    for (std::thread &t : _workers)
+        t.join();
+}
+
+unsigned
+ThreadPool::defaultThreads(unsigned jobs)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    return std::max(1u, std::min(jobs, hw));
+}
+
+void
+ThreadPool::drainBatch(const std::function<void(std::size_t)> &fn,
+                       std::size_t count)
+{
+    for (;;) {
+        std::size_t i = _next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count)
+            return;
+        fn(i);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *job = nullptr;
+        std::size_t count = 0;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wakeWorkers.wait(lock, [&] {
+                return _stopping || _generation != seen;
+            });
+            if (_stopping)
+                return;
+            seen = _generation;
+            job = _job;
+            count = _count;
+        }
+        drainBatch(*job, count);
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            // Every item a worker claimed is finished before it acks,
+            // so all-acked (plus the caller's own drain) means the
+            // whole batch is done.
+            if (++_acked == _workers.size())
+                _batchDone.notify_one();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (_workers.empty() || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_job)
+            panic("re-entrant ThreadPool::parallelFor");
+        _job = &fn;
+        _count = count;
+        _next.store(0, std::memory_order_relaxed);
+        _acked = 0;
+        ++_generation;
+    }
+    _wakeWorkers.notify_all();
+
+    // The caller works too; a pool of size 1 ran everything inline
+    // above, so the serial path never touches the machinery.
+    drainBatch(fn, count);
+
+    std::unique_lock<std::mutex> lock(_mutex);
+    _batchDone.wait(lock, [&] { return _acked == _workers.size(); });
+    _job = nullptr;
+}
+
+} // namespace regless

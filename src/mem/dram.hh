@@ -7,11 +7,27 @@
  * The per-channel next-free counters capture bandwidth saturation; the
  * shared-GPU scaling factor models the traffic of the SMs we do not
  * simulate in detail.
+ *
+ * Two operating modes:
+ *
+ * - Direct (single SM): access() consults and updates the channel
+ *   state immediately.
+ * - Epoch-port (multi-SM): each SM owns a port. Within an epoch a
+ *   port's accesses are timed against its private view of the channel
+ *   state (the shared state snapshotted at the last epoch boundary,
+ *   advanced by the port's own traffic) and queued. drainEpoch() then
+ *   replays all queued requests against the shared state in port-id
+ *   order, so cross-SM arbitration is deterministic — independent of
+ *   the order (or thread) in which SMs actually executed — at the cost
+ *   of same-epoch cross-SM queueing being deferred one epoch. Port
+ *   accesses touch only per-port state, so distinct ports may be
+ *   driven from distinct threads without synchronization.
  */
 
 #ifndef REGLESS_MEM_DRAM_HH
 #define REGLESS_MEM_DRAM_HH
 
+#include <cstddef>
 #include <vector>
 
 #include "common/stats.hh"
@@ -41,18 +57,58 @@ class DramModel
     explicit DramModel(const DramConfig &config);
 
     /**
-     * Issue one line transfer for @a addr at @a now.
+     * Issue one line transfer for @a addr at @a now (direct mode).
      * @return the cycle the data is available.
      */
     Cycle access(Addr addr, Cycle now);
+
+    /** @name Epoch-port mode (deterministic multi-SM sharing). */
+    /// @{
+
+    /**
+     * Switch to epoch-port mode with @a num_ports ports. Must be
+     * called before any traffic; direct access() becomes invalid.
+     */
+    void enableEpochMode(unsigned num_ports);
+
+    bool epochMode() const { return !_ports.empty(); }
+
+    /**
+     * Issue one line transfer through @a port at @a now. Thread-safe
+     * across distinct ports. Timing reflects the shared channel state
+     * as of the last drainEpoch() plus this port's own traffic since.
+     * @return the cycle the data is available.
+     */
+    Cycle portAccess(unsigned port, Addr addr, Cycle now);
+
+    /**
+     * Epoch barrier: replay every queued request against the shared
+     * channel state in (port id, issue order), update the access and
+     * queueing statistics, and resnapshot each port. Single-threaded.
+     */
+    void drainEpoch();
+
+    /// @}
 
     StatGroup &stats() { return _stats; }
     const StatGroup &stats() const { return _stats; }
 
   private:
+    unsigned channelOf(Addr addr) const;
+
+    /** One SM's private view plus its queued epoch traffic. */
+    struct Port
+    {
+        /** Snapshot of channel next-free, advanced by own accesses. */
+        std::vector<double> nextFree;
+        /** (addr, issue cycle) queued since the last drain. */
+        std::vector<std::pair<Addr, Cycle>> pending;
+    };
+
     DramConfig _cfg;
     double _effectiveCyclesPerLine;
     std::vector<double> _channelNextFree;
+    std::vector<Port> _ports;
     StatGroup _stats;
     Counter &_accesses;
     Distribution &_queueing;

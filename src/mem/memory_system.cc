@@ -43,6 +43,14 @@ MemorySystem::MemorySystem(const MemConfig &config,
 {
 }
 
+Cycle
+MemorySystem::dramAccess(Addr addr, Cycle t)
+{
+    if (_dramPort == noDramPort)
+        return _dram->access(addr, t);
+    return _dram->portAccess(_dramPort, addr, t);
+}
+
 MemAccessResult
 MemorySystem::accessL2(Addr addr, bool is_write, Cycle t)
 {
@@ -56,13 +64,13 @@ MemorySystem::accessL2(Addr addr, bool is_write, Cycle t)
     if (cr.rejected) {
         // Treat a full L2 MSHR file as extra DRAM latency rather than
         // propagating back-pressure two levels up.
-        result.readyCycle = _dram->access(addr, start_cycle) +
+        result.readyCycle = dramAccess(addr, start_cycle) +
                             _cfg.l2Latency;
         result.source = MemSource::Dram;
         return result;
     }
     if (cr.writeback)
-        _dram->access(cr.writebackAddr, start_cycle);
+        dramAccess(cr.writebackAddr, start_cycle);
     if (cr.hit) {
         Cycle ready = start_cycle + _cfg.l2Latency;
         if (cr.mshrMerged)
@@ -72,7 +80,7 @@ MemorySystem::accessL2(Addr addr, bool is_write, Cycle t)
         return result;
     }
     // Miss: fetch the line from DRAM.
-    Cycle dram_ready = _dram->access(addr, start_cycle + _cfg.l2Latency);
+    Cycle dram_ready = dramAccess(addr, start_cycle + _cfg.l2Latency);
     _l2.fillComplete(addr, dram_ready);
     result.readyCycle = dram_ready;
     result.source = MemSource::Dram;

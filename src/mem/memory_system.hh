@@ -113,6 +113,13 @@ class MemorySystem
     void setValueGenerator(std::function<std::uint32_t(Addr)> gen);
     /// @}
 
+    /**
+     * Route this SM's DRAM traffic through epoch port @a port of a
+     * shared, epoch-mode DRAM (see DramModel::enableEpochMode). Unset
+     * by default: traffic uses the direct DRAM interface.
+     */
+    void setDramPort(unsigned port) { _dramPort = port; }
+
     Cache &l1() { return _l1; }
     Cache &l2() { return _l2; }
     DramModel &dram() { return *_dram; }
@@ -124,10 +131,17 @@ class MemorySystem
     /** L2 lookup with bandwidth serialisation at time @a t. */
     MemAccessResult accessL2(Addr addr, bool is_write, Cycle t);
 
+    /** DRAM line transfer, direct or via this SM's epoch port. */
+    Cycle dramAccess(Addr addr, Cycle t);
+
+    /** Sentinel: no epoch port configured. */
+    static constexpr unsigned noDramPort = ~0u;
+
     MemConfig _cfg;
     Cache _l1;
     Cache _l2;
     std::shared_ptr<DramModel> _dram;
+    unsigned _dramPort = noDramPort;
     Cycle _l1NextFree = 0;
     double _l2NextFree = 0.0;
     std::unordered_map<Addr, std::uint32_t> _words;

@@ -20,6 +20,18 @@ providerName(ProviderKind kind)
     return "?";
 }
 
+ProviderKind
+providerFromName(const std::string &name)
+{
+    for (ProviderKind kind :
+         {ProviderKind::Baseline, ProviderKind::Rfh, ProviderKind::Rfv,
+          ProviderKind::Regless, ProviderKind::ReglessNoCompressor}) {
+        if (name == providerName(kind))
+            return kind;
+    }
+    fatal("unknown provider name '", name, "'");
+}
+
 GpuConfig
 GpuConfig::forProvider(ProviderKind kind)
 {

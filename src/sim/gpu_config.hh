@@ -7,6 +7,8 @@
 #ifndef REGLESS_SIM_GPU_CONFIG_HH
 #define REGLESS_SIM_GPU_CONFIG_HH
 
+#include <string>
+
 #include "arch/sm.hh"
 #include "compiler/config.hh"
 #include "energy/area_model.hh"
@@ -30,6 +32,9 @@ enum class ProviderKind
 
 /** Human-readable provider name. */
 const char *providerName(ProviderKind kind);
+
+/** Inverse of providerName(); fatal() on an unknown name. */
+ProviderKind providerFromName(const std::string &name);
 
 /** Full simulator configuration. */
 struct GpuConfig

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace regless::sim
 {
@@ -17,7 +18,8 @@ struct MultiSmSimulator::Instance
 };
 
 MultiSmSimulator::MultiSmSimulator(const ir::Kernel &kernel,
-                                   GpuConfig config, unsigned num_sms)
+                                   GpuConfig config, unsigned num_sms,
+                                   unsigned threads)
     : _config(std::move(config))
 {
     if (num_sms == 0)
@@ -34,6 +36,16 @@ MultiSmSimulator::MultiSmSimulator(const ir::Kernel &kernel,
         _sms.push_back(std::make_unique<Instance>(
             std::make_unique<GpuSimulator>(kernel, _config, _dram)));
     }
+
+    // Deterministic sharing: each SM submits DRAM traffic through its
+    // own port; cross-SM arbitration happens at the epoch barrier in
+    // SM-id order, regardless of thread schedule.
+    _dram->enableEpochMode(num_sms);
+    for (unsigned i = 0; i < num_sms; ++i)
+        _sms[i]->simulator->memory().setDramPort(i);
+
+    _threads = threads == 0 ? ThreadPool::defaultThreads(num_sms)
+                            : std::min(threads, num_sms);
 }
 
 MultiSmSimulator::~MultiSmSimulator() = default;
@@ -41,14 +53,25 @@ MultiSmSimulator::~MultiSmSimulator() = default;
 RunStats
 MultiSmSimulator::run()
 {
+    ThreadPool pool(_threads);
     bool all_done = false;
     while (!all_done) {
+        // Parallel phase: each SM advances one epoch against its own
+        // state and its snapshot view of the DRAM channels.
+        pool.parallelFor(_sms.size(), [this](std::size_t i) {
+            arch::Sm &sm = _sms[i]->simulator->sm();
+            for (Cycle c = 0; c < epochCycles && !sm.done(); ++c)
+                sm.step();
+        });
+        // Barrier phase: arbitrate the epoch's DRAM traffic in SM-id
+        // order and resnapshot.
+        _dram->drainEpoch();
+
         all_done = true;
         for (auto &instance : _sms) {
-            arch::Sm &sm = instance->simulator->sm();
-            if (!sm.done()) {
-                sm.step();
+            if (!instance->simulator->sm().done()) {
                 all_done = false;
+                break;
             }
         }
     }

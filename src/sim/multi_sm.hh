@@ -1,7 +1,7 @@
 /**
  * @file
- * Multi-SM simulation: N SMs advanced cycle by cycle, each with its
- * own warps, operand provider, L1 and L2 slice, all contending for one
+ * Multi-SM simulation: N SMs advanced in lockstep, each with its own
+ * warps, operand provider, L1 and L2 slice, all contending for one
  * shared DRAM. The GPU of Table 1 has 16 SMs; the single-SM default
  * approximates their shared-resource pressure analytically (a
  * bandwidth share), while this runs the contention for real.
@@ -12,6 +12,14 @@
  * work). The shared L2 is approximated as per-SM slices of the 2 MB
  * total, which is how physically banked GPU L2s behave for
  * interleaved, non-shared working sets.
+ *
+ * Execution model: SMs advance in barrier-synchronized epochs of
+ * epochCycles cycles. Within an epoch each SM touches only its own
+ * state plus its private DRAM port, so the epochs run on a thread
+ * pool; at each barrier the shared DRAM drains the epoch's requests in
+ * fixed SM-id order (see DramModel). Results are therefore
+ * bit-identical for every thread count — threads == 1 runs the same
+ * protocol inline and is the serial reference.
  */
 
 #ifndef REGLESS_SIM_MULTI_SM_HH
@@ -33,14 +41,26 @@ class MultiSmSimulator
 {
   public:
     /**
+     * Cycles per epoch (barrier interval). Small against the 220-cycle
+     * DRAM latency, so the one-epoch staleness of cross-SM queueing is
+     * negligible; large enough to amortize the barrier. Fixed — the
+     * epoch length is part of the arbitration semantics, and changing
+     * it changes results (thread count never does).
+     */
+    static constexpr Cycle epochCycles = 32;
+
+    /**
      * @param kernel Kernel every SM executes.
      * @param config Per-SM configuration; the DRAM bandwidth share is
      *        forced to 1.0 (contention is simulated, not scaled) and
      *        the L2 is sliced num_sms ways.
      * @param num_sms Number of SMs to instantiate.
+     * @param threads Worker threads for run(): 0 picks
+     *        min(num_sms, hardware_concurrency); 1 is the serial
+     *        reference path. Any value yields bit-identical results.
      */
     MultiSmSimulator(const ir::Kernel &kernel, GpuConfig config,
-                     unsigned num_sms);
+                     unsigned num_sms, unsigned threads = 0);
 
     ~MultiSmSimulator();
 
@@ -48,7 +68,7 @@ class MultiSmSimulator
     MultiSmSimulator &operator=(const MultiSmSimulator &) = delete;
 
     /**
-     * Run all SMs to completion, interleaved cycle by cycle.
+     * Run all SMs to completion in lockstep epochs.
      * @return aggregate stats: cycles = slowest SM, traffic and energy
      * summed across SMs.
      */
@@ -61,6 +81,9 @@ class MultiSmSimulator
     {
         return static_cast<unsigned>(_sms.size());
     }
+
+    /** Worker threads run() will use. */
+    unsigned threads() const { return _threads; }
 
     /** The shared DRAM model (for queueing statistics). */
     mem::DramModel &dram() { return *_dram; }
@@ -76,6 +99,7 @@ class MultiSmSimulator
     std::shared_ptr<mem::DramModel> _dram;
     std::vector<std::unique_ptr<Instance>> _sms;
     std::vector<RunStats> _perSm;
+    unsigned _threads = 1;
 };
 
 } // namespace regless::sim

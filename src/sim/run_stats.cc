@@ -5,6 +5,46 @@
 namespace regless::sim
 {
 
+bool
+operator==(const RunStats &a, const RunStats &b)
+{
+    return a.kernel == b.kernel && a.provider == b.provider &&
+           a.cycles == b.cycles && a.insns == b.insns &&
+           a.metadataInsns == b.metadataInsns &&
+           a.l1Accesses == b.l1Accesses &&
+           a.l2Accesses == b.l2Accesses &&
+           a.dramAccesses == b.dramAccesses && a.rfReads == b.rfReads &&
+           a.rfWrites == b.rfWrites &&
+           a.renameLookups == b.renameLookups &&
+           a.lrfAccesses == b.lrfAccesses &&
+           a.orfAccesses == b.orfAccesses &&
+           a.mrfAccesses == b.mrfAccesses &&
+           a.osuAccesses == b.osuAccesses &&
+           a.osuTagLookups == b.osuTagLookups &&
+           a.compressorAccesses == b.compressorAccesses &&
+           a.preloadSrcOsu == b.preloadSrcOsu &&
+           a.preloadSrcCompressor == b.preloadSrcCompressor &&
+           a.preloadSrcL1 == b.preloadSrcL1 &&
+           a.preloadSrcL2Dram == b.preloadSrcL2Dram &&
+           a.l1PreloadReqs == b.l1PreloadReqs &&
+           a.l1StoreReqs == b.l1StoreReqs &&
+           a.l1InvalidateReqs == b.l1InvalidateReqs &&
+           a.meanWorkingSetBytes == b.meanWorkingSetBytes &&
+           a.backingSeries == b.backingSeries &&
+           a.regionPreloadsMean == b.regionPreloadsMean &&
+           a.regionLiveMean == b.regionLiveMean &&
+           a.regionLiveStddev == b.regionLiveStddev &&
+           a.regionCyclesMean == b.regionCyclesMean &&
+           a.regionInsnsMean == b.regionInsnsMean &&
+           a.staticInsnsPerRegion == b.staticInsnsPerRegion &&
+           a.numRegions == b.numRegions &&
+           a.energy.regDynamic == b.energy.regDynamic &&
+           a.energy.regStatic == b.energy.regStatic &&
+           a.energy.compressor == b.energy.compressor &&
+           a.energy.memory == b.energy.memory &&
+           a.energy.rest == b.energy.rest;
+}
+
 void
 computeEnergy(RunStats &stats, const GpuConfig &config)
 {

@@ -92,6 +92,17 @@ struct RunStats
     }
 };
 
+/**
+ * Exact (bit-level, including doubles) equality over every field.
+ * Used by the determinism tests and the serialization round-trip.
+ */
+bool operator==(const RunStats &a, const RunStats &b);
+inline bool
+operator!=(const RunStats &a, const RunStats &b)
+{
+    return !(a == b);
+}
+
 /** Fill @a stats.energy from its counters under @a config's model. */
 void computeEnergy(RunStats &stats, const GpuConfig &config);
 

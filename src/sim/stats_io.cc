@@ -1,6 +1,11 @@
 #include "sim/stats_io.hh"
 
+#include <cctype>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
+
+#include "common/logging.hh"
 
 namespace regless::sim
 {
@@ -67,47 +72,300 @@ class JsonObject
     bool _first = true;
 };
 
+/**
+ * Single-pass parser for the flat writeJson() schema: one object of
+ * string / number / array-of-number values. Dispatches each key-value
+ * pair to a callback as it is read.
+ */
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : _text(text) {}
+
+    /** Current parse position (after an object: just past its '}'). */
+    std::size_t pos() const { return _pos; }
+
+    void
+    skipSpace()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos])))
+            ++_pos;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (_pos >= _text.size())
+            fatal("stats JSON: unexpected end of input");
+        return _text[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fatal("stats JSON: expected '", c, "' at offset ", _pos,
+                  ", found '", _text[_pos], "'");
+        ++_pos;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (_pos < _text.size() && _text[_pos] != '"') {
+            char c = _text[_pos++];
+            if (c == '\\') {
+                if (_pos >= _text.size())
+                    fatal("stats JSON: dangling escape");
+                c = _text[_pos++];
+            }
+            out.push_back(c);
+        }
+        if (_pos >= _text.size())
+            fatal("stats JSON: unterminated string");
+        ++_pos; // closing quote
+        return out;
+    }
+
+    double
+    parseNumber()
+    {
+        skipSpace();
+        const char *begin = _text.c_str() + _pos;
+        char *end = nullptr;
+        double value = std::strtod(begin, &end);
+        if (end == begin)
+            fatal("stats JSON: expected a number at offset ", _pos);
+        _pos += static_cast<std::size_t>(end - begin);
+        return value;
+    }
+
+    std::vector<double>
+    parseNumberArray()
+    {
+        expect('[');
+        std::vector<double> out;
+        if (peek() == ']') {
+            ++_pos;
+            return out;
+        }
+        for (;;) {
+            out.push_back(parseNumber());
+            char c = peek();
+            ++_pos;
+            if (c == ']')
+                return out;
+            if (c != ',')
+                fatal("stats JSON: expected ',' or ']' in array");
+        }
+    }
+
+    /** One JSON value handed to the object callback. */
+    struct Value
+    {
+        enum class Kind
+        {
+            String,
+            Number,
+            Array,
+        } kind;
+        std::string str;
+        double num = 0.0;
+        std::vector<double> array;
+    };
+
+    template <typename Fn>
+    void
+    parseObject(Fn &&on_field)
+    {
+        expect('{');
+        if (peek() == '}') {
+            ++_pos;
+            return;
+        }
+        for (;;) {
+            std::string key = parseString();
+            expect(':');
+            Value v;
+            char c = peek();
+            if (c == '"') {
+                v.kind = Value::Kind::String;
+                v.str = parseString();
+            } else if (c == '[') {
+                v.kind = Value::Kind::Array;
+                v.array = parseNumberArray();
+            } else {
+                v.kind = Value::Kind::Number;
+                v.num = parseNumber();
+            }
+            on_field(key, v);
+            c = peek();
+            ++_pos;
+            if (c == '}')
+                return;
+            if (c != ',')
+                fatal("stats JSON: expected ',' or '}' in object");
+        }
+    }
+
+  private:
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+std::uint64_t
+asCount(const JsonReader::Value &v)
+{
+    return static_cast<std::uint64_t>(v.num);
+}
+
+RunStats
+parseRun(JsonReader &reader)
+{
+    RunStats stats;
+    reader.parseObject([&](const std::string &key,
+                           const JsonReader::Value &v) {
+        if (key == "kernel")
+            stats.kernel = v.str;
+        else if (key == "provider")
+            stats.provider = providerFromName(v.str);
+        else if (key == "cycles")
+            stats.cycles = static_cast<Cycle>(v.num);
+        else if (key == "insns")
+            stats.insns = asCount(v);
+        else if (key == "metadata_insns")
+            stats.metadataInsns = asCount(v);
+        else if (key == "l1_accesses")
+            stats.l1Accesses = asCount(v);
+        else if (key == "l2_accesses")
+            stats.l2Accesses = asCount(v);
+        else if (key == "dram_accesses")
+            stats.dramAccesses = asCount(v);
+        else if (key == "rf_reads")
+            stats.rfReads = asCount(v);
+        else if (key == "rf_writes")
+            stats.rfWrites = asCount(v);
+        else if (key == "rename_lookups")
+            stats.renameLookups = asCount(v);
+        else if (key == "lrf_accesses")
+            stats.lrfAccesses = asCount(v);
+        else if (key == "orf_accesses")
+            stats.orfAccesses = asCount(v);
+        else if (key == "mrf_accesses")
+            stats.mrfAccesses = asCount(v);
+        else if (key == "osu_accesses")
+            stats.osuAccesses = asCount(v);
+        else if (key == "osu_tag_lookups")
+            stats.osuTagLookups = asCount(v);
+        else if (key == "compressor_accesses")
+            stats.compressorAccesses = asCount(v);
+        else if (key == "preload_src_osu")
+            stats.preloadSrcOsu = asCount(v);
+        else if (key == "preload_src_compressor")
+            stats.preloadSrcCompressor = asCount(v);
+        else if (key == "preload_src_l1")
+            stats.preloadSrcL1 = asCount(v);
+        else if (key == "preload_src_l2dram")
+            stats.preloadSrcL2Dram = asCount(v);
+        else if (key == "l1_preload_reqs")
+            stats.l1PreloadReqs = asCount(v);
+        else if (key == "l1_store_reqs")
+            stats.l1StoreReqs = asCount(v);
+        else if (key == "l1_invalidate_reqs")
+            stats.l1InvalidateReqs = asCount(v);
+        else if (key == "working_set_bytes")
+            stats.meanWorkingSetBytes = v.num;
+        else if (key == "region_preloads_mean")
+            stats.regionPreloadsMean = v.num;
+        else if (key == "region_live_mean")
+            stats.regionLiveMean = v.num;
+        else if (key == "region_live_stddev")
+            stats.regionLiveStddev = v.num;
+        else if (key == "region_cycles_mean")
+            stats.regionCyclesMean = v.num;
+        else if (key == "region_insns_mean")
+            stats.regionInsnsMean = v.num;
+        else if (key == "static_insns_per_region")
+            stats.staticInsnsPerRegion = v.num;
+        else if (key == "num_regions")
+            stats.numRegions = static_cast<unsigned>(v.num);
+        else if (key == "energy_reg_dynamic")
+            stats.energy.regDynamic = v.num;
+        else if (key == "energy_reg_static")
+            stats.energy.regStatic = v.num;
+        else if (key == "energy_compressor")
+            stats.energy.compressor = v.num;
+        else if (key == "energy_memory")
+            stats.energy.memory = v.num;
+        else if (key == "energy_rest")
+            stats.energy.rest = v.num;
+        else if (key == "backing_series")
+            stats.backingSeries = v.array;
+        // Unknown keys (e.g. derived "energy_total") are ignored.
+    });
+    return stats;
+}
+
 } // namespace
 
 void
 writeJson(std::ostream &os, const RunStats &stats)
 {
-    JsonObject obj(os);
-    obj.field("kernel", stats.kernel);
-    obj.field("provider", std::string(providerName(stats.provider)));
-    obj.field("cycles", static_cast<std::uint64_t>(stats.cycles));
-    obj.field("insns", stats.insns);
-    obj.field("metadata_insns", stats.metadataInsns);
-    obj.field("l1_accesses", stats.l1Accesses);
-    obj.field("l2_accesses", stats.l2Accesses);
-    obj.field("dram_accesses", stats.dramAccesses);
-    obj.field("rf_reads", stats.rfReads);
-    obj.field("rf_writes", stats.rfWrites);
-    obj.field("osu_accesses", stats.osuAccesses);
-    obj.field("osu_tag_lookups", stats.osuTagLookups);
-    obj.field("compressor_accesses", stats.compressorAccesses);
-    obj.field("preload_src_osu", stats.preloadSrcOsu);
-    obj.field("preload_src_compressor", stats.preloadSrcCompressor);
-    obj.field("preload_src_l1", stats.preloadSrcL1);
-    obj.field("preload_src_l2dram", stats.preloadSrcL2Dram);
-    obj.field("l1_preload_reqs", stats.l1PreloadReqs);
-    obj.field("l1_store_reqs", stats.l1StoreReqs);
-    obj.field("l1_invalidate_reqs", stats.l1InvalidateReqs);
-    obj.field("working_set_bytes", stats.meanWorkingSetBytes);
-    obj.field("region_preloads_mean", stats.regionPreloadsMean);
-    obj.field("region_live_mean", stats.regionLiveMean);
-    obj.field("region_live_stddev", stats.regionLiveStddev);
-    obj.field("region_cycles_mean", stats.regionCyclesMean);
-    obj.field("static_insns_per_region", stats.staticInsnsPerRegion);
-    obj.field("num_regions",
-              static_cast<std::uint64_t>(stats.numRegions));
-    obj.field("energy_reg_dynamic", stats.energy.regDynamic);
-    obj.field("energy_reg_static", stats.energy.regStatic);
-    obj.field("energy_compressor", stats.energy.compressor);
-    obj.field("energy_memory", stats.energy.memory);
-    obj.field("energy_rest", stats.energy.rest);
-    obj.field("energy_total", stats.energy.total());
-    obj.fieldArray("backing_series", stats.backingSeries);
+    // Full precision so doubles survive a write -> read round-trip.
+    const auto saved = os.precision(
+        std::numeric_limits<double>::max_digits10);
+
+    {
+        JsonObject obj(os);
+        obj.field("kernel", stats.kernel);
+        obj.field("provider",
+                  std::string(providerName(stats.provider)));
+        obj.field("cycles", static_cast<std::uint64_t>(stats.cycles));
+        obj.field("insns", stats.insns);
+        obj.field("metadata_insns", stats.metadataInsns);
+        obj.field("l1_accesses", stats.l1Accesses);
+        obj.field("l2_accesses", stats.l2Accesses);
+        obj.field("dram_accesses", stats.dramAccesses);
+        obj.field("rf_reads", stats.rfReads);
+        obj.field("rf_writes", stats.rfWrites);
+        obj.field("rename_lookups", stats.renameLookups);
+        obj.field("lrf_accesses", stats.lrfAccesses);
+        obj.field("orf_accesses", stats.orfAccesses);
+        obj.field("mrf_accesses", stats.mrfAccesses);
+        obj.field("osu_accesses", stats.osuAccesses);
+        obj.field("osu_tag_lookups", stats.osuTagLookups);
+        obj.field("compressor_accesses", stats.compressorAccesses);
+        obj.field("preload_src_osu", stats.preloadSrcOsu);
+        obj.field("preload_src_compressor", stats.preloadSrcCompressor);
+        obj.field("preload_src_l1", stats.preloadSrcL1);
+        obj.field("preload_src_l2dram", stats.preloadSrcL2Dram);
+        obj.field("l1_preload_reqs", stats.l1PreloadReqs);
+        obj.field("l1_store_reqs", stats.l1StoreReqs);
+        obj.field("l1_invalidate_reqs", stats.l1InvalidateReqs);
+        obj.field("working_set_bytes", stats.meanWorkingSetBytes);
+        obj.field("region_preloads_mean", stats.regionPreloadsMean);
+        obj.field("region_live_mean", stats.regionLiveMean);
+        obj.field("region_live_stddev", stats.regionLiveStddev);
+        obj.field("region_cycles_mean", stats.regionCyclesMean);
+        obj.field("region_insns_mean", stats.regionInsnsMean);
+        obj.field("static_insns_per_region",
+                  stats.staticInsnsPerRegion);
+        obj.field("num_regions",
+                  static_cast<std::uint64_t>(stats.numRegions));
+        obj.field("energy_reg_dynamic", stats.energy.regDynamic);
+        obj.field("energy_reg_static", stats.energy.regStatic);
+        obj.field("energy_compressor", stats.energy.compressor);
+        obj.field("energy_memory", stats.energy.memory);
+        obj.field("energy_rest", stats.energy.rest);
+        obj.field("energy_total", stats.energy.total());
+        obj.fieldArray("backing_series", stats.backingSeries);
+    }
+
+    os.precision(saved);
 }
 
 void
@@ -128,6 +386,33 @@ toJson(const RunStats &stats)
     std::ostringstream oss;
     writeJson(oss, stats);
     return oss.str();
+}
+
+RunStats
+fromJson(const std::string &json)
+{
+    JsonReader reader(json);
+    return parseRun(reader);
+}
+
+std::vector<RunStats>
+runsFromJson(const std::string &json)
+{
+    JsonReader reader(json);
+    std::vector<RunStats> runs;
+    reader.expect('[');
+    if (reader.peek() == ']')
+        return runs;
+    for (;;) {
+        runs.push_back(parseRun(reader));
+        char c = reader.peek();
+        if (c == ']')
+            return runs;
+        if (c != ',')
+            fatal("stats JSON: expected ',' or ']' between runs");
+        // consume the comma
+        reader.expect(',');
+    }
 }
 
 } // namespace regless::sim

@@ -1,8 +1,10 @@
 /**
  * @file
- * Machine-readable export of run results: RunStats as JSON, for
- * downstream plotting and regression tracking. Hand-rolled writer (no
- * dependency); the schema is flat and stable.
+ * Machine-readable export/import of run results: RunStats as JSON, for
+ * downstream plotting, regression tracking, and archiving sweeps.
+ * Hand-rolled writer and reader (no dependency); the schema is flat
+ * and stable, doubles are written with full precision, and
+ * write -> read round-trips to an equal RunStats.
  */
 
 #ifndef REGLESS_SIM_STATS_IO_HH
@@ -25,6 +27,16 @@ void writeJson(std::ostream &os, const std::vector<RunStats> &runs);
 
 /** JSON string of one run (convenience). */
 std::string toJson(const RunStats &stats);
+
+/**
+ * Parse one RunStats from a JSON object produced by writeJson().
+ * Unknown keys are ignored (schema may grow); missing keys leave the
+ * field at its default. fatal() on malformed input.
+ */
+RunStats fromJson(const std::string &json);
+
+/** Parse a JSON array of runs produced by writeJson(). */
+std::vector<RunStats> runsFromJson(const std::string &json);
 
 } // namespace regless::sim
 

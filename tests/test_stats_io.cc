@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Serialization round-trip coverage for stats_io: a RunStats written
+ * as JSON and read back must compare exactly equal, including doubles
+ * (written at full precision) and the backing-store time series.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/experiment.hh"
+#include "sim/stats_io.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless
+{
+namespace
+{
+
+TEST(StatsIoRoundTrip, RealRunSurvivesWriteRead)
+{
+    sim::RunStats stats = sim::runKernel(workloads::makeRodinia("nn"),
+                                         sim::ProviderKind::Regless);
+    sim::RunStats back = sim::fromJson(sim::toJson(stats));
+    EXPECT_TRUE(stats == back);
+    // Spot-check a few fields so a broken operator== cannot hide a
+    // parser bug behind a vacuous comparison.
+    EXPECT_EQ(back.kernel, "nn");
+    EXPECT_EQ(back.provider, sim::ProviderKind::Regless);
+    EXPECT_EQ(back.cycles, stats.cycles);
+    EXPECT_EQ(back.backingSeries.size(), stats.backingSeries.size());
+    EXPECT_DOUBLE_EQ(back.energy.total(), stats.energy.total());
+}
+
+TEST(StatsIoRoundTrip, BaselineProviderSurvives)
+{
+    sim::RunStats stats = sim::runKernel(workloads::makeRodinia("bfs"),
+                                         sim::ProviderKind::Baseline);
+    sim::RunStats back = sim::fromJson(sim::toJson(stats));
+    EXPECT_TRUE(stats == back);
+    EXPECT_EQ(back.rfReads, stats.rfReads);
+    EXPECT_EQ(back.rfWrites, stats.rfWrites);
+}
+
+TEST(StatsIoRoundTrip, HandMadeCornerCases)
+{
+    sim::RunStats stats;
+    stats.kernel = "weird \"name\" with \\escapes\\";
+    stats.provider = sim::ProviderKind::ReglessNoCompressor;
+    stats.cycles = 123456789;
+    stats.insns = 987654321;
+    stats.renameLookups = 42;
+    stats.lrfAccesses = 7;
+    stats.orfAccesses = 8;
+    stats.mrfAccesses = 9;
+    stats.regionInsnsMean = 17.125;
+    // A value that truncated 6-digit formatting would corrupt.
+    stats.meanWorkingSetBytes = 1234.5678901234567;
+    stats.backingSeries = {0.0, 1.5, 2.25, 1e-17, 3e8};
+
+    sim::RunStats back = sim::fromJson(sim::toJson(stats));
+    EXPECT_TRUE(stats == back);
+    EXPECT_EQ(back.kernel, stats.kernel);
+    EXPECT_EQ(back.meanWorkingSetBytes, stats.meanWorkingSetBytes);
+    EXPECT_EQ(back.backingSeries, stats.backingSeries);
+}
+
+TEST(StatsIoRoundTrip, ArrayOfRunsSurvives)
+{
+    std::vector<sim::RunStats> runs;
+    runs.push_back(sim::runKernel(workloads::makeRodinia("nn"),
+                                  sim::ProviderKind::Baseline));
+    runs.push_back(sim::runKernel(workloads::makeRodinia("nn"),
+                                  sim::ProviderKind::Regless));
+
+    std::ostringstream oss;
+    sim::writeJson(oss, runs);
+    std::vector<sim::RunStats> back = sim::runsFromJson(oss.str());
+    ASSERT_EQ(back.size(), runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        EXPECT_TRUE(runs[i] == back[i]) << "run " << i;
+}
+
+TEST(StatsIoRoundTrip, EmptyArrayAndUnknownKeys)
+{
+    EXPECT_TRUE(sim::runsFromJson("[]").empty());
+    // Unknown keys are skipped; known ones still land.
+    sim::RunStats parsed = sim::fromJson(
+        "{\"future_field\":3.5,\"cycles\":77,"
+        "\"future_array\":[1,2],\"kernel\":\"k\"}");
+    EXPECT_EQ(parsed.cycles, 77u);
+    EXPECT_EQ(parsed.kernel, "k");
+}
+
+} // namespace
+} // namespace regless
