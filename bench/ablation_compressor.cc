@@ -1,110 +1,13 @@
 /**
  * @file
- * Compressor pattern-set ablation (beyond the paper): which of the six
- * §5.3 value patterns earn their hardware? Reports the match rate,
- * RegLess L1 traffic, and runtime for progressively smaller pattern
- * sets across the Rodinia suite.
+ * Thin wrapper: the ablation_compressor generator lives in figures/ablation_compressor.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "regless/regless_provider.hh"
-#include "sim/experiment.hh"
-#include "sim/gpu_simulator.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
-
-namespace
-{
-
-struct Variant
-{
-    const char *name;
-    unsigned mask; // bit per staging::Pattern enum value
-};
-
-constexpr unsigned bit(staging::Pattern p)
-{
-    return 1u << static_cast<unsigned>(p);
-}
-
-} // namespace
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const Variant variants[] = {
-        {"all_patterns", bit(staging::Pattern::Constant) |
-                             bit(staging::Pattern::Stride1) |
-                             bit(staging::Pattern::Stride4) |
-                             bit(staging::Pattern::HalfStride1) |
-                             bit(staging::Pattern::HalfStride4)},
-        {"no_half_warp", bit(staging::Pattern::Constant) |
-                             bit(staging::Pattern::Stride1) |
-                             bit(staging::Pattern::Stride4)},
-        {"constant_only", bit(staging::Pattern::Constant)},
-        {"strides_only", bit(staging::Pattern::Stride1) |
-                             bit(staging::Pattern::Stride4)},
-        {"none", 0},
-    };
-
-    sim::banner("Compressor pattern-set ablation",
-                "section 5.3 (the six value patterns)");
-    std::cout << sim::cell("variant", 16) << sim::cell("match%", 9)
-              << sim::cell("l1_req/kcyc", 13) << sim::cell("runtime", 9)
-              << "\n";
-
-    std::vector<double> base_cycles;
-    for (const auto &name : workloads::rodiniaNames()) {
-        base_cycles.push_back(static_cast<double>(
-            sim::runKernel(workloads::makeRodinia(name),
-                           sim::ProviderKind::Baseline)
-                .cycles));
-    }
-
-    for (const Variant &variant : variants) {
-        std::uint64_t matches = 0, attempts = 0;
-        double l1 = 0, cyc = 0;
-        std::vector<double> rt;
-        unsigned i = 0;
-        for (const auto &name : workloads::rodiniaNames()) {
-            sim::GpuConfig cfg =
-                sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
-            cfg.regless.compressor.patternMask = variant.mask;
-            sim::GpuSimulator g(workloads::makeRodinia(name), cfg);
-            sim::RunStats stats = g.run();
-            auto &rp =
-                static_cast<staging::ReglessProvider &>(g.provider());
-            for (unsigned s = 0; s < rp.numShards(); ++s) {
-                if (auto *comp = rp.compressor(s)) {
-                    matches +=
-                        comp->stats().counter("matches").value();
-                    attempts +=
-                        comp->stats().counter("matches").value() +
-                        comp->stats()
-                            .counter("incompressible")
-                            .value();
-                }
-            }
-            l1 += static_cast<double>(stats.l1PreloadReqs +
-                                      stats.l1StoreReqs +
-                                      stats.l1InvalidateReqs);
-            cyc += static_cast<double>(stats.cycles);
-            rt.push_back(static_cast<double>(stats.cycles) /
-                         base_cycles[i]);
-            ++i;
-        }
-        std::cout << sim::cell(variant.name, 16)
-                  << sim::cell(attempts ? 100.0 * matches / attempts
-                                        : 0.0,
-                               9, 1)
-                  << sim::cell(1000.0 * l1 / cyc, 13, 3)
-                  << sim::cell(geomean(rt), 9, 4) << "\n";
-    }
-    std::cout << "# constant + stride-1 capture most of the benefit; "
-                 "half-warp patterns add the tail\n";
-    return 0;
+    return regless::figures::figureMain("ablation_compressor", argc, argv);
 }

@@ -1,99 +1,13 @@
 /**
  * @file
- * Divergence-cost study (beyond the paper): sweep the fraction of
- * lanes that conditionally redefine a loop-carried value and measure
- * how the resulting soft definitions inflate preload traffic and
- * conservative liveness — the mechanism behind the paper's heartwall
- * and hybridsort slowdowns (§6.4).
+ * Thin wrapper: the ablation_divergence generator lives in figures/ablation_divergence.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-
-#include "compiler/compiler.hh"
-#include "sim/experiment.hh"
-#include "workloads/kernel_builder.hh"
-
-using namespace regless;
-
-namespace
-{
-
-/**
- * Loop where lanes with (tid & mask) == 0 softly redefine a carried
- * value. @a mask = 0 means every lane (a hard definition, no
- * divergence); larger masks leave more lanes holding the old value.
- */
-ir::Kernel
-divergenceKernel(unsigned mask)
-{
-    workloads::KernelBuilder b("div" + std::to_string(mask));
-    RegId t = b.tid();
-    RegId addr = b.imuli(t, 4);
-    RegId carried = b.reg();
-    b.moviTo(carried, 7);
-    RegId i = b.reg();
-    b.moviTo(i, 0);
-    RegId limit = b.movi(8);
-    workloads::Label head = b.newLabel();
-    b.bind(head);
-    {
-        RegId v = b.ld(b.iadd(addr, b.imuli(i, 16384)));
-        if (mask == 0) {
-            RegId mixed = b.bxor(v, carried);
-            b.movTo(carried, mixed);
-        } else {
-            RegId bits = b.band(t, b.movi(mask));
-            RegId skip_p = b.setNe(bits, b.movi(0));
-            workloads::Label skip = b.newLabel();
-            b.braIf(skip_p, skip);
-            RegId mixed = b.bxor(v, carried);
-            b.movTo(carried, mixed); // soft definition
-            b.bind(skip);
-        }
-        RegId use = b.iadd(carried, i);
-        b.st(use, b.iadd(addr, b.imuli(i, 16384)), 1 << 22);
-    }
-    b.iaddiTo(i, i, 1);
-    RegId p = b.setLt(i, limit);
-    b.braIf(p, head);
-    b.st(carried, addr, 1 << 23);
-    return b.build();
-}
-
-} // namespace
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Soft-definition cost vs divergence degree",
-                "section 4.4 / 6.4 (conservative liveness)");
-    std::cout << sim::cell("active_lanes", 14)
-              << sim::cell("soft_regs", 11)
-              << sim::cell("preloads/region", 17)
-              << sim::cell("runtime", 9) << "\n";
-
-    double base = 0.0;
-    for (unsigned mask : {0u, 1u, 3u, 7u, 15u}) {
-        ir::Kernel kernel = divergenceKernel(mask);
-        compiler::CompiledKernel ck = compiler::compile(kernel);
-        sim::RunStats b = sim::runKernel(divergenceKernel(mask),
-                                         sim::ProviderKind::Baseline);
-        sim::RunStats rl = sim::runKernel(divergenceKernel(mask),
-                                          sim::ProviderKind::Regless);
-        if (mask == 0)
-            base = static_cast<double>(rl.cycles) / b.cycles;
-        std::cout << sim::cell(32.0 / (mask + 1), 14, 1)
-                  << sim::cell(static_cast<double>(
-                                   ck.lifetimeStats().softDefRegs),
-                               11, 0)
-                  << sim::cell(rl.regionPreloadsMean, 17, 2)
-                  << sim::cell(static_cast<double>(rl.cycles) /
-                                   b.cycles,
-                               9, 4)
-                  << "\n";
-    }
-    std::cout << "# relative to the uniform case (" << base
-              << "): partially-written registers must be preloaded "
-                 "and stay conservatively live\n";
-    return 0;
+    return regless::figures::figureMain("ablation_divergence", argc, argv);
 }

@@ -1,126 +1,13 @@
 /**
  * @file
- * Ablation study of the RegLess design choices DESIGN.md §5 calls out:
- * compressor on/off, LIFO vs FIFO warp-stack activation, clean-first
- * vs dirty-first victim selection, and bank-aware register
- * renumbering. Reports geomean runtime and L1-traffic ratios against
- * the default configuration.
+ * Thin wrapper: the ablation_regless generator lives in figures/ablation_regless.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "sim/experiment.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
-
-namespace
-{
-
-struct Variant
-{
-    const char *name;
-    void (*apply)(sim::GpuConfig &);
-};
-
-void
-applyDefault(sim::GpuConfig &)
-{
-}
-
-void
-applyNoCompressor(sim::GpuConfig &cfg)
-{
-    cfg.regless.compressorEnabled = false;
-}
-
-void
-applyFifo(sim::GpuConfig &cfg)
-{
-    cfg.regless.fifoActivation = true;
-}
-
-void
-applyDirtyFirst(sim::GpuConfig &cfg)
-{
-    cfg.regless.victimOrder = staging::VictimOrder::DirtyFirst;
-}
-
-void
-applyNoBankReassign(sim::GpuConfig &cfg)
-{
-    cfg.compiler.reassignBanks = false;
-}
-
-void
-applyNoLoadUseSplit(sim::GpuConfig &cfg)
-{
-    cfg.compiler.splitLoadUse = false;
-}
-
-} // namespace
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("RegLess design ablations", "DESIGN.md section 5");
-
-    const Variant variants[] = {
-        {"default", applyDefault},
-        {"no_compressor", applyNoCompressor},
-        {"fifo_activation", applyFifo},
-        {"dirty_first_victims", applyDirtyFirst},
-        {"no_bank_reassign", applyNoBankReassign},
-        {"no_load_use_split", applyNoLoadUseSplit},
-    };
-
-    // Reference: default RegLess.
-    std::vector<double> ref_cycles, ref_l1;
-    for (const auto &name : workloads::rodiniaNames()) {
-        sim::RunStats stats = sim::runKernel(
-            workloads::makeRodinia(name), sim::ProviderKind::Regless);
-        ref_cycles.push_back(static_cast<double>(stats.cycles));
-        ref_l1.push_back(static_cast<double>(stats.l1PreloadReqs +
-                                             stats.l1StoreReqs +
-                                             stats.l1InvalidateReqs) +
-                         1.0);
-    }
-
-    std::cout << sim::cell("variant", 22) << sim::cell("runtime", 10)
-              << sim::cell("l1_traffic", 12)
-              << sim::cell("bank_conflict/insn", 20) << "\n";
-    for (const Variant &variant : variants) {
-        std::vector<double> rt, l1;
-        double conflicts = 0, insns = 0;
-        unsigned i = 0;
-        for (const auto &name : workloads::rodiniaNames()) {
-            sim::GpuConfig cfg =
-                sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
-            variant.apply(cfg);
-            sim::GpuSimulator g(workloads::makeRodinia(name), cfg);
-            sim::RunStats stats = g.run();
-            rt.push_back(static_cast<double>(stats.cycles) /
-                         ref_cycles[i]);
-            l1.push_back((static_cast<double>(stats.l1PreloadReqs +
-                                              stats.l1StoreReqs +
-                                              stats.l1InvalidateReqs) +
-                          1.0) /
-                         ref_l1[i]);
-            conflicts += static_cast<double>(
-                g.provider().stats().counter("osu_bank_conflicts")
-                    .value());
-            insns += static_cast<double>(stats.insns);
-            ++i;
-        }
-        std::cout << sim::cell(variant.name, 22)
-                  << sim::cell(geomean(rt), 10, 4)
-                  << sim::cell(geomean(l1), 12, 4)
-                  << sim::cell(conflicts / insns, 20, 4) << "\n";
-    }
-    std::cout << "# paper reports -10.2% geomean performance without "
-                 "the compressor (Fig 16)\n";
-    return 0;
+    return regless::figures::figureMain("ablation_regless", argc, argv);
 }

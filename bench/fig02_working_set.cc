@@ -1,42 +1,13 @@
 /**
  * @file
- * Figure 2: average register working set in 100-cycle windows for the
- * GTO and two-level warp schedulers, per Rodinia benchmark, on the
- * baseline register file.
+ * Thin wrapper: the fig02_working_set generator lives in figures/fig02_working_set.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <cstdio>
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Register working set per 100 cycles (KB)", "Figure 2");
-    std::cout << sim::cell("benchmark", 18) << sim::cell("GTO", 10)
-              << sim::cell("2-Level", 10) << "\n";
-
-    for (const auto &name : workloads::rodiniaNames()) {
-        sim::GpuConfig gto =
-            sim::GpuConfig::forProvider(sim::ProviderKind::Baseline);
-        sim::GpuConfig two_level = gto;
-        two_level.sm.scheduler = arch::SchedulerPolicy::TwoLevel;
-
-        sim::RunStats gto_stats =
-            sim::runKernel(workloads::makeRodinia(name), gto);
-        sim::RunStats tl_stats =
-            sim::runKernel(workloads::makeRodinia(name), two_level);
-
-        std::cout << sim::cell(name, 18)
-                  << sim::cell(gto_stats.meanWorkingSetBytes / 1024.0,
-                               10, 1)
-                  << sim::cell(tl_stats.meanWorkingSetBytes / 1024.0,
-                               10, 1)
-                  << "\n";
-    }
-    return 0;
+    return regless::figures::figureMain("fig02_working_set", argc, argv);
 }

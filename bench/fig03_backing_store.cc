@@ -1,65 +1,13 @@
 /**
  * @file
- * Figure 3: accesses to the register backing store per 100 cycles
- * during the steady state of hotspot — baseline RF accesses, the RF
- * hierarchy's main-RF accesses, and RegLess's L1 requests.
+ * Thin wrapper: the fig03_backing_store generator lives in figures/fig03_backing_store.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <algorithm>
-#include <cstdio>
-#include <iostream>
-#include <vector>
-
-#include "sim/experiment.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
-
-namespace
-{
-
-std::vector<double>
-seriesFor(sim::ProviderKind kind)
-{
-    sim::RunStats stats =
-        sim::runKernel(workloads::makeRodinia("hotspot"), kind);
-    return stats.backingSeries;
-}
-
-} // namespace
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Backing-store accesses per 100 cycles (hotspot)",
-                "Figure 3");
-
-    std::vector<double> base = seriesFor(sim::ProviderKind::Baseline);
-    std::vector<double> rfh = seriesFor(sim::ProviderKind::Rfh);
-    std::vector<double> rl = seriesFor(sim::ProviderKind::Regless);
-
-    std::size_t n = std::max({base.size(), rfh.size(), rl.size()});
-    std::cout << sim::cell("window", 8) << sim::cell("baseline", 12)
-              << sim::cell("rf_hierarchy", 14) << sim::cell("regless", 10)
-              << "\n";
-    auto at = [](const std::vector<double> &v, std::size_t i) {
-        return i < v.size() ? v[i] : 0.0;
-    };
-    double sum_base = 0, sum_rfh = 0, sum_rl = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        std::cout << sim::cell(static_cast<double>(i * 100), 8, 0)
-                  << sim::cell(at(base, i), 12, 0)
-                  << sim::cell(at(rfh, i), 14, 0)
-                  << sim::cell(at(rl, i), 10, 0) << "\n";
-        sum_base += at(base, i);
-        sum_rfh += at(rfh, i);
-        sum_rl += at(rl, i);
-    }
-    std::printf("# mean/window: baseline=%.1f rf_hierarchy=%.1f "
-                "regless=%.1f\n",
-                sum_base / n, sum_rfh / n, sum_rl / n);
-    std::printf("# regless/baseline access ratio: %.4f "
-                "(paper: ~0.009 of baseline reach L1)\n",
-                sum_base > 0 ? sum_rl / sum_base : 0.0);
-    return 0;
+    return regless::figures::figureMain("fig03_backing_store", argc, argv);
 }

@@ -1,45 +1,13 @@
 /**
  * @file
- * Figure 5: live-register count across the static instructions of a
- * particle_filter portion, with the low points (natural region seams)
- * highlighted. Pure compiler analysis, no simulation.
+ * Thin wrapper: the fig05_liveness_seams generator lives in figures/fig05_liveness_seams.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-
-#include "ir/cfg_analysis.hh"
-#include "ir/liveness.hh"
-#include "sim/experiment.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Live registers per static instruction "
-                "(particle_filter)",
-                "Figure 5");
-
-    ir::Kernel kernel = workloads::makeRodinia("particle_filter");
-    ir::CfgAnalysis cfg(kernel);
-    ir::Liveness live(kernel, cfg);
-
-    // Local-minimum detection over the live count curve.
-    std::vector<unsigned> counts(kernel.numInsns());
-    for (Pc pc = 0; pc < kernel.numInsns(); ++pc)
-        counts[pc] = live.liveCountBefore(pc);
-
-    std::cout << sim::cell("pc", 6) << sim::cell("live", 6)
-              << "seam  instruction\n";
-    for (Pc pc = 0; pc < kernel.numInsns(); ++pc) {
-        bool seam = pc > 0 && pc + 1 < kernel.numInsns() &&
-                    counts[pc] <= counts[pc - 1] &&
-                    counts[pc] < counts[pc + 1];
-        std::cout << sim::cell(static_cast<double>(pc), 6, 0)
-                  << sim::cell(static_cast<double>(counts[pc]), 6, 0)
-                  << (seam ? "  *   " : "      ")
-                  << kernel.insn(pc).toString() << "\n";
-    }
-    return 0;
+    return regless::figures::figureMain("fig05_liveness_seams", argc, argv);
 }

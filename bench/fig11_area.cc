@@ -1,36 +1,13 @@
 /**
  * @file
- * Figure 11: area of RegLess configurations (128..2048 OSU entries),
- * normalized to the 2048-entry baseline register file, split into
- * logic, storage, and compressor components.
+ * Thin wrapper: the fig11_area generator lives in figures/fig11_area.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-
-#include "energy/area_model.hh"
-#include "sim/experiment.hh"
-
-using namespace regless;
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Normalized area per OSU capacity", "Figure 11");
-
-    energy::AreaConfig area;
-    const double baseline = area.plainRf(2048).total();
-
-    std::cout << sim::cell("capacity", 10) << sim::cell("logic", 9)
-              << sim::cell("storage", 9) << sim::cell("compressor", 12)
-              << sim::cell("total", 9) << "\n";
-    for (unsigned cap : {128u, 192u, 256u, 384u, 512u, 1024u, 2048u}) {
-        energy::AreaBreakdown b = area.regless(cap);
-        std::cout << sim::cell(static_cast<double>(cap), 10, 0)
-                  << sim::cell(b.logic / baseline, 9)
-                  << sim::cell(b.storage / baseline, 9)
-                  << sim::cell(b.compressor / baseline, 12)
-                  << sim::cell(b.total() / baseline, 9) << "\n";
-    }
-    std::cout << "# paper: RegLess-512 total ~0.3x of baseline RF area\n";
-    return 0;
+    return regless::figures::figureMain("fig11_area", argc, argv);
 }

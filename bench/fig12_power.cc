@@ -1,61 +1,13 @@
 /**
  * @file
- * Figure 12: combined static + average dynamic power of the RegLess
- * operand structures per OSU capacity, normalized to the baseline
- * register file. Power = register-structure energy / cycles, averaged
- * (geomean) across the Rodinia suite.
+ * Thin wrapper: the fig12_power generator lives in figures/fig12_power.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <cmath>
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "sim/experiment.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Normalized register-structure power per OSU capacity",
-                "Figure 12");
-
-    // Baseline RF power per benchmark.
-    std::vector<double> base_power;
-    for (const auto &name : workloads::rodiniaNames()) {
-        sim::RunStats stats = sim::runKernel(
-            workloads::makeRodinia(name), sim::ProviderKind::Baseline);
-        base_power.push_back(stats.energy.registerStructures() /
-                             static_cast<double>(stats.cycles));
-    }
-
-    std::cout << sim::cell("capacity", 10) << sim::cell("osu", 9)
-              << sim::cell("compressor", 12) << sim::cell("total", 9)
-              << "\n";
-    for (unsigned cap : {128u, 192u, 256u, 384u, 512u, 1024u, 2048u}) {
-        std::vector<double> osu_ratio, comp_ratio, total_ratio;
-        unsigned i = 0;
-        for (const auto &name : workloads::rodiniaNames()) {
-            sim::RunStats stats =
-                sim::runRegless(workloads::makeRodinia(name), cap);
-            double cycles = static_cast<double>(stats.cycles);
-            double osu = (stats.energy.regDynamic +
-                          stats.energy.regStatic) /
-                         cycles;
-            double comp = stats.energy.compressor / cycles;
-            osu_ratio.push_back(osu / base_power[i] + 1e-12);
-            comp_ratio.push_back(comp / base_power[i] + 1e-12);
-            total_ratio.push_back((osu + comp) / base_power[i]);
-            ++i;
-        }
-        std::cout << sim::cell(static_cast<double>(cap), 10, 0)
-                  << sim::cell(geomean(osu_ratio), 9)
-                  << sim::cell(geomean(comp_ratio), 12)
-                  << sim::cell(geomean(total_ratio), 9) << "\n";
-    }
-    std::cout << "# paper: power scales with capacity; RegLess slightly "
-                 "above a plain RF of equal size\n";
-    return 0;
+    return regless::figures::figureMain("fig12_power", argc, argv);
 }

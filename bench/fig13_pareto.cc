@@ -1,50 +1,13 @@
 /**
  * @file
- * Figure 13: geomean run time vs geomean total GPU energy for RegLess
- * capacities, normalized to the baseline — the Pareto tradeoff that
- * selects the 512-entry configuration.
+ * Thin wrapper: the fig13_pareto generator lives in figures/fig13_pareto.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "sim/experiment.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Run time vs GPU energy per OSU capacity", "Figure 13");
-
-    std::vector<double> base_cycles, base_energy;
-    for (const auto &name : workloads::rodiniaNames()) {
-        sim::RunStats stats = sim::runKernel(
-            workloads::makeRodinia(name), sim::ProviderKind::Baseline);
-        base_cycles.push_back(static_cast<double>(stats.cycles));
-        base_energy.push_back(stats.energy.total());
-    }
-
-    std::cout << sim::cell("capacity", 10) << sim::cell("runtime", 10)
-              << sim::cell("gpu_energy", 12) << "\n";
-    for (unsigned cap : {128u, 192u, 256u, 384u, 512u, 1024u}) {
-        std::vector<double> rt, en;
-        unsigned i = 0;
-        for (const auto &name : workloads::rodiniaNames()) {
-            sim::RunStats stats =
-                sim::runRegless(workloads::makeRodinia(name), cap);
-            rt.push_back(static_cast<double>(stats.cycles) /
-                         base_cycles[i]);
-            en.push_back(stats.energy.total() / base_energy[i]);
-            ++i;
-        }
-        std::cout << sim::cell(static_cast<double>(cap), 10, 0)
-                  << sim::cell(geomean(rt), 10, 4)
-                  << sim::cell(geomean(en), 12, 4) << "\n";
-    }
-    std::cout << "# paper: 512 entries chosen — no average performance "
-                 "loss with ~0.89x GPU energy\n";
-    return 0;
+    return regless::figures::figureMain("fig13_pareto", argc, argv);
 }

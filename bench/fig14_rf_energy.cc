@@ -1,51 +1,13 @@
 /**
  * @file
- * Figure 14: register-structure energy of RFH [11], RFV [19], and
- * RegLess, normalized to the baseline register file, per benchmark
- * plus geomean.
+ * Thin wrapper: the fig14_rf_energy generator lives in figures/fig14_rf_energy.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "sim/experiment.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Normalized register-file energy", "Figure 14");
-    std::cout << sim::cell("benchmark", 18) << sim::cell("rfh", 9)
-              << sim::cell("rfv", 9) << sim::cell("regless", 9) << "\n";
-
-    std::vector<double> rfh_r, rfv_r, rl_r;
-    for (const auto &name : workloads::rodiniaNames()) {
-        double base = sim::runKernel(workloads::makeRodinia(name),
-                                     sim::ProviderKind::Baseline)
-                          .energy.registerStructures();
-        double rfh = sim::runKernel(workloads::makeRodinia(name),
-                                    sim::ProviderKind::Rfh)
-                         .energy.registerStructures();
-        double rfv = sim::runKernel(workloads::makeRodinia(name),
-                                    sim::ProviderKind::Rfv)
-                         .energy.registerStructures();
-        double rl = sim::runKernel(workloads::makeRodinia(name),
-                                   sim::ProviderKind::Regless)
-                        .energy.registerStructures();
-        rfh_r.push_back(rfh / base);
-        rfv_r.push_back(rfv / base);
-        rl_r.push_back(rl / base);
-        std::cout << sim::cell(name, 18) << sim::cell(rfh / base, 9)
-                  << sim::cell(rfv / base, 9) << sim::cell(rl / base, 9)
-                  << "\n";
-    }
-    std::cout << sim::cell("GEOMEAN", 18) << sim::cell(geomean(rfh_r), 9)
-              << sim::cell(geomean(rfv_r), 9)
-              << sim::cell(geomean(rl_r), 9) << "\n";
-    std::cout << "# paper: rfh=0.380 rfv=0.548 regless=0.247 "
-                 "(75.3% RegLess saving)\n";
-    return 0;
+    return regless::figures::figureMain("fig14_rf_energy", argc, argv);
 }

@@ -1,56 +1,13 @@
 /**
  * @file
- * Figure 15: total GPU energy (including added instruction and memory
- * traffic) for the "No RF" upper bound, RFH, RFV, and RegLess,
- * normalized to baseline, per benchmark plus geomean.
+ * Thin wrapper: the fig15_gpu_energy generator lives in figures/fig15_gpu_energy.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "sim/experiment.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Normalized total GPU energy", "Figure 15");
-    std::cout << sim::cell("benchmark", 18) << sim::cell("no_rf", 9)
-              << sim::cell("rfh", 9) << sim::cell("rfv", 9)
-              << sim::cell("regless", 9) << "\n";
-
-    std::vector<double> norf_r, rfh_r, rfv_r, rl_r;
-    for (const auto &name : workloads::rodiniaNames()) {
-        sim::RunStats base = sim::runKernel(
-            workloads::makeRodinia(name), sim::ProviderKind::Baseline);
-        double b = base.energy.total();
-        double norf = sim::noRfBound(base).total();
-        double rfh = sim::runKernel(workloads::makeRodinia(name),
-                                    sim::ProviderKind::Rfh)
-                         .energy.total();
-        double rfv = sim::runKernel(workloads::makeRodinia(name),
-                                    sim::ProviderKind::Rfv)
-                         .energy.total();
-        double rl = sim::runKernel(workloads::makeRodinia(name),
-                                   sim::ProviderKind::Regless)
-                        .energy.total();
-        norf_r.push_back(norf / b);
-        rfh_r.push_back(rfh / b);
-        rfv_r.push_back(rfv / b);
-        rl_r.push_back(rl / b);
-        std::cout << sim::cell(name, 18) << sim::cell(norf / b, 9)
-                  << sim::cell(rfh / b, 9) << sim::cell(rfv / b, 9)
-                  << sim::cell(rl / b, 9) << "\n";
-    }
-    std::cout << sim::cell("GEOMEAN", 18)
-              << sim::cell(geomean(norf_r), 9)
-              << sim::cell(geomean(rfh_r), 9)
-              << sim::cell(geomean(rfv_r), 9)
-              << sim::cell(geomean(rl_r), 9) << "\n";
-    std::cout << "# paper: no_rf=0.833 rfh=0.971 rfv=0.963 "
-                 "regless=0.890 (11% total saving)\n";
-    return 0;
+    return regless::figures::figureMain("fig15_gpu_energy", argc, argv);
 }

@@ -1,64 +1,13 @@
 /**
  * @file
- * Figure 16: run time of the 512-entry RegLess design normalized to
- * the baseline with a full register file, per benchmark; geomean
- * comparisons against RegLess without the compressor, RFV, and RFH.
+ * Thin wrapper: the fig16_runtime generator lives in figures/fig16_runtime.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "common/stats.hh"
-#include "sim/experiment.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Normalized run time (lower is better)", "Figure 16");
-    std::cout << sim::cell("benchmark", 18) << sim::cell("regless", 10)
-              << "\n";
-
-    std::vector<double> rl_r, nc_r, rfv_r, rfh_r;
-    for (const auto &name : workloads::rodiniaNames()) {
-        double base = static_cast<double>(
-            sim::runKernel(workloads::makeRodinia(name),
-                           sim::ProviderKind::Baseline)
-                .cycles);
-        double rl = static_cast<double>(
-            sim::runKernel(workloads::makeRodinia(name),
-                           sim::ProviderKind::Regless)
-                .cycles);
-        double nc = static_cast<double>(
-            sim::runKernel(workloads::makeRodinia(name),
-                           sim::ProviderKind::ReglessNoCompressor)
-                .cycles);
-        double rfv = static_cast<double>(
-            sim::runKernel(workloads::makeRodinia(name),
-                           sim::ProviderKind::Rfv)
-                .cycles);
-        double rfh = static_cast<double>(
-            sim::runKernel(workloads::makeRodinia(name),
-                           sim::ProviderKind::Rfh)
-                .cycles);
-        rl_r.push_back(rl / base);
-        nc_r.push_back(nc / base);
-        rfv_r.push_back(rfv / base);
-        rfh_r.push_back(rfh / base);
-        std::cout << sim::cell(name, 18) << sim::cell(rl / base, 10)
-                  << "\n";
-    }
-    std::cout << sim::cell("GEOMEAN", 18) << sim::cell(geomean(rl_r), 10)
-              << "\n";
-    std::cout << sim::cell("geomean no-compressor", 24)
-              << sim::cell(geomean(nc_r), 10) << "\n";
-    std::cout << sim::cell("geomean rfv", 24)
-              << sim::cell(geomean(rfv_r), 10) << "\n";
-    std::cout << sim::cell("geomean rfh", 24)
-              << sim::cell(geomean(rfh_r), 10) << "\n";
-    std::cout << "# paper: regless geomean ~1.00; no-compressor +10.2%; "
-                 "rfv/rfh slower (two-level scheduler)\n";
-    return 0;
+    return regless::figures::figureMain("fig16_runtime", argc, argv);
 }

@@ -1,47 +1,13 @@
 /**
  * @file
- * Figure 17: the location registers were preloaded from — OSU,
- * compressor, L1 cache, or L2/DRAM — per benchmark, for the 512-entry
- * RegLess design.
+ * Thin wrapper: the fig17_preload_location generator lives in figures/fig17_preload_location.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Preload source breakdown (%)", "Figure 17");
-    std::cout << sim::cell("benchmark", 18) << sim::cell("osu", 9)
-              << sim::cell("compressor", 12) << sim::cell("l1", 9)
-              << sim::cell("l2_dram", 9) << "\n";
-
-    std::uint64_t tot_all = 0, tot_l1 = 0, tot_far = 0;
-    for (const auto &name : workloads::rodiniaNames()) {
-        sim::RunStats stats = sim::runKernel(
-            workloads::makeRodinia(name), sim::ProviderKind::Regless);
-        double total = static_cast<double>(stats.totalPreloads());
-        if (total == 0)
-            total = 1;
-        std::cout << sim::cell(name, 18)
-                  << sim::cell(100.0 * stats.preloadSrcOsu / total, 9, 1)
-                  << sim::cell(
-                         100.0 * stats.preloadSrcCompressor / total, 12,
-                         1)
-                  << sim::cell(100.0 * stats.preloadSrcL1 / total, 9, 1)
-                  << sim::cell(100.0 * stats.preloadSrcL2Dram / total, 9,
-                               3)
-                  << "\n";
-        tot_all += stats.totalPreloads();
-        tot_l1 += stats.preloadSrcL1;
-        tot_far += stats.preloadSrcL2Dram;
-    }
-    std::printf("# suite-wide: %.2f%% of preloads from L1, %.4f%% from "
-                "L2/DRAM (paper: 0.9%% and 0.013%%)\n",
-                100.0 * tot_l1 / tot_all, 100.0 * tot_far / tot_all);
-    return 0;
+    return regless::figures::figureMain("fig17_preload_location", argc, argv);
 }

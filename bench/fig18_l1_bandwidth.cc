@@ -1,44 +1,13 @@
 /**
  * @file
- * Figure 18: average RegLess L1 requests per cycle, split into
- * preloads, stores (evictions and compressed-line flushes), and
- * invalidations, per benchmark.
+ * Thin wrapper: the fig18_l1_bandwidth generator lives in figures/fig18_l1_bandwidth.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("RegLess L1 requests per cycle", "Figure 18");
-    std::cout << sim::cell("benchmark", 18) << sim::cell("preloads", 11)
-              << sim::cell("stores", 11) << sim::cell("invalidations", 14)
-              << sim::cell("total", 9) << "\n";
-
-    double worst = 0.0;
-    double sum = 0.0;
-    unsigned n = 0;
-    for (const auto &name : workloads::rodiniaNames()) {
-        sim::RunStats stats = sim::runKernel(
-            workloads::makeRodinia(name), sim::ProviderKind::Regless);
-        double cycles = static_cast<double>(stats.cycles);
-        double pre = stats.l1PreloadReqs / cycles;
-        double st = stats.l1StoreReqs / cycles;
-        double inv = stats.l1InvalidateReqs / cycles;
-        std::cout << sim::cell(name, 18) << sim::cell(pre, 11, 4)
-                  << sim::cell(st, 11, 4) << sim::cell(inv, 14, 4)
-                  << sim::cell(pre + st + inv, 9, 4) << "\n";
-        worst = std::max(worst, pre + st + inv);
-        sum += pre + st + inv;
-        ++n;
-    }
-    std::printf("# mean total %.4f req/cycle, worst %.4f "
-                "(paper: < 0.02 on average, budget 1.0)\n",
-                sum / n, worst);
-    return 0;
+    return regless::figures::figureMain("fig18_l1_bandwidth", argc, argv);
 }

@@ -1,34 +1,13 @@
 /**
  * @file
- * Figure 19: per executed region — average preloads, average number of
- * concurrent live registers (the OSU reservation), and the standard
- * deviation of concurrent live registers, per benchmark.
+ * Thin wrapper: the fig19_region_registers generator lives in figures/fig19_region_registers.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Registers per region", "Figure 19");
-    std::cout << sim::cell("benchmark", 18) << sim::cell("preloads", 10)
-              << sim::cell("mean_live", 11) << sim::cell("stddev", 9)
-              << "\n";
-
-    for (const auto &name : workloads::rodiniaNames()) {
-        sim::RunStats stats = sim::runKernel(
-            workloads::makeRodinia(name), sim::ProviderKind::Regless);
-        std::cout << sim::cell(name, 18)
-                  << sim::cell(stats.regionPreloadsMean, 10, 2)
-                  << sim::cell(stats.regionLiveMean, 11, 2)
-                  << sim::cell(stats.regionLiveStddev, 9, 2) << "\n";
-    }
-    std::cout << "# paper: live registers consistently exceed preloads; "
-                 "dwt2d/hotspot/myocyte reach 20+ live\n";
-    return 0;
+    return regless::figures::figureMain("fig19_region_registers", argc, argv);
 }

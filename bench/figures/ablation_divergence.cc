@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Divergence-cost study (beyond the paper): sweep the fraction of
+ * lanes that conditionally redefine a loop-carried value and measure
+ * how the resulting soft definitions inflate preload traffic and
+ * conservative liveness — the mechanism behind the paper's heartwall
+ * and hybridsort slowdowns (§6.4).
+ */
+
+#include "figures/figures.hh"
+
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hh"
+#include "sim/experiment.hh"
+#include "workloads/kernel_builder.hh"
+
+namespace regless::figures
+{
+
+namespace
+{
+
+/**
+ * Loop where lanes with (tid & mask) == 0 softly redefine a carried
+ * value. @a mask = 0 means every lane (a hard definition, no
+ * divergence); larger masks leave more lanes holding the old value.
+ */
+ir::Kernel
+divergenceKernel(unsigned mask)
+{
+    workloads::KernelBuilder b("div" + std::to_string(mask));
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId carried = b.reg();
+    b.moviTo(carried, 7);
+    RegId i = b.reg();
+    b.moviTo(i, 0);
+    RegId limit = b.movi(8);
+    workloads::Label head = b.newLabel();
+    b.bind(head);
+    {
+        RegId v = b.ld(b.iadd(addr, b.imuli(i, 16384)));
+        if (mask == 0) {
+            RegId mixed = b.bxor(v, carried);
+            b.movTo(carried, mixed);
+        } else {
+            RegId bits = b.band(t, b.movi(mask));
+            RegId skip_p = b.setNe(bits, b.movi(0));
+            workloads::Label skip = b.newLabel();
+            b.braIf(skip_p, skip);
+            RegId mixed = b.bxor(v, carried);
+            b.movTo(carried, mixed); // soft definition
+            b.bind(skip);
+        }
+        RegId use = b.iadd(carried, i);
+        b.st(use, b.iadd(addr, b.imuli(i, 16384)), 1 << 22);
+    }
+    b.iaddiTo(i, i, 1);
+    RegId p = b.setLt(i, limit);
+    b.braIf(p, head);
+    b.st(carried, addr, 1 << 23);
+    return b.build();
+}
+
+constexpr unsigned kMasks[] = {0u, 1u, 3u, 7u, 15u};
+
+} // namespace
+
+void
+genAblationDivergence(FigureContext &ctx)
+{
+    std::vector<std::pair<sim::ExperimentEngine::JobId,
+                          sim::ExperimentEngine::JobId>>
+        jobs;
+    for (unsigned mask : kMasks) {
+        const std::string name = "div" + std::to_string(mask);
+        auto builder = [mask] { return divergenceKernel(mask); };
+        jobs.emplace_back(
+            ctx.engine.submit(
+                {name,
+                 sim::GpuConfig::forProvider(
+                     sim::ProviderKind::Baseline),
+                 0, builder}),
+            ctx.engine.submit(
+                {name,
+                 sim::GpuConfig::forProvider(
+                     sim::ProviderKind::Regless),
+                 0, builder}));
+    }
+
+    sim::TableWriter table(ctx.out, {{"active_lanes", 14, 1},
+                                     {"soft_regs", 11, 0},
+                                     {"preloads/region", 17, 2},
+                                     {"runtime", 9, 4}});
+    table.header();
+
+    double base = 0.0;
+    std::size_t i = 0;
+    for (unsigned mask : kMasks) {
+        const auto &[base_id, rl_id] = jobs[i++];
+        compiler::CompiledKernel ck =
+            compiler::compile(divergenceKernel(mask));
+        const sim::RunStats &b = ctx.engine.stats(base_id);
+        const sim::RunStats &rl = ctx.engine.stats(rl_id);
+        if (mask == 0)
+            base = static_cast<double>(rl.cycles) / b.cycles;
+        table.row({32.0 / (mask + 1),
+                   static_cast<double>(ck.lifetimeStats().softDefRegs),
+                   rl.regionPreloadsMean,
+                   static_cast<double>(rl.cycles) / b.cycles});
+    }
+    ctx.out << "# relative to the uniform case (" << base
+            << "): partially-written registers must be preloaded "
+               "and stay conservatively live\n";
+}
+
+} // namespace regless::figures

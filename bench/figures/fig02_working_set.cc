@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 2: average register working set in 100-cycle windows for the
+ * GTO and two-level warp schedulers, per Rodinia benchmark, on the
+ * baseline register file.
+ */
+
+#include "figures/figures.hh"
+
+#include "sim/experiment.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless::figures
+{
+
+void
+genFig02WorkingSet(FigureContext &ctx)
+{
+    sim::GpuConfig gto =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Baseline);
+    sim::GpuConfig two_level = gto;
+    two_level.sm.scheduler = arch::SchedulerPolicy::TwoLevel;
+
+    // Declare the whole grid before reading anything so the engine
+    // flushes it as one parallel batch.
+    std::vector<std::pair<sim::ExperimentEngine::JobId,
+                          sim::ExperimentEngine::JobId>>
+        jobs;
+    for (const auto &name : workloads::rodiniaNames())
+        jobs.emplace_back(ctx.engine.submit(name, gto),
+                          ctx.engine.submit(name, two_level));
+
+    sim::TableWriter table(ctx.out, {{"benchmark", 18},
+                                     {"GTO", 10, 1},
+                                     {"2-Level", 10, 1}});
+    table.header();
+    std::size_t i = 0;
+    for (const auto &name : workloads::rodiniaNames()) {
+        const auto &[gto_id, tl_id] = jobs[i++];
+        table.row({name,
+                   ctx.engine.stats(gto_id).meanWorkingSetBytes / 1024.0,
+                   ctx.engine.stats(tl_id).meanWorkingSetBytes /
+                       1024.0});
+    }
+}
+
+} // namespace regless::figures

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 5: live-register count across the static instructions of a
+ * particle_filter portion, with the low points (natural region seams)
+ * highlighted. Pure compiler analysis, no simulation.
+ */
+
+#include "figures/figures.hh"
+
+#include "ir/cfg_analysis.hh"
+#include "ir/liveness.hh"
+#include "sim/experiment.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless::figures
+{
+
+void
+genFig05LivenessSeams(FigureContext &ctx)
+{
+    ir::Kernel kernel = workloads::makeRodinia("particle_filter");
+    ir::CfgAnalysis cfg(kernel);
+    ir::Liveness live(kernel, cfg);
+
+    // Local-minimum detection over the live count curve.
+    std::vector<unsigned> counts(kernel.numInsns());
+    for (Pc pc = 0; pc < kernel.numInsns(); ++pc)
+        counts[pc] = live.liveCountBefore(pc);
+
+    // Not a TableWriter table: the trailing disassembly column is
+    // unpadded free text.
+    ctx.out << sim::cell("pc", 6) << sim::cell("live", 6)
+            << "seam  instruction\n";
+    for (Pc pc = 0; pc < kernel.numInsns(); ++pc) {
+        bool seam = pc > 0 && pc + 1 < kernel.numInsns() &&
+                    counts[pc] <= counts[pc - 1] &&
+                    counts[pc] < counts[pc + 1];
+        ctx.out << sim::cell(static_cast<double>(pc), 6, 0)
+                << sim::cell(static_cast<double>(counts[pc]), 6, 0)
+                << (seam ? "  *   " : "      ")
+                << kernel.insn(pc).toString() << "\n";
+    }
+}
+
+} // namespace regless::figures

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 12: combined static + average dynamic power of the RegLess
+ * operand structures per OSU capacity, normalized to the baseline
+ * register file. Power = register-structure energy / cycles, averaged
+ * (geomean) across the Rodinia suite.
+ */
+
+#include "figures/figures.hh"
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless::figures
+{
+
+namespace
+{
+
+constexpr unsigned kCapacities[] = {128u, 192u, 256u, 384u,
+                                    512u, 1024u, 2048u};
+
+} // namespace
+
+void
+genFig12Power(FigureContext &ctx)
+{
+    std::vector<sim::ExperimentEngine::JobId> base_ids;
+    for (const auto &name : workloads::rodiniaNames())
+        base_ids.push_back(
+            ctx.engine.submit(name, sim::ProviderKind::Baseline));
+
+    std::vector<std::vector<sim::ExperimentEngine::JobId>> cap_ids;
+    for (unsigned cap : kCapacities) {
+        sim::GpuConfig cfg =
+            sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+        cfg.setOsuCapacity(cap);
+        auto &ids = cap_ids.emplace_back();
+        for (const auto &name : workloads::rodiniaNames())
+            ids.push_back(ctx.engine.submit(name, cfg));
+    }
+
+    // Baseline RF power per benchmark.
+    std::vector<double> base_power;
+    for (auto id : base_ids) {
+        const sim::RunStats &stats = ctx.engine.stats(id);
+        base_power.push_back(stats.energy.registerStructures() /
+                             static_cast<double>(stats.cycles));
+    }
+
+    sim::TableWriter table(ctx.out, {{"capacity", 10, 0},
+                                     {"osu", 9},
+                                     {"compressor", 12},
+                                     {"total", 9}});
+    table.header();
+    std::size_t c = 0;
+    for (unsigned cap : kCapacities) {
+        sim::GeomeanSeries osu_ratio("fig12 osu power ratio");
+        sim::GeomeanSeries comp_ratio("fig12 compressor power ratio");
+        sim::GeomeanSeries total_ratio("fig12 total power ratio");
+        unsigned i = 0;
+        for (const auto &name : workloads::rodiniaNames()) {
+            const sim::RunStats &stats =
+                ctx.engine.stats(cap_ids[c][i]);
+            const std::string label =
+                name + "@" + std::to_string(cap);
+            double cycles = static_cast<double>(stats.cycles);
+            double osu = (stats.energy.regDynamic +
+                          stats.energy.regStatic) /
+                         cycles;
+            double comp = stats.energy.compressor / cycles;
+            osu_ratio.add(label, osu / base_power[i] + 1e-12);
+            comp_ratio.add(label, comp / base_power[i] + 1e-12);
+            total_ratio.add(label, (osu + comp) / base_power[i]);
+            ++i;
+        }
+        table.row({static_cast<double>(cap), osu_ratio.value(),
+                   comp_ratio.value(), total_ratio.value()});
+        ++c;
+    }
+    ctx.out << "# paper: power scales with capacity; RegLess slightly "
+               "above a plain RF of equal size\n";
+}
+
+} // namespace regless::figures

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 14: register-structure energy of RFH [11], RFV [19], and
+ * RegLess, normalized to the baseline register file, per benchmark
+ * plus geomean.
+ */
+
+#include "figures/figures.hh"
+
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless::figures
+{
+
+void
+genFig14RfEnergy(FigureContext &ctx)
+{
+    struct Row
+    {
+        sim::ExperimentEngine::JobId base, rfh, rfv, rl;
+    };
+    std::vector<Row> jobs;
+    for (const auto &name : workloads::rodiniaNames())
+        jobs.push_back(
+            {ctx.engine.submit(name, sim::ProviderKind::Baseline),
+             ctx.engine.submit(name, sim::ProviderKind::Rfh),
+             ctx.engine.submit(name, sim::ProviderKind::Rfv),
+             ctx.engine.submit(name, sim::ProviderKind::Regless)});
+
+    sim::TableWriter table(ctx.out, {{"benchmark", 18},
+                                     {"rfh", 9},
+                                     {"rfv", 9},
+                                     {"regless", 9}});
+    table.header();
+
+    sim::GeomeanSeries rfh_r("fig14 rfh RF-energy ratio");
+    sim::GeomeanSeries rfv_r("fig14 rfv RF-energy ratio");
+    sim::GeomeanSeries rl_r("fig14 regless RF-energy ratio");
+    std::size_t i = 0;
+    for (const auto &name : workloads::rodiniaNames()) {
+        const Row &row = jobs[i++];
+        double base =
+            ctx.engine.stats(row.base).energy.registerStructures();
+        double rfh =
+            ctx.engine.stats(row.rfh).energy.registerStructures();
+        double rfv =
+            ctx.engine.stats(row.rfv).energy.registerStructures();
+        double rl =
+            ctx.engine.stats(row.rl).energy.registerStructures();
+        rfh_r.add(name, rfh / base);
+        rfv_r.add(name, rfv / base);
+        rl_r.add(name, rl / base);
+        table.row({name, rfh / base, rfv / base, rl / base});
+    }
+    table.row({"GEOMEAN", rfh_r.value(), rfv_r.value(), rl_r.value()});
+    ctx.out << "# paper: rfh=0.380 rfv=0.548 regless=0.247 "
+               "(75.3% RegLess saving)\n";
+}
+
+} // namespace regless::figures

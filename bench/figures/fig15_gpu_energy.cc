@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 15: total GPU energy (including added instruction and memory
+ * traffic) for the "No RF" upper bound, RFH, RFV, and RegLess,
+ * normalized to baseline, per benchmark plus geomean.
+ */
+
+#include "figures/figures.hh"
+
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless::figures
+{
+
+void
+genFig15GpuEnergy(FigureContext &ctx)
+{
+    struct Row
+    {
+        sim::ExperimentEngine::JobId base, rfh, rfv, rl;
+    };
+    std::vector<Row> jobs;
+    for (const auto &name : workloads::rodiniaNames())
+        jobs.push_back(
+            {ctx.engine.submit(name, sim::ProviderKind::Baseline),
+             ctx.engine.submit(name, sim::ProviderKind::Rfh),
+             ctx.engine.submit(name, sim::ProviderKind::Rfv),
+             ctx.engine.submit(name, sim::ProviderKind::Regless)});
+
+    sim::TableWriter table(ctx.out, {{"benchmark", 18},
+                                     {"no_rf", 9},
+                                     {"rfh", 9},
+                                     {"rfv", 9},
+                                     {"regless", 9}});
+    table.header();
+
+    sim::GeomeanSeries norf_r("fig15 no-RF GPU-energy ratio");
+    sim::GeomeanSeries rfh_r("fig15 rfh GPU-energy ratio");
+    sim::GeomeanSeries rfv_r("fig15 rfv GPU-energy ratio");
+    sim::GeomeanSeries rl_r("fig15 regless GPU-energy ratio");
+    std::size_t i = 0;
+    for (const auto &name : workloads::rodiniaNames()) {
+        const Row &row = jobs[i++];
+        const sim::RunStats &base = ctx.engine.stats(row.base);
+        double b = base.energy.total();
+        double norf = sim::noRfBound(base).total();
+        double rfh = ctx.engine.stats(row.rfh).energy.total();
+        double rfv = ctx.engine.stats(row.rfv).energy.total();
+        double rl = ctx.engine.stats(row.rl).energy.total();
+        norf_r.add(name, norf / b);
+        rfh_r.add(name, rfh / b);
+        rfv_r.add(name, rfv / b);
+        rl_r.add(name, rl / b);
+        table.row({name, norf / b, rfh / b, rfv / b, rl / b});
+    }
+    table.row({"GEOMEAN", norf_r.value(), rfh_r.value(), rfv_r.value(),
+               rl_r.value()});
+    ctx.out << "# paper: no_rf=0.833 rfh=0.971 rfv=0.963 "
+               "regless=0.890 (11% total saving)\n";
+}
+
+} // namespace regless::figures

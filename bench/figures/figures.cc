@@ -1,0 +1,176 @@
+#include "figures/figures.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/stats_io.hh"
+
+namespace regless::figures
+{
+
+// Generator functions, one translation unit per figure.
+void genFig02WorkingSet(FigureContext &ctx);
+void genFig03BackingStore(FigureContext &ctx);
+void genFig05LivenessSeams(FigureContext &ctx);
+void genFig11Area(FigureContext &ctx);
+void genFig12Power(FigureContext &ctx);
+void genFig13Pareto(FigureContext &ctx);
+void genFig14RfEnergy(FigureContext &ctx);
+void genFig15GpuEnergy(FigureContext &ctx);
+void genFig16Runtime(FigureContext &ctx);
+void genFig17PreloadLocation(FigureContext &ctx);
+void genFig18L1Bandwidth(FigureContext &ctx);
+void genFig19RegionRegisters(FigureContext &ctx);
+void genTable1Config(FigureContext &ctx);
+void genTable2RegionSizes(FigureContext &ctx);
+void genAblationRegless(FigureContext &ctx);
+void genAblationCompressor(FigureContext &ctx);
+void genAblationDivergence(FigureContext &ctx);
+void genOversubscriptionSweep(FigureContext &ctx);
+void genMultiSmScaling(FigureContext &ctx);
+
+const std::vector<Figure> &
+allFigures()
+{
+    // Explicit table (no static registration) so the report order is
+    // the paper's figure order and the linker can never drop one.
+    static const std::vector<Figure> figures = {
+        {"fig02_working_set",
+         "Register working set per 100 cycles (KB)", "Figure 2",
+         genFig02WorkingSet},
+        {"fig03_backing_store",
+         "Backing-store accesses per 100 cycles (hotspot)", "Figure 3",
+         genFig03BackingStore},
+        {"fig05_liveness_seams",
+         "Live registers per static instruction (particle_filter)",
+         "Figure 5", genFig05LivenessSeams},
+        {"fig11_area", "Normalized area per OSU capacity", "Figure 11",
+         genFig11Area},
+        {"fig12_power",
+         "Normalized register-structure power per OSU capacity",
+         "Figure 12", genFig12Power},
+        {"fig13_pareto", "Run time vs GPU energy per OSU capacity",
+         "Figure 13", genFig13Pareto},
+        {"fig14_rf_energy", "Normalized register-file energy",
+         "Figure 14", genFig14RfEnergy},
+        {"fig15_gpu_energy", "Normalized total GPU energy",
+         "Figure 15", genFig15GpuEnergy},
+        {"fig16_runtime", "Normalized run time (lower is better)",
+         "Figure 16", genFig16Runtime},
+        {"fig17_preload_location", "Preload source breakdown (%)",
+         "Figure 17", genFig17PreloadLocation},
+        {"fig18_l1_bandwidth", "RegLess L1 requests per cycle",
+         "Figure 18", genFig18L1Bandwidth},
+        {"fig19_region_registers", "Registers per region", "Figure 19",
+         genFig19RegionRegisters},
+        {"table1_config", "Simulation parameters", "Table 1",
+         genTable1Config},
+        {"table2_region_sizes", "Region sizes", "Table 2",
+         genTable2RegionSizes},
+        {"ablation_regless", "RegLess design ablations",
+         "DESIGN.md section 5", genAblationRegless},
+        {"ablation_compressor", "Compressor pattern-set ablation",
+         "section 5.3 (the six value patterns)",
+         genAblationCompressor},
+        {"ablation_divergence",
+         "Soft-definition cost vs divergence degree",
+         "section 4.4 / 6.4 (conservative liveness)",
+         genAblationDivergence},
+        {"oversubscription_sweep",
+         "Register-file oversubscription sweep",
+         "section 7 (RegLess needs no design change to oversubscribe)",
+         genOversubscriptionSweep},
+        {"multi_sm_scaling", "Multi-SM scaling with shared DRAM",
+         "section 6.5 (RegLess adds no L2/DRAM pressure)",
+         genMultiSmScaling},
+    };
+    return figures;
+}
+
+const Figure *
+findFigure(const std::string &name)
+{
+    for (const Figure &figure : allFigures()) {
+        if (name == figure.name)
+            return &figure;
+    }
+    return nullptr;
+}
+
+void
+runFigure(const Figure &figure, FigureContext &ctx)
+{
+    sim::banner(ctx.out, figure.title, figure.paperRef);
+    figure.generate(ctx);
+}
+
+ReportOptions
+parseReportOptions(int argc, char **argv, bool allow_filter)
+{
+    ReportOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (allow_filter && arg == "--filter") {
+            options.filters.push_back(value());
+        } else if (allow_filter && arg == "--list") {
+            options.list = true;
+        } else if (arg == "--jobs") {
+            options.jobs = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        } else if (arg == "--json") {
+            options.jsonPath = value();
+        } else if (arg == "--no-cache") {
+            options.cache = false;
+        } else if (arg == "--cache-dir") {
+            options.cacheDir = value();
+        } else {
+            std::cerr
+                << "usage: " << argv[0]
+                << (allow_filter ? " [--filter SUBSTR] [--list]" : "")
+                << " [--jobs N] [--json PATH] [--no-cache]"
+                   " [--cache-dir DIR]\n";
+            std::exit(arg == "--help" ? 0 : 1);
+        }
+    }
+    return options;
+}
+
+sim::ExperimentEngine::Options
+engineOptions(const ReportOptions &options)
+{
+    sim::ExperimentEngine::Options engine;
+    engine.jobs = options.jobs;
+    engine.cacheDir = options.cache ? options.cacheDir : "";
+    return engine;
+}
+
+int
+figureMain(const std::string &name, int argc, char **argv)
+{
+    const Figure *figure = findFigure(name);
+    if (!figure)
+        fatal("unknown figure '", name, "'");
+    const ReportOptions options =
+        parseReportOptions(argc, argv, /*allow_filter=*/false);
+    sim::ExperimentEngine engine(engineOptions(options));
+    FigureContext ctx{engine, std::cout};
+    runFigure(*figure, ctx);
+    if (!options.jsonPath.empty()) {
+        std::ofstream out(options.jsonPath,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("cannot write '", options.jsonPath, "'");
+        sim::writeJson(out, engine.allStats());
+    }
+    return 0;
+}
+
+} // namespace regless::figures

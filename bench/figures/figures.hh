@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure-generator registry for the paper's evaluation. Each table
+ * and figure is a function that declares the simulation points it
+ * needs on a shared ExperimentEngine and then formats the results, so
+ * the common Rodinia × provider grid is simulated once per report run
+ * (and zero times on a warm cache). The `regless_report` driver runs
+ * every generator; the per-figure bench binaries are thin wrappers
+ * around the same functions.
+ */
+
+#ifndef REGLESS_BENCH_FIGURES_FIGURES_HH
+#define REGLESS_BENCH_FIGURES_FIGURES_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment_engine.hh"
+
+namespace regless::figures
+{
+
+/** Everything a generator needs: where to simulate, where to print. */
+struct FigureContext
+{
+    sim::ExperimentEngine &engine;
+    std::ostream &out;
+};
+
+/** One registered table/figure generator. */
+struct Figure
+{
+    /** Registry key and wrapper-binary name, e.g. "fig16_runtime". */
+    const char *name;
+    /** Banner title. */
+    const char *title;
+    /** Banner paper reference, e.g. "Figure 16". */
+    const char *paperRef;
+    void (*generate)(FigureContext &ctx);
+};
+
+/** Every generator, in the paper's figure order. */
+const std::vector<Figure> &allFigures();
+
+/** Lookup by exact name; nullptr when absent. */
+const Figure *findFigure(const std::string &name);
+
+/** Print the banner and run the generator (driver and wrappers). */
+void runFigure(const Figure &figure, FigureContext &ctx);
+
+/** @name Shared CLI for regless_report and the wrapper binaries. */
+/// @{
+struct ReportOptions
+{
+    /** Substring filters on figure names; empty = all. */
+    std::vector<std::string> filters;
+    /** Worker threads (0 = auto). */
+    unsigned jobs = 0;
+    /** Write every unique RunStats as a JSON array here. */
+    std::string jsonPath;
+    /** On-disk memoization of simulation points. */
+    bool cache = true;
+    std::string cacheDir = ".regless-cache";
+    /** List figure names and exit. */
+    bool list = false;
+};
+
+/**
+ * Parse the shared flags (--filter, --jobs, --json, --no-cache,
+ * --cache-dir, --list); fatal() with usage on anything unknown.
+ * @param allow_filter False for wrapper binaries, which are already
+ *        a single figure.
+ */
+ReportOptions parseReportOptions(int argc, char **argv,
+                                 bool allow_filter);
+
+/** Engine configured from @a options. */
+sim::ExperimentEngine::Options engineOptions(
+    const ReportOptions &options);
+
+/**
+ * Wrapper-binary entry point: run the named figure to stdout with the
+ * shared CLI (minus --filter). Returns the process exit code.
+ */
+int figureMain(const std::string &name, int argc, char **argv);
+/// @}
+
+} // namespace regless::figures
+
+#endif // REGLESS_BENCH_FIGURES_FIGURES_HH

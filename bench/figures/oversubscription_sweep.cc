@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Oversubscription sweep (paper §7 / related-work claim): as kernels
+ * allocate more register names per warp, a fixed register file loses
+ * occupancy while RegLess stays at full residency with a quarter of
+ * the storage. Reports the crossover.
+ */
+
+#include "figures/figures.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workloads/kernel_builder.hh"
+
+namespace regless::figures
+{
+
+namespace
+{
+
+/**
+ * Kernel with @a phases sequential 12-register windows: register names
+ * grow with phases, instantaneous pressure stays ~15.
+ */
+ir::Kernel
+phasedKernel(unsigned phases)
+{
+    workloads::KernelBuilder b("phased" + std::to_string(phases));
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId acc = b.reg();
+    b.moviTo(acc, 0);
+    for (unsigned phase = 0; phase < phases; ++phase) {
+        RegId v = b.ld(b.iadd(addr, b.movi(16384 * phase)));
+        std::vector<RegId> window;
+        for (int k = 0; k < 12; ++k)
+            window.push_back(b.imad(v, b.movi(k + 2 + phase), t));
+        while (window.size() > 1) {
+            std::vector<RegId> next;
+            for (std::size_t k = 0; k + 1 < window.size(); k += 2)
+                next.push_back(b.iadd(window[k], window[k + 1]));
+            if (window.size() % 2)
+                next.push_back(window.back());
+            window = std::move(next);
+        }
+        b.iaddTo(acc, acc, window[0]);
+    }
+    b.st(acc, addr, 1 << 22);
+    return b.build();
+}
+
+constexpr unsigned kPhases[] = {2u, 4u, 6u, 8u, 10u};
+
+} // namespace
+
+void
+genOversubscriptionSweep(FigureContext &ctx)
+{
+    sim::GpuConfig base_cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Baseline);
+    base_cfg.limitOccupancyByRf = true;
+    sim::GpuConfig rl_cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+
+    std::vector<std::pair<sim::ExperimentEngine::JobId,
+                          sim::ExperimentEngine::JobId>>
+        jobs;
+    for (unsigned phases : kPhases) {
+        const std::string name = "phased" + std::to_string(phases);
+        auto builder = [phases] { return phasedKernel(phases); };
+        jobs.emplace_back(
+            ctx.engine.submit({name, base_cfg, 0, builder}),
+            ctx.engine.submit({name, rl_cfg, 0, builder}));
+    }
+
+    sim::TableWriter table(ctx.out, {{"names/warp", 12, 0},
+                                     {"resident", 10, 0},
+                                     {"baseline", 10, 0},
+                                     {"regless", 10, 0},
+                                     {"speedup", 9, 2}});
+    table.header();
+
+    std::size_t i = 0;
+    for (unsigned phases : kPhases) {
+        const auto &[base_id, rl_id] = jobs[i++];
+        ir::Kernel kernel = phasedKernel(phases);
+        unsigned regs = kernel.numRegs();
+
+        const sim::RunStats &base = ctx.engine.stats(base_id);
+        const sim::RunStats &rl = ctx.engine.stats(rl_id);
+
+        unsigned wpb = kernel.warpsPerBlock();
+        unsigned fit = base_cfg.baselineRfEntries / regs;
+        fit = std::max(wpb, fit - fit % wpb);
+        fit = std::min(fit, base_cfg.sm.numWarps);
+
+        table.row({static_cast<double>(regs),
+                   static_cast<double>(fit),
+                   static_cast<double>(base.cycles),
+                   static_cast<double>(rl.cycles),
+                   static_cast<double>(base.cycles) /
+                       static_cast<double>(rl.cycles)});
+    }
+    ctx.out << "# RegLess holds 64 resident warps with 512 staging "
+               "entries regardless of the name count\n";
+}
+
+} // namespace regless::figures

@@ -1,17 +1,15 @@
 /**
  * @file
- * Multi-SM scaling (beyond the paper's figures, supporting its §6.5
- * claim): RegLess's register traffic stays inside each SM's L1, so
- * scaling the SM count raises DRAM contention identically for the
- * baseline and RegLess — operand staging adds no shared-resource
- * pressure.
+ * Multi-SM scaling wrapper. With no arguments this is a thin wrapper
+ * over the multi_sm_scaling generator in figures/multi_sm_scaling.cc
+ * (shared with regless_report). The timed mode stays here: it measures
+ * wall-clock throughput of the parallel executor, which is not a
+ * cacheable simulation result.
  *
- * Modes:
- *  - no arguments: the §6.5 sweep over SM counts (both providers).
- *  - --threads N [--sms M] [--kernel K] [--provider P]: one full-chip
- *    run (default 16 SMs) on N worker threads, reporting wall-clock
- *    time and simulated cycles per wall-clock second. Results are
- *    bit-identical for every N; only the wall clock changes.
+ *   --threads N [--sms M] [--kernel K] [--provider P]: one full-chip
+ *   run (default 16 SMs) on N worker threads, reporting wall-clock
+ *   time and simulated cycles per wall-clock second. Results are
+ *   bit-identical for every N; only the wall clock changes.
  */
 
 #include <chrono>
@@ -20,6 +18,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "figures/figures.hh"
 #include "sim/experiment.hh"
 #include "sim/multi_sm.hh"
 #include "workloads/rodinia.hh"
@@ -69,89 +68,45 @@ timedMode(unsigned threads, unsigned sms, const std::string &kernel,
     return 0;
 }
 
-int
-sweepMode()
-{
-    sim::banner("Multi-SM scaling with shared DRAM",
-                "section 6.5 (RegLess adds no L2/DRAM pressure)");
-    std::cout << sim::cell("sms", 5) << sim::cell("base_cycles", 13)
-              << sim::cell("rl_cycles", 11) << sim::cell("ratio", 8)
-              << sim::cell("dram_accesses", 15)
-              << sim::cell("rl_dram", 9)
-              << sim::cell("Mcycles/s", 11) << "\n";
-
-    for (unsigned sms : {1u, 2u, 4u, 8u}) {
-        sim::MultiSmSimulator base(
-            workloads::makeRodinia("streamcluster"),
-            sim::GpuConfig::forProvider(sim::ProviderKind::Baseline),
-            sms);
-        sim::RunStats b;
-        double wall = timedRun(base, b);
-
-        sim::MultiSmSimulator rl(
-            workloads::makeRodinia("streamcluster"),
-            sim::GpuConfig::forProvider(sim::ProviderKind::Regless),
-            sms);
-        sim::RunStats r;
-        wall += timedRun(rl, r);
-
-        double cps =
-            static_cast<double>(b.cycles + r.cycles) / wall / 1e6;
-        std::cout << sim::cell(static_cast<double>(sms), 5, 0)
-                  << sim::cell(static_cast<double>(b.cycles), 13, 0)
-                  << sim::cell(static_cast<double>(r.cycles), 11, 0)
-                  << sim::cell(static_cast<double>(r.cycles) /
-                                   static_cast<double>(b.cycles),
-                               8)
-                  << sim::cell(static_cast<double>(b.dramAccesses), 15,
-                               0)
-                  << sim::cell(static_cast<double>(r.dramAccesses), 9,
-                               0)
-                  << sim::cell(cps, 11) << "\n";
-    }
-    std::cout << "# RegLess's runtime ratio and DRAM footprint stay "
-                 "flat as SMs contend\n";
-    return 0;
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    unsigned threads = 0;
-    unsigned sms = 16;
-    std::string kernel = "streamcluster";
-    sim::ProviderKind provider = sim::ProviderKind::Baseline;
-    bool timed = false;
-
+    // Only intercept the timed mode; everything else (including the
+    // shared --jobs/--json/--no-cache flags) goes to the generator.
     for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc)
-                fatal("missing value for ", arg);
-            return argv[++i];
-        };
-        if (arg == "--threads") {
-            threads = static_cast<unsigned>(
-                std::strtoul(value().c_str(), nullptr, 10));
-            timed = true;
-        } else if (arg == "--sms") {
-            sms = static_cast<unsigned>(
-                std::strtoul(value().c_str(), nullptr, 10));
-        } else if (arg == "--kernel") {
-            kernel = value();
-        } else if (arg == "--provider") {
-            provider = sim::providerFromName(value());
-        } else {
-            std::cerr << "usage: " << argv[0]
-                      << " [--threads N [--sms M] [--kernel K]"
-                         " [--provider P]]\n";
-            return arg == "--help" ? 0 : 1;
+        if (std::string(argv[i]) != "--threads")
+            continue;
+        unsigned threads = 0;
+        unsigned sms = 16;
+        std::string kernel = "streamcluster";
+        sim::ProviderKind provider = sim::ProviderKind::Baseline;
+        for (int j = 1; j < argc; ++j) {
+            std::string arg = argv[j];
+            auto value = [&]() -> std::string {
+                if (j + 1 >= argc)
+                    fatal("missing value for ", arg);
+                return argv[++j];
+            };
+            if (arg == "--threads") {
+                threads = static_cast<unsigned>(
+                    std::strtoul(value().c_str(), nullptr, 10));
+            } else if (arg == "--sms") {
+                sms = static_cast<unsigned>(
+                    std::strtoul(value().c_str(), nullptr, 10));
+            } else if (arg == "--kernel") {
+                kernel = value();
+            } else if (arg == "--provider") {
+                provider = sim::providerFromName(value());
+            } else {
+                std::cerr << "usage: " << argv[0]
+                          << " [--threads N [--sms M] [--kernel K]"
+                             " [--provider P]]\n";
+                return arg == "--help" ? 0 : 1;
+            }
         }
-    }
-
-    if (timed)
         return timedMode(threads, sms, kernel, provider);
-    return sweepMode();
+    }
+    return regless::figures::figureMain("multi_sm_scaling", argc, argv);
 }

@@ -1,95 +1,13 @@
 /**
  * @file
- * Oversubscription sweep (paper §7 / related-work claim): as kernels
- * allocate more register names per warp, a fixed register file loses
- * occupancy while RegLess stays at full residency with a quarter of
- * the storage. Reports the crossover.
+ * Thin wrapper: the oversubscription_sweep generator lives in figures/oversubscription_sweep.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-#include <vector>
-
-#include "sim/experiment.hh"
-#include "workloads/kernel_builder.hh"
-
-using namespace regless;
-
-namespace
-{
-
-/**
- * Kernel with @a phases sequential 12-register windows: register names
- * grow with phases, instantaneous pressure stays ~15.
- */
-ir::Kernel
-phasedKernel(unsigned phases)
-{
-    workloads::KernelBuilder b("phased" + std::to_string(phases));
-    RegId t = b.tid();
-    RegId addr = b.imuli(t, 4);
-    RegId acc = b.reg();
-    b.moviTo(acc, 0);
-    for (unsigned phase = 0; phase < phases; ++phase) {
-        RegId v = b.ld(b.iadd(addr, b.movi(16384 * phase)));
-        std::vector<RegId> window;
-        for (int k = 0; k < 12; ++k)
-            window.push_back(b.imad(v, b.movi(k + 2 + phase), t));
-        while (window.size() > 1) {
-            std::vector<RegId> next;
-            for (std::size_t k = 0; k + 1 < window.size(); k += 2)
-                next.push_back(b.iadd(window[k], window[k + 1]));
-            if (window.size() % 2)
-                next.push_back(window.back());
-            window = std::move(next);
-        }
-        b.iaddTo(acc, acc, window[0]);
-    }
-    b.st(acc, addr, 1 << 22);
-    return b.build();
-}
-
-} // namespace
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Register-file oversubscription sweep",
-                "section 7 (RegLess needs no design change to "
-                "oversubscribe)");
-    std::cout << sim::cell("names/warp", 12)
-              << sim::cell("resident", 10)
-              << sim::cell("baseline", 10) << sim::cell("regless", 10)
-              << sim::cell("speedup", 9) << "\n";
-
-    for (unsigned phases : {2u, 4u, 6u, 8u, 10u}) {
-        ir::Kernel kernel = phasedKernel(phases);
-        unsigned regs = kernel.numRegs();
-
-        sim::GpuConfig base_cfg =
-            sim::GpuConfig::forProvider(sim::ProviderKind::Baseline);
-        base_cfg.limitOccupancyByRf = true;
-        sim::GpuConfig rl_cfg =
-            sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
-
-        sim::RunStats base = sim::runKernel(phasedKernel(phases),
-                                            base_cfg);
-        sim::RunStats rl = sim::runKernel(phasedKernel(phases), rl_cfg);
-
-        unsigned wpb = kernel.warpsPerBlock();
-        unsigned fit = base_cfg.baselineRfEntries / regs;
-        fit = std::max(wpb, fit - fit % wpb);
-        fit = std::min(fit, base_cfg.sm.numWarps);
-
-        std::cout << sim::cell(static_cast<double>(regs), 12, 0)
-                  << sim::cell(static_cast<double>(fit), 10, 0)
-                  << sim::cell(static_cast<double>(base.cycles), 10, 0)
-                  << sim::cell(static_cast<double>(rl.cycles), 10, 0)
-                  << sim::cell(static_cast<double>(base.cycles) /
-                                   static_cast<double>(rl.cycles),
-                               9, 2)
-                  << "\n";
-    }
-    std::cout << "# RegLess holds 64 resident warps with 512 staging "
-                 "entries regardless of the name count\n";
-    return 0;
+    return regless::figures::figureMain("oversubscription_sweep", argc, argv);
 }

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * regless_report: the whole paper evaluation as one binary. Every
+ * figure/table generator declares its simulation points on a shared
+ * ExperimentEngine, so the Rodinia × provider grid is simulated once
+ * per report (and zero times on a warm cache — see the footer).
+ *
+ *   regless_report                      # full report
+ *   regless_report --filter fig16      # matching figures only
+ *   regless_report --jobs 8            # worker threads
+ *   regless_report --json out.json     # dump every unique RunStats
+ *   regless_report --no-cache          # ignore + don't write the cache
+ *   regless_report --cache-dir DIR     # default .regless-cache
+ *   regless_report --list              # figure names
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "figures/figures.hh"
+#include "sim/stats_io.hh"
+
+using namespace regless;
+
+namespace
+{
+
+bool
+matches(const std::string &name,
+        const std::vector<std::string> &filters)
+{
+    if (filters.empty())
+        return true;
+    for (const std::string &filter : filters) {
+        if (name.find(filter) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    figures::ReportOptions options =
+        figures::parseReportOptions(argc, argv, /*allow_filter=*/true);
+
+    if (options.list) {
+        for (const figures::Figure &figure : figures::allFigures())
+            std::cout << figure.name << "\n";
+        return 0;
+    }
+
+    sim::ExperimentEngine engine(figures::engineOptions(options));
+    figures::FigureContext ctx{engine, std::cout};
+
+    unsigned ran = 0;
+    for (const figures::Figure &figure : figures::allFigures()) {
+        if (!matches(figure.name, options.filters))
+            continue;
+        if (ran++)
+            std::cout << "\n";
+        figures::runFigure(figure, ctx);
+    }
+    if (!ran)
+        fatal("no figure matches the given --filter; try --list");
+
+    if (!options.jsonPath.empty()) {
+        std::ofstream out(options.jsonPath,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("cannot write '", options.jsonPath, "'");
+        sim::writeJson(out, engine.allStats());
+    }
+
+    std::cout << "\n# engine: " << engine.pointsRequested()
+              << " points requested, " << engine.pointsUnique()
+              << " unique, " << engine.simulated() << " simulated, "
+              << engine.cacheHits() << " cache hits\n";
+    return 0;
+}

@@ -1,48 +1,13 @@
 /**
  * @file
- * Table 1: the simulation parameters, echoed from the live
- * configuration objects so the table can never drift from the code.
+ * Thin wrapper: the table1_config generator lives in figures/table1_config.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-
-using namespace regless;
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Simulation parameters", "Table 1");
-    sim::GpuConfig cfg =
-        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
-
-    std::cout << "SMs modelled        1 in detail (shared-resource "
-                 "bandwidth scaled per 16-SM GPU)\n";
-    std::cout << "Warps per SM        " << cfg.sm.numWarps << ", "
-              << cfg.sm.numSchedulers << " schedulers, issue width "
-              << cfg.sm.issueWidth << "\n";
-    std::cout << "Warp scheduler      GTO\n";
-    std::cout << "L1 cache            " << cfg.mem.l1.sizeBytes / 1024
-              << "KB, " << cfg.mem.l1.mshrs
-              << " MSHRs, data accesses bypassed\n";
-    std::cout << "L1 bandwidth        one request per cycle\n";
-    std::cout << "L2 cache            " << cfg.mem.l2.sizeBytes / 1024 / 1024
-              << "MB, " << cfg.mem.dram.channels
-              << " memory partitions\n";
-    std::cout << "DRAM                " << cfg.mem.dram.accessLatency
-              << "-cycle latency, per-SM share "
-              << cfg.mem.dram.bandwidthShare << "\n";
-    std::cout << "Baseline RF         " << cfg.baselineRfEntries
-              << " entries ("
-              << cfg.baselineRfEntries * regBytes / 1024 << "KB)\n";
-    std::cout << "RegLess OSU         " << cfg.regless.osuEntriesPerSm
-              << " entries across " << cfg.regless.numShards
-              << " shards of 8 banks\n";
-    std::cout << "Compressor          one read or write per cycle, "
-              << cfg.regless.compressor.cacheLines
-              << " lines internal storage per shard ("
-              << cfg.regless.compressor.cacheLines * cfg.regless.numShards
-              << " per SM)\n";
-    return 0;
+    return regless::figures::figureMain("table1_config", argc, argv);
 }

@@ -1,35 +1,13 @@
 /**
  * @file
- * Table 2: average static instructions per region and average dynamic
- * cycles each region was active, per benchmark.
+ * Thin wrapper: the table2_region_sizes generator lives in figures/table2_region_sizes.cc and is
+ * shared with the regless_report driver.
  */
 
-#include <iostream>
-
-#include "sim/experiment.hh"
-#include "workloads/rodinia.hh"
-
-using namespace regless;
+#include "figures/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    sim::banner("Region sizes", "Table 2");
-    std::cout << sim::cell("benchmark", 18) << sim::cell("insns", 8)
-              << sim::cell("cycles", 8) << sim::cell("regions", 9)
-              << "\n";
-
-    for (const auto &name : workloads::rodiniaNames()) {
-        sim::RunStats stats = sim::runKernel(
-            workloads::makeRodinia(name), sim::ProviderKind::Regless);
-        std::cout << sim::cell(name, 18)
-                  << sim::cell(stats.staticInsnsPerRegion, 8, 1)
-                  << sim::cell(stats.regionCyclesMean, 8, 0)
-                  << sim::cell(static_cast<double>(stats.numRegions), 9,
-                               0)
-                  << "\n";
-    }
-    std::cout << "# paper: 3.3-16.0 insns/region; 16-1601 cycles; "
-                 "compute-heavy kernels have the largest regions\n";
-    return 0;
+    return regless::figures::figureMain("table2_region_sizes", argc, argv);
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Build and run the full paper report through the evaluation engine.
+# Extra arguments go to regless_report, e.g.:
+#   ./scripts/report.sh --filter fig16 --jobs 8
+#   ./scripts/report.sh --no-cache --json report.json
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build --target regless_report
+./build/bench/regless_report "$@"

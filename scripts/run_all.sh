@@ -6,13 +6,9 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/*; do
-    [ -f "$b" ] && [ -x "$b" ] || continue
-    echo "================================================================"
-    echo "== $b"
-    echo "================================================================"
-    "$b"
-    echo
-done 2>&1 | tee bench_output.txt
+# One engine run for every figure: shared simulation points are
+# deduplicated and cached in .regless-cache/ (DESIGN.md section 7).
+./build/bench/regless_report 2>&1 | tee bench_output.txt
+./build/bench/micro_components 2>&1 | tee -a bench_output.txt
 ./build/examples/generate_report results.md
 echo "done: test_output.txt, bench_output.txt, results.md"

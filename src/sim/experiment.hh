@@ -7,6 +7,8 @@
 #ifndef REGLESS_SIM_EXPERIMENT_HH
 #define REGLESS_SIM_EXPERIMENT_HH
 
+#include <initializer_list>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,99 @@ std::string cell(double value, unsigned width, unsigned digits = 3);
 
 /** Print a standard bench banner with the figure/table reference. */
 void banner(const std::string &title, const std::string &paper_ref);
+
+/** Banner variant writing to an arbitrary stream. */
+void banner(std::ostream &os, const std::string &title,
+            const std::string &paper_ref);
+
+/** One column of a fixed-width text table. */
+struct TableColumn
+{
+    std::string header;
+    unsigned width;
+    /** Decimals for numeric cells in this column. */
+    unsigned digits = 3;
+};
+
+/** Heterogeneous table cell: text or a number. */
+class TableCell
+{
+  public:
+    TableCell(const char *text) : _kind(Kind::Text), _text(text) {}
+    TableCell(std::string text)
+        : _kind(Kind::Text), _text(std::move(text))
+    {
+    }
+    TableCell(double value) : _kind(Kind::Number), _number(value) {}
+    TableCell(unsigned value)
+        : _kind(Kind::Number), _number(static_cast<double>(value))
+    {
+    }
+
+    bool isText() const { return _kind == Kind::Text; }
+    const std::string &text() const { return _text; }
+    double number() const { return _number; }
+
+  private:
+    enum class Kind
+    {
+        Text,
+        Number,
+    } _kind;
+    std::string _text;
+    double _number = 0.0;
+};
+
+/**
+ * Fixed-width table writer shared by every figure generator so data
+ * rows, summary rows, and headers stay aligned (bench tables used to
+ * hand-roll widths and drift — fig16's geomean rows were 24 wide
+ * under an 18-wide header that named only one of four columns).
+ */
+class TableWriter
+{
+  public:
+    TableWriter(std::ostream &os, std::vector<TableColumn> columns);
+
+    /** Print the header row (every column's name). */
+    void header() const;
+
+    /**
+     * Print one row. Fewer cells than columns leaves the tail empty;
+     * more is fatal(). Numeric cells use their column's digits.
+     */
+    void row(std::initializer_list<TableCell> cells) const;
+
+  private:
+    std::ostream &_os;
+    std::vector<TableColumn> _columns;
+};
+
+/**
+ * Labelled ratio series for geomean summaries. geomean() panic()s on
+ * a non-positive sample with only the bare value; this wrapper checks
+ * each sample as it is added and fatal()s naming the offending job
+ * (kernel/variant) and metric instead, so a zero-cycle or zero-energy
+ * run is diagnosable from the report output.
+ */
+class GeomeanSeries
+{
+  public:
+    /** @param what Metric description, e.g. "fig16 runtime ratio". */
+    explicit GeomeanSeries(std::string what);
+
+    /** Record @a value for job @a label; fatal() unless 0 < value < inf. */
+    void add(const std::string &label, double value);
+
+    /** Geometric mean of all samples. */
+    double value() const;
+
+    std::size_t count() const { return _values.size(); }
+
+  private:
+    std::string _what;
+    std::vector<double> _values;
+};
 
 } // namespace regless::sim
 

@@ -1,0 +1,233 @@
+#include "sim/experiment_engine.hh"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "sim/gpu_simulator.hh"
+#include "sim/multi_sm.hh"
+#include "sim/stats_io.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless::sim
+{
+
+namespace
+{
+
+/**
+ * Bumped whenever RunStats gains fields the report layer consumes, so
+ * cache entries written before the field existed (and which would
+ * silently deserialize it to zero) miss instead of serving stale data.
+ */
+constexpr unsigned kCacheSchemaVersion = 2;
+
+/** Fingerprint of everything that determines a job's results. */
+std::uint64_t
+jobFingerprint(const SimJob &job)
+{
+    std::string text = configCanonicalText(job.config);
+    text += "kernel=" + job.kernel + "\n";
+    text += "sms=" + std::to_string(job.sms) + "\n";
+    text += "schema=" + std::to_string(kCacheSchemaVersion) + "\n";
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    for (char c : name) {
+        out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                          ? c
+                          : '_');
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+ExperimentEngine::cacheFileName(const SimJob &job)
+{
+    std::ostringstream oss;
+    oss << sanitize(job.kernel) << "-"
+        << providerName(job.config.provider) << "-" << job.sms << "sm-"
+        << std::hex << jobFingerprint(job) << ".json";
+    return oss.str();
+}
+
+ExperimentEngine::ExperimentEngine() : ExperimentEngine(Options{}) {}
+
+ExperimentEngine::ExperimentEngine(Options options)
+    : _options(std::move(options))
+{
+}
+
+ExperimentEngine::JobId
+ExperimentEngine::submit(const SimJob &job)
+{
+    ++_requested;
+    const std::string key = cacheFileName(job);
+    auto [it, inserted] = _index.try_emplace(key, _entries.size());
+    if (inserted)
+        _entries.push_back(Entry{job, RunStats{}, false});
+    return it->second;
+}
+
+ExperimentEngine::JobId
+ExperimentEngine::submit(const std::string &name,
+                         const GpuConfig &config)
+{
+    return submit(SimJob{name, config, 0, {}});
+}
+
+ExperimentEngine::JobId
+ExperimentEngine::submit(const std::string &name, ProviderKind kind)
+{
+    return submit(SimJob{name, GpuConfig::forProvider(kind), 0, {}});
+}
+
+const RunStats &
+ExperimentEngine::stats(JobId id)
+{
+    if (id >= _entries.size())
+        panic("ExperimentEngine: unknown job id ", id);
+    if (!_entries[id].done)
+        flush();
+    return _entries[id].stats;
+}
+
+RunStats
+ExperimentEngine::execute(const SimJob &job)
+{
+    ir::Kernel kernel = job.builder
+                            ? job.builder()
+                            : workloads::makeRodinia(job.kernel);
+    if (job.sms >= 1) {
+        // Single-threaded inside: the engine already parallelizes
+        // across jobs, and results are thread-invariant anyway.
+        MultiSmSimulator multi(kernel, job.config, job.sms,
+                               /*threads=*/1);
+        return multi.run();
+    }
+    GpuSimulator simulator(kernel, job.config);
+    return simulator.run();
+}
+
+bool
+ExperimentEngine::loadFromCache(Entry &entry)
+{
+    if (_options.cacheDir.empty())
+        return false;
+    const std::filesystem::path path =
+        std::filesystem::path(_options.cacheDir) /
+        cacheFileName(entry.job);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    // A corrupt or truncated entry is a miss, never an error: the
+    // point is re-simulated and the entry rewritten.
+    RunStats parsed;
+    if (!tryFromJson(buffer.str(), parsed))
+        return false;
+    // Entries are keyed by fingerprint, so a provider mismatch means
+    // the file was tampered with or collided; treat it as a miss too.
+    if (parsed.provider != entry.job.config.provider)
+        return false;
+    entry.stats = std::move(parsed);
+    return true;
+}
+
+void
+ExperimentEngine::storeToCache(const Entry &entry)
+{
+    if (_options.cacheDir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(_options.cacheDir, ec);
+    if (ec) {
+        warn("experiment cache: cannot create '", _options.cacheDir,
+             "': ", ec.message());
+        return;
+    }
+    const std::filesystem::path path =
+        std::filesystem::path(_options.cacheDir) /
+        cacheFileName(entry.job);
+    const std::filesystem::path tmp =
+        path.string() + ".tmp" + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("experiment cache: cannot write '", tmp.string(),
+                 "'");
+            return;
+        }
+        writeJson(out, entry.stats);
+    }
+    // Atomic publish so concurrent report runs never see a torn file.
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+void
+ExperimentEngine::flush()
+{
+    std::vector<Entry *> to_run;
+    for (Entry &entry : _entries) {
+        if (entry.done)
+            continue;
+        if (loadFromCache(entry)) {
+            entry.done = true;
+            ++_cacheHits;
+        } else {
+            to_run.push_back(&entry);
+        }
+    }
+    if (to_run.empty())
+        return;
+
+    const unsigned threads =
+        _options.jobs
+            ? _options.jobs
+            : ThreadPool::defaultThreads(
+                  static_cast<unsigned>(to_run.size()));
+    ThreadPool pool(threads);
+    pool.parallelFor(to_run.size(), [&](std::size_t i) {
+        to_run[i]->stats = execute(to_run[i]->job);
+    });
+
+    // Publish serially: deterministic counters and no concurrent
+    // filesystem writes.
+    for (Entry *entry : to_run) {
+        entry->done = true;
+        ++_simulated;
+        storeToCache(*entry);
+    }
+}
+
+std::vector<RunStats>
+ExperimentEngine::allStats()
+{
+    flush();
+    std::vector<RunStats> out;
+    out.reserve(_entries.size());
+    for (const Entry &entry : _entries)
+        out.push_back(entry.stats);
+    return out;
+}
+
+} // namespace regless::sim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * ExperimentEngine: the evaluation layer's job scheduler. A SimJob is
+ * one simulation point — (kernel, canonical GpuConfig fingerprint,
+ * SM count). Submitted jobs are deduplicated, executed in parallel on
+ * the common thread pool (results are bit-identical for every worker
+ * count), and memoized in a persistent on-disk JSON cache keyed by
+ * the config fingerprint, so a warm rerun of the full paper report
+ * performs zero simulations. See DESIGN.md §7.
+ */
+
+#ifndef REGLESS_SIM_EXPERIMENT_ENGINE_HH
+#define REGLESS_SIM_EXPERIMENT_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/kernel.hh"
+#include "sim/gpu_config.hh"
+#include "sim/run_stats.hh"
+
+namespace regless::sim
+{
+
+/** One deduplicatable simulation point. */
+struct SimJob
+{
+    /**
+     * Kernel name: a Rodinia benchmark name unless @a builder is set,
+     * in which case it is the builder's display/cache name and must
+     * uniquely identify the built kernel.
+     */
+    std::string kernel;
+
+    GpuConfig config;
+
+    /**
+     * 0 (the default) simulates one standalone SM with GpuSimulator;
+     * >= 1 uses the multi-SM executor with that many SMs. These are
+     * distinct simulations even at one SM — the multi-SM executor
+     * models the shared DRAM differently — so they never share a
+     * cache entry.
+     */
+    unsigned sms = 0;
+
+    /** Optional kernel factory for non-Rodinia kernels. */
+    std::function<ir::Kernel()> builder;
+};
+
+/** Deduplicating, parallel, disk-cached simulation executor. */
+class ExperimentEngine
+{
+  public:
+    struct Options
+    {
+        /** Worker threads for a flush; 0 = min(jobs, cores). */
+        unsigned jobs = 0;
+
+        /** Cache directory; empty disables the on-disk cache. */
+        std::string cacheDir;
+    };
+
+    /** Handle to a submitted job, valid for this engine's lifetime. */
+    using JobId = std::size_t;
+
+    ExperimentEngine();
+    explicit ExperimentEngine(Options options);
+
+    ExperimentEngine(const ExperimentEngine &) = delete;
+    ExperimentEngine &operator=(const ExperimentEngine &) = delete;
+
+    /**
+     * Register a job. Jobs with the same (kernel, fingerprint, sms)
+     * key collapse onto one JobId; nothing executes until flush() or
+     * the first stats() call, so submit the whole grid first for
+     * maximal parallelism.
+     */
+    JobId submit(const SimJob &job);
+
+    /** Convenience: Rodinia kernel @a name under @a config. */
+    JobId submit(const std::string &name, const GpuConfig &config);
+
+    /** Convenience: canonical configuration for @a kind. */
+    JobId submit(const std::string &name, ProviderKind kind);
+
+    /**
+     * Results for @a id. Flushes all pending jobs on first use, so
+     * point queries after a batched submit phase stay parallel.
+     */
+    const RunStats &stats(JobId id);
+
+    /** Execute every submitted-but-pending job now. */
+    void flush();
+
+    /** Unique executed/loaded runs, in first-submission order. */
+    std::vector<RunStats> allStats();
+
+    /** @name Engine accounting (the report footer). */
+    /// @{
+    /** submit() calls, before deduplication. */
+    std::uint64_t pointsRequested() const { return _requested; }
+    /** Distinct simulation points. */
+    std::uint64_t pointsUnique() const { return _entries.size(); }
+    /** Points actually simulated by this engine. */
+    std::uint64_t simulated() const { return _simulated; }
+    /** Points served from the on-disk cache. */
+    std::uint64_t cacheHits() const { return _cacheHits; }
+    /// @}
+
+    const Options &options() const { return _options; }
+
+    /**
+     * Cache-entry filename (relative to the cache directory) for a
+     * job, exposed for tests that corrupt or inspect entries.
+     */
+    static std::string cacheFileName(const SimJob &job);
+
+  private:
+    struct Entry
+    {
+        SimJob job;
+        RunStats stats;
+        bool done = false;
+    };
+
+    bool loadFromCache(Entry &entry);
+    void storeToCache(const Entry &entry);
+    static RunStats execute(const SimJob &job);
+
+    Options _options;
+    std::deque<Entry> _entries;
+    std::unordered_map<std::string, JobId> _index;
+    std::uint64_t _requested = 0;
+    std::uint64_t _simulated = 0;
+    std::uint64_t _cacheHits = 0;
+};
+
+} // namespace regless::sim
+
+#endif // REGLESS_SIM_EXPERIMENT_ENGINE_HH

@@ -7,7 +7,10 @@
 #ifndef REGLESS_SIM_GPU_CONFIG_HH
 #define REGLESS_SIM_GPU_CONFIG_HH
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "arch/sm.hh"
 #include "compiler/config.hh"
@@ -35,6 +38,9 @@ const char *providerName(ProviderKind kind);
 
 /** Inverse of providerName(); fatal() on an unknown name. */
 ProviderKind providerFromName(const std::string &name);
+
+/** providerFromName() that reports failure instead of dying. */
+bool tryProviderFromName(const std::string &name, ProviderKind &out);
 
 /** Full simulator configuration. */
 struct GpuConfig
@@ -73,6 +79,24 @@ struct GpuConfig
      */
     void setOsuCapacity(unsigned entries);
 };
+
+/**
+ * Canonical key/value dump of every field of @a config and its
+ * sub-configs, in a fixed order with full-precision numbers. Two
+ * configs produce the same dump iff every field compares equal, so
+ * the dump (and the fingerprint derived from it) is a valid cache
+ * key. The implementation destructures each struct with structured
+ * bindings, so adding a field anywhere breaks the build until the
+ * dump learns about it — new fields cannot silently escape.
+ */
+std::vector<std::pair<std::string, std::string>>
+configKeyValues(const GpuConfig &config);
+
+/** The dump as one "key=value\n" text block (cache-key material). */
+std::string configCanonicalText(const GpuConfig &config);
+
+/** FNV-1a 64-bit hash of configCanonicalText(). */
+std::uint64_t configFingerprint(const GpuConfig &config);
 
 } // namespace regless::sim
 

@@ -196,11 +196,17 @@ GpuSimulator::harvest(RunStats &stats)
         stats.regionCyclesMean = rp.meanRegionCycles();
         stats.regionInsnsMean = rp.meanRegionInsns();
         stats.backingSeries = rp.l1SeriesPoints();
+        stats.osuBankConflicts =
+            rp.stats().counter("osu_bank_conflicts").value();
         // Compressed line flushes are L1 stores too (Figure 18).
         for (unsigned s = 0; s < rp.numShards(); ++s) {
             if (auto *comp = rp.compressor(s)) {
                 stats.l1StoreReqs +=
                     comp->stats().counter("line_flushes").value();
+                stats.compressorMatches +=
+                    comp->stats().counter("matches").value();
+                stats.compressorIncompressible +=
+                    comp->stats().counter("incompressible").value();
             }
         }
         break;

@@ -93,7 +93,10 @@ MultiSmSimulator::run()
         total.rfWrites += s.rfWrites;
         total.osuAccesses += s.osuAccesses;
         total.osuTagLookups += s.osuTagLookups;
+        total.osuBankConflicts += s.osuBankConflicts;
         total.compressorAccesses += s.compressorAccesses;
+        total.compressorMatches += s.compressorMatches;
+        total.compressorIncompressible += s.compressorIncompressible;
         total.preloadSrcOsu += s.preloadSrcOsu;
         total.preloadSrcCompressor += s.preloadSrcCompressor;
         total.preloadSrcL1 += s.preloadSrcL1;

@@ -21,7 +21,10 @@ operator==(const RunStats &a, const RunStats &b)
            a.mrfAccesses == b.mrfAccesses &&
            a.osuAccesses == b.osuAccesses &&
            a.osuTagLookups == b.osuTagLookups &&
+           a.osuBankConflicts == b.osuBankConflicts &&
            a.compressorAccesses == b.compressorAccesses &&
+           a.compressorMatches == b.compressorMatches &&
+           a.compressorIncompressible == b.compressorIncompressible &&
            a.preloadSrcOsu == b.preloadSrcOsu &&
            a.preloadSrcCompressor == b.preloadSrcCompressor &&
            a.preloadSrcL1 == b.preloadSrcL1 &&

@@ -49,7 +49,10 @@ struct RunStats
     std::uint64_t mrfAccesses = 0;
     std::uint64_t osuAccesses = 0;
     std::uint64_t osuTagLookups = 0;
+    std::uint64_t osuBankConflicts = 0;
     std::uint64_t compressorAccesses = 0;
+    std::uint64_t compressorMatches = 0;
+    std::uint64_t compressorIncompressible = 0;
     /// @}
 
     /** @name RegLess preload/traffic detail (Figures 17, 18). */

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hh"
 
@@ -12,6 +13,23 @@ namespace regless::sim
 
 namespace
 {
+
+/**
+ * Internal parse failure. Thrown by the reader so callers choose the
+ * policy: fromJson() converts it to fatal(), tryFromJson() to false.
+ */
+struct JsonParseError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+template <typename... Args>
+[[noreturn]] void
+parseFail(Args &&...args)
+{
+    throw JsonParseError(
+        detail::formatMessage(std::forward<Args>(args)...));
+}
 
 /** Minimal JSON object writer: key ordering is emission order. */
 class JsonObject
@@ -98,7 +116,7 @@ class JsonReader
     {
         skipSpace();
         if (_pos >= _text.size())
-            fatal("stats JSON: unexpected end of input");
+            parseFail("stats JSON: unexpected end of input");
         return _text[_pos];
     }
 
@@ -106,7 +124,7 @@ class JsonReader
     expect(char c)
     {
         if (peek() != c)
-            fatal("stats JSON: expected '", c, "' at offset ", _pos,
+            parseFail("stats JSON: expected '", c, "' at offset ", _pos,
                   ", found '", _text[_pos], "'");
         ++_pos;
     }
@@ -120,13 +138,13 @@ class JsonReader
             char c = _text[_pos++];
             if (c == '\\') {
                 if (_pos >= _text.size())
-                    fatal("stats JSON: dangling escape");
+                    parseFail("stats JSON: dangling escape");
                 c = _text[_pos++];
             }
             out.push_back(c);
         }
         if (_pos >= _text.size())
-            fatal("stats JSON: unterminated string");
+            parseFail("stats JSON: unterminated string");
         ++_pos; // closing quote
         return out;
     }
@@ -139,7 +157,7 @@ class JsonReader
         char *end = nullptr;
         double value = std::strtod(begin, &end);
         if (end == begin)
-            fatal("stats JSON: expected a number at offset ", _pos);
+            parseFail("stats JSON: expected a number at offset ", _pos);
         _pos += static_cast<std::size_t>(end - begin);
         return value;
     }
@@ -160,7 +178,7 @@ class JsonReader
             if (c == ']')
                 return out;
             if (c != ',')
-                fatal("stats JSON: expected ',' or ']' in array");
+                parseFail("stats JSON: expected ',' or ']' in array");
         }
     }
 
@@ -208,7 +226,7 @@ class JsonReader
             if (c == '}')
                 return;
             if (c != ',')
-                fatal("stats JSON: expected ',' or '}' in object");
+                parseFail("stats JSON: expected ',' or '}' in object");
         }
     }
 
@@ -231,8 +249,11 @@ parseRun(JsonReader &reader)
                            const JsonReader::Value &v) {
         if (key == "kernel")
             stats.kernel = v.str;
-        else if (key == "provider")
-            stats.provider = providerFromName(v.str);
+        else if (key == "provider") {
+            if (!tryProviderFromName(v.str, stats.provider))
+                parseFail("stats JSON: unknown provider '", v.str,
+                          "'");
+        }
         else if (key == "cycles")
             stats.cycles = static_cast<Cycle>(v.num);
         else if (key == "insns")
@@ -261,8 +282,14 @@ parseRun(JsonReader &reader)
             stats.osuAccesses = asCount(v);
         else if (key == "osu_tag_lookups")
             stats.osuTagLookups = asCount(v);
+        else if (key == "osu_bank_conflicts")
+            stats.osuBankConflicts = asCount(v);
         else if (key == "compressor_accesses")
             stats.compressorAccesses = asCount(v);
+        else if (key == "compressor_matches")
+            stats.compressorMatches = asCount(v);
+        else if (key == "compressor_incompressible")
+            stats.compressorIncompressible = asCount(v);
         else if (key == "preload_src_osu")
             stats.preloadSrcOsu = asCount(v);
         else if (key == "preload_src_compressor")
@@ -338,7 +365,11 @@ writeJson(std::ostream &os, const RunStats &stats)
         obj.field("mrf_accesses", stats.mrfAccesses);
         obj.field("osu_accesses", stats.osuAccesses);
         obj.field("osu_tag_lookups", stats.osuTagLookups);
+        obj.field("osu_bank_conflicts", stats.osuBankConflicts);
         obj.field("compressor_accesses", stats.compressorAccesses);
+        obj.field("compressor_matches", stats.compressorMatches);
+        obj.field("compressor_incompressible",
+                  stats.compressorIncompressible);
         obj.field("preload_src_osu", stats.preloadSrcOsu);
         obj.field("preload_src_compressor", stats.preloadSrcCompressor);
         obj.field("preload_src_l1", stats.preloadSrcL1);
@@ -391,27 +422,49 @@ toJson(const RunStats &stats)
 RunStats
 fromJson(const std::string &json)
 {
-    JsonReader reader(json);
-    return parseRun(reader);
+    RunStats stats;
+    std::string error;
+    if (!tryFromJson(json, stats, &error))
+        fatal(error);
+    return stats;
+}
+
+bool
+tryFromJson(const std::string &json, RunStats &out, std::string *error)
+{
+    try {
+        JsonReader reader(json);
+        out = parseRun(reader);
+        return true;
+    } catch (const JsonParseError &e) {
+        if (error)
+            *error = e.what();
+        return false;
+    }
 }
 
 std::vector<RunStats>
 runsFromJson(const std::string &json)
 {
-    JsonReader reader(json);
-    std::vector<RunStats> runs;
-    reader.expect('[');
-    if (reader.peek() == ']')
-        return runs;
-    for (;;) {
-        runs.push_back(parseRun(reader));
-        char c = reader.peek();
-        if (c == ']')
+    try {
+        JsonReader reader(json);
+        std::vector<RunStats> runs;
+        reader.expect('[');
+        if (reader.peek() == ']')
             return runs;
-        if (c != ',')
-            fatal("stats JSON: expected ',' or ']' between runs");
-        // consume the comma
-        reader.expect(',');
+        for (;;) {
+            runs.push_back(parseRun(reader));
+            char c = reader.peek();
+            if (c == ']')
+                return runs;
+            if (c != ',')
+                parseFail(
+                    "stats JSON: expected ',' or ']' between runs");
+            // consume the comma
+            reader.expect(',');
+        }
+    } catch (const JsonParseError &e) {
+        fatal(e.what());
     }
 }
 

@@ -35,6 +35,15 @@ std::string toJson(const RunStats &stats);
  */
 RunStats fromJson(const std::string &json);
 
+/**
+ * Non-fatal fromJson(): parse into @a out and return true, or return
+ * false on malformed/truncated input (leaving @a out unspecified).
+ * If @a error is non-null it receives the parse diagnostic. Used by
+ * the experiment engine to treat corrupt cache entries as misses.
+ */
+bool tryFromJson(const std::string &json, RunStats &out,
+                 std::string *error = nullptr);
+
 /** Parse a JSON array of runs produced by writeJson(). */
 std::vector<RunStats> runsFromJson(const std::string &json);
 

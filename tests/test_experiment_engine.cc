@@ -1,0 +1,265 @@
+/**
+ * @file
+ * ExperimentEngine coverage: the config fingerprint reacts to every
+ * top-level GpuConfig field, duplicate submissions collapse onto one
+ * job, the on-disk cache hits on identical configs and misses on any
+ * change or corruption, and results are identical for every worker
+ * count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "figures/figures.hh"
+#include "sim/experiment_engine.hh"
+#include "workloads/kernel_builder.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless
+{
+namespace
+{
+
+/** A few-instruction kernel so engine tests simulate in microseconds. */
+ir::Kernel
+tinyKernel()
+{
+    workloads::KernelBuilder b("tiny");
+    RegId t = b.tid();
+    RegId addr = b.imuli(t, 4);
+    RegId v = b.ld(addr);
+    b.st(b.iadd(v, t), addr, 1 << 22);
+    return b.build();
+}
+
+sim::SimJob
+tinyJob(sim::ProviderKind kind)
+{
+    return {"tiny", sim::GpuConfig::forProvider(kind), 0, tinyKernel};
+}
+
+/** Fresh per-test cache directory under the gtest temp root. */
+std::filesystem::path
+freshCacheDir(const std::string &name)
+{
+    std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) /
+        ("regless-engine-" + name);
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(ConfigFingerprint, EveryTopLevelFieldChangesIt)
+{
+    const sim::GpuConfig base;
+    std::set<std::uint64_t> seen{sim::configFingerprint(base)};
+
+    // One mutation per top-level GpuConfig field; each must produce a
+    // fingerprint distinct from the default and from all the others.
+    const std::vector<void (*)(sim::GpuConfig &)> mutations = {
+        [](sim::GpuConfig &c) { c.provider = sim::ProviderKind::Rfv; },
+        [](sim::GpuConfig &c) { c.sm.numWarps += 1; },
+        [](sim::GpuConfig &c) { c.mem.l1.sizeBytes *= 2; },
+        [](sim::GpuConfig &c) { c.compiler.maxRegsPerRegion += 1; },
+        [](sim::GpuConfig &c) { c.regless.osuEntriesPerSm += 128; },
+        [](sim::GpuConfig &c) { c.energy.l1Access += 1.0; },
+        [](sim::GpuConfig &c) { c.area.compressorArea += 0.01; },
+        [](sim::GpuConfig &c) { c.baselineRfEntries += 1; },
+        [](sim::GpuConfig &c) { c.limitOccupancyByRf = true; },
+        [](sim::GpuConfig &c) { c.rfvPhysEntries += 1; },
+        [](sim::GpuConfig &c) { c.rfh.orfEntriesPerWarp += 1; },
+    };
+    for (auto mutate : mutations) {
+        sim::GpuConfig config;
+        mutate(config);
+        auto [it, inserted] =
+            seen.insert(sim::configFingerprint(config));
+        (void)it;
+        EXPECT_TRUE(inserted)
+            << "mutation #" << seen.size()
+            << " did not change the fingerprint";
+    }
+}
+
+TEST(ConfigFingerprint, CanonicalTextNamesEveryTopLevelField)
+{
+    const std::string text =
+        sim::configCanonicalText(sim::GpuConfig{});
+    for (const char *needle :
+         {"provider=", "sm.", "mem.", "compiler.", "regless.",
+          "energy.", "area.", "baseline_rf_entries=",
+          "limit_occupancy_by_rf=", "rfv_phys_entries=", "rfh."}) {
+        EXPECT_NE(text.find(needle), std::string::npos)
+            << "canonical dump is missing " << needle;
+    }
+}
+
+TEST(ExperimentEngine, DuplicateSubmissionsCollapse)
+{
+    sim::ExperimentEngine engine;
+    auto a = engine.submit(tinyJob(sim::ProviderKind::Baseline));
+    auto b = engine.submit(tinyJob(sim::ProviderKind::Baseline));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(engine.pointsRequested(), 2u);
+    EXPECT_EQ(engine.pointsUnique(), 1u);
+    engine.flush();
+    EXPECT_EQ(engine.simulated(), 1u);
+}
+
+TEST(ExperimentEngine, SmsCountIsPartOfTheJobKey)
+{
+    sim::ExperimentEngine engine;
+    sim::SimJob solo = tinyJob(sim::ProviderKind::Baseline);
+    sim::SimJob multi = solo;
+    multi.sms = 1; // multi-SM executor, not the standalone SM
+    EXPECT_NE(engine.submit(solo), engine.submit(multi));
+    EXPECT_EQ(engine.pointsUnique(), 2u);
+}
+
+TEST(ExperimentEngine, WarmCacheRerunSimulatesNothing)
+{
+    const auto dir = freshCacheDir("warm");
+    sim::ExperimentEngine::Options options;
+    options.cacheDir = dir.string();
+
+    sim::ExperimentEngine cold(options);
+    auto id = cold.submit(tinyJob(sim::ProviderKind::Regless));
+    const sim::RunStats first = cold.stats(id);
+    EXPECT_EQ(cold.simulated(), 1u);
+    EXPECT_EQ(cold.cacheHits(), 0u);
+
+    sim::ExperimentEngine warm(options);
+    auto id2 = warm.submit(tinyJob(sim::ProviderKind::Regless));
+    const sim::RunStats &second = warm.stats(id2);
+    EXPECT_EQ(warm.simulated(), 0u);
+    EXPECT_EQ(warm.cacheHits(), 1u);
+    EXPECT_TRUE(first == second);
+}
+
+TEST(ExperimentEngine, AnyConfigFieldChangeMissesTheCache)
+{
+    const auto dir = freshCacheDir("field-miss");
+    sim::ExperimentEngine::Options options;
+    options.cacheDir = dir.string();
+
+    {
+        sim::ExperimentEngine engine(options);
+        engine.submit(tinyJob(sim::ProviderKind::Regless));
+        engine.flush();
+        EXPECT_EQ(engine.simulated(), 1u);
+    }
+    // A one-field change in a nested config must re-simulate.
+    sim::SimJob changed = tinyJob(sim::ProviderKind::Regless);
+    changed.config.mem.dram.accessLatency += 1;
+    sim::ExperimentEngine engine(options);
+    engine.submit(changed);
+    engine.flush();
+    EXPECT_EQ(engine.cacheHits(), 0u);
+    EXPECT_EQ(engine.simulated(), 1u);
+}
+
+TEST(ExperimentEngine, CorruptCacheEntryIsToleratedAsAMiss)
+{
+    const auto dir = freshCacheDir("corrupt");
+    sim::ExperimentEngine::Options options;
+    options.cacheDir = dir.string();
+
+    const sim::SimJob job = tinyJob(sim::ProviderKind::Regless);
+    sim::RunStats reference;
+    {
+        sim::ExperimentEngine engine(options);
+        reference = engine.stats(engine.submit(job));
+    }
+    const auto path = dir / sim::ExperimentEngine::cacheFileName(job);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Garbage content: re-simulated, and the entry heals.
+    {
+        std::ofstream(path, std::ios::trunc) << "{not json";
+        sim::ExperimentEngine engine(options);
+        const sim::RunStats &stats = engine.stats(engine.submit(job));
+        EXPECT_EQ(engine.cacheHits(), 0u);
+        EXPECT_EQ(engine.simulated(), 1u);
+        EXPECT_TRUE(stats == reference);
+    }
+    // Healed entry hits again.
+    {
+        sim::ExperimentEngine engine(options);
+        engine.submit(job);
+        engine.flush();
+        EXPECT_EQ(engine.cacheHits(), 1u);
+    }
+    // Truncation (half of a valid entry) is also just a miss.
+    {
+        std::ifstream in(path);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        in.close();
+        const std::string full = buffer.str();
+        std::ofstream(path, std::ios::trunc)
+            << full.substr(0, full.size() / 2);
+        sim::ExperimentEngine engine(options);
+        const sim::RunStats &stats = engine.stats(engine.submit(job));
+        EXPECT_EQ(engine.cacheHits(), 0u);
+        EXPECT_EQ(engine.simulated(), 1u);
+        EXPECT_TRUE(stats == reference);
+    }
+}
+
+TEST(ExperimentEngine, ResultsAreWorkerCountInvariant)
+{
+    auto runWith = [](unsigned jobs) {
+        sim::ExperimentEngine::Options options;
+        options.jobs = jobs;
+        sim::ExperimentEngine engine(options);
+        for (sim::ProviderKind kind :
+             {sim::ProviderKind::Baseline, sim::ProviderKind::Rfh,
+              sim::ProviderKind::Rfv, sim::ProviderKind::Regless})
+            engine.submit(tinyJob(kind));
+        engine.submit("nn", sim::ProviderKind::Regless);
+        return engine.allStats();
+    };
+    const std::vector<sim::RunStats> serial = runWith(1);
+    const std::vector<sim::RunStats> parallel = runWith(8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_TRUE(serial[i] == parallel[i]) << "job " << i;
+}
+
+TEST(FigureGenerators, ColdAndWarmRunsEmitIdenticalBytes)
+{
+    // The wrapper binary and the report driver both call runFigure on
+    // the same generator, so wrapper parity reduces to this: the same
+    // figure rendered from fresh simulations and from the cache must
+    // be byte-identical.
+    const figures::Figure *figure =
+        figures::findFigure("fig03_backing_store");
+    ASSERT_NE(figure, nullptr);
+
+    const auto dir = freshCacheDir("figure-bytes");
+    sim::ExperimentEngine::Options options;
+    options.cacheDir = dir.string();
+
+    std::ostringstream cold_out;
+    sim::ExperimentEngine cold(options);
+    figures::FigureContext cold_ctx{cold, cold_out};
+    figures::runFigure(*figure, cold_ctx);
+    EXPECT_GT(cold.simulated(), 0u);
+
+    std::ostringstream warm_out;
+    sim::ExperimentEngine warm(options);
+    figures::FigureContext warm_ctx{warm, warm_out};
+    figures::runFigure(*figure, warm_ctx);
+    EXPECT_EQ(warm.simulated(), 0u);
+    EXPECT_GT(warm.cacheHits(), 0u);
+
+    EXPECT_EQ(cold_out.str(), warm_out.str());
+    EXPECT_FALSE(cold_out.str().empty());
+}
+
+} // namespace
+} // namespace regless
