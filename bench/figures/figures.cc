@@ -131,12 +131,14 @@ parseReportOptions(int argc, char **argv, bool allow_filter)
             options.cache = false;
         } else if (arg == "--cache-dir") {
             options.cacheDir = value();
+        } else if (arg == "--lint") {
+            options.lint = true;
         } else {
             std::cerr
                 << "usage: " << argv[0]
                 << (allow_filter ? " [--filter SUBSTR] [--list]" : "")
                 << " [--jobs N] [--json PATH] [--no-cache]"
-                   " [--cache-dir DIR]\n";
+                   " [--cache-dir DIR] [--lint]\n";
             std::exit(arg == "--help" ? 0 : 1);
         }
     }
@@ -149,6 +151,7 @@ engineOptions(const ReportOptions &options)
     sim::ExperimentEngine::Options engine;
     engine.jobs = options.jobs;
     engine.cacheDir = options.cache ? options.cacheDir : "";
+    engine.lint = options.lint;
     return engine;
 }
 

@@ -62,13 +62,16 @@ struct ReportOptions
     /** On-disk memoization of simulation points. */
     bool cache = true;
     std::string cacheDir = ".regless-cache";
+    /** Strict gate: lint every kernel once before simulating it. */
+    bool lint = false;
     /** List figure names and exit. */
     bool list = false;
 };
 
 /**
  * Parse the shared flags (--filter, --jobs, --json, --no-cache,
- * --cache-dir, --list); fatal() with usage on anything unknown.
+ * --cache-dir, --lint, --list); fatal() with usage on anything
+ * unknown.
  * @param allow_filter False for wrapper binaries, which are already
  *        a single figure.
  */

@@ -11,6 +11,8 @@
  *   regless_report --json out.json     # dump every unique RunStats
  *   regless_report --no-cache          # ignore + don't write the cache
  *   regless_report --cache-dir DIR     # default .regless-cache
+ *   regless_report --lint              # verify staging annotations of
+ *                                      # every kernel before simulating
  *   regless_report --list              # figure names
  */
 
@@ -79,6 +81,10 @@ main(int argc, char **argv)
     std::cout << "\n# engine: " << engine.pointsRequested()
               << " points requested, " << engine.pointsUnique()
               << " unique, " << engine.simulated() << " simulated, "
-              << engine.cacheHits() << " cache hits\n";
+              << engine.cacheHits() << " cache hits";
+    if (options.lint)
+        std::cout << ", " << engine.kernelsLinted()
+                  << " kernels linted clean";
+    std::cout << "\n";
     return 0;
 }

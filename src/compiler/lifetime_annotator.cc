@@ -82,7 +82,14 @@ LifetimeAnnotator::placePreloads(Region &region) const
     for (RegId r : region.inputs) {
         Preload preload;
         preload.reg = r;
-        preload.invalidate = !_live.liveAfter(region.endPc, r);
+        // Invalidating read (§4.3): only when the value is dead on
+        // every CFG path AND no divergent sibling path can still read
+        // it — a diverged warp executes the sibling side after this
+        // region, with no CFG edge to carry the liveness fact.
+        preload.invalidate =
+            !_live.liveAfter(region.endPc, r) &&
+            !ir::divergentSiblingMayRead(_kernel, _cfg, _live,
+                                         region.block, r);
         region.preloads.push_back(preload);
     }
 }

@@ -18,25 +18,41 @@ namespace
 class Findings
 {
   public:
+    /** Start a finding; location setters chain before message(). */
+    Findings &
+    at(const char *code, RegionId region = invalidRegion,
+       Pc pc = invalidPc, RegId reg = invalidReg)
+    {
+        _current = Finding{};
+        _current.code = code;
+        _current.severity = Severity::Error;
+        _current.region = region;
+        _current.pc = pc;
+        _current.reg = reg;
+        return *this;
+    }
+
     template <typename... Args>
     void
-    add(Args &&...args)
+    message(Args &&...args)
     {
         std::ostringstream oss;
         (oss << ... << args);
-        _messages.push_back(oss.str());
+        _current.message = oss.str();
+        _findings.push_back(std::move(_current));
     }
 
-    std::vector<std::string> take() { return std::move(_messages); }
+    std::vector<Finding> take() { return std::move(_findings); }
 
   private:
-    std::vector<std::string> _messages;
+    Finding _current;
+    std::vector<Finding> _findings;
 };
 
 } // namespace
 
-std::vector<std::string>
-verifyCompiledKernel(const CompiledKernel &ck, bool check_load_use)
+std::vector<Finding>
+verifyStructure(const CompiledKernel &ck, bool check_load_use)
 {
     Findings findings;
     const ir::Kernel &kernel = ck.kernel();
@@ -49,23 +65,28 @@ verifyCompiledKernel(const CompiledKernel &ck, bool check_load_use)
     for (const Region &region : ck.regions()) {
         if (region.startPc > region.endPc ||
             region.endPc >= kernel.numInsns()) {
-            findings.add("region ", region.id, " has bad bounds [",
+            findings.at(codes::regionBounds, region.id)
+                .message("region ", region.id, " has bad bounds [",
                          region.startPc, ", ", region.endPc, "]");
             continue;
         }
         if (kernel.blockOf(region.startPc) !=
             kernel.blockOf(region.endPc)) {
-            findings.add("region ", region.id,
+            findings.at(codes::regionSpansBlock, region.id)
+                .message("region ", region.id,
                          " spans a basic-block boundary");
         }
         for (Pc pc = region.startPc; pc <= region.endPc; ++pc)
             ++covered[pc];
-        if (ck.regionAt(region.startPc) != region.id)
-            findings.add("region ", region.id, " id/map mismatch");
+        if (ck.regionAt(region.startPc) != region.id) {
+            findings.at(codes::regionIdMap, region.id)
+                .message("region ", region.id, " id/map mismatch");
+        }
     }
     for (Pc pc = 0; pc < kernel.numInsns(); ++pc) {
         if (covered[pc] != 1) {
-            findings.add("pc ", pc, " covered by ", covered[pc],
+            findings.at(codes::coverage, invalidRegion, pc)
+                .message("pc ", pc, " covered by ", covered[pc],
                          " regions");
         }
     }
@@ -86,7 +107,10 @@ verifyCompiledKernel(const CompiledKernel &ck, bool check_load_use)
                             const char *kind) {
             for (RegId r : group) {
                 if (!refs.count(r)) {
-                    findings.add("region ", region.id, " ", kind, " r",
+                    findings
+                        .at(codes::classification, region.id, invalidPc,
+                            r)
+                        .message("region ", region.id, " ", kind, " r",
                                  r, " is not referenced in the region");
                 }
                 classified.insert(r);
@@ -97,7 +121,9 @@ verifyCompiledKernel(const CompiledKernel &ck, bool check_load_use)
         classify(region.interiors, "interior");
         for (RegId r : refs) {
             if (!classified.count(r)) {
-                findings.add("region ", region.id, " r", r,
+                findings
+                    .at(codes::classification, region.id, invalidPc, r)
+                    .message("region ", region.id, " r", r,
                              " referenced but unclassified");
             }
         }
@@ -106,7 +132,9 @@ verifyCompiledKernel(const CompiledKernel &ck, bool check_load_use)
                            r) ||
                 std::count(region.outputs.begin(), region.outputs.end(),
                            r)) {
-                findings.add("region ", region.id, " interior r", r,
+                findings
+                    .at(codes::classification, region.id, invalidPc, r)
+                    .message("region ", region.id, " interior r", r,
                              " also classified as boundary");
             }
         }
@@ -118,7 +146,8 @@ verifyCompiledKernel(const CompiledKernel &ck, bool check_load_use)
         std::set<RegId> inputs(region.inputs.begin(),
                                region.inputs.end());
         if (preloaded != inputs) {
-            findings.add("region ", region.id,
+            findings.at(codes::preloadSet, region.id)
+                .message("region ", region.id,
                          " preload set differs from input set");
         }
 
@@ -127,37 +156,43 @@ verifyCompiledKernel(const CompiledKernel &ck, bool check_load_use)
         std::set<RegId> erased;
         for (const auto &[pc, regs] : region.erases) {
             if (!region.contains(pc)) {
-                findings.add("region ", region.id,
+                findings.at(codes::erasePlacement, region.id, pc)
+                    .message("region ", region.id,
                              " erase annotation at pc ", pc,
                              " outside the region");
             }
             for (RegId r : regs) {
                 if (!erased.insert(r).second) {
-                    findings.add("region ", region.id, " r", r,
+                    findings.at(codes::erasePlacement, region.id, pc, r)
+                        .message("region ", region.id, " r", r,
                                  " erased twice");
                 }
                 if (std::count(region.interiors.begin(),
                                region.interiors.end(), r) == 0) {
-                    findings.add("region ", region.id,
+                    findings.at(codes::erasePlacement, region.id, pc, r)
+                        .message("region ", region.id,
                                  " erase of non-interior r", r);
                 }
             }
         }
         if (erased.size() != region.interiors.size()) {
-            findings.add("region ", region.id, " erased ",
+            findings.at(codes::erasePlacement, region.id)
+                .message("region ", region.id, " erased ",
                          erased.size(), " of ",
                          region.interiors.size(), " interiors");
         }
         std::set<RegId> evicted;
         for (const auto &[pc, regs] : region.evicts) {
             if (!region.contains(pc)) {
-                findings.add("region ", region.id,
+                findings.at(codes::evictPlacement, region.id, pc)
+                    .message("region ", region.id,
                              " evict annotation at pc ", pc,
                              " outside the region");
             }
             for (RegId r : regs) {
                 if (!evicted.insert(r).second) {
-                    findings.add("region ", region.id, " r", r,
+                    findings.at(codes::evictPlacement, region.id, pc, r)
+                        .message("region ", region.id, " r", r,
                                  " evicted twice");
                 }
             }
@@ -165,7 +200,8 @@ verifyCompiledKernel(const CompiledKernel &ck, bool check_load_use)
         std::set<RegId> boundary = inputs;
         boundary.insert(region.outputs.begin(), region.outputs.end());
         if (evicted != boundary) {
-            findings.add("region ", region.id,
+            findings.at(codes::evictPlacement, region.id)
+                .message("region ", region.id,
                          " evict set differs from input+output set");
         }
 
@@ -173,16 +209,19 @@ verifyCompiledKernel(const CompiledKernel &ck, bool check_load_use)
         Occupancy occ = computeOccupancy(kernel, live, region.startPc,
                                          region.endPc);
         if (occ.maxLive != region.maxLive) {
-            findings.add("region ", region.id, " maxLive ",
+            findings.at(codes::capacityMismatch, region.id)
+                .message("region ", region.id, " maxLive ",
                          region.maxLive, " != recomputed ",
                          occ.maxLive);
         }
         if (occ.bankUsage != region.bankUsage) {
-            findings.add("region ", region.id,
+            findings.at(codes::capacityMismatch, region.id)
+                .message("region ", region.id,
                          " bankUsage differs from recomputed value");
         }
         if (region.reservedLines() < region.maxLive) {
-            findings.add("region ", region.id,
+            findings.at(codes::capacityMismatch, region.id)
+                .message("region ", region.id,
                          " bank usage sums below maxLive");
         }
 
@@ -196,7 +235,10 @@ verifyCompiledKernel(const CompiledKernel &ck, bool check_load_use)
                     const auto &srcs = kernel.insn(use).srcs();
                     if (std::find(srcs.begin(), srcs.end(),
                                   insn.dst()) != srcs.end()) {
-                        findings.add("region ", region.id,
+                        findings
+                            .at(codes::loadUseSplit, region.id, pc,
+                                insn.dst())
+                            .message("region ", region.id,
                                      " contains global load at pc ", pc,
                                      " and its use at pc ", use);
                         break;
@@ -211,11 +253,22 @@ verifyCompiledKernel(const CompiledKernel &ck, bool check_load_use)
         }
 
         // 7. Metadata encoding is present.
-        if (region.metadataInsns == 0)
-            findings.add("region ", region.id, " has no metadata");
+        if (region.metadataInsns == 0) {
+            findings.at(codes::metadataMissing, region.id)
+                .message("region ", region.id, " has no metadata");
+        }
     }
 
     return findings.take();
+}
+
+std::vector<std::string>
+verifyCompiledKernel(const CompiledKernel &ck, bool check_load_use)
+{
+    std::vector<std::string> messages;
+    for (const Finding &f : verifyStructure(ck, check_load_use))
+        messages.push_back(f.message);
+    return messages;
 }
 
 } // namespace regless::compiler

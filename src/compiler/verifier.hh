@@ -4,9 +4,11 @@
  *
  * Checks every structural invariant the RegLess hardware relies on —
  * region coverage, block containment, the load/use split, annotation
- * placement, capacity consistency — and returns human-readable
- * findings instead of asserting. Useful both as a test oracle and as a
- * safety net for anyone modifying the compiler passes.
+ * placement, capacity consistency — and returns structured Findings
+ * instead of asserting. Useful both as a test oracle and as a safety
+ * net for anyone modifying the compiler passes. The path-sensitive
+ * staging-state checks live in compiler/staging_checker.hh; the
+ * combined entry point is lintCompiledKernel() there.
  */
 
 #ifndef REGLESS_COMPILER_VERIFIER_HH
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "compiler/compiler.hh"
+#include "compiler/finding.hh"
 
 namespace regless::compiler
 {
@@ -26,6 +29,15 @@ namespace regless::compiler
  * @param check_load_use Also require that no global load shares a
  *        region with its first use (disable when the kernel was
  *        compiled with splitLoadUse off).
+ * @return one Finding per violated invariant; empty when sound.
+ */
+std::vector<Finding> verifyStructure(const CompiledKernel &ck,
+                                     bool check_load_use = true);
+
+/**
+ * String shim over verifyStructure() for callers predating the
+ * structured Finding type.
+ *
  * @return one message per violated invariant; empty when sound.
  */
 std::vector<std::string> verifyCompiledKernel(const CompiledKernel &ck,

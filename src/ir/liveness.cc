@@ -262,4 +262,69 @@ Liveness::isLastUse(Pc pc, RegId reg) const
     return !liveAfter(pc, reg);
 }
 
+namespace
+{
+
+/**
+ * Blocks reachable from @a from without entering @a stop (the
+ * branch's reconvergence point; invalidBlock = no boundary).
+ */
+BlockSet
+influenceFrom(const Kernel &kernel, BlockId from, BlockId stop)
+{
+    BlockSet seen(kernel.blocks().size());
+    if (from == stop)
+        return seen;
+    std::vector<BlockId> work{from};
+    seen.set(from);
+    while (!work.empty()) {
+        BlockId bb = work.back();
+        work.pop_back();
+        for (BlockId succ : kernel.block(bb).successors()) {
+            if (succ == stop || seen.test(succ))
+                continue;
+            seen.set(succ);
+            work.push_back(succ);
+        }
+    }
+    return seen;
+}
+
+} // namespace
+
+bool
+divergentSiblingMayRead(const Kernel &kernel, const CfgAnalysis &cfg,
+                        const Liveness &live, BlockId b, RegId reg)
+{
+    const std::size_t num_blocks = kernel.blocks().size();
+    for (const BasicBlock &branch : kernel.blocks()) {
+        const auto &succs = branch.successors();
+        if (!cfg.reachable(branch.id()) || succs.size() < 2)
+            continue;
+        const BlockId rp = cfg.immediatePostdominator(branch.id());
+
+        std::vector<BlockSet> influence;
+        influence.reserve(succs.size());
+        for (BlockId succ : succs)
+            influence.push_back(influenceFrom(kernel, succ, rp));
+
+        for (std::size_t i = 0; i < succs.size(); ++i) {
+            if (!influence[i].test(b))
+                continue;
+            // A diverged warp runs the other sides after this one.
+            for (std::size_t j = 0; j < succs.size(); ++j) {
+                if (j == i)
+                    continue;
+                for (BlockId d = 0; d < num_blocks; ++d) {
+                    if (influence[j].test(d) &&
+                        live.blockLiveIn(d, reg)) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    return false;
+}
+
 } // namespace regless::ir

@@ -119,6 +119,23 @@ class Liveness
     std::vector<std::vector<Pc>> _uses;
 };
 
+/**
+ * SIMT-order liveness escape: @return true when a *divergent sibling*
+ * of block @a b may still read @a reg after @a b executes.
+ *
+ * CFG liveness proves death along graph paths, but a diverged warp
+ * executes both sides of a branch in sequence — then-side first, then
+ * the else-side — with no CFG edge between them. A value that is dead
+ * after @a b on every CFG path can therefore still be read by blocks
+ * on the *other* successor paths of any branch whose influence region
+ * (blocks between a successor and the branch's reconvergence point,
+ * per CfgAnalysis::immediatePostdominator) contains @a b. Destroying
+ * the last copy of such a value (an invalidating preload, §4.3) is
+ * only sound when this predicate is false as well.
+ */
+bool divergentSiblingMayRead(const Kernel &kernel, const CfgAnalysis &cfg,
+                             const Liveness &live, BlockId b, RegId reg);
+
 } // namespace regless::ir
 
 #endif // REGLESS_IR_LIVENESS_HH

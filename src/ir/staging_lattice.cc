@@ -1,0 +1,37 @@
+#include "ir/staging_lattice.hh"
+
+namespace regless::ir
+{
+
+const char *
+stageLocName(StageLoc loc)
+{
+    switch (loc) {
+      case StageLoc::Undef: return "undef";
+      case StageLoc::Staged: return "staged";
+      case StageLoc::Backing: return "backing";
+      case StageLoc::Invalidated: return "invalidated";
+      case StageLoc::Dead: return "dead";
+    }
+    return "?";
+}
+
+std::string
+StageSet::toString() const
+{
+    if (empty())
+        return "{}";
+    std::string out = "{";
+    for (unsigned i = 0; i < numStageLocs; ++i) {
+        StageLoc loc = static_cast<StageLoc>(i);
+        if (!contains(loc))
+            continue;
+        if (out.size() > 1)
+            out += '|';
+        out += stageLocName(loc);
+    }
+    out += '}';
+    return out;
+}
+
+} // namespace regless::ir

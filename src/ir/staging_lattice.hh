@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Abstract staging-location lattice for register values.
+ *
+ * Both the compiler's static staging checker and the runtime shadow
+ * checker reason about *where* a register's architecturally live value
+ * can be at a program point: staged in the OSU, saved in the backing
+ * store, destroyed by an invalidating read, or intentionally dead
+ * after an erase. A StageSet is the powerset of those locations (plus
+ * Undef for "never defined on this path"), ordered by set inclusion:
+ * the empty set is bottom ("point not reached"), union is join, and a
+ * read is sound only when every element of the set is Staged or
+ * Backing.
+ */
+
+#ifndef REGLESS_IR_STAGING_LATTICE_HH
+#define REGLESS_IR_STAGING_LATTICE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace regless::ir
+{
+
+/** One possible abstract location of a register's current value. */
+enum class StageLoc : std::uint8_t
+{
+    Undef,       ///< never defined on some path to this point
+    Staged,      ///< resident in the operand staging unit
+    Backing,     ///< recoverable from the backing store (L1/compressor)
+    Invalidated, ///< destroyed by an invalidating read or §4.4 clear
+    Dead,        ///< explicitly freed by an erase annotation
+};
+
+constexpr unsigned numStageLocs = 5;
+
+/** Short lower-case name, e.g. "staged". */
+const char *stageLocName(StageLoc loc);
+
+/** A set of possible StageLocs; the abstract value of one register. */
+class StageSet
+{
+  public:
+    constexpr StageSet() = default;
+
+    constexpr static StageSet
+    of(StageLoc loc)
+    {
+        StageSet s;
+        s.add(loc);
+        return s;
+    }
+
+    constexpr void
+    add(StageLoc loc)
+    {
+        _bits |= static_cast<std::uint8_t>(1u << static_cast<unsigned>(loc));
+    }
+
+    constexpr bool
+    contains(StageLoc loc) const
+    {
+        return _bits & (1u << static_cast<unsigned>(loc));
+    }
+
+    /** Bottom: no path reaches this point. */
+    constexpr bool empty() const { return _bits == 0; }
+
+    /** this |= other; @return true when any bit changed. */
+    constexpr bool
+    join(StageSet other)
+    {
+        std::uint8_t joined = _bits | other._bits;
+        bool changed = joined != _bits;
+        _bits = joined;
+        return changed;
+    }
+
+    /** Every possible location is readable (Staged or Backing)? */
+    constexpr bool
+    readable() const
+    {
+        constexpr std::uint8_t ok =
+            (1u << static_cast<unsigned>(StageLoc::Staged)) |
+            (1u << static_cast<unsigned>(StageLoc::Backing));
+        return _bits != 0 && (_bits & ~ok) == 0;
+    }
+
+    constexpr bool operator==(const StageSet &other) const = default;
+
+    /** "{staged|backing}" style rendering for findings. */
+    std::string toString() const;
+
+  private:
+    std::uint8_t _bits = 0;
+};
+
+} // namespace regless::ir
+
+#endif // REGLESS_IR_STAGING_LATTICE_HH

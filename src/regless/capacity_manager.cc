@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "regless/shadow_checker.hh"
 
 namespace regless::staging
 {
@@ -110,6 +111,14 @@ CapacityManager::allocateLine(WarpCtx &wc, WarpId warp, RegId reg,
 {
     unsigned bank = OperandStagingUnit::bankOf(warp, reg);
     OperandStagingUnit::Reclaim reclaim = _osu.allocate(warp, reg, dirty);
+    if (_shadow && reclaim.needed && !reclaim.writeback) {
+        // A clean victim is dropped without write-back; if no backing
+        // copy exists either, the value is gone.
+        _shadow->onCleanReclaim(
+            reclaim.victimWarp, reclaim.victimReg,
+            _inBackingStore.count(
+                backingKey(reclaim.victimWarp, reclaim.victimReg)) != 0);
+    }
     handleReclaim(reclaim, now);
     if (wc.budget[bank] > 0) {
         --wc.budget[bank];
@@ -139,6 +148,8 @@ CapacityManager::invalidateBacking(WarpId warp, RegId reg,
     if (it == _inBackingStore.end())
         return;
     _inBackingStore.erase(it);
+    if (_shadow)
+        _shadow->onBackingInvalidate(warp, reg, _osu.present(warp, reg));
     if (_compressor)
         _compressor->invalidate(warp, reg);
     if (charge_l1 && _inL1.erase(backingKey(warp, reg))) {
@@ -245,6 +256,8 @@ CapacityManager::processPreloads(WarpCtx &wc, WarpId warp, Cycle now,
                 ++_preloadSrcL2Dram;
         }
 
+        if (_shadow)
+            _shadow->onPreloadFetch(warp, preload.reg, wc.region);
         allocateLine(wc, warp, preload.reg, /*dirty=*/false, now);
         if (preload.invalidate)
             invalidateBacking(warp, preload.reg, /*charge_l1=*/false,
@@ -279,12 +292,19 @@ CapacityManager::sampleRegionStats(const WarpCtx &wc, Cycle now)
 void
 CapacityManager::finishDrain(WarpCtx &wc, WarpId warp, Cycle now)
 {
-    for (RegId reg : wc.deferredErase)
+    for (RegId reg : wc.deferredErase) {
         _osu.erase(warp, reg);
+        if (_shadow)
+            _shadow->onErase(warp, reg);
+    }
     for (RegId reg : wc.deferredEvict)
         _osu.markEvictable(warp, reg);
     wc.deferredErase.clear();
     wc.deferredEvict.clear();
+    if (_shadow) {
+        _shadow->onDrainEnd(warp, _osu, wc.region,
+                            _ck.region(wc.region).endPc);
+    }
 
     // Release any budget the region reserved but never used (its
     // peak-live estimate is an upper bound on distinct allocations).
@@ -393,8 +413,11 @@ CapacityManager::tryActivate(Cycle now)
             ++_activationBlocked;
             return;
         }
-        for (RegId reg : stale_outputs)
+        for (RegId reg : stale_outputs) {
             _osu.erase(warp, reg);
+            if (_shadow)
+                _shadow->onErase(warp, reg);
+        }
 
         // Commit the activation. The region's metadata instructions
         // are fetched and decoded as the region enters the pipeline.
@@ -495,6 +518,11 @@ CapacityManager::onIssue(const arch::Warp &warp, Pc pc,
               static_cast<int>(wc.state));
     const compiler::Region &region = _ck.region(wc.region);
 
+    // Cross-check the instruction's reads against the shadow state
+    // before any OSU mutation below can mask a missing line.
+    if (_shadow)
+        _shadow->onIssue(warp.id(), pc, insn, _osu, wc.region);
+
     // Operand reads and the destination write hit the OSU.
     for (std::size_t i = 0; i < insn.srcs().size(); ++i)
         _osu.countRead();
@@ -529,6 +557,8 @@ CapacityManager::onIssue(const arch::Warp &warp, Pc pc,
                 wc.drainUntil = std::max(wc.drainUntil, writeback);
             } else {
                 _osu.erase(warp.id(), reg);
+                if (_shadow)
+                    _shadow->onErase(warp.id(), reg);
                 creditLine(wc, warp.id(), reg);
             }
         }
@@ -572,6 +602,8 @@ CapacityManager::onWarpFinished(const arch::Warp &warp, Cycle now)
     // Release everything the warp still holds; dead values need no
     // write-back.
     _osu.dropWarp(warp.id());
+    if (_shadow)
+        _shadow->onWarpDropped(warp.id());
     wc.deferredErase.clear();
     wc.deferredEvict.clear();
     for (unsigned b = 0; b < osuBanks; ++b) {

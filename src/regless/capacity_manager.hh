@@ -32,6 +32,8 @@
 namespace regless::staging
 {
 
+class ShadowChecker;
+
 /** Figure 9 warp states. */
 enum class CmState : std::uint8_t
 {
@@ -68,6 +70,9 @@ class CapacityManager
 
     /** Must be called before the first tick. */
     void setWarpSource(WarpSource ws) { _warpOf = std::move(ws); }
+
+    /** Attach the dynamic staging-state checker (null disables). */
+    void setShadow(ShadowChecker *shadow) { _shadow = shadow; }
 
     /** Per-cycle work: queues, drains, activation. */
     void tick(Cycle now);
@@ -169,6 +174,7 @@ class CapacityManager
     ReglessConfig _cfg;
     unsigned _numWarps;
     WarpSource _warpOf;
+    ShadowChecker *_shadow = nullptr;
 
     std::unordered_map<WarpId, WarpCtx> _ctx;
     std::deque<WarpId> _stack; ///< front = top (last to have executed)

@@ -57,6 +57,11 @@ struct ReglessConfig
     Addr regBase = 0x4000'0000;
     /** Base of the compressed register backing space. */
     Addr compressedBase = 0x6000'0000;
+    /**
+     * Enable the dynamic staging-state shadow checker (DESIGN.md §8).
+     * Off by default: it is a verification aid, not modelled hardware.
+     */
+    bool runtimeCheck = false;
 };
 
 } // namespace regless::staging

@@ -43,6 +43,13 @@ ReglessProvider::ReglessProvider(const compiler::CompiledKernel &ck,
             cfg.compressorEnabled ? _compressors[s].get() : nullptr, mem,
             cfg, num_warps));
     }
+    if (cfg.runtimeCheck) {
+        // One shadow per SM: CM callbacks are single-threaded within
+        // an SM, and violations aggregate naturally.
+        _shadow = std::make_unique<ShadowChecker>(ck);
+        for (auto &cm : _cms)
+            cm->setShadow(_shadow.get());
+    }
 }
 
 void

@@ -18,6 +18,7 @@
 #include "regless/compressor.hh"
 #include "regless/operand_staging_unit.hh"
 #include "regless/regless_config.hh"
+#include "regless/shadow_checker.hh"
 
 namespace regless::staging
 {
@@ -61,6 +62,16 @@ class ReglessProvider : public regfile::RegisterProvider
 
     const ReglessConfig &config() const { return _cfg; }
 
+    /**
+     * Dynamic staging violations seen so far (always empty unless
+     * ReglessConfig::runtimeCheck is set).
+     */
+    std::vector<compiler::Finding> runtimeViolations() const
+    {
+        return _shadow ? _shadow->violations()
+                       : std::vector<compiler::Finding>{};
+    }
+
     /** @name Aggregates across shards (Figures 3, 17, 18, 19). */
     /// @{
     std::uint64_t preloadsFrom(const char *counter_name);
@@ -84,6 +95,7 @@ class ReglessProvider : public regfile::RegisterProvider
     std::vector<std::unique_ptr<OperandStagingUnit>> _osus;
     std::vector<std::unique_ptr<Compressor>> _compressors;
     std::vector<std::unique_ptr<CapacityManager>> _cms;
+    std::unique_ptr<ShadowChecker> _shadow;
     Cycle _tickRotation = 0;
     Counter &_bankConflicts;
 };

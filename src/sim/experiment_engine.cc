@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "compiler/staging_checker.hh"
 #include "sim/gpu_simulator.hh"
 #include "sim/multi_sm.hh"
 #include "sim/stats_io.hh"
@@ -24,7 +25,9 @@ namespace
  * cache entries written before the field existed (and which would
  * silently deserialize it to zero) miss instead of serving stale data.
  */
-constexpr unsigned kCacheSchemaVersion = 2;
+// v3: divergence-aware invalidating preloads changed compiled regions
+// (and so every simulated trajectory).
+constexpr unsigned kCacheSchemaVersion = 3;
 
 /** Fingerprint of everything that determines a job's results. */
 std::uint64_t
@@ -184,8 +187,41 @@ ExperimentEngine::storeToCache(const Entry &entry)
 }
 
 void
+ExperimentEngine::lintPending()
+{
+    for (Entry &entry : _entries) {
+        if (entry.done)
+            continue;
+        const std::string key =
+            entry.job.kernel + "|" +
+            compilerConfigText(entry.job.config.compiler);
+        if (!_linted.insert(key).second)
+            continue;
+        const ir::Kernel kernel =
+            entry.job.builder ? entry.job.builder()
+                              : workloads::makeRodinia(entry.job.kernel);
+        const compiler::CompiledKernel ck =
+            compiler::compile(kernel, entry.job.config.compiler);
+        compiler::LintOptions opts;
+        opts.checkLoadUse = entry.job.config.compiler.splitLoadUse;
+        const std::vector<compiler::Finding> findings =
+            compiler::lintCompiledKernel(ck, opts);
+        if (compiler::hasErrors(findings)) {
+            fatal("lint: kernel '", entry.job.kernel,
+                  "' failed staging verification:\n",
+                  compiler::formatFindings(findings));
+        }
+    }
+}
+
+void
 ExperimentEngine::flush()
 {
+    // Lint before touching the cache: a cached result must never let a
+    // kernel with unsound annotations slip past the gate.
+    if (_options.lint)
+        lintPending();
+
     std::vector<Entry *> to_run;
     for (Entry &entry : _entries) {
         if (entry.done)

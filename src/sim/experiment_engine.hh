@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -62,6 +63,15 @@ class ExperimentEngine
 
         /** Cache directory; empty disables the on-disk cache. */
         std::string cacheDir;
+
+        /**
+         * Run the static staging-state verifier on every kernel
+         * before simulating (or serving cached results for) it, and
+         * fatal() on any error-severity finding. Lint verdicts are
+         * memoized per (kernel, compiler config), so a grid sweeping
+         * runtime parameters lints each kernel exactly once.
+         */
+        bool lint = false;
     };
 
     /** Handle to a submitted job, valid for this engine's lifetime. */
@@ -109,6 +119,8 @@ class ExperimentEngine
     std::uint64_t simulated() const { return _simulated; }
     /** Points served from the on-disk cache. */
     std::uint64_t cacheHits() const { return _cacheHits; }
+    /** Distinct (kernel, compiler config) pairs linted (Options::lint). */
+    std::uint64_t kernelsLinted() const { return _linted.size(); }
     /// @}
 
     const Options &options() const { return _options; }
@@ -131,12 +143,18 @@ class ExperimentEngine
     void storeToCache(const Entry &entry);
     static RunStats execute(const SimJob &job);
 
+    /** Lint every pending entry's kernel (Options::lint). */
+    void lintPending();
+
     Options _options;
     std::deque<Entry> _entries;
     std::unordered_map<std::string, JobId> _index;
     std::uint64_t _requested = 0;
     std::uint64_t _simulated = 0;
     std::uint64_t _cacheHits = 0;
+
+    /** Kernels already linted, keyed by name + compiler config. */
+    std::set<std::string> _linted;
 };
 
 } // namespace regless::sim

@@ -221,7 +221,8 @@ dump(KeyValueSink &kv, const std::string &p,
 {
     const auto &[osu_entries, num_shards, preload_slots,
                  compressor_enabled, compressor, fifo_activation,
-                 victim_order, reg_base, compressed_base] = c;
+                 victim_order, reg_base, compressed_base,
+                 runtime_check] = c;
     kv.add(p + "osu_entries_per_sm", osu_entries);
     kv.add(p + "num_shards", num_shards);
     kv.add(p + "preload_slots_per_shard", preload_slots);
@@ -231,6 +232,7 @@ dump(KeyValueSink &kv, const std::string &p,
     kv.add(p + "victim_order", victim_order);
     kv.add(p + "reg_base", reg_base);
     kv.add(p + "compressed_base", compressed_base);
+    kv.add(p + "runtime_check", runtime_check);
 }
 
 void
@@ -315,6 +317,22 @@ configCanonicalText(const GpuConfig &config)
 {
     std::string text;
     for (const auto &[key, value] : configKeyValues(config)) {
+        text += key;
+        text += '=';
+        text += value;
+        text += '\n';
+    }
+    return text;
+}
+
+std::string
+compilerConfigText(const compiler::CompilerConfig &config)
+{
+    std::vector<std::pair<std::string, std::string>> pairs;
+    KeyValueSink kv(pairs);
+    dump(kv, "compiler.", config);
+    std::string text;
+    for (const auto &[key, value] : pairs) {
         text += key;
         text += '=';
         text += value;

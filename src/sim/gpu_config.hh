@@ -95,6 +95,13 @@ configKeyValues(const GpuConfig &config);
 /** The dump as one "key=value\n" text block (cache-key material). */
 std::string configCanonicalText(const GpuConfig &config);
 
+/**
+ * Canonical text of the compiler sub-config alone. Compiled regions —
+ * and hence lint verdicts — depend on nothing else, so this is the
+ * memo key for lint-once-per-kernel gating.
+ */
+std::string compilerConfigText(const compiler::CompilerConfig &config);
+
 /** FNV-1a 64-bit hash of configCanonicalText(). */
 std::uint64_t configFingerprint(const GpuConfig &config);
 

@@ -64,11 +64,25 @@ GpuSimulator::GpuSimulator(const ir::Kernel &kernel, GpuConfig config,
 {
     _ck = std::make_unique<compiler::CompiledKernel>(
         compiler::compile(kernel, _config.compiler));
+    assemble(std::move(shared_dram));
+}
+
+GpuSimulator::GpuSimulator(compiler::CompiledKernel ck, GpuConfig config)
+    : _config(std::move(config))
+{
+    _ck = std::make_unique<compiler::CompiledKernel>(std::move(ck));
+    assemble(nullptr);
+}
+
+void
+GpuSimulator::assemble(std::shared_ptr<mem::DramModel> shared_dram)
+{
     _mem = shared_dram
                ? std::make_unique<mem::MemorySystem>(
                      _config.mem, std::move(shared_dram))
                : std::make_unique<mem::MemorySystem>(_config.mem);
-    _mem->setValueGenerator(valueGenerator(kernel.valueProfile()));
+    _mem->setValueGenerator(
+        valueGenerator(_ck->kernel().valueProfile()));
 
     // Occupancy limit: a fixed architectural register file can only
     // host rfEntries / kernelRegs warps. RegLess and RFV virtualise
@@ -126,6 +140,16 @@ GpuSimulator::GpuSimulator(const ir::Kernel &kernel, GpuConfig config,
 }
 
 GpuSimulator::~GpuSimulator() = default;
+
+std::vector<compiler::Finding>
+GpuSimulator::runtimeViolations() const
+{
+    if (auto *rp = dynamic_cast<const staging::ReglessProvider *>(
+            _provider.get())) {
+        return rp->runtimeViolations();
+    }
+    return {};
+}
 
 void
 GpuSimulator::harvest(RunStats &stats)

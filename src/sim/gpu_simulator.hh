@@ -14,6 +14,7 @@
 
 #include "arch/sm.hh"
 #include "compiler/compiler.hh"
+#include "compiler/finding.hh"
 #include "ir/kernel.hh"
 #include "mem/memory_system.hh"
 #include "regfile/baseline_rf.hh"
@@ -38,6 +39,13 @@ class GpuSimulator
     GpuSimulator(const ir::Kernel &kernel, GpuConfig config,
                  std::shared_ptr<mem::DramModel> shared_dram);
 
+    /**
+     * Run a pre-compiled kernel as-is, bypassing the compiler. The
+     * mutation tests use this to execute deliberately corrupted
+     * region annotations under the runtime shadow checker.
+     */
+    GpuSimulator(compiler::CompiledKernel ck, GpuConfig config);
+
     ~GpuSimulator();
 
     GpuSimulator(const GpuSimulator &) = delete;
@@ -58,6 +66,13 @@ class GpuSimulator
     const GpuConfig &config() const { return _config; }
     /// @}
 
+    /**
+     * Dynamic staging violations recorded by the shadow checker
+     * (DESIGN.md §8). Only non-empty for a RegLess provider with
+     * ReglessConfig::runtimeCheck set.
+     */
+    std::vector<compiler::Finding> runtimeViolations() const;
+
     /** Dump every component's raw statistics as text. */
     void dumpStats(std::ostream &os);
 
@@ -69,6 +84,9 @@ class GpuSimulator
     valueGenerator(const ir::ValueProfile &profile);
 
   private:
+    /** Shared tail of every ctor: memory, provider, SM. */
+    void assemble(std::shared_ptr<mem::DramModel> shared_dram);
+
     void harvest(RunStats &stats);
 
     GpuConfig _config;

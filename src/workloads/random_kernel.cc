@@ -1,0 +1,112 @@
+#include "workloads/random_kernel.hh"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/kernel_builder.hh"
+
+namespace regless::workloads
+{
+
+ir::Kernel
+randomKernel(std::uint64_t seed)
+{
+    Rng rng(seed);
+    KernelBuilder b("prop_" + std::to_string(seed));
+
+    RegId tid = b.tid();
+    RegId addr = b.imuli(tid, 4);
+    std::vector<RegId> pool{tid, addr};
+    auto any = [&]() -> RegId {
+        return pool[rng.nextBelow(pool.size())];
+    };
+    unsigned store_segment = 0;
+
+    const unsigned segments = 2 + rng.nextBelow(4);
+    for (unsigned seg = 0; seg < segments; ++seg) {
+        switch (rng.nextBelow(4)) {
+          case 0: {
+            // Straight-line arithmetic.
+            unsigned n = 2 + rng.nextBelow(6);
+            for (unsigned i = 0; i < n; ++i) {
+                RegId a = any(), c = any();
+                switch (rng.nextBelow(5)) {
+                  case 0: pool.push_back(b.iadd(a, c)); break;
+                  case 1: pool.push_back(b.imul(a, c)); break;
+                  case 2: pool.push_back(b.bxor(a, c)); break;
+                  case 3: pool.push_back(b.imin(a, c)); break;
+                  default:
+                    pool.push_back(
+                        b.iaddi(a, rng.nextRange(-100, 100)));
+                }
+            }
+            break;
+          }
+          case 1: {
+            // Load, combine, store.
+            RegId masked = b.band(any(), b.movi(8191));
+            RegId la = b.imuli(masked, 4);
+            RegId v = b.ld(la, 1 << 16);
+            RegId sum = b.iadd(v, any());
+            pool.push_back(sum);
+            b.st(sum, addr, (2u << 20) + 16384 * store_segment++);
+            break;
+          }
+          case 2: {
+            // Diamond with divergent sides.
+            RegId bit = b.band(tid, b.movi(1 + rng.nextBelow(7)));
+            RegId p = b.setNe(bit, b.movi(0));
+            Label else_l = b.newLabel();
+            Label join = b.newLabel();
+            RegId shared = b.reg();
+            RegId np = b.setEq(p, b.movi(0));
+            b.braIf(np, else_l);
+            b.iaddTo(shared, any(), any());
+            b.jmp(join);
+            b.bind(else_l);
+            b.iaddTo(shared, any(), b.movi(rng.nextRange(1, 50)));
+            b.bind(join);
+            pool.push_back(shared);
+            break;
+          }
+          default: {
+            // Counted loop with a loop-carried accumulator and,
+            // sometimes, a divergent conditional in the body (the
+            // soft-definition-inside-loop corner).
+            RegId acc = b.reg();
+            b.movTo(acc, any());
+            RegId i = b.reg();
+            b.moviTo(i, 0);
+            RegId limit = b.movi(2 + rng.nextBelow(6));
+            bool divergent_body = rng.chance(0.5);
+            Label head = b.newLabel();
+            b.bind(head);
+            b.iaddTo(acc, acc, any());
+            if (divergent_body) {
+                RegId bit = b.band(tid, b.movi(1 + rng.nextBelow(7)));
+                RegId p2 = b.setNe(bit, b.movi(0));
+                Label skip = b.newLabel();
+                RegId np = b.setEq(p2, b.movi(0));
+                b.braIf(np, skip);
+                // Soft definition of acc: only some lanes update.
+                b.iaddTo(acc, acc, b.movi(rng.nextRange(1, 9)));
+                b.bind(skip);
+            }
+            b.iaddiTo(i, i, 1);
+            RegId p = b.setLt(i, limit);
+            b.braIf(p, head);
+            pool.push_back(acc);
+            break;
+          }
+        }
+    }
+    // Final observable store of a mixed value.
+    RegId out = any();
+    for (unsigned i = 0; i < 2 && pool.size() > 1; ++i)
+        out = b.bxor(out, any());
+    b.st(out, addr, 3u << 20);
+    return b.build();
+}
+
+} // namespace regless::workloads

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Random, guaranteed-valid kernel generator.
+ *
+ * Shared by the property-based differential tests and the
+ * regless_lint fuzz mode: every register is written before it is
+ * read, loops are counted, branches reconverge, and all addresses
+ * stay inside a bounded data window, so any lint finding or
+ * baseline/RegLess divergence on these kernels is a real bug.
+ */
+
+#ifndef REGLESS_WORKLOADS_RANDOM_KERNEL_HH
+#define REGLESS_WORKLOADS_RANDOM_KERNEL_HH
+
+#include <cstdint>
+
+#include "ir/kernel.hh"
+
+namespace regless::workloads
+{
+
+/**
+ * Deterministically generate the random kernel for @a seed. The shape
+ * mixes straight-line arithmetic, load/combine/store segments,
+ * divergent diamonds, and counted loops with optional soft
+ * definitions in the body.
+ */
+ir::Kernel randomKernel(std::uint64_t seed);
+
+} // namespace regless::workloads
+
+#endif // REGLESS_WORKLOADS_RANDOM_KERNEL_HH

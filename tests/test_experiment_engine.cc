@@ -230,6 +230,56 @@ TEST(ExperimentEngine, ResultsAreWorkerCountInvariant)
         EXPECT_TRUE(serial[i] == parallel[i]) << "job " << i;
 }
 
+TEST(ExperimentEngine, LintGateRunsOncePerKernelAndConfig)
+{
+    sim::ExperimentEngine::Options options;
+    options.lint = true;
+    sim::ExperimentEngine engine(options);
+
+    // Same kernel under two providers with identical compiler configs:
+    // one lint. Runtime-only parameter changes must not re-lint.
+    engine.submit(tinyJob(sim::ProviderKind::Baseline));
+    sim::SimJob rl = tinyJob(sim::ProviderKind::Regless);
+    rl.config.regless.fifoActivation = true;
+    engine.submit(rl);
+    engine.flush();
+    EXPECT_EQ(engine.kernelsLinted(), 1u);
+
+    // A different kernel is a new lint.
+    engine.submit("nn", sim::ProviderKind::Regless);
+    engine.flush();
+    EXPECT_EQ(engine.kernelsLinted(), 2u);
+
+    // A compiler-config change recompiles, so it re-lints.
+    sim::SimJob split = tinyJob(sim::ProviderKind::Regless);
+    split.config.compiler.splitLoadUse = false;
+    engine.submit(split);
+    engine.flush();
+    EXPECT_EQ(engine.kernelsLinted(), 3u);
+}
+
+TEST(ExperimentEngine, LintGateRunsBeforeServingCachedResults)
+{
+    // The gate must fire even on a fully warm cache: a cached RunStats
+    // is not evidence the kernel's annotations are sound.
+    const auto dir = freshCacheDir("lint-warm");
+    sim::ExperimentEngine::Options options;
+    options.cacheDir = dir.string();
+    {
+        sim::ExperimentEngine cold(options);
+        cold.submit(tinyJob(sim::ProviderKind::Regless));
+        cold.flush();
+        EXPECT_EQ(cold.simulated(), 1u);
+    }
+    options.lint = true;
+    sim::ExperimentEngine warm(options);
+    warm.submit(tinyJob(sim::ProviderKind::Regless));
+    warm.flush();
+    EXPECT_EQ(warm.simulated(), 0u);
+    EXPECT_EQ(warm.cacheHits(), 1u);
+    EXPECT_EQ(warm.kernelsLinted(), 1u);
+}
+
 TEST(FigureGenerators, ColdAndWarmRunsEmitIdenticalBytes)
 {
     // The wrapper binary and the report driver both call runFigure on

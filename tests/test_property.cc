@@ -10,125 +10,26 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <string>
 #include <vector>
 
-#include "common/rng.hh"
+#include "compiler/staging_checker.hh"
+#include "ir/cfg_analysis.hh"
+#include "ir/liveness.hh"
 #include "sim/experiment.hh"
 #include "sim/gpu_simulator.hh"
-#include "workloads/kernel_builder.hh"
+#include "workloads/random_kernel.hh"
+#include "workloads/rodinia.hh"
 
 namespace regless
 {
 namespace
 {
 
-using workloads::KernelBuilder;
-using workloads::Label;
-
-/**
- * Generate a random, guaranteed-valid kernel: every register is
- * written before it is read, loops are counted, branches reconverge,
- * and all addresses stay inside a bounded data window.
- */
-ir::Kernel
-randomKernel(std::uint64_t seed)
-{
-    Rng rng(seed);
-    KernelBuilder b("prop_" + std::to_string(seed));
-
-    RegId tid = b.tid();
-    RegId addr = b.imuli(tid, 4);
-    std::vector<RegId> pool{tid, addr};
-    auto any = [&]() -> RegId {
-        return pool[rng.nextBelow(pool.size())];
-    };
-    unsigned store_segment = 0;
-
-    const unsigned segments = 2 + rng.nextBelow(4);
-    for (unsigned seg = 0; seg < segments; ++seg) {
-        switch (rng.nextBelow(4)) {
-          case 0: {
-            // Straight-line arithmetic.
-            unsigned n = 2 + rng.nextBelow(6);
-            for (unsigned i = 0; i < n; ++i) {
-                RegId a = any(), c = any();
-                switch (rng.nextBelow(5)) {
-                  case 0: pool.push_back(b.iadd(a, c)); break;
-                  case 1: pool.push_back(b.imul(a, c)); break;
-                  case 2: pool.push_back(b.bxor(a, c)); break;
-                  case 3: pool.push_back(b.imin(a, c)); break;
-                  default:
-                    pool.push_back(
-                        b.iaddi(a, rng.nextRange(-100, 100)));
-                }
-            }
-            break;
-          }
-          case 1: {
-            // Load, combine, store.
-            RegId masked = b.band(any(), b.movi(8191));
-            RegId la = b.imuli(masked, 4);
-            RegId v = b.ld(la, 1 << 16);
-            RegId sum = b.iadd(v, any());
-            pool.push_back(sum);
-            b.st(sum, addr, (2u << 20) + 16384 * store_segment++);
-            break;
-          }
-          case 2: {
-            // Diamond with divergent sides.
-            RegId bit = b.band(tid, b.movi(1 + rng.nextBelow(7)));
-            RegId p = b.setNe(bit, b.movi(0));
-            Label else_l = b.newLabel();
-            Label join = b.newLabel();
-            RegId shared = b.reg();
-            RegId np = b.setEq(p, b.movi(0));
-            b.braIf(np, else_l);
-            b.iaddTo(shared, any(), any());
-            b.jmp(join);
-            b.bind(else_l);
-            b.iaddTo(shared, any(), b.movi(rng.nextRange(1, 50)));
-            b.bind(join);
-            pool.push_back(shared);
-            break;
-          }
-          default: {
-            // Counted loop with a loop-carried accumulator and,
-            // sometimes, a divergent conditional in the body (the
-            // soft-definition-inside-loop corner).
-            RegId acc = b.reg();
-            b.movTo(acc, any());
-            RegId i = b.reg();
-            b.moviTo(i, 0);
-            RegId limit = b.movi(2 + rng.nextBelow(6));
-            bool divergent_body = rng.chance(0.5);
-            Label head = b.newLabel();
-            b.bind(head);
-            b.iaddTo(acc, acc, any());
-            if (divergent_body) {
-                RegId bit = b.band(tid, b.movi(1 + rng.nextBelow(7)));
-                RegId p2 = b.setNe(bit, b.movi(0));
-                Label skip = b.newLabel();
-                RegId np = b.setEq(p2, b.movi(0));
-                b.braIf(np, skip);
-                // Soft definition of acc: only some lanes update.
-                b.iaddTo(acc, acc, b.movi(rng.nextRange(1, 9)));
-                b.bind(skip);
-            }
-            b.iaddiTo(i, i, 1);
-            RegId p = b.setLt(i, limit);
-            b.braIf(p, head);
-            pool.push_back(acc);
-            break;
-          }
-        }
-    }
-    // Final observable store of a mixed value.
-    RegId out = any();
-    for (unsigned i = 0; i < 2 && pool.size() > 1; ++i)
-        out = b.bxor(out, any());
-    b.st(out, addr, 3u << 20);
-    return b.build();
-}
+using workloads::randomKernel;
 
 struct PropCase
 {
@@ -244,6 +145,352 @@ TEST_P(RegionInvariants, PartitionIsSoundForRandomKernels)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RegionInvariants,
                          ::testing::Range<std::uint64_t>(1, 25));
+
+/** Random kernels must also pass the full path-sensitive lint. */
+class LintClean : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(LintClean, RandomKernelsAreLintClean)
+{
+    compiler::CompiledKernel ck =
+        compiler::compile(randomKernel(GetParam()));
+    std::vector<compiler::Finding> findings =
+        compiler::lintCompiledKernel(ck);
+    EXPECT_TRUE(findings.empty())
+        << compiler::formatFindings(findings);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LintClean,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+/**
+ * Mutation testing of the staging checker: systematically corrupt
+ * the annotations of compiled random kernels and measure how many
+ * mutants the static lint kills. The acceptance bar is >= 95% static
+ * detection; any escapee must be caught by the dynamic shadow
+ * checker instead.
+ */
+
+struct Mutant
+{
+    std::string op;
+    std::uint64_t seed;
+    compiler::CompiledKernel ck;
+};
+
+using MutationOp = std::function<bool(const compiler::CompiledKernel &,
+                                      std::vector<compiler::Region> &)>;
+
+/** First region index satisfying @a pred, or regions.size(). */
+template <typename Pred>
+std::size_t
+firstRegion(const std::vector<compiler::Region> &regions, Pred pred)
+{
+    for (std::size_t i = 0; i < regions.size(); ++i) {
+        if (pred(regions[i]))
+            return i;
+    }
+    return regions.size();
+}
+
+bool
+dropPreload(const compiler::CompiledKernel &,
+            std::vector<compiler::Region> &regions)
+{
+    std::size_t i = firstRegion(regions, [](const compiler::Region &r) {
+        return !r.preloads.empty();
+    });
+    if (i == regions.size())
+        return false;
+    regions[i].preloads.erase(regions[i].preloads.begin());
+    return true;
+}
+
+bool
+dropErase(const compiler::CompiledKernel &,
+          std::vector<compiler::Region> &regions)
+{
+    std::size_t i = firstRegion(regions, [](const compiler::Region &r) {
+        return !r.erases.empty();
+    });
+    if (i == regions.size())
+        return false;
+    auto it = regions[i].erases.begin();
+    it->second.erase(it->second.begin());
+    if (it->second.empty())
+        regions[i].erases.erase(it);
+    return true;
+}
+
+bool
+dropEvict(const compiler::CompiledKernel &,
+          std::vector<compiler::Region> &regions)
+{
+    std::size_t i = firstRegion(regions, [](const compiler::Region &r) {
+        return !r.evicts.empty();
+    });
+    if (i == regions.size())
+        return false;
+    auto it = regions[i].evicts.begin();
+    it->second.erase(it->second.begin());
+    if (it->second.empty())
+        regions[i].evicts.erase(it);
+    return true;
+}
+
+bool
+flipInvalidateOn(const compiler::CompiledKernel &ck,
+                 std::vector<compiler::Region> &regions)
+{
+    // Only non-invalidating preloads of still-needed values are
+    // eligible; flipping one reintroduces the premature-invalidation
+    // bug class (§4.3).
+    ir::CfgAnalysis cfg(ck.kernel());
+    ir::Liveness live(ck.kernel(), cfg);
+    for (compiler::Region &region : regions) {
+        for (compiler::Preload &p : region.preloads) {
+            if (!p.invalidate &&
+                live.liveAfter(region.endPc, p.reg)) {
+                p.invalidate = true;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+shrinkMaxLive(const compiler::CompiledKernel &,
+              std::vector<compiler::Region> &regions)
+{
+    std::size_t i = firstRegion(regions, [](const compiler::Region &r) {
+        return r.maxLive > 0;
+    });
+    if (i == regions.size())
+        return false;
+    --regions[i].maxLive;
+    return true;
+}
+
+bool
+underclaimBank(const compiler::CompiledKernel &,
+               std::vector<compiler::Region> &regions)
+{
+    for (compiler::Region &region : regions) {
+        for (unsigned b = 0; b < compiler::numOsuBanks; ++b) {
+            if (region.bankUsage[b] > 0) {
+                --region.bankUsage[b];
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+bogusCacheInvalidation(const compiler::CompiledKernel &,
+                       std::vector<compiler::Region> &regions)
+{
+    std::size_t i = firstRegion(regions, [](const compiler::Region &r) {
+        return !r.inputs.empty();
+    });
+    if (i == regions.size())
+        return false;
+    regions[i].cacheInvalidations.push_back(regions[i].inputs.front());
+    return true;
+}
+
+TEST(MutationHarness, StaticLintKillsAtLeast95PercentOfMutants)
+{
+    const std::vector<std::pair<const char *, MutationOp>> ops = {
+        {"dropPreload", dropPreload},
+        {"dropErase", dropErase},
+        {"dropEvict", dropEvict},
+        {"flipInvalidateOn", flipInvalidateOn},
+        {"shrinkMaxLive", shrinkMaxLive},
+        {"underclaimBank", underclaimBank},
+        {"bogusCacheInvalidation", bogusCacheInvalidation},
+    };
+
+    unsigned generated = 0;
+    unsigned killed = 0;
+    std::vector<Mutant> escaped;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const compiler::CompiledKernel ck =
+            compiler::compile(randomKernel(seed));
+        for (const auto &[name, op] : ops) {
+            auto regions = ck.regions();
+            if (!op(ck, regions))
+                continue; // kernel has no eligible site
+            compiler::CompiledKernel mutant(ck.kernel(),
+                                            std::move(regions),
+                                            ck.lifetimeStats(),
+                                            ck.metadataInsns());
+            ++generated;
+            if (compiler::hasErrors(
+                    compiler::lintCompiledKernel(mutant))) {
+                ++killed;
+            } else {
+                escaped.push_back(Mutant{name, seed, mutant});
+            }
+        }
+    }
+
+    ASSERT_GT(generated, 30u) << "mutation harness generated too few "
+                                 "mutants to be meaningful";
+    EXPECT_GE(killed * 100, generated * 95)
+        << killed << "/" << generated << " mutants statically killed";
+
+    // Defense in depth: anything the static lint missed must be
+    // caught by the dynamic shadow checker.
+    for (const Mutant &m : escaped) {
+        sim::GpuConfig cfg =
+            sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+        cfg.regless.runtimeCheck = true;
+        cfg.setOsuCapacity(128);
+        sim::GpuSimulator gpu(m.ck, cfg);
+        gpu.run();
+        EXPECT_FALSE(gpu.runtimeViolations().empty())
+            << "mutant " << m.op << " seed " << m.seed
+            << " escaped both the static lint and the runtime check";
+    }
+}
+
+/**
+ * Static/dynamic agreement on specific mutants whose runtime footprint
+ * is well-defined (no simulator panic): the shadow checker must
+ * observe the same bug class the static lint reports.
+ */
+TEST(MutationHarness, DroppedEraseIsCaughtAtRuntime)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const compiler::CompiledKernel ck =
+            compiler::compile(randomKernel(seed));
+        auto regions = ck.regions();
+        if (!dropErase(ck, regions))
+            continue;
+        compiler::CompiledKernel mutant(ck.kernel(), std::move(regions),
+                                        ck.lifetimeStats(),
+                                        ck.metadataInsns());
+        ASSERT_TRUE(compiler::hasErrors(
+            compiler::lintCompiledKernel(mutant)));
+
+        sim::GpuConfig cfg =
+            sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+        cfg.regless.runtimeCheck = true;
+        sim::GpuSimulator gpu(mutant, cfg);
+        gpu.run();
+        std::vector<compiler::Finding> violations =
+            gpu.runtimeViolations();
+        bool leaked = std::any_of(
+            violations.begin(), violations.end(),
+            [](const compiler::Finding &f) {
+                return f.code == compiler::codes::rtLeakedLine;
+            });
+        EXPECT_TRUE(leaked)
+            << "seed " << seed << ": dropped erase not observed as a "
+            << "leaked line at runtime ("
+            << compiler::formatFindings(violations) << ")";
+        return; // one agreeing mutant is the point
+    }
+    GTEST_SKIP() << "no random kernel with an erase annotation";
+}
+
+TEST(MutationHarness, DroppedPreloadsAreCaughtAtRuntimeUnderPressure)
+{
+    // A missing preload is runtime-benign as long as the producing
+    // region's evicted line is still resident; only once reclaims kick
+    // in does the region read a value that is really gone. Drop every
+    // preload, run under OSU pressure, and accept either runtime
+    // verdict: the shadow checker flags an unstaged read, or the OSU's
+    // own invariant panics on an absent line — any outcome except a
+    // clean, silent run.
+    const compiler::CompiledKernel ck = compiler::compile(randomKernel(1));
+    auto regions = ck.regions();
+    bool dropped = false;
+    for (compiler::Region &region : regions) {
+        dropped = dropped || !region.preloads.empty();
+        region.preloads.clear();
+    }
+    ASSERT_TRUE(dropped);
+    compiler::CompiledKernel mutant(ck.kernel(), std::move(regions),
+                                    ck.lifetimeStats(),
+                                    ck.metadataInsns());
+    ASSERT_TRUE(
+        compiler::hasErrors(compiler::lintCompiledKernel(mutant)));
+
+    sim::GpuConfig cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    cfg.regless.runtimeCheck = true;
+    cfg.setOsuCapacity(128);
+    EXPECT_EXIT(
+        {
+            sim::GpuSimulator gpu(mutant, cfg);
+            gpu.run();
+            std::_Exit(gpu.runtimeViolations().empty() ? 0 : 42);
+        },
+        [](int status) {
+            // 42 = shadow checker violation; abnormal = OSU panic.
+            return !WIFEXITED(status) || WEXITSTATUS(status) == 42;
+        },
+        "");
+}
+
+TEST(MutationHarness, RestoredDivergentInvalidateIsCaughtAtRuntime)
+{
+    // Historical bug class: an invalidating preload justified by CFG
+    // liveness alone destroys a value a divergent sibling path still
+    // reads. The compiler now suppresses these (see
+    // ir::divergentSiblingMayRead); restoring them must trip both the
+    // static lint and — under OSU pressure, where the clean line gets
+    // reclaimed — the runtime shadow checker.
+    compiler::CompiledKernel ck =
+        compiler::compile(workloads::makeRodinia("heartwall"));
+    ir::CfgAnalysis cfg_a(ck.kernel());
+    ir::Liveness live(ck.kernel(), cfg_a);
+    auto regions = ck.regions();
+    unsigned flipped = 0;
+    for (compiler::Region &region : regions) {
+        for (compiler::Preload &p : region.preloads) {
+            if (!p.invalidate &&
+                !live.liveAfter(region.endPc, p.reg)) {
+                // Exactly the preloads the divergence rule suppressed.
+                p.invalidate = true;
+                ++flipped;
+            }
+        }
+    }
+    ASSERT_GT(flipped, 0u)
+        << "heartwall no longer has divergence-suppressed invalidates";
+    compiler::CompiledKernel mutant(ck.kernel(), std::move(regions),
+                                    ck.lifetimeStats(),
+                                    ck.metadataInsns());
+    std::vector<compiler::Finding> findings =
+        compiler::lintCompiledKernel(mutant);
+    bool static_hit = std::any_of(
+        findings.begin(), findings.end(),
+        [](const compiler::Finding &f) {
+            return f.code == compiler::codes::invalidateLive;
+        });
+    EXPECT_TRUE(static_hit) << compiler::formatFindings(findings);
+
+    sim::GpuConfig cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    cfg.regless.runtimeCheck = true;
+    cfg.setOsuCapacity(128);
+    sim::GpuSimulator gpu(mutant, cfg);
+    gpu.run();
+    std::vector<compiler::Finding> violations = gpu.runtimeViolations();
+    bool runtime_hit = std::any_of(
+        violations.begin(), violations.end(),
+        [](const compiler::Finding &f) {
+            return f.code == compiler::codes::rtPreloadLost;
+        });
+    EXPECT_TRUE(runtime_hit)
+        << "runtime shadow checker missed the restored invalidate bug ("
+        << compiler::formatFindings(violations) << ")";
+}
 
 } // namespace
 } // namespace regless
