@@ -47,25 +47,41 @@ genFig16Runtime(FigureContext &ctx)
     sim::GeomeanSeries rfv_r("fig16 rfv runtime ratio");
     sim::GeomeanSeries rfh_r("fig16 rfh runtime ratio");
     std::size_t i = 0;
+    unsigned excluded = 0;
     for (const auto &name : workloads::rodiniaNames()) {
         const Row &row = jobs[i++];
-        double base =
-            static_cast<double>(ctx.engine.stats(row.base).cycles);
-        double rl =
-            static_cast<double>(ctx.engine.stats(row.rl).cycles);
+        // Fault isolation: a failed/deadlocked point drops only its
+        // own row from the figure (and from every geomean it feeds);
+        // the gap is annotated so a short geomean is never silent.
+        const sim::RunStats *base_s = ctx.engine.tryStats(row.base);
+        const sim::RunStats *rl_s = ctx.engine.tryStats(row.rl);
+        const sim::RunStats *nc_s = ctx.engine.tryStats(row.nc);
+        const sim::RunStats *rfv_s = ctx.engine.tryStats(row.rfv);
+        const sim::RunStats *rfh_s = ctx.engine.tryStats(row.rfh);
+        if (!base_s || !rl_s) {
+            ctx.out << "# " << name << ": excluded ("
+                    << ctx.engine.result(!base_s ? row.base : row.rl)
+                           .error
+                    << ")\n";
+            ++excluded;
+            continue;
+        }
+        double base = static_cast<double>(base_s->cycles);
+        double rl = static_cast<double>(rl_s->cycles);
         rl_r.add(name, rl / base);
-        nc_r.add(name,
-                 static_cast<double>(ctx.engine.stats(row.nc).cycles) /
-                     base);
-        rfv_r.add(name,
-                  static_cast<double>(
-                      ctx.engine.stats(row.rfv).cycles) /
-                      base);
-        rfh_r.add(name,
-                  static_cast<double>(
-                      ctx.engine.stats(row.rfh).cycles) /
-                      base);
+        if (nc_s)
+            nc_r.add(name, static_cast<double>(nc_s->cycles) / base);
+        if (rfv_s)
+            rfv_r.add(name, static_cast<double>(rfv_s->cycles) / base);
+        if (rfh_s)
+            rfh_r.add(name, static_cast<double>(rfh_s->cycles) / base);
         table.row({name, rl / base});
+    }
+    if (excluded) {
+        ctx.out << "# geomeans over "
+                << workloads::rodiniaNames().size() - excluded
+                << " of " << workloads::rodiniaNames().size()
+                << " benchmarks (failed jobs excluded)\n";
     }
     table.row({"GEOMEAN", rl_r.value()});
     table.row({"geomean no-compressor", nc_r.value()});

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "common/logging.hh"
+#include "common/sim_error.hh"
 #include "sim/experiment.hh"
 #include "sim/stats_io.hh"
 
@@ -104,7 +105,11 @@ void
 runFigure(const Figure &figure, FigureContext &ctx)
 {
     sim::banner(ctx.out, figure.title, figure.paperRef);
-    figure.generate(ctx);
+    try {
+        figure.generate(ctx);
+    } catch (const sim::SimError &e) {
+        ctx.out << "# figure skipped: " << e.what() << "\n";
+    }
 }
 
 ReportOptions
@@ -133,12 +138,23 @@ parseReportOptions(int argc, char **argv, bool allow_filter)
             options.cacheDir = value();
         } else if (arg == "--lint") {
             options.lint = true;
+        } else if (arg == "--max-cycles") {
+            options.maxCycles = static_cast<Cycle>(
+                std::strtoull(value().c_str(), nullptr, 10));
+        } else if (arg == "--job-timeout") {
+            options.jobTimeoutSec =
+                std::strtod(value().c_str(), nullptr);
+        } else if (allow_filter && arg == "--inject-deadlock") {
+            options.injectDeadlock = true;
         } else {
             std::cerr
                 << "usage: " << argv[0]
-                << (allow_filter ? " [--filter SUBSTR] [--list]" : "")
+                << (allow_filter ? " [--filter SUBSTR] [--list]"
+                                   " [--inject-deadlock]"
+                                 : "")
                 << " [--jobs N] [--json PATH] [--no-cache]"
-                   " [--cache-dir DIR] [--lint]\n";
+                   " [--cache-dir DIR] [--lint] [--max-cycles N]"
+                   " [--job-timeout SEC]\n";
             std::exit(arg == "--help" ? 0 : 1);
         }
     }
@@ -152,28 +168,36 @@ engineOptions(const ReportOptions &options)
     engine.jobs = options.jobs;
     engine.cacheDir = options.cache ? options.cacheDir : "";
     engine.lint = options.lint;
+    engine.maxCycles = options.maxCycles;
+    engine.jobTimeoutSec = options.jobTimeoutSec;
     return engine;
 }
 
 int
 figureMain(const std::string &name, int argc, char **argv)
 {
-    const Figure *figure = findFigure(name);
-    if (!figure)
-        fatal("unknown figure '", name, "'");
-    const ReportOptions options =
-        parseReportOptions(argc, argv, /*allow_filter=*/false);
-    sim::ExperimentEngine engine(engineOptions(options));
-    FigureContext ctx{engine, std::cout};
-    runFigure(*figure, ctx);
-    if (!options.jsonPath.empty()) {
-        std::ofstream out(options.jsonPath,
-                          std::ios::binary | std::ios::trunc);
-        if (!out)
-            fatal("cannot write '", options.jsonPath, "'");
-        sim::writeJson(out, engine.allStats());
+    // The library throws; this is the process-exit boundary.
+    try {
+        const Figure *figure = findFigure(name);
+        if (!figure)
+            fatal("unknown figure '", name, "'");
+        const ReportOptions options =
+            parseReportOptions(argc, argv, /*allow_filter=*/false);
+        sim::ExperimentEngine engine(engineOptions(options));
+        FigureContext ctx{engine, std::cout};
+        runFigure(*figure, ctx);
+        if (!options.jsonPath.empty()) {
+            std::ofstream out(options.jsonPath,
+                              std::ios::binary | std::ios::trunc);
+            if (!out)
+                fatal("cannot write '", options.jsonPath, "'");
+            sim::writeJson(out, engine.allStats());
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
     }
-    return 0;
 }
 
 } // namespace regless::figures

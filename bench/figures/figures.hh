@@ -46,7 +46,12 @@ const std::vector<Figure> &allFigures();
 /** Lookup by exact name; nullptr when absent. */
 const Figure *findFigure(const std::string &name);
 
-/** Print the banner and run the generator (driver and wrappers). */
+/**
+ * Print the banner and run the generator (driver and wrappers). A
+ * SimError escaping the generator — a failed job whose stats() a
+ * figure insists on, or a config error — is caught and rendered as a
+ * "# figure skipped" line, so one bad figure never aborts the report.
+ */
 void runFigure(const Figure &figure, FigureContext &ctx);
 
 /** @name Shared CLI for regless_report and the wrapper binaries. */
@@ -66,14 +71,24 @@ struct ReportOptions
     bool lint = false;
     /** List figure names and exit. */
     bool list = false;
+    /** Hard cycle budget forced onto every job (0 = per-job default). */
+    Cycle maxCycles = 0;
+    /** Per-job wall-clock budget in seconds (0 = unlimited). */
+    double jobTimeoutSec = 0.0;
+    /**
+     * Fault drill (regless_report only): submit one doomed job with an
+     * injected OSU-slot leak so the watchdog, the failure footer, and
+     * the isolation of healthy jobs can be exercised end to end.
+     */
+    bool injectDeadlock = false;
 };
 
 /**
  * Parse the shared flags (--filter, --jobs, --json, --no-cache,
- * --cache-dir, --lint, --list); fatal() with usage on anything
- * unknown.
+ * --cache-dir, --lint, --list, --max-cycles, --job-timeout,
+ * --inject-deadlock); fatal() with usage on anything unknown.
  * @param allow_filter False for wrapper binaries, which are already
- *        a single figure.
+ *        a single figure (also gates --list and --inject-deadlock).
  */
 ReportOptions parseReportOptions(int argc, char **argv,
                                  bool allow_filter);

@@ -14,15 +14,25 @@
  *   regless_report --lint              # verify staging annotations of
  *                                      # every kernel before simulating
  *   regless_report --list              # figure names
+ *   regless_report --max-cycles N      # hard cycle budget per job
+ *   regless_report --job-timeout SEC   # wall-clock budget per job
+ *   regless_report --inject-deadlock   # fault drill: one doomed job
+ *
+ * A failed or deadlocked job never aborts the report: its figures
+ * annotate the gap, the footer counts failures, and each one is
+ * rendered (with its DeadlockReport when the watchdog fired) after
+ * the footer. The exit status is 0 whenever the report completed.
  */
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/logging.hh"
 #include "figures/figures.hh"
 #include "sim/stats_io.hh"
+#include "workloads/random_kernel.hh"
 
 using namespace regless;
 
@@ -42,49 +52,107 @@ matches(const std::string &name,
     return false;
 }
 
+/**
+ * The --inject-deadlock drill: a small kernel under RegLess whose
+ * fault plan leaks every OSU slot at cycle 0, so no region ever fits
+ * and the forward-progress watchdog must fire. The tight window keeps
+ * the drill fast; the budget is a backstop should the watchdog break.
+ */
+sim::ExperimentEngine::JobId
+submitDoomedJob(sim::ExperimentEngine &engine)
+{
+    sim::SimJob doomed;
+    doomed.kernel = "injected_deadlock";
+    doomed.config =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    doomed.config.faults.kind = FaultPlan::Kind::LeakOsuSlot;
+    doomed.config.faults.triggerCycle = 0;
+    doomed.config.sm.watchdogWindow = 20'000;
+    doomed.config.sm.maxCycles = 2'000'000;
+    doomed.builder = [] { return workloads::randomKernel(1); };
+    return engine.submit(doomed);
+}
+
+void
+printFailures(sim::ExperimentEngine &engine, std::ostream &os)
+{
+    for (sim::ExperimentEngine::JobId id : engine.failedJobs()) {
+        const sim::JobResult &result = engine.result(id);
+        const sim::SimJob &job = engine.job(id);
+        os << "# " << sim::jobStatusName(result.status) << ": job '"
+           << job.kernel << "' ("
+           << sim::providerName(job.config.provider) << ", "
+           << job.sms << " sms, " << result.attempts
+           << (result.attempts == 1 ? " attempt)" : " attempts)")
+           << ": " << result.error << "\n";
+        if (result.deadlock.empty())
+            continue;
+        std::istringstream lines(result.deadlock);
+        for (std::string line; std::getline(lines, line);)
+            os << "#   " << line << "\n";
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    figures::ReportOptions options =
-        figures::parseReportOptions(argc, argv, /*allow_filter=*/true);
+    // Library code throws SimError; this main is the process-exit
+    // boundary.
+    try {
+        figures::ReportOptions options = figures::parseReportOptions(
+            argc, argv, /*allow_filter=*/true);
 
-    if (options.list) {
-        for (const figures::Figure &figure : figures::allFigures())
-            std::cout << figure.name << "\n";
+        if (options.list) {
+            for (const figures::Figure &figure : figures::allFigures())
+                std::cout << figure.name << "\n";
+            return 0;
+        }
+
+        sim::ExperimentEngine engine(figures::engineOptions(options));
+        figures::FigureContext ctx{engine, std::cout};
+
+        if (options.injectDeadlock)
+            submitDoomedJob(engine);
+
+        unsigned ran = 0;
+        for (const figures::Figure &figure : figures::allFigures()) {
+            if (!matches(figure.name, options.filters))
+                continue;
+            if (ran++)
+                std::cout << "\n";
+            figures::runFigure(figure, ctx);
+        }
+        if (!ran)
+            fatal("no figure matches the given --filter; try --list");
+        engine.flush(); // the doomed job may be in no figure
+
+        if (!options.jsonPath.empty()) {
+            std::ofstream out(options.jsonPath,
+                              std::ios::binary | std::ios::trunc);
+            if (!out)
+                fatal("cannot write '", options.jsonPath, "'");
+            sim::writeJson(out, engine.allStats());
+        }
+
+        std::cout << "\n# engine: " << engine.pointsRequested()
+                  << " points requested, " << engine.pointsUnique()
+                  << " unique, " << engine.simulated()
+                  << " simulated, " << engine.cacheHits()
+                  << " cache hits";
+        if (options.lint)
+            std::cout << ", " << engine.kernelsLinted()
+                      << " kernels linted clean";
+        std::cout << ", " << engine.failed() << " failed, "
+                  << engine.deadlocked() << " deadlocked";
+        if (engine.retried())
+            std::cout << ", " << engine.retried() << " retried";
+        std::cout << "\n";
+        printFailures(engine, std::cout);
         return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
     }
-
-    sim::ExperimentEngine engine(figures::engineOptions(options));
-    figures::FigureContext ctx{engine, std::cout};
-
-    unsigned ran = 0;
-    for (const figures::Figure &figure : figures::allFigures()) {
-        if (!matches(figure.name, options.filters))
-            continue;
-        if (ran++)
-            std::cout << "\n";
-        figures::runFigure(figure, ctx);
-    }
-    if (!ran)
-        fatal("no figure matches the given --filter; try --list");
-
-    if (!options.jsonPath.empty()) {
-        std::ofstream out(options.jsonPath,
-                          std::ios::binary | std::ios::trunc);
-        if (!out)
-            fatal("cannot write '", options.jsonPath, "'");
-        sim::writeJson(out, engine.allStats());
-    }
-
-    std::cout << "\n# engine: " << engine.pointsRequested()
-              << " points requested, " << engine.pointsUnique()
-              << " unique, " << engine.simulated() << " simulated, "
-              << engine.cacheHits() << " cache hits";
-    if (options.lint)
-        std::cout << ", " << engine.kernelsLinted()
-                  << " kernels linted clean";
-    std::cout << "\n";
-    return 0;
 }

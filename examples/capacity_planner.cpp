@@ -18,7 +18,7 @@
 using namespace regless;
 
 int
-main(int argc, char **argv)
+runExample(int argc, char **argv)
 {
     std::string name = argc > 1 ? argv[1] : "srad_v1";
 
@@ -62,4 +62,17 @@ main(int argc, char **argv)
                  "acceptable; the paper selects 512 for the full "
                  "Rodinia suite.\n";
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Library code throws SimError; the example main is the
+    // process-exit boundary.
+    try {
+        return runExample(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
 }

@@ -61,7 +61,7 @@ fatKernel()
 } // namespace
 
 int
-main()
+runExample()
 {
     ir::Kernel kernel = fatKernel();
     std::cout << "kernel uses " << kernel.numRegs()
@@ -88,4 +88,17 @@ main()
                      static_cast<double>(rl.cycles)
               << "x with 25% of the storage\n";
     return 0;
+}
+
+int
+main()
+{
+    // Library code throws SimError; the example main is the
+    // process-exit boundary.
+    try {
+        return runExample();
+    } catch (const std::exception &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
 }

@@ -38,7 +38,7 @@ glyph(staging::CmState state)
 } // namespace
 
 int
-main(int argc, char **argv)
+runExample(int argc, char **argv)
 {
     std::string name = argc > 1 ? argv[1] : "srad_v1";
     unsigned sample = argc > 2
@@ -81,4 +81,17 @@ main(int argc, char **argv)
         std::cout << " " << static_cast<int>(o);
     std::cout << "\n";
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Library code throws SimError; the example main is the
+    // process-exit boundary.
+    try {
+        return runExample(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
 }

@@ -16,7 +16,7 @@
 using namespace regless;
 
 int
-main()
+runExample()
 {
     // 1. Write a kernel: out[i] = in[i] * in[i] + i, for 2048 threads.
     workloads::KernelBuilder b("square_plus_tid");
@@ -70,4 +70,17 @@ main()
     std::cout << "output mismatches vs baseline: " << mismatches
               << " (expect 0)\n";
     return mismatches == 0 ? 0 : 1;
+}
+
+int
+main()
+{
+    // Library code throws SimError; the example main is the
+    // process-exit boundary.
+    try {
+        return runExample();
+    } catch (const std::exception &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
 }

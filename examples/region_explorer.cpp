@@ -19,7 +19,7 @@
 using namespace regless;
 
 int
-main(int argc, char **argv)
+runExample(int argc, char **argv)
 {
     std::string name = argc > 1 ? argv[1] : "hotspot";
     ir::Kernel kernel = workloads::makeRodinia(name);
@@ -67,4 +67,17 @@ main(int argc, char **argv)
               << ", unplaced invalidations: " << ls.unplacedInvalidations
               << "\n";
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Library code throws SimError; the example main is the
+    // process-exit boundary.
+    try {
+        return runExample(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
 }

@@ -66,7 +66,7 @@ parseProvider(const std::string &name)
 } // namespace
 
 int
-main(int argc, char **argv)
+runExample(int argc, char **argv)
 {
     std::string bench;
     std::string asm_file;
@@ -188,4 +188,17 @@ main(int argc, char **argv)
         simulator.dumpStats(std::cout);
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Library code throws SimError; the example main is the
+    // process-exit boundary.
+    try {
+        return runExample(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
 }

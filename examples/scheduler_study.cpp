@@ -43,7 +43,7 @@ runWith(const std::string &name, arch::SchedulerPolicy policy,
 } // namespace
 
 int
-main()
+runExample()
 {
     std::cout << sim::cell("benchmark", 18) << sim::cell("gto_ws", 9)
               << sim::cell("2lvl_ws", 9) << sim::cell("rr_ws", 9)
@@ -77,4 +77,17 @@ main()
                  "performance — RegLess instead gates warps with the "
                  "capacity manager and keeps GTO.\n";
     return 0;
+}
+
+int
+main()
+{
+    // Library code throws SimError; the example main is the
+    // process-exit boundary.
+    try {
+        return runExample();
+    } catch (const std::exception &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
 }

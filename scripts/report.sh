@@ -3,9 +3,25 @@
 # Extra arguments go to regless_report, e.g.:
 #   ./scripts/report.sh --filter fig16 --jobs 8
 #   ./scripts/report.sh --no-cache --json report.json
+#
+# ./scripts/report.sh --smoke runs the fault drill instead: the
+# cheapest figure plus one injected deadlock, verifying that a report
+# always completes (exit 0) and diagnoses the failure in its footer.
 set -eu
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build --target regless_report
+
+if [ "${1:-}" = "--smoke" ]; then
+    shift
+    out=$(./build/bench/regless_report --filter fig03_backing_store \
+        --no-cache --inject-deadlock "$@")
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | grep -q ' 1 deadlocked'
+    printf '%s\n' "$out" | grep -q '^# deadlocked: '
+    echo "smoke: report survived an injected deadlock"
+    exit 0
+fi
+
 ./build/bench/regless_report "$@"

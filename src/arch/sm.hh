@@ -39,6 +39,13 @@ struct SmConfig
     ExecLatencies latencies;
     /** Abort threshold for runaway kernels. */
     Cycle maxCycles = 200'000'000;
+    /**
+     * Forward-progress watchdog: terminate with a DeadlockReport when
+     * no warp retires (and no CM activation happens) for this many
+     * cycles. 0 disables the stall check; the hard maxCycles budget
+     * still applies.
+     */
+    Cycle watchdogWindow = 1'000'000;
     /** Base of the program-data segment in the flat address space. */
     Addr dataBase = 0x1000'0000;
     /** Base of the per-block shared-memory segments. */

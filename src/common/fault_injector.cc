@@ -1,0 +1,30 @@
+#include "common/fault_injector.hh"
+
+namespace regless
+{
+
+const char *
+faultKindName(FaultPlan::Kind kind)
+{
+    switch (kind) {
+      case FaultPlan::Kind::None: return "none";
+      case FaultPlan::Kind::LeakOsuSlot: return "leak_osu_slot";
+      case FaultPlan::Kind::DropDramResponse:
+        return "drop_dram_response";
+      case FaultPlan::Kind::ProviderThrow: return "provider_throw";
+    }
+    return "?";
+}
+
+bool
+FaultInjector::fire(FaultPlan::Kind kind, Cycle now)
+{
+    if (_fired || kind != _plan.kind || kind == FaultPlan::Kind::None)
+        return false;
+    if (now < _plan.triggerCycle)
+        return false;
+    _fired = true;
+    return true;
+}
+
+} // namespace regless

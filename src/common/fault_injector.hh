@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic fault-injection harness (DESIGN.md §9).
+ *
+ * A FaultPlan is part of GpuConfig (and hence of the canonical config
+ * fingerprint), so an injected failure is an ordinary, reproducible
+ * simulation point: the same plan at the same trigger cycle provokes
+ * the same failure on every run. The plan is delivered by a
+ * FaultInjector that the simulator wires into the component the fault
+ * targets; each consumer polls fire() with its own kind.
+ *
+ * The three plans cover the simulator's failure classes:
+ *  - LeakOsuSlot: the capacity manager permanently loses OSU lines to
+ *    phantom reservations, so no region ever fits again — the
+ *    §4.4-style deadlock the forward-progress watchdog must catch.
+ *  - DropDramResponse: one DRAM response never arrives, wedging the
+ *    dependent warp behind a scoreboard entry that never clears.
+ *  - ProviderThrow: the operand provider raises an internal error
+ *    (SimError) mid-run — the crash-isolation path.
+ */
+
+#ifndef REGLESS_COMMON_FAULT_INJECTOR_HH
+#define REGLESS_COMMON_FAULT_INJECTOR_HH
+
+#include "common/types.hh"
+
+namespace regless
+{
+
+/** What to break, and when. */
+struct FaultPlan
+{
+    enum class Kind : std::uint8_t
+    {
+        None,             ///< no fault (the default for every run)
+        LeakOsuSlot,      ///< leak CM reservations -> staging deadlock
+        DropDramResponse, ///< swallow one DRAM response -> stuck warp
+        ProviderThrow,    ///< provider raises SimError at the trigger
+    };
+
+    Kind kind = Kind::None;
+
+    /** First cycle at which the fault may fire. */
+    Cycle triggerCycle = 0;
+
+    /**
+     * A transient fault models a recoverable environment failure: the
+     * experiment engine strips the plan when it retries the job, so
+     * the retry runs clean (and must reproduce the fault-free result).
+     */
+    bool transient = false;
+};
+
+/** Canonical plan-kind name for config dumps and diagnostics. */
+const char *faultKindName(FaultPlan::Kind kind);
+
+/**
+ * Delivers one FaultPlan to the component it targets. Each consumer
+ * polls fire(kind, now); the injector arms once the trigger cycle is
+ * reached and reports each kind at most once per run, so a fault is a
+ * single deterministic event, not a recurring condition.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan) : _plan(plan) {}
+
+    /**
+     * @return true exactly once: the first poll of the plan's kind at
+     * or after the trigger cycle.
+     */
+    bool fire(FaultPlan::Kind kind, Cycle now);
+
+    /** The plan under delivery. */
+    const FaultPlan &plan() const { return _plan; }
+
+    /** Has the fault been delivered yet? */
+    bool fired() const { return _fired; }
+
+  private:
+    FaultPlan _plan;
+    bool _fired = false;
+};
+
+} // namespace regless
+
+#endif // REGLESS_COMMON_FAULT_INJECTOR_HH

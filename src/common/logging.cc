@@ -1,7 +1,8 @@
 #include "common/logging.hh"
 
-#include <cstdlib>
 #include <iostream>
+
+#include "common/sim_error.hh"
 
 namespace regless
 {
@@ -51,10 +52,13 @@ logMessage(LogLevel level, const std::string &msg)
 void
 logAndDie(LogLevel level, const std::string &msg)
 {
-    std::cerr << levelName(level) << ": " << msg << std::endl;
-    if (level == LogLevel::Panic)
-        std::abort();
-    std::exit(1);
+    // The library never terminates the process: the error unwinds to
+    // the caller (the experiment engine isolates it per job; the CLI
+    // mains catch, print, and pick an exit status).
+    throw sim::SimError(level == LogLevel::Panic
+                            ? sim::SimErrorKind::Internal
+                            : sim::SimErrorKind::Config,
+                        msg);
 }
 
 } // namespace detail

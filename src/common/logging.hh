@@ -2,8 +2,11 @@
  * @file
  * gem5-style status and error reporting helpers.
  *
- * fatal() terminates on user/configuration errors; panic() terminates on
- * internal simulator bugs. warn() and inform() print and continue.
+ * fatal() reports user/configuration errors; panic() reports internal
+ * simulator bugs. Both throw sim::SimError (common/sim_error.hh) —
+ * library code never exits the process; only the CLI mains in bench/
+ * and tools/ catch at top level and terminate. warn() and inform()
+ * print and continue.
  */
 
 #ifndef REGLESS_COMMON_LOGGING_HH
@@ -27,7 +30,7 @@ enum class LogLevel
 namespace detail
 {
 
-/** Emit a message; terminates the process for Fatal and Panic. */
+/** Raise the error: throws sim::SimError for Fatal and Panic. */
 [[noreturn]] void logAndDie(LogLevel level, const std::string &msg);
 
 /** Emit a non-terminating message. */

@@ -1,0 +1,77 @@
+#include "common/sim_error.hh"
+
+#include <sstream>
+
+namespace regless::sim
+{
+
+const char *
+simErrorKindName(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Config: return "config";
+      case SimErrorKind::Internal: return "internal";
+      case SimErrorKind::Deadlock: return "deadlock";
+    }
+    return "?";
+}
+
+std::string
+DeadlockReport::render() const
+{
+    std::ostringstream oss;
+    oss << "deadlock: kernel '" << kernel << "' " << reason << "\n"
+        << "  cycle " << cycle << ", last progress at cycle "
+        << lastProgressCycle << " (window " << watchdogWindow
+        << ", budget " << maxCycles << " cycles)\n"
+        << "  " << insnsIssued << " instructions retired, "
+        << progressEvents << " progress events\n";
+    if (!warps.empty()) {
+        oss << "  unfinished warps:\n";
+        for (const std::string &line : warps)
+            oss << "    " << line << "\n";
+    }
+    if (!banks.empty()) {
+        oss << "  OSU banks (owned/clean/dirty/free, reserved):\n";
+        for (const std::string &line : banks)
+            oss << "    " << line << "\n";
+    }
+    if (!memState.empty())
+        oss << "  memory: " << memState << "\n";
+    return oss.str();
+}
+
+bool
+operator==(const DeadlockReport &a, const DeadlockReport &b)
+{
+    return a.kernel == b.kernel && a.reason == b.reason &&
+           a.cycle == b.cycle &&
+           a.lastProgressCycle == b.lastProgressCycle &&
+           a.watchdogWindow == b.watchdogWindow &&
+           a.maxCycles == b.maxCycles &&
+           a.insnsIssued == b.insnsIssued &&
+           a.progressEvents == b.progressEvents && a.warps == b.warps &&
+           a.banks == b.banks && a.memState == b.memState;
+}
+
+namespace
+{
+
+std::string
+summaryLine(const DeadlockReport &report)
+{
+    std::ostringstream oss;
+    oss << "kernel '" << report.kernel << "' " << report.reason
+        << " at cycle " << report.cycle;
+    return oss.str();
+}
+
+} // namespace
+
+DeadlockError::DeadlockError(DeadlockReport report)
+    : SimError(SimErrorKind::Deadlock, summaryLine(report)),
+      _report(std::move(report))
+{
+}
+
+} // namespace regless::sim

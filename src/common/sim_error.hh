@@ -1,0 +1,103 @@
+/**
+ * @file
+ * sim::SimError — the library's error boundary.
+ *
+ * Library code under src/ never terminates the process: fatal() and
+ * panic() (common/logging.hh) throw SimError, and the forward-progress
+ * watchdog throws DeadlockError carrying a structured DeadlockReport.
+ * Process exit happens only at the top of the CLI mains (bench/,
+ * tools/), which catch, render, and choose an exit status — so one
+ * pathological job can never take down a whole report run.
+ */
+
+#ifndef REGLESS_COMMON_SIM_ERROR_HH
+#define REGLESS_COMMON_SIM_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace regless::sim
+{
+
+/** What class of failure a SimError reports. */
+enum class SimErrorKind
+{
+    Config,   ///< user/configuration error (was fatal())
+    Internal, ///< internal simulator bug (was panic())
+    Deadlock, ///< forward-progress watchdog fired (DeadlockError)
+};
+
+/** Human-readable kind name ("config", "internal", "deadlock"). */
+const char *simErrorKindName(SimErrorKind kind);
+
+/** Any error raised by library code under src/. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(SimErrorKind kind, const std::string &what)
+        : std::runtime_error(what), _kind(kind)
+    {
+    }
+
+    SimErrorKind kind() const { return _kind; }
+
+  private:
+    SimErrorKind _kind;
+};
+
+/**
+ * Structured diagnosis of a run the watchdog terminated: why it
+ * fired, and a snapshot of every structure whose occupancy can pin a
+ * warp (scheduler state, next-region preloads, OSU banks, CM
+ * reservations, MSHRs). Attached to the run's result by the
+ * experiment engine and rendered by regless_report / regless_lint.
+ */
+struct DeadlockReport
+{
+    std::string kernel;
+    /** What tripped: stall window, cycle budget, or wall clock. */
+    std::string reason;
+    /** Cycle at which the watchdog fired. */
+    Cycle cycle = 0;
+    /** Last cycle at which any progress event was observed. */
+    Cycle lastProgressCycle = 0;
+    /** Configured no-progress window (SmConfig::watchdogWindow). */
+    Cycle watchdogWindow = 0;
+    /** Configured hard budget (SmConfig::maxCycles). */
+    Cycle maxCycles = 0;
+    /** Instructions retired before the stall. */
+    std::uint64_t insnsIssued = 0;
+    /** Progress events (retired insns + CM activations) observed. */
+    std::uint64_t progressEvents = 0;
+    /** One line per unfinished warp: scheduler + CM state, region. */
+    std::vector<std::string> warps;
+    /** One line per OSU bank: occupancy and CM reservations. */
+    std::vector<std::string> banks;
+    /** Memory-system state (MSHR fill per cache level). */
+    std::string memState;
+
+    /** Multi-line human-readable rendering. */
+    std::string render() const;
+};
+
+bool operator==(const DeadlockReport &a, const DeadlockReport &b);
+
+/** A watchdog termination, carrying its diagnosis. */
+class DeadlockError : public SimError
+{
+  public:
+    explicit DeadlockError(DeadlockReport report);
+
+    const DeadlockReport &report() const { return _report; }
+
+  private:
+    DeadlockReport _report;
+};
+
+} // namespace regless::sim
+
+#endif // REGLESS_COMMON_SIM_ERROR_HH

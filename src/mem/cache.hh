@@ -100,6 +100,9 @@ class Cache
     /** Retire MSHRs whose fills completed at or before @a now. */
     void expireMshrs(Cycle now);
 
+    /** Outstanding-miss registers currently allocated. */
+    std::size_t mshrsInUse() const { return _mshrMap.size(); }
+
     StatGroup &stats() { return _stats; }
     const StatGroup &stats() const { return _stats; }
 

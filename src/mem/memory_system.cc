@@ -90,6 +90,22 @@ MemorySystem::accessL2(Addr addr, bool is_write, Cycle t)
 MemAccessResult
 MemorySystem::access(Addr addr, bool is_write, MemSpace space, Cycle now)
 {
+    MemAccessResult result = accessImpl(addr, is_write, space, now);
+    // Injected lost response: the request was accepted and charged,
+    // but its data never arrives, wedging the dependent warp behind a
+    // scoreboard entry that never clears. The watchdog must catch it.
+    if (_faults && result.accepted &&
+        result.source == MemSource::Dram &&
+        _faults->fire(FaultPlan::Kind::DropDramResponse, now)) {
+        result.readyCycle = neverReady;
+    }
+    return result;
+}
+
+MemAccessResult
+MemorySystem::accessImpl(Addr addr, bool is_write, MemSpace space,
+                         Cycle now)
+{
     MemAccessResult result;
     if (!l1PortFree(now)) {
         result.accepted = false;

@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 
+#include "common/fault_injector.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
@@ -120,6 +122,12 @@ class MemorySystem
      */
     void setDramPort(unsigned port) { _dramPort = port; }
 
+    /** Attach a fault injector (null = no faults, the default). */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        _faults = injector;
+    }
+
     Cache &l1() { return _l1; }
     Cache &l2() { return _l2; }
     DramModel &dram() { return *_dram; }
@@ -127,7 +135,15 @@ class MemorySystem
 
     const MemConfig &config() const { return _cfg; }
 
+    /** Ready cycle of an injected lost response ("never"). */
+    static constexpr Cycle neverReady =
+        std::numeric_limits<Cycle>::max() / 2;
+
   private:
+    /** The real transaction path behind access(). */
+    MemAccessResult accessImpl(Addr addr, bool is_write, MemSpace space,
+                               Cycle now);
+
     /** L2 lookup with bandwidth serialisation at time @a t. */
     MemAccessResult accessL2(Addr addr, bool is_write, Cycle t);
 
@@ -140,6 +156,7 @@ class MemorySystem
     MemConfig _cfg;
     Cache _l1;
     Cache _l2;
+    FaultInjector *_faults = nullptr;
     std::shared_ptr<DramModel> _dram;
     unsigned _dramPort = noDramPort;
     Cycle _l1NextFree = 0;

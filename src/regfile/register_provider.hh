@@ -18,6 +18,7 @@
 #include <string>
 
 #include "arch/warp.hh"
+#include "common/fault_injector.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "ir/instruction.hh"
@@ -80,6 +81,24 @@ class RegisterProvider
         (void)insn;
         (void)now;
         return 0;
+    }
+
+    /**
+     * Monotonic count of provider-internal progress (e.g. RegLess CM
+     * activations). The forward-progress watchdog adds this to the
+     * SM's retired-instruction count so long-but-live activation
+     * phases are not misdiagnosed as stalls. 0 for providers with no
+     * multi-cycle background machinery.
+     */
+    virtual std::uint64_t progressEvents() const { return 0; }
+
+    /**
+     * Attach a fault injector (DESIGN.md §9). Providers without
+     * injectable faults ignore it.
+     */
+    virtual void setFaultInjector(FaultInjector *injector)
+    {
+        (void)injector;
     }
 
     StatGroup &stats() { return _stats; }

@@ -466,6 +466,15 @@ CapacityManager::tryActivate(Cycle now)
 void
 CapacityManager::tick(Cycle now)
 {
+    // Injected staging-space leak: phantom reservations permanently
+    // consume every bank's lines, so no region ever fits again and
+    // the shard's warps wedge in Inactive — the §4.4 deadlock class
+    // the forward-progress watchdog must catch.
+    if (_faults && _faults->fire(FaultPlan::Kind::LeakOsuSlot, now)) {
+        for (unsigned b = 0; b < osuBanks; ++b)
+            _reservedFuture[b] += static_cast<int>(_osu.linesPerBank());
+    }
+
     if (_compressor)
         _compressor->tick(now);
 

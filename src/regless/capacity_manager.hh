@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "arch/warp.hh"
+#include "common/fault_injector.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "compiler/compiler.hh"
@@ -74,6 +75,12 @@ class CapacityManager
     /** Attach the dynamic staging-state checker (null disables). */
     void setShadow(ShadowChecker *shadow) { _shadow = shadow; }
 
+    /** Attach a fault injector (null = no faults, the default). */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        _faults = injector;
+    }
+
     /** Per-cycle work: queues, drains, activation. */
     void tick(Cycle now);
 
@@ -106,6 +113,15 @@ class CapacityManager
     {
         return ctx(warp).region;
     }
+
+    /** Pending (not yet issued) preloads of @a warp's region. */
+    std::size_t pendingPreloads(WarpId warp) const
+    {
+        return ctx(warp).preloads.size();
+    }
+
+    /** Region activations so far (a forward-progress event). */
+    std::uint64_t activations() const { return _activations.value(); }
 
     StatGroup &stats() { return _stats; }
     const StatGroup &stats() const { return _stats; }
@@ -175,6 +191,7 @@ class CapacityManager
     unsigned _numWarps;
     WarpSource _warpOf;
     ShadowChecker *_shadow = nullptr;
+    FaultInjector *_faults = nullptr;
 
     std::unordered_map<WarpId, WarpCtx> _ctx;
     std::deque<WarpId> _stack; ///< front = top (last to have executed)

@@ -62,11 +62,33 @@ ReglessProvider::setWarpSource(CapacityManager::WarpSource ws)
 void
 ReglessProvider::tick(Cycle now)
 {
+    // Injected provider crash: raise an internal error mid-run, the
+    // failure class the engine's per-job isolation must contain.
+    if (_faults && _faults->fire(FaultPlan::Kind::ProviderThrow, now))
+        panic("injected provider fault at cycle ", now);
+
     // Rotate which shard gets first crack at the shared L1 port.
     const unsigned n = _cfg.numShards;
     for (unsigned i = 0; i < n; ++i)
         _cms[(i + _tickRotation) % n]->tick(now);
     ++_tickRotation;
+}
+
+std::uint64_t
+ReglessProvider::progressEvents() const
+{
+    std::uint64_t total = 0;
+    for (const auto &cm : _cms)
+        total += cm->activations();
+    return total;
+}
+
+void
+ReglessProvider::setFaultInjector(FaultInjector *injector)
+{
+    _faults = injector;
+    for (auto &cm : _cms)
+        cm->setFaultInjector(injector);
 }
 
 bool

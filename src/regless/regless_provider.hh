@@ -51,6 +51,12 @@ class ReglessProvider : public regfile::RegisterProvider
 
     void dumpStats(std::ostream &os) const override;
 
+    /** CM activations across shards: background forward progress. */
+    std::uint64_t progressEvents() const override;
+
+    /** Forward the injector to the CMs; deliver ProviderThrow here. */
+    void setFaultInjector(FaultInjector *injector) override;
+
     unsigned numShards() const { return _cfg.numShards; }
     CapacityManager &cm(unsigned shard) { return *_cms.at(shard); }
     OperandStagingUnit &osu(unsigned shard) { return *_osus.at(shard); }
@@ -96,6 +102,7 @@ class ReglessProvider : public regfile::RegisterProvider
     std::vector<std::unique_ptr<Compressor>> _compressors;
     std::vector<std::unique_ptr<CapacityManager>> _cms;
     std::unique_ptr<ShadowChecker> _shadow;
+    FaultInjector *_faults = nullptr;
     Cycle _tickRotation = 0;
     Counter &_bankConflicts;
 };

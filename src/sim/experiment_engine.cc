@@ -1,9 +1,11 @@
 #include "sim/experiment_engine.hh"
 
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <unistd.h>
 
 #include "common/logging.hh"
@@ -27,7 +29,9 @@ namespace
  */
 // v3: divergence-aware invalidating preloads changed compiled regions
 // (and so every simulated trajectory).
-constexpr unsigned kCacheSchemaVersion = 3;
+// v4: entries became JobRecords (outcome + stats); pre-watchdog bare
+// RunStats entries are rejected by the record parser anyway.
+constexpr unsigned kCacheSchemaVersion = 4;
 
 /** Fingerprint of everything that determines a job's results. */
 std::uint64_t
@@ -80,10 +84,15 @@ ExperimentEngine::JobId
 ExperimentEngine::submit(const SimJob &job)
 {
     ++_requested;
-    const std::string key = cacheFileName(job);
+    SimJob effective = job;
+    // Apply the engine-wide cycle budget before fingerprinting, so
+    // entries simulated under different budgets never share a key.
+    if (_options.maxCycles)
+        effective.config.sm.maxCycles = _options.maxCycles;
+    const std::string key = cacheFileName(effective);
     auto [it, inserted] = _index.try_emplace(key, _entries.size());
     if (inserted)
-        _entries.push_back(Entry{job, RunStats{}, false});
+        _entries.push_back(Entry{effective, JobResult{}, false});
     return it->second;
 }
 
@@ -100,18 +109,42 @@ ExperimentEngine::submit(const std::string &name, ProviderKind kind)
     return submit(SimJob{name, GpuConfig::forProvider(kind), 0, {}});
 }
 
-const RunStats &
-ExperimentEngine::stats(JobId id)
+const JobResult &
+ExperimentEngine::result(JobId id)
 {
     if (id >= _entries.size())
         panic("ExperimentEngine: unknown job id ", id);
     if (!_entries[id].done)
         flush();
-    return _entries[id].stats;
+    return _entries[id].result;
+}
+
+const RunStats &
+ExperimentEngine::stats(JobId id)
+{
+    const JobResult &r = result(id);
+    if (r.status != JobStatus::Ok) {
+        const SimJob &job = _entries[id].job;
+        throw SimError(
+            r.status == JobStatus::Deadlocked ? SimErrorKind::Deadlock
+                                              : SimErrorKind::Internal,
+            "job '" + job.kernel + "' (" +
+                providerName(job.config.provider) + ", " +
+                std::to_string(job.sms) + " sms) " +
+                jobStatusName(r.status) + ": " + r.error);
+    }
+    return r.stats;
+}
+
+const RunStats *
+ExperimentEngine::tryStats(JobId id)
+{
+    const JobResult &r = result(id);
+    return r.status == JobStatus::Ok ? &r.stats : nullptr;
 }
 
 RunStats
-ExperimentEngine::execute(const SimJob &job)
+ExperimentEngine::execute(const SimJob &job, double timeout_sec)
 {
     ir::Kernel kernel = job.builder
                             ? job.builder()
@@ -121,10 +154,54 @@ ExperimentEngine::execute(const SimJob &job)
         // across jobs, and results are thread-invariant anyway.
         MultiSmSimulator multi(kernel, job.config, job.sms,
                                /*threads=*/1);
-        return multi.run();
+        return multi.run(timeout_sec);
     }
     GpuSimulator simulator(kernel, job.config);
-    return simulator.run();
+    return simulator.run(timeout_sec);
+}
+
+JobResult
+ExperimentEngine::runIsolated(SimJob job, const Options &options)
+{
+    JobResult result;
+    result.attempts = 0;
+    for (unsigned attempt = 0;; ++attempt) {
+        ++result.attempts;
+        try {
+            result.stats = execute(job, options.jobTimeoutSec);
+            result.status = JobStatus::Ok;
+            result.error.clear();
+            result.deadlock.clear();
+            return result;
+        } catch (const DeadlockError &e) {
+            result.error = e.what();
+            result.deadlock = e.report().render();
+            // A wall-clock trip is load-dependent and worth a retry;
+            // a cycle-domain deadlock is deterministic and is not.
+            const bool wall_trip =
+                e.report().reason ==
+                ProgressMonitor::reason(
+                    ProgressMonitor::Verdict::WallTimeout);
+            result.status = wall_trip ? JobStatus::Failed
+                                      : JobStatus::Deadlocked;
+            if (!wall_trip)
+                return result;
+        } catch (const std::exception &e) {
+            result.status = JobStatus::Failed;
+            result.error = e.what();
+            result.deadlock.clear();
+        }
+        if (attempt >= options.retries)
+            return result;
+        // Transient-fault model: an injected fault marked transient
+        // does not recur on the retry.
+        if (job.config.faults.transient)
+            job.config.faults = FaultPlan{};
+        if (options.retryBackoffMs) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                options.retryBackoffMs << attempt));
+        }
+    }
 }
 
 bool
@@ -142,15 +219,23 @@ ExperimentEngine::loadFromCache(Entry &entry)
     buffer << in.rdbuf();
 
     // A corrupt or truncated entry is a miss, never an error: the
-    // point is re-simulated and the entry rewritten.
-    RunStats parsed;
-    if (!tryFromJson(buffer.str(), parsed))
+    // point is re-simulated and the entry rewritten. Bare pre-record
+    // RunStats entries are rejected by the record parser.
+    JobRecord record;
+    if (!tryRecordFromJson(buffer.str(), record))
+        return false;
+    if (record.schema != kCacheSchemaVersion)
         return false;
     // Entries are keyed by fingerprint, so a provider mismatch means
     // the file was tampered with or collided; treat it as a miss too.
-    if (parsed.provider != entry.job.config.provider)
+    if (record.status == JobStatus::Ok &&
+        record.stats.provider != entry.job.config.provider)
         return false;
-    entry.stats = std::move(parsed);
+    entry.result.status = record.status;
+    entry.result.stats = std::move(record.stats);
+    entry.result.error = std::move(record.error);
+    entry.result.deadlock = std::move(record.deadlock);
+    entry.result.attempts = record.attempts;
     return true;
 }
 
@@ -178,7 +263,14 @@ ExperimentEngine::storeToCache(const Entry &entry)
                  "'");
             return;
         }
-        writeJson(out, entry.stats);
+        JobRecord record;
+        record.schema = kCacheSchemaVersion;
+        record.status = entry.result.status;
+        record.stats = entry.result.stats;
+        record.error = entry.result.error;
+        record.deadlock = entry.result.deadlock;
+        record.attempts = entry.result.attempts;
+        writeJson(out, record);
     }
     // Atomic publish so concurrent report runs never see a torn file.
     std::filesystem::rename(tmp, path, ec);
@@ -242,8 +334,11 @@ ExperimentEngine::flush()
             : ThreadPool::defaultThreads(
                   static_cast<unsigned>(to_run.size()));
     ThreadPool pool(threads);
+    // runIsolated() never lets an exception escape: one wedged or
+    // crashing job must not take down the worker (worker threads
+    // terminate on escaping exceptions) or its sibling jobs.
     pool.parallelFor(to_run.size(), [&](std::size_t i) {
-        to_run[i]->stats = execute(to_run[i]->job);
+        to_run[i]->result = runIsolated(to_run[i]->job, _options);
     });
 
     // Publish serially: deterministic counters and no concurrent
@@ -255,14 +350,56 @@ ExperimentEngine::flush()
     }
 }
 
+std::uint64_t
+ExperimentEngine::countStatus(JobStatus status) const
+{
+    std::uint64_t n = 0;
+    for (const Entry &entry : _entries)
+        n += entry.done && entry.result.status == status;
+    return n;
+}
+
+std::uint64_t
+ExperimentEngine::retried() const
+{
+    std::uint64_t n = 0;
+    for (const Entry &entry : _entries) {
+        if (entry.done && entry.result.attempts > 1)
+            n += entry.result.attempts - 1;
+    }
+    return n;
+}
+
+std::vector<ExperimentEngine::JobId>
+ExperimentEngine::failedJobs() const
+{
+    std::vector<JobId> out;
+    for (JobId id = 0; id < _entries.size(); ++id) {
+        if (_entries[id].done &&
+            _entries[id].result.status != JobStatus::Ok)
+            out.push_back(id);
+    }
+    return out;
+}
+
+const SimJob &
+ExperimentEngine::job(JobId id) const
+{
+    if (id >= _entries.size())
+        panic("ExperimentEngine: unknown job id ", id);
+    return _entries[id].job;
+}
+
 std::vector<RunStats>
 ExperimentEngine::allStats()
 {
     flush();
     std::vector<RunStats> out;
     out.reserve(_entries.size());
-    for (const Entry &entry : _entries)
-        out.push_back(entry.stats);
+    for (const Entry &entry : _entries) {
+        if (entry.result.status == JobStatus::Ok)
+            out.push_back(entry.result.stats);
+    }
     return out;
 }
 

@@ -7,6 +7,13 @@
  * count), and memoized in a persistent on-disk JSON cache keyed by
  * the config fingerprint, so a warm rerun of the full paper report
  * performs zero simulations. See DESIGN.md §7.
+ *
+ * Jobs are fault-isolated (DESIGN.md §9): an exception or watchdog
+ * trip inside one job is captured as that job's JobResult without
+ * disturbing its siblings, failures are negative-cached, and a flush
+ * always completes. Consumers that need hard results use stats()
+ * (throws on a failed job); report code uses tryStats()/result() and
+ * annotates the gap.
  */
 
 #ifndef REGLESS_SIM_EXPERIMENT_ENGINE_HH
@@ -23,6 +30,7 @@
 #include "ir/kernel.hh"
 #include "sim/gpu_config.hh"
 #include "sim/run_stats.hh"
+#include "sim/stats_io.hh"
 
 namespace regless::sim
 {
@@ -52,6 +60,22 @@ struct SimJob
     std::function<ir::Kernel()> builder;
 };
 
+/**
+ * Outcome of one executed (or cache-served) job: its status, the
+ * stats when it succeeded, and the failure diagnosis when it did not.
+ */
+struct JobResult
+{
+    JobStatus status = JobStatus::Ok;
+    RunStats stats;
+    /** what() of the escaped exception (Failed / Deadlocked). */
+    std::string error;
+    /** Rendered DeadlockReport (Deadlocked only). */
+    std::string deadlock;
+    /** Execution attempts (> 1 when a transient fault was retried). */
+    unsigned attempts = 1;
+};
+
 /** Deduplicating, parallel, disk-cached simulation executor. */
 class ExperimentEngine
 {
@@ -72,6 +96,23 @@ class ExperimentEngine
          * runtime parameters lints each kernel exactly once.
          */
         bool lint = false;
+
+        /**
+         * Hard cycle budget forced onto every submitted job's
+         * SmConfig (0 keeps each job's own). Applied at submit() so
+         * the cache fingerprint reflects it.
+         */
+        Cycle maxCycles = 0;
+
+        /** Per-job wall-clock budget in seconds (0 = unlimited). */
+        double jobTimeoutSec = 0.0;
+
+        /** Re-executions allowed after a (non-deadlock) failure. */
+        unsigned retries = 1;
+
+        /** Base delay before a retry, in milliseconds (doubles per
+         * attempt). */
+        unsigned retryBackoffMs = 10;
     };
 
     /** Handle to a submitted job, valid for this engine's lifetime. */
@@ -100,13 +141,23 @@ class ExperimentEngine
     /**
      * Results for @a id. Flushes all pending jobs on first use, so
      * point queries after a batched submit phase stay parallel.
+     * Throws SimError (naming the job) when the job failed or
+     * deadlocked — use result()/tryStats() to handle failures.
      */
     const RunStats &stats(JobId id);
 
-    /** Execute every submitted-but-pending job now. */
+    /** Full outcome for @a id (flushes like stats()). */
+    const JobResult &result(JobId id);
+
+    /** stats(), or nullptr when the job failed or deadlocked. */
+    const RunStats *tryStats(JobId id);
+
+    /** Execute every submitted-but-pending job now. Captures per-job
+     * failures instead of propagating them: always completes. */
     void flush();
 
-    /** Unique executed/loaded runs, in first-submission order. */
+    /** Unique successful runs, in first-submission order (failed and
+     * deadlocked jobs are excluded). */
     std::vector<RunStats> allStats();
 
     /** @name Engine accounting (the report footer). */
@@ -121,7 +172,23 @@ class ExperimentEngine
     std::uint64_t cacheHits() const { return _cacheHits; }
     /** Distinct (kernel, compiler config) pairs linted (Options::lint). */
     std::uint64_t kernelsLinted() const { return _linted.size(); }
+    /** Jobs that failed with an exception (fresh or cache-served). */
+    std::uint64_t failed() const { return countStatus(JobStatus::Failed); }
+    /** Jobs terminated by the forward-progress watchdog. */
+    std::uint64_t deadlocked() const
+    {
+        return countStatus(JobStatus::Deadlocked);
+    }
+    /** Re-executions performed after transient failures. */
+    std::uint64_t retried() const;
     /// @}
+
+    /** Ids of flushed jobs that failed or deadlocked, in submission
+     * order (for the report's failure footer). */
+    std::vector<JobId> failedJobs() const;
+
+    /** The deduplicated job behind @a id (for failure reporting). */
+    const SimJob &job(JobId id) const;
 
     const Options &options() const { return _options; }
 
@@ -135,13 +202,16 @@ class ExperimentEngine
     struct Entry
     {
         SimJob job;
-        RunStats stats;
+        JobResult result;
         bool done = false;
     };
 
     bool loadFromCache(Entry &entry);
     void storeToCache(const Entry &entry);
-    static RunStats execute(const SimJob &job);
+    static RunStats execute(const SimJob &job, double timeout_sec);
+    static JobResult runIsolated(SimJob job, const Options &options);
+
+    std::uint64_t countStatus(JobStatus status) const;
 
     /** Lint every pending entry's kernel (Options::lint). */
     void lintPending();

@@ -138,14 +138,16 @@ void
 dump(KeyValueSink &kv, const std::string &p, const arch::SmConfig &c)
 {
     const auto &[num_warps, num_schedulers, issue_width, scheduler,
-                 latencies, max_cycles, data_base, shared_base,
-                 long_stall_threshold, max_resident_warps] = c;
+                 latencies, max_cycles, watchdog_window, data_base,
+                 shared_base, long_stall_threshold,
+                 max_resident_warps] = c;
     kv.add(p + "num_warps", num_warps);
     kv.add(p + "num_schedulers", num_schedulers);
     kv.add(p + "issue_width", issue_width);
     kv.add(p + "scheduler", scheduler);
     dump(kv, p + "latencies.", latencies);
     kv.add(p + "max_cycles", max_cycles);
+    kv.add(p + "watchdog_window", watchdog_window);
     kv.add(p + "data_base", data_base);
     kv.add(p + "shared_base", shared_base);
     kv.add(p + "long_stall_threshold", long_stall_threshold);
@@ -277,6 +279,15 @@ dump(KeyValueSink &kv, const std::string &p,
 }
 
 void
+dump(KeyValueSink &kv, const std::string &p, const FaultPlan &c)
+{
+    const auto &[kind, trigger_cycle, transient] = c;
+    kv.add(p + "kind", std::string(faultKindName(kind)));
+    kv.add(p + "trigger_cycle", trigger_cycle);
+    kv.add(p + "transient", transient);
+}
+
+void
 dump(KeyValueSink &kv, const std::string &p,
      const regfile::RfHierarchy::Params &c)
 {
@@ -294,7 +305,7 @@ configKeyValues(const GpuConfig &config)
 {
     const auto &[provider, sm, mem, compiler_cfg, regless, energy,
                  area, baseline_rf_entries, limit_occupancy_by_rf,
-                 rfv_phys_entries, rfh] = config;
+                 rfv_phys_entries, rfh, faults] = config;
 
     std::vector<std::pair<std::string, std::string>> out;
     KeyValueSink kv(out);
@@ -309,6 +320,7 @@ configKeyValues(const GpuConfig &config)
     kv.add("limit_occupancy_by_rf", limit_occupancy_by_rf);
     kv.add("rfv_phys_entries", rfv_phys_entries);
     dump(kv, "rfh.", rfh);
+    dump(kv, "faults.", faults);
     return out;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "arch/sm.hh"
+#include "common/fault_injector.hh"
 #include "compiler/config.hh"
 #include "energy/area_model.hh"
 #include "energy/energy_model.hh"
@@ -69,6 +70,14 @@ struct GpuConfig
     unsigned rfvPhysEntries = 1024;
 
     regfile::RfHierarchy::Params rfh;
+
+    /**
+     * Deterministic fault-injection plan (common/fault_injector.hh).
+     * Part of the fingerprint: an injected failure is an ordinary,
+     * cacheable simulation point. Kind::None (the default) injects
+     * nothing and adds no per-cycle work.
+     */
+    FaultPlan faults;
 
     /** Canonical configuration for @a kind (wires the RFH scheduler). */
     static GpuConfig forProvider(ProviderKind kind);

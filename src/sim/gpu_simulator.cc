@@ -1,6 +1,7 @@
 #include "sim/gpu_simulator.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "regfile/rf_hierarchy.hh"
@@ -12,6 +13,38 @@ namespace regless::sim
 
 namespace
 {
+
+const char *
+warpStatusName(arch::WarpStatus s)
+{
+    switch (s) {
+      case arch::WarpStatus::Running:
+        return "running";
+      case arch::WarpStatus::AtBarrier:
+        return "at_barrier";
+      case arch::WarpStatus::Finished:
+        return "finished";
+    }
+    return "?";
+}
+
+const char *
+cmStateName(staging::CmState s)
+{
+    switch (s) {
+      case staging::CmState::Inactive:
+        return "inactive";
+      case staging::CmState::Preloading:
+        return "preloading";
+      case staging::CmState::Active:
+        return "active";
+      case staging::CmState::Draining:
+        return "draining";
+      case staging::CmState::Done:
+        return "done";
+    }
+    return "?";
+}
 
 std::uint64_t
 mix64(std::uint64_t x)
@@ -137,6 +170,12 @@ GpuSimulator::assemble(std::shared_ptr<mem::DramModel> shared_dram)
             return _sm->warp(w);
         });
     }
+
+    if (_config.faults.kind != FaultPlan::Kind::None) {
+        _injector = std::make_unique<FaultInjector>(_config.faults);
+        _mem->setFaultInjector(_injector.get());
+        _provider->setFaultInjector(_injector.get());
+    }
 }
 
 GpuSimulator::~GpuSimulator() = default;
@@ -254,10 +293,83 @@ GpuSimulator::dumpStats(std::ostream &os)
     _mem->dram().stats().dump(os);
 }
 
-RunStats
-GpuSimulator::run()
+DeadlockReport
+GpuSimulator::deadlockSnapshot(const ProgressMonitor &monitor,
+                               ProgressMonitor::Verdict verdict,
+                               Cycle now) const
 {
-    _sm->run();
+    DeadlockReport report;
+    report.kernel = _ck->kernel().name();
+    report.reason = ProgressMonitor::reason(verdict);
+    report.cycle = now;
+    report.lastProgressCycle = monitor.lastProgressCycle();
+    report.watchdogWindow = monitor.window();
+    report.maxCycles = monitor.maxCycles();
+    report.insnsIssued = _sm->totalInsns();
+    report.progressEvents =
+        _sm->totalInsns() + _provider->progressEvents();
+
+    auto *rp =
+        dynamic_cast<const staging::ReglessProvider *>(_provider.get());
+    // `rp` is non-const only because its accessors are; the snapshot
+    // does not mutate it.
+    auto *mrp = const_cast<staging::ReglessProvider *>(rp);
+
+    for (const arch::Warp &w : _sm->warps()) {
+        if (w.finished())
+            continue;
+        std::ostringstream os;
+        os << "w" << w.id() << ": " << warpStatusName(w.status())
+           << " pc=" << w.pc() << " insns=" << w.insnsExecuted();
+        if (mrp) {
+            auto &cm = mrp->cm(w.id() % mrp->numShards());
+            os << " cm=" << cmStateName(cm.state(w.id()))
+               << " region=";
+            if (cm.warpRegion(w.id()) == compiler::invalidRegion)
+                os << "none";
+            else
+                os << cm.warpRegion(w.id());
+            os << " pending_preloads=" << cm.pendingPreloads(w.id());
+        }
+        report.warps.push_back(os.str());
+    }
+
+    if (mrp) {
+        for (unsigned s = 0; s < mrp->numShards(); ++s) {
+            auto &osu = mrp->osu(s);
+            auto &cm = mrp->cm(s);
+            for (unsigned b = 0; b < staging::osuBanks; ++b) {
+                auto c = osu.bankCounts(b);
+                std::ostringstream os;
+                os << "osu" << s << ".b" << b << ": " << c.owned << "/"
+                   << c.clean << "/" << c.dirty << "/" << c.free
+                   << ", reserved=" << cm.reservedFuture(b);
+                report.banks.push_back(os.str());
+            }
+        }
+    }
+
+    std::ostringstream mem;
+    mem << "L1 MSHRs in use: " << _mem->l1().mshrsInUse()
+        << ", L2 MSHRs in use: " << _mem->l2().mshrsInUse();
+    report.memState = mem.str();
+    return report;
+}
+
+RunStats
+GpuSimulator::run(double wall_timeout_sec)
+{
+    ProgressMonitor monitor(_config.sm.watchdogWindow,
+                            _config.sm.maxCycles, wall_timeout_sec);
+    while (!_sm->done()) {
+        _sm->step();
+        auto verdict = monitor.check(
+            _sm->now(), _sm->totalInsns() + _provider->progressEvents());
+        if (verdict != ProgressMonitor::Verdict::Ok) {
+            throw DeadlockError(
+                deadlockSnapshot(monitor, verdict, _sm->now()));
+        }
+    }
     return collect();
 }
 

@@ -17,9 +17,12 @@
 #include "compiler/finding.hh"
 #include "ir/kernel.hh"
 #include "mem/memory_system.hh"
+#include "common/fault_injector.hh"
+#include "common/sim_error.hh"
 #include "regfile/baseline_rf.hh"
 #include "regfile/register_provider.hh"
 #include "sim/gpu_config.hh"
+#include "sim/progress_monitor.hh"
 #include "sim/run_stats.hh"
 
 namespace regless::sim
@@ -51,8 +54,18 @@ class GpuSimulator
     GpuSimulator(const GpuSimulator &) = delete;
     GpuSimulator &operator=(const GpuSimulator &) = delete;
 
-    /** Execute the kernel to completion and harvest statistics. */
-    RunStats run();
+    /**
+     * Execute the kernel to completion and harvest statistics.
+     *
+     * Runs under a forward-progress watchdog: when no warp retires and
+     * no CM activation happens for SmConfig::watchdogWindow cycles,
+     * when SmConfig::maxCycles is exceeded, or when the optional
+     * wall-clock budget expires, throws DeadlockError carrying a
+     * populated DeadlockReport.
+     *
+     * @param wall_timeout_sec Wall-clock budget (0 = unlimited).
+     */
+    RunStats run(double wall_timeout_sec = 0.0);
 
     /** Harvest statistics without running (the SM must be done). */
     RunStats collect();
@@ -83,6 +96,14 @@ class GpuSimulator
     static std::function<std::uint32_t(Addr)>
     valueGenerator(const ir::ValueProfile &profile);
 
+    /**
+     * Snapshot scheduler, staging, and memory state into a structured
+     * report (used by the watchdog; exposed for the multi-SM runner).
+     */
+    DeadlockReport deadlockSnapshot(const ProgressMonitor &monitor,
+                                    ProgressMonitor::Verdict verdict,
+                                    Cycle now) const;
+
   private:
     /** Shared tail of every ctor: memory, provider, SM. */
     void assemble(std::shared_ptr<mem::DramModel> shared_dram);
@@ -94,6 +115,7 @@ class GpuSimulator
     std::unique_ptr<mem::MemorySystem> _mem;
     std::unique_ptr<regfile::RegisterProvider> _provider;
     std::unique_ptr<arch::Sm> _sm;
+    std::unique_ptr<FaultInjector> _injector;
 };
 
 } // namespace regless::sim

@@ -1,6 +1,7 @@
 #include "sim/multi_sm.hh"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -51,27 +52,60 @@ MultiSmSimulator::MultiSmSimulator(const ir::Kernel &kernel,
 MultiSmSimulator::~MultiSmSimulator() = default;
 
 RunStats
-MultiSmSimulator::run()
+MultiSmSimulator::run(double wall_timeout_sec)
 {
     ThreadPool pool(_threads);
+    ProgressMonitor monitor(_config.sm.watchdogWindow,
+                            _config.sm.maxCycles, wall_timeout_sec);
+    // Per-SM exception slots: an exception escaping a worker thread
+    // would terminate the process, so each epoch lambda captures its
+    // own and the barrier rethrows the lowest SM id's (deterministic
+    // for every thread count).
+    std::vector<std::exception_ptr> errors(_sms.size());
     bool all_done = false;
     while (!all_done) {
         // Parallel phase: each SM advances one epoch against its own
         // state and its snapshot view of the DRAM channels.
-        pool.parallelFor(_sms.size(), [this](std::size_t i) {
-            arch::Sm &sm = _sms[i]->simulator->sm();
-            for (Cycle c = 0; c < epochCycles && !sm.done(); ++c)
-                sm.step();
+        pool.parallelFor(_sms.size(), [this, &errors](std::size_t i) {
+            try {
+                arch::Sm &sm = _sms[i]->simulator->sm();
+                for (Cycle c = 0; c < epochCycles && !sm.done(); ++c)
+                    sm.step();
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
         });
         // Barrier phase: arbitrate the epoch's DRAM traffic in SM-id
         // order and resnapshot.
         _dram->drainEpoch();
 
+        for (auto &err : errors) {
+            if (err)
+                std::rethrow_exception(err);
+        }
+
         all_done = true;
+        Cycle now = 0;
+        std::uint64_t progress = 0;
         for (auto &instance : _sms) {
-            if (!instance->simulator->sm().done()) {
+            GpuSimulator &gpu = *instance->simulator;
+            if (!gpu.sm().done())
                 all_done = false;
-                break;
+            now = std::max(now, gpu.sm().now());
+            progress += gpu.sm().totalInsns() +
+                        gpu.provider().progressEvents();
+        }
+        if (all_done)
+            break;
+
+        auto verdict = monitor.check(now, progress);
+        if (verdict != ProgressMonitor::Verdict::Ok) {
+            for (auto &instance : _sms) {
+                GpuSimulator &gpu = *instance->simulator;
+                if (gpu.sm().done())
+                    continue;
+                throw DeadlockError(
+                    gpu.deadlockSnapshot(monitor, verdict, now));
             }
         }
     }

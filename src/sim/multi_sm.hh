@@ -69,10 +69,19 @@ class MultiSmSimulator
 
     /**
      * Run all SMs to completion in lockstep epochs.
+     *
+     * The whole GPU runs under one forward-progress watchdog (summed
+     * progress across SMs, checked at epoch barriers); a trip throws
+     * DeadlockError with the first stuck SM's snapshot. An exception
+     * raised inside any SM's epoch is captured on its worker thread
+     * and rethrown after the barrier — lowest SM id first, so the
+     * surfaced error is independent of the thread count.
+     *
+     * @param wall_timeout_sec Wall-clock budget (0 = unlimited).
      * @return aggregate stats: cycles = slowest SM, traffic and energy
      * summed across SMs.
      */
-    RunStats run();
+    RunStats run(double wall_timeout_sec = 0.0);
 
     /** Per-SM results (valid after run()). */
     const std::vector<RunStats> &perSm() const { return _perSm; }

@@ -1,0 +1,58 @@
+#include "sim/progress_monitor.hh"
+
+namespace regless::sim
+{
+
+namespace
+{
+
+/** Cycles between wall-clock polls (a syscall per poll). */
+constexpr Cycle wallCheckInterval = 1 << 16;
+
+} // namespace
+
+ProgressMonitor::ProgressMonitor(Cycle window, Cycle max_cycles,
+                                 double wall_timeout_sec)
+    : _window(window), _maxCycles(max_cycles),
+      _wallTimeoutSec(wall_timeout_sec),
+      _start(std::chrono::steady_clock::now())
+{
+}
+
+ProgressMonitor::Verdict
+ProgressMonitor::check(Cycle now, std::uint64_t progress)
+{
+    if (progress > _lastProgress) {
+        _lastProgress = progress;
+        _lastProgressCycle = now;
+    }
+    if (_maxCycles && now >= _maxCycles)
+        return Verdict::CycleBudget;
+    if (_window && now >= _lastProgressCycle + _window)
+        return Verdict::Stalled;
+    if (_wallTimeoutSec > 0.0 && now % wallCheckInterval == 0) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - _start;
+        if (elapsed.count() > _wallTimeoutSec)
+            return Verdict::WallTimeout;
+    }
+    return Verdict::Ok;
+}
+
+const char *
+ProgressMonitor::reason(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::Ok:
+        return "ok";
+      case Verdict::Stalled:
+        return "made no forward progress for a full watchdog window";
+      case Verdict::CycleBudget:
+        return "exceeded its hard cycle budget";
+      case Verdict::WallTimeout:
+        return "exceeded its wall-clock budget";
+    }
+    return "?";
+}
+
+} // namespace regless::sim

@@ -241,12 +241,13 @@ asCount(const JsonReader::Value &v)
     return static_cast<std::uint64_t>(v.num);
 }
 
-RunStats
-parseRun(JsonReader &reader)
+/** Apply one parsed key-value pair to @a stats (shared by the plain
+ * RunStats reader and the JobRecord reader). Unknown keys are
+ * ignored. */
+void
+applyRunField(RunStats &stats, const std::string &key,
+              const JsonReader::Value &v)
 {
-    RunStats stats;
-    reader.parseObject([&](const std::string &key,
-                           const JsonReader::Value &v) {
         if (key == "kernel")
             stats.kernel = v.str;
         else if (key == "provider") {
@@ -333,11 +334,98 @@ parseRun(JsonReader &reader)
         else if (key == "backing_series")
             stats.backingSeries = v.array;
         // Unknown keys (e.g. derived "energy_total") are ignored.
+}
+
+RunStats
+parseRun(JsonReader &reader)
+{
+    RunStats stats;
+    reader.parseObject([&](const std::string &key,
+                           const JsonReader::Value &v) {
+        applyRunField(stats, key, v);
     });
     return stats;
 }
 
+/** Emit the RunStats fields into an open object (shared by the plain
+ * writer and the JobRecord writer). */
+void
+writeRunFields(JsonObject &obj, const RunStats &stats)
+{
+    obj.field("kernel", stats.kernel);
+    obj.field("provider", std::string(providerName(stats.provider)));
+    obj.field("cycles", static_cast<std::uint64_t>(stats.cycles));
+    obj.field("insns", stats.insns);
+    obj.field("metadata_insns", stats.metadataInsns);
+    obj.field("l1_accesses", stats.l1Accesses);
+    obj.field("l2_accesses", stats.l2Accesses);
+    obj.field("dram_accesses", stats.dramAccesses);
+    obj.field("rf_reads", stats.rfReads);
+    obj.field("rf_writes", stats.rfWrites);
+    obj.field("rename_lookups", stats.renameLookups);
+    obj.field("lrf_accesses", stats.lrfAccesses);
+    obj.field("orf_accesses", stats.orfAccesses);
+    obj.field("mrf_accesses", stats.mrfAccesses);
+    obj.field("osu_accesses", stats.osuAccesses);
+    obj.field("osu_tag_lookups", stats.osuTagLookups);
+    obj.field("osu_bank_conflicts", stats.osuBankConflicts);
+    obj.field("compressor_accesses", stats.compressorAccesses);
+    obj.field("compressor_matches", stats.compressorMatches);
+    obj.field("compressor_incompressible",
+              stats.compressorIncompressible);
+    obj.field("preload_src_osu", stats.preloadSrcOsu);
+    obj.field("preload_src_compressor", stats.preloadSrcCompressor);
+    obj.field("preload_src_l1", stats.preloadSrcL1);
+    obj.field("preload_src_l2dram", stats.preloadSrcL2Dram);
+    obj.field("l1_preload_reqs", stats.l1PreloadReqs);
+    obj.field("l1_store_reqs", stats.l1StoreReqs);
+    obj.field("l1_invalidate_reqs", stats.l1InvalidateReqs);
+    obj.field("working_set_bytes", stats.meanWorkingSetBytes);
+    obj.field("region_preloads_mean", stats.regionPreloadsMean);
+    obj.field("region_live_mean", stats.regionLiveMean);
+    obj.field("region_live_stddev", stats.regionLiveStddev);
+    obj.field("region_cycles_mean", stats.regionCyclesMean);
+    obj.field("region_insns_mean", stats.regionInsnsMean);
+    obj.field("static_insns_per_region", stats.staticInsnsPerRegion);
+    obj.field("num_regions",
+              static_cast<std::uint64_t>(stats.numRegions));
+    obj.field("energy_reg_dynamic", stats.energy.regDynamic);
+    obj.field("energy_reg_static", stats.energy.regStatic);
+    obj.field("energy_compressor", stats.energy.compressor);
+    obj.field("energy_memory", stats.energy.memory);
+    obj.field("energy_rest", stats.energy.rest);
+    obj.field("energy_total", stats.energy.total());
+    obj.fieldArray("backing_series", stats.backingSeries);
+}
+
 } // namespace
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok:
+        return "ok";
+      case JobStatus::Failed:
+        return "failed";
+      case JobStatus::Deadlocked:
+        return "deadlocked";
+    }
+    return "?";
+}
+
+bool
+tryJobStatusFromName(const std::string &name, JobStatus &out)
+{
+    for (JobStatus s : {JobStatus::Ok, JobStatus::Failed,
+                        JobStatus::Deadlocked}) {
+        if (name == jobStatusName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
 
 void
 writeJson(std::ostream &os, const RunStats &stats)
@@ -348,52 +436,7 @@ writeJson(std::ostream &os, const RunStats &stats)
 
     {
         JsonObject obj(os);
-        obj.field("kernel", stats.kernel);
-        obj.field("provider",
-                  std::string(providerName(stats.provider)));
-        obj.field("cycles", static_cast<std::uint64_t>(stats.cycles));
-        obj.field("insns", stats.insns);
-        obj.field("metadata_insns", stats.metadataInsns);
-        obj.field("l1_accesses", stats.l1Accesses);
-        obj.field("l2_accesses", stats.l2Accesses);
-        obj.field("dram_accesses", stats.dramAccesses);
-        obj.field("rf_reads", stats.rfReads);
-        obj.field("rf_writes", stats.rfWrites);
-        obj.field("rename_lookups", stats.renameLookups);
-        obj.field("lrf_accesses", stats.lrfAccesses);
-        obj.field("orf_accesses", stats.orfAccesses);
-        obj.field("mrf_accesses", stats.mrfAccesses);
-        obj.field("osu_accesses", stats.osuAccesses);
-        obj.field("osu_tag_lookups", stats.osuTagLookups);
-        obj.field("osu_bank_conflicts", stats.osuBankConflicts);
-        obj.field("compressor_accesses", stats.compressorAccesses);
-        obj.field("compressor_matches", stats.compressorMatches);
-        obj.field("compressor_incompressible",
-                  stats.compressorIncompressible);
-        obj.field("preload_src_osu", stats.preloadSrcOsu);
-        obj.field("preload_src_compressor", stats.preloadSrcCompressor);
-        obj.field("preload_src_l1", stats.preloadSrcL1);
-        obj.field("preload_src_l2dram", stats.preloadSrcL2Dram);
-        obj.field("l1_preload_reqs", stats.l1PreloadReqs);
-        obj.field("l1_store_reqs", stats.l1StoreReqs);
-        obj.field("l1_invalidate_reqs", stats.l1InvalidateReqs);
-        obj.field("working_set_bytes", stats.meanWorkingSetBytes);
-        obj.field("region_preloads_mean", stats.regionPreloadsMean);
-        obj.field("region_live_mean", stats.regionLiveMean);
-        obj.field("region_live_stddev", stats.regionLiveStddev);
-        obj.field("region_cycles_mean", stats.regionCyclesMean);
-        obj.field("region_insns_mean", stats.regionInsnsMean);
-        obj.field("static_insns_per_region",
-                  stats.staticInsnsPerRegion);
-        obj.field("num_regions",
-                  static_cast<std::uint64_t>(stats.numRegions));
-        obj.field("energy_reg_dynamic", stats.energy.regDynamic);
-        obj.field("energy_reg_static", stats.energy.regStatic);
-        obj.field("energy_compressor", stats.energy.compressor);
-        obj.field("energy_memory", stats.energy.memory);
-        obj.field("energy_rest", stats.energy.rest);
-        obj.field("energy_total", stats.energy.total());
-        obj.fieldArray("backing_series", stats.backingSeries);
+        writeRunFields(obj, stats);
     }
 
     os.precision(saved);
@@ -435,6 +478,71 @@ tryFromJson(const std::string &json, RunStats &out, std::string *error)
     try {
         JsonReader reader(json);
         out = parseRun(reader);
+        return true;
+    } catch (const JsonParseError &e) {
+        if (error)
+            *error = e.what();
+        return false;
+    }
+}
+
+void
+writeJson(std::ostream &os, const JobRecord &record)
+{
+    const auto saved = os.precision(
+        std::numeric_limits<double>::max_digits10);
+    {
+        // record_* first so a human (or grep) sees the outcome before
+        // the stats body. The error/deadlock strings may span lines;
+        // our reader accepts raw newlines inside strings (this is a
+        // private round-trip format, not interchange JSON).
+        JsonObject obj(os);
+        obj.field("record_schema",
+                  static_cast<std::uint64_t>(record.schema));
+        obj.field("record_status",
+                  std::string(jobStatusName(record.status)));
+        obj.field("record_error", record.error);
+        obj.field("record_deadlock", record.deadlock);
+        obj.field("record_attempts",
+                  static_cast<std::uint64_t>(record.attempts));
+        writeRunFields(obj, record.stats);
+    }
+    os.precision(saved);
+}
+
+bool
+tryRecordFromJson(const std::string &json, JobRecord &out,
+                  std::string *error)
+{
+    try {
+        JobRecord record;
+        bool saw_schema = false, saw_status = false;
+        JsonReader reader(json);
+        reader.parseObject([&](const std::string &key,
+                               const JsonReader::Value &v) {
+            if (key == "record_schema") {
+                record.schema = static_cast<unsigned>(v.num);
+                saw_schema = true;
+            } else if (key == "record_status") {
+                if (!tryJobStatusFromName(v.str, record.status))
+                    parseFail("stats JSON: unknown record status '",
+                              v.str, "'");
+                saw_status = true;
+            } else if (key == "record_error") {
+                record.error = v.str;
+            } else if (key == "record_deadlock") {
+                record.deadlock = v.str;
+            } else if (key == "record_attempts") {
+                record.attempts = static_cast<unsigned>(v.num);
+            } else {
+                applyRunField(record.stats, key, v);
+            }
+        });
+        if (!saw_schema || !saw_status) {
+            parseFail("stats JSON: not a job record (pre-watchdog "
+                      "cache entry?)");
+        }
+        out = std::move(record);
         return true;
     } catch (const JsonParseError &e) {
         if (error)

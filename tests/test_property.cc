@@ -404,8 +404,8 @@ TEST(MutationHarness, DroppedPreloadsAreCaughtAtRuntimeUnderPressure)
     // in does the region read a value that is really gone. Drop every
     // preload, run under OSU pressure, and accept either runtime
     // verdict: the shadow checker flags an unstaged read, or the OSU's
-    // own invariant panics on an absent line — any outcome except a
-    // clean, silent run.
+    // own invariant panics on an absent line (thrown as SimError) —
+    // any outcome except a clean, silent run.
     const compiler::CompiledKernel ck = compiler::compile(randomKernel(1));
     auto regions = ck.regions();
     bool dropped = false;
@@ -424,17 +424,16 @@ TEST(MutationHarness, DroppedPreloadsAreCaughtAtRuntimeUnderPressure)
         sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
     cfg.regless.runtimeCheck = true;
     cfg.setOsuCapacity(128);
-    EXPECT_EXIT(
-        {
-            sim::GpuSimulator gpu(mutant, cfg);
-            gpu.run();
-            std::_Exit(gpu.runtimeViolations().empty() ? 0 : 42);
-        },
-        [](int status) {
-            // 42 = shadow checker violation; abnormal = OSU panic.
-            return !WIFEXITED(status) || WEXITSTATUS(status) == 42;
-        },
-        "");
+    bool detected = false;
+    try {
+        sim::GpuSimulator gpu(mutant, cfg);
+        gpu.run();
+        detected = !gpu.runtimeViolations().empty();
+    } catch (const sim::SimError &) {
+        detected = true;
+    }
+    EXPECT_TRUE(detected)
+        << "dropped preloads escaped both runtime defences";
 }
 
 TEST(MutationHarness, RestoredDivergentInvalidateIsCaughtAtRuntime)

@@ -117,7 +117,7 @@ TEST(RunStatsTest, NoRfBoundRequiresBaseline)
 {
     sim::RunStats stats = sim::runKernel(workloads::makeRodinia("nn"),
                                          sim::ProviderKind::Regless);
-    EXPECT_DEATH(sim::noRfBound(stats), "baseline");
+    EXPECT_THROW(sim::noRfBound(stats), sim::SimError);
 }
 
 TEST(RunStatsTest, ReglessCountsMetadataAndPreloads)

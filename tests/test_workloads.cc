@@ -142,7 +142,8 @@ TEST(RodiniaRegistryTest, TwentyOneUniqueNames)
 
 TEST(RodiniaRegistryTest, UnknownNameIsFatal)
 {
-    EXPECT_DEATH(workloads::makeRodinia("not_a_benchmark"), "unknown");
+    EXPECT_THROW(workloads::makeRodinia("not_a_benchmark"),
+                 sim::SimError);
 }
 
 TEST(RodiniaRegistryTest, AllRodiniaBuildsEverything)

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sim_error.hh"
 #include "compiler/compiler.hh"
 #include "compiler/staging_checker.hh"
 #include "sim/gpu_config.hh"
@@ -83,9 +84,23 @@ lintOne(const ir::Kernel &kernel, const Options &opt)
         if (opt.osuEntries)
             cfg.setOsuCapacity(opt.osuEntries);
         sim::GpuSimulator gpu(kernel, cfg);
-        gpu.run();
-        for (compiler::Finding &f : gpu.runtimeViolations())
+        // A watchdog trip or simulator error on one kernel is a
+        // finding on that kernel, not the end of the lint run.
+        try {
+            gpu.run();
+            for (compiler::Finding &f : gpu.runtimeViolations())
+                report.findings.push_back(std::move(f));
+        } catch (const sim::DeadlockError &e) {
+            compiler::Finding f;
+            f.code = "runtime-deadlock";
+            f.message = e.report().render();
             report.findings.push_back(std::move(f));
+        } catch (const sim::SimError &e) {
+            compiler::Finding f;
+            f.code = "runtime-aborted";
+            f.message = e.what();
+            report.findings.push_back(std::move(f));
+        }
     }
     return report;
 }
@@ -171,27 +186,35 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<ir::Kernel> kernels;
-    if (opt.kernels.empty() && opt.fuzz == 0) {
-        for (const std::string &name : workloads::rodiniaNames())
-            kernels.push_back(workloads::makeRodinia(name));
-    } else {
-        for (const std::string &name : opt.kernels)
-            kernels.push_back(workloads::makeRodinia(name));
-    }
-    for (unsigned i = 0; i < opt.fuzz; ++i)
-        kernels.push_back(workloads::randomKernel(opt.seed + i));
+    // Library code throws SimError (e.g. an unknown --kernel name);
+    // this main is the process-exit boundary. Usage-class errors exit
+    // 2, like the option parser above.
+    try {
+        std::vector<ir::Kernel> kernels;
+        if (opt.kernels.empty() && opt.fuzz == 0) {
+            for (const std::string &name : workloads::rodiniaNames())
+                kernels.push_back(workloads::makeRodinia(name));
+        } else {
+            for (const std::string &name : opt.kernels)
+                kernels.push_back(workloads::makeRodinia(name));
+        }
+        for (unsigned i = 0; i < opt.fuzz; ++i)
+            kernels.push_back(workloads::randomKernel(opt.seed + i));
 
-    std::vector<KernelReport> reports;
-    reports.reserve(kernels.size());
-    bool dirty = false;
-    for (const ir::Kernel &kernel : kernels) {
-        reports.push_back(lintOne(kernel, opt));
-        dirty = dirty || !reports.back().findings.empty();
+        std::vector<KernelReport> reports;
+        reports.reserve(kernels.size());
+        bool dirty = false;
+        for (const ir::Kernel &kernel : kernels) {
+            reports.push_back(lintOne(kernel, opt));
+            dirty = dirty || !reports.back().findings.empty();
+        }
+        if (opt.json)
+            printJson(reports);
+        else
+            printText(reports);
+        return dirty ? 1 : 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "regless_lint: %s\n", e.what());
+        return 2;
     }
-    if (opt.json)
-        printJson(reports);
-    else
-        printText(reports);
-    return dirty ? 1 : 0;
 }
