@@ -32,6 +32,7 @@ void genAblationCompressor(FigureContext &ctx);
 void genAblationDivergence(FigureContext &ctx);
 void genOversubscriptionSweep(FigureContext &ctx);
 void genMultiSmScaling(FigureContext &ctx);
+void genStallBreakdown(FigureContext &ctx);
 
 const std::vector<Figure> &
 allFigures()
@@ -87,6 +88,9 @@ allFigures()
         {"multi_sm_scaling", "Multi-SM scaling with shared DRAM",
          "section 6.5 (RegLess adds no L2/DRAM pressure)",
          genMultiSmScaling},
+        {"stall_breakdown", "Issue-slot stall attribution (%)",
+         "DESIGN.md section 10 (one cause per slot)",
+         genStallBreakdown},
     };
     return figures;
 }

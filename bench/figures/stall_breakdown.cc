@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Stall-attribution breakdown (DESIGN.md section 10): for every
+ * Rodinia benchmark under the baseline RF and under RegLess, the
+ * percentage of issue slots that issued vs. the percentage charged to
+ * each stall cause. Every scheduler slot of every cycle is charged to
+ * exactly one bucket, so each row sums to 100%; comparing the
+ * baseline and RegLess rows shows where RegLess's staging latency
+ * goes (cm_not_staged / cm_no_capacity) and which baseline stalls it
+ * absorbs.
+ */
+
+#include "figures/figures.hh"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arch/stall.hh"
+#include "sim/experiment.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless::figures
+{
+
+namespace
+{
+
+/** Column headers, abbreviated to keep the table on one screen. */
+constexpr std::array<const char *, arch::kNumStallCauses> kCauseHeader =
+    {"no_warp", "sb_dep", "not_stag", "no_cap",
+     "bank_cf", "mem_pnd", "port_bsy", "barrier"};
+
+/** Accumulated slot totals for one provider across benchmarks. */
+struct SlotTotals
+{
+    std::uint64_t issued = 0;
+    std::array<std::uint64_t, arch::kNumStallCauses> stalls{};
+
+    void
+    add(const sim::RunStats &s)
+    {
+        issued += s.issuedSlots;
+        for (std::size_t c = 0; c < arch::kNumStallCauses; ++c)
+            stalls[c] += s.stallSlots[c];
+    }
+};
+
+void
+emitRow(const sim::TableWriter &table, const std::string &name,
+        const char *provider, std::uint64_t issued,
+        const std::array<std::uint64_t, arch::kNumStallCauses> &stalls)
+{
+    std::uint64_t slots = issued;
+    for (std::uint64_t s : stalls)
+        slots += s;
+    if (slots == 0) {
+        table.row({name, provider, "-"});
+        return;
+    }
+    auto pct = [slots](std::uint64_t v) {
+        return 100.0 * static_cast<double>(v) /
+               static_cast<double>(slots);
+    };
+    table.row({name, provider, pct(issued), pct(stalls[0]),
+               pct(stalls[1]), pct(stalls[2]), pct(stalls[3]),
+               pct(stalls[4]), pct(stalls[5]), pct(stalls[6]),
+               pct(stalls[7])});
+}
+
+} // namespace
+
+void
+genStallBreakdown(FigureContext &ctx)
+{
+    struct Row
+    {
+        sim::ExperimentEngine::JobId base, rl;
+    };
+    std::vector<Row> jobs;
+    for (const auto &name : workloads::rodiniaNames())
+        jobs.push_back(
+            {ctx.engine.submit(name, sim::ProviderKind::Baseline),
+             ctx.engine.submit(name, sim::ProviderKind::Regless)});
+
+    std::vector<sim::TableColumn> columns = {{"benchmark", 24},
+                                             {"provider", 9},
+                                             {"issue%", 7, 1}};
+    for (const char *header : kCauseHeader)
+        columns.push_back({header, 9, 1});
+    sim::TableWriter table(ctx.out, columns);
+    table.header();
+
+    SlotTotals base_total, rl_total;
+    std::size_t i = 0;
+    for (const auto &name : workloads::rodiniaNames()) {
+        const Row &row = jobs[i++];
+        // Fault isolation: a failed point drops only its own row.
+        for (auto [id, provider, totals] :
+             {std::tuple{row.base, "baseline", &base_total},
+              std::tuple{row.rl, "regless", &rl_total}}) {
+            const sim::RunStats *s = ctx.engine.tryStats(id);
+            if (!s) {
+                ctx.out << "# " << name << " (" << provider
+                        << "): excluded ("
+                        << ctx.engine.result(id).error << ")\n";
+                continue;
+            }
+            totals->add(*s);
+            emitRow(table, name, provider, s->issuedSlots,
+                    s->stallSlots);
+        }
+    }
+    emitRow(table, "ALL", "baseline", base_total.issued,
+            base_total.stalls);
+    emitRow(table, "ALL", "regless", rl_total.issued, rl_total.stalls);
+    ctx.out << "# every slot of every scheduler cycle is charged to "
+               "exactly one column; rows sum to 100%\n";
+}
+
+} // namespace regless::figures

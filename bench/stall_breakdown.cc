@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Thin wrapper: the stall_breakdown generator lives in figures/stall_breakdown.cc and is
+ * shared with the regless_report driver.
+ */
+
+#include "figures/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return regless::figures::figureMain("stall_breakdown", argc, argv);
+}

@@ -6,7 +6,9 @@
 #
 # ./scripts/report.sh --smoke runs the fault drill instead: the
 # cheapest figure plus one injected deadlock, verifying that a report
-# always completes (exit 0) and diagnoses the failure in its footer.
+# always completes (exit 0) and diagnoses the failure in its footer,
+# then the stall-breakdown figure, verifying the issue-slot
+# attribution surfaces in a report.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,6 +23,12 @@ if [ "${1:-}" = "--smoke" ]; then
     printf '%s\n' "$out" | grep -q ' 1 deadlocked'
     printf '%s\n' "$out" | grep -q '^# deadlocked: '
     echo "smoke: report survived an injected deadlock"
+    out=$(./build/bench/regless_report --filter stall_breakdown \
+        --no-cache "$@")
+    printf '%s\n' "$out"
+    printf '%s\n' "$out" | grep -q 'Issue-slot stall attribution'
+    printf '%s\n' "$out" | grep -q 'exactly one column'
+    echo "smoke: stall-breakdown figure rendered"
     exit 0
 fi
 

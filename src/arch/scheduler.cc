@@ -36,7 +36,11 @@ WarpScheduler::create(SchedulerPolicy policy, std::vector<WarpId> warps)
 int
 GtoScheduler::pick(const std::vector<bool> &eligible)
 {
-    if (_current >= 0 && eligible[_current])
+    // Bounds guard: the greedy index may outlive a warp-count change
+    // in the eligibility vector; never read past its end.
+    if (_current >= 0
+        && static_cast<std::size_t>(_current) < eligible.size()
+        && eligible[_current])
         return _current;
     for (unsigned i = 0; i < eligible.size(); ++i) {
         if (eligible[i]) {
@@ -83,7 +87,12 @@ TwoLevelScheduler::pick(const std::vector<bool> &eligible)
 void
 TwoLevelScheduler::notifyLongStall(WarpId warp)
 {
-    // Demote the stalled warp; promote the oldest pending warp.
+    // Demote the stalled warp; promote the oldest pending warp.  With
+    // nothing pending the demotion must be a no-op: demoting anyway
+    // would permanently shrink the active pool (down to empty with a
+    // single warp, deadlocking the scheduler).
+    if (_pending.empty())
+        return;
     auto it = std::find_if(_active.begin(), _active.end(),
                            [&](unsigned idx) {
                                return _warps[idx] == warp;
@@ -92,12 +101,10 @@ TwoLevelScheduler::notifyLongStall(WarpId warp)
         return;
     unsigned idx = *it;
     _active.erase(it);
-    if (!_pending.empty()) {
-        unsigned promoted = _pending.front();
-        _pending.pop_front();
-        _readyAt[promoted] = _cycle + _promotionDelay;
-        _active.push_back(promoted);
-    }
+    unsigned promoted = _pending.front();
+    _pending.pop_front();
+    _readyAt[promoted] = _cycle + _promotionDelay;
+    _active.push_back(promoted);
     _pending.push_back(idx);
 }
 

@@ -8,7 +8,8 @@ namespace regless::arch
 {
 
 Scoreboard::Scoreboard(unsigned num_warps, unsigned num_regs)
-    : _numRegs(num_regs), _readyCycle(num_warps * num_regs, 0)
+    : _numRegs(num_regs), _readyCycle(num_warps * num_regs, 0),
+      _fromMem(num_warps * num_regs, false)
 {
 }
 
@@ -32,6 +33,22 @@ Scoreboard::recordWrite(WarpId warp, const ir::Instruction &insn,
     if (!insn.writesReg())
         return;
     _readyCycle.at(warp * _numRegs + insn.dst()) = when;
+    _fromMem.at(warp * _numRegs + insn.dst()) = insn.isGlobalLoad();
+}
+
+bool
+Scoreboard::blockedOnMem(WarpId warp, const ir::Instruction &insn,
+                         Cycle now) const
+{
+    auto pending_mem = [&](RegId reg) {
+        return readyAt(warp, reg) > now
+               && _fromMem.at(warp * _numRegs + reg);
+    };
+    for (RegId src : insn.srcs()) {
+        if (pending_mem(src))
+            return true;
+    }
+    return insn.writesReg() && pending_mem(insn.dst());
 }
 
 Cycle

@@ -29,6 +29,14 @@ class Scoreboard
     /** @return true when @a insn's operands are ready for @a warp. */
     bool ready(WarpId warp, const ir::Instruction &insn, Cycle now) const;
 
+    /**
+     * @return true when at least one register blocking @a insn for
+     * @a warp at @a now has a global load as its pending producer
+     * (distinguishes MemPending from ScoreboardDep attribution).
+     */
+    bool blockedOnMem(WarpId warp, const ir::Instruction &insn,
+                      Cycle now) const;
+
     /** Record that @a insn's destination becomes ready at @a when. */
     void recordWrite(WarpId warp, const ir::Instruction &insn,
                      Cycle when);
@@ -43,6 +51,7 @@ class Scoreboard
   private:
     unsigned _numRegs;
     std::vector<Cycle> _readyCycle; ///< [warp * numRegs + reg]
+    std::vector<bool> _fromMem;     ///< pending producer is a global load
 };
 
 } // namespace regless::arch

@@ -1,6 +1,7 @@
 #include "arch/sm.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.hh"
 
@@ -18,13 +19,16 @@ Sm::Sm(const compiler::CompiledKernel &ck, mem::MemorySystem &mem,
       _scoreboard(config.numWarps, _kernel.numRegs()),
       _stats("sm"),
       _issued(_stats.counter("insns_issued")),
-      _cyclesIdle(_stats.counter("scheduler_idle_picks")),
-      _stallScoreboard(_stats.counter("stall_scoreboard")),
-      _stallProvider(_stats.counter("stall_provider")),
-      _stallPort(_stats.counter("stall_l1_port")),
+      _slotIssued(_stats.counter("issued_slots")),
       _divergentBranches(_stats.counter("divergent_branches")),
-      _memTransactions(_stats.counter("global_mem_transactions"))
+      _memTransactions(_stats.counter("global_mem_transactions")),
+      _warpStalls(config.numWarps)
 {
+    for (std::size_t c = 0; c < kNumStallCauses; ++c) {
+        _stallSlots[c] = &_stats.counter(
+            std::string("stall_") +
+            stallCauseName(static_cast<StallCause>(c)));
+    }
     if (_cfg.numWarps % _cfg.numSchedulers != 0)
         fatal("warps must divide evenly among schedulers");
 
@@ -84,13 +88,21 @@ Sm::admitBlocks()
 }
 
 bool
-Sm::eligible(const Warp &warp, Cycle now, bool *long_stall)
+Sm::eligible(const Warp &warp, Cycle now, bool *long_stall,
+             StallCause *cause)
 {
     *long_stall = false;
+    auto blocked = [&](StallCause why) {
+        if (cause)
+            *cause = why;
+        return false;
+    };
     if (!_resident[warp.id()])
-        return false;
+        return blocked(StallCause::NoWarp);
+    if (warp.status() == WarpStatus::AtBarrier)
+        return blocked(StallCause::SyncBarrier);
     if (warp.status() != WarpStatus::Running)
-        return false;
+        return blocked(StallCause::NoWarp);
     const ir::Instruction &insn = _kernel.insn(warp.pc());
     if (!_scoreboard.ready(warp.id(), insn, now)) {
         // Long-latency source? (feeds the two-level demotion)
@@ -100,15 +112,19 @@ Sm::eligible(const Warp &warp, Cycle now, bool *long_stall)
                 *long_stall = true;
             }
         }
-        return false;
+        return blocked(_scoreboard.blockedOnMem(warp.id(), insn, now)
+                           ? StallCause::MemPending
+                           : StallCause::ScoreboardDep);
     }
     if (insn.isGlobalLoad() || insn.isGlobalStore()) {
         if (!_mem.l1PortFree(now))
-            return false;
+            return blocked(StallCause::ExecPortBusy);
     }
     // The provider check comes last so its internal gating (e.g. the
     // RegLess capacity manager) sees only otherwise-issuable warps.
-    return _provider.canIssue(warp, now);
+    if (!_provider.canIssue(warp, now))
+        return blocked(_provider.blockCause(warp, now));
+    return true;
 }
 
 std::vector<Addr>
@@ -357,10 +373,13 @@ Sm::step()
     for (auto &sched : _schedulers) {
         const auto &group = sched->warps();
         std::vector<bool> can(group.size(), false);
+        std::vector<StallCause> cause(group.size(),
+                                      StallCause::NoWarp);
         bool any = false;
         for (std::size_t i = 0; i < group.size(); ++i) {
             bool long_stall = false;
-            can[i] = eligible(_warps[group[i]], _now, &long_stall);
+            can[i] = eligible(_warps[group[i]], _now, &long_stall,
+                              &cause[i]);
             any |= can[i];
             // Warps blocked indefinitely (finished, at a barrier) must
             // vacate a two-level scheduler's active pool, or pending
@@ -369,32 +388,51 @@ Sm::step()
                 _warps[group[i]].status() != WarpStatus::Running) {
                 sched->notifyLongStall(group[i]);
             }
-            // Stall attribution for the front runnable warp only would
-            // undercount; attribute per non-eligible running warp.
+            // Per-warp stall detail (feeds the trace and the deadlock
+            // report); the per-slot charge below is separate so every
+            // scheduler-cycle is charged exactly once.
             if (!can[i] &&
                 _warps[group[i]].status() == WarpStatus::Running) {
-                const Warp &w = _warps[group[i]];
-                const ir::Instruction &insn = _kernel.insn(w.pc());
-                if (!_scoreboard.ready(w.id(), insn, _now))
-                    ++_stallScoreboard;
-                else if ((insn.isGlobalLoad() || insn.isGlobalStore()) &&
-                         !_mem.l1PortFree(_now))
-                    ++_stallPort;
-                else
-                    ++_stallProvider;
+                ++_warpStalls[group[i]]
+                             [static_cast<std::size_t>(cause[i])];
             }
         }
-        if (!any) {
-            ++_cyclesIdle;
-            continue;
+        const int picked = any ? sched->pick(can) : -1;
+        if (picked >= 0) {
+            ++_slotIssued;
+        } else if (any) {
+            // An eligible warp existed but the policy declined the
+            // slot (e.g. two-level promotion delay): no warp was
+            // available *to the selector*.
+            ++*_stallSlots[static_cast<std::size_t>(
+                StallCause::NoWarp)];
+        } else {
+            // Charge the slot to the blocked warp closest to issuing.
+            StallCause charge = StallCause::NoWarp;
+            for (std::size_t i = 0; i < group.size(); ++i) {
+                if (stallPrecedence(cause[i]) <
+                    stallPrecedence(charge)) {
+                    charge = cause[i];
+                }
+            }
+            ++*_stallSlots[static_cast<std::size_t>(charge)];
         }
-        int picked = sched->pick(can);
+        if (_traceHook) {
+            for (std::size_t i = 0; i < group.size(); ++i) {
+                const char *label =
+                    static_cast<int>(i) == picked ? "issue"
+                    : can[i]                      ? "ready"
+                    : stallCauseName(cause[i]);
+                updateTraceLabel(group[i], label);
+            }
+        }
         if (picked < 0)
             continue;
         Warp &warp = _warps[group[picked]];
         issue(warp, _now);
         // Dual issue: a second independent instruction from the same
-        // warp, re-checked against the updated scoreboard.
+        // warp, re-checked against the updated scoreboard. The extra
+        // issue shares the slot already counted above.
         for (unsigned extra = 1; extra < _cfg.issueWidth; ++extra) {
             bool long_stall = false;
             if (warp.status() != WarpStatus::Running ||
@@ -406,6 +444,50 @@ Sm::step()
     }
 
     ++_now;
+}
+
+void
+Sm::setStallTraceHook(StallTraceHook hook)
+{
+    _traceHook = std::move(hook);
+    _traceLabel.assign(_cfg.numWarps, nullptr);
+    _traceStart.assign(_cfg.numWarps, 0);
+}
+
+void
+Sm::updateTraceLabel(WarpId warp, const char *label)
+{
+    // Labels are interned string literals (stallCauseName or the
+    // "issue"/"ready" constants in step), so pointer comparison is a
+    // run-length check.
+    if (_traceLabel[warp] == label)
+        return;
+    if (_traceLabel[warp] && _now > _traceStart[warp])
+        _traceHook(warp, _traceLabel[warp], _traceStart[warp], _now);
+    _traceLabel[warp] = label;
+    _traceStart[warp] = _now;
+}
+
+void
+Sm::flushStallTrace()
+{
+    if (!_traceHook)
+        return;
+    for (WarpId w = 0; w < _traceLabel.size(); ++w) {
+        if (_traceLabel[w] && _now > _traceStart[w])
+            _traceHook(w, _traceLabel[w], _traceStart[w], _now);
+        _traceLabel[w] = nullptr;
+    }
+}
+
+StallSnapshot
+Sm::slotSnapshot() const
+{
+    StallSnapshot snap;
+    snap.issuedSlots = _slotIssued.value();
+    for (std::size_t c = 0; c < kNumStallCauses; ++c)
+        snap.stallSlots[c] = _stallSlots[c]->value();
+    return snap;
 }
 
 Cycle

@@ -19,6 +19,7 @@
 #include "arch/exec_unit.hh"
 #include "arch/scheduler.hh"
 #include "arch/scoreboard.hh"
+#include "arch/stall.hh"
 #include "arch/warp.hh"
 #include "common/stats.hh"
 #include "compiler/compiler.hh"
@@ -100,12 +101,45 @@ class Sm
         const Warp &, Pc, const ir::Instruction &, Cycle)>;
     void setIssueHook(IssueHook hook) { _issueHook = std::move(hook); }
 
+    /**
+     * Observer for per-warp state runs: called with (warp, label,
+     * first cycle, one past last cycle) whenever a warp's issue/stall
+     * label changes. Labels are "issue", "ready", or a StallCause
+     * name. Call flushStallTrace() after the run to close open runs.
+     */
+    using StallTraceHook =
+        std::function<void(WarpId, const char *, Cycle, Cycle)>;
+    void setStallTraceHook(StallTraceHook hook);
+    void flushStallTrace();
+
+    /** @name Issue-slot attribution (one slot per scheduler-cycle). */
+    ///@{
+    std::uint64_t issuedSlots() const { return _slotIssued.value(); }
+    std::uint64_t stallSlots(StallCause cause) const
+    {
+        return _stallSlots[static_cast<std::size_t>(cause)]->value();
+    }
+    StallSnapshot slotSnapshot() const;
+    /** Cumulative per-warp stall cycles by cause (Running warps only). */
+    const std::array<std::uint64_t, kNumStallCauses> &
+    warpStalls(WarpId warp) const
+    {
+        return _warpStalls.at(warp);
+    }
+    ///@}
+
   private:
     /**
      * Can @a warp issue its next instruction now?
      * @param long_stall Set when the blocker is a long-latency source.
+     * @param cause If non-null and the warp cannot issue, receives the
+     *        attributed StallCause.
      */
-    bool eligible(const Warp &warp, Cycle now, bool *long_stall);
+    bool eligible(const Warp &warp, Cycle now, bool *long_stall,
+                  StallCause *cause = nullptr);
+
+    /** Run-length tracking behind the stall-trace hook. */
+    void updateTraceLabel(WarpId warp, const char *label);
 
     /** Issue and functionally execute the instruction at warp's PC. */
     void issue(Warp &warp, Cycle now);
@@ -154,12 +188,14 @@ class Sm
     unsigned _residentWarps = 0;
     StatGroup _stats;
     Counter &_issued;
-    Counter &_cyclesIdle;
-    Counter &_stallScoreboard;
-    Counter &_stallProvider;
-    Counter &_stallPort;
+    Counter &_slotIssued;
+    std::array<Counter *, kNumStallCauses> _stallSlots{};
     Counter &_divergentBranches;
     Counter &_memTransactions;
+    std::vector<std::array<std::uint64_t, kNumStallCauses>> _warpStalls;
+    StallTraceHook _traceHook;
+    std::vector<const char *> _traceLabel;
+    std::vector<Cycle> _traceStart;
 };
 
 } // namespace regless::arch

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Stall-attribution taxonomy (DESIGN.md section 10).
+ *
+ * Every scheduler slot (one per scheduler per cycle) either issues or
+ * is charged to exactly one StallCause.  The taxonomy is fixed so
+ * stats_io keys, trace labels, and figure columns never drift apart.
+ */
+
+#ifndef REGLESS_ARCH_STALL_HH
+#define REGLESS_ARCH_STALL_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace regless::arch
+{
+
+/**
+ * Why a scheduler slot failed to issue.  One cause per slot; when
+ * several warps are blocked for different reasons the slot is charged
+ * to the cause of the warp closest to issuing (see stallPrecedence).
+ */
+enum class StallCause : std::uint8_t
+{
+    NoWarp,          ///< No resident runnable warp (or pick declined).
+    ScoreboardDep,   ///< RAW/WAW hazard on a non-memory producer.
+    CmNotStaged,     ///< CM has not activated the warp's region yet.
+    CmNoCapacity,    ///< Region activation blocked on OSU free lines.
+    OsuBankConflict, ///< Preload blocked on a busy OSU bank port.
+    MemPending,      ///< Waiting on an outstanding memory access.
+    ExecPortBusy,    ///< L1 port taken by an earlier issue this cycle.
+    SyncBarrier,     ///< Warp parked at a bar.sync.
+};
+
+constexpr std::size_t kNumStallCauses = 8;
+
+/** Snake-case name, also the trace label and the "stall_" key stem. */
+constexpr const char *
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::NoWarp: return "no_warp";
+      case StallCause::ScoreboardDep: return "scoreboard_dep";
+      case StallCause::CmNotStaged: return "cm_not_staged";
+      case StallCause::CmNoCapacity: return "cm_no_capacity";
+      case StallCause::OsuBankConflict: return "osu_bank_conflict";
+      case StallCause::MemPending: return "mem_pending";
+      case StallCause::ExecPortBusy: return "exec_port_busy";
+      case StallCause::SyncBarrier: return "sync_barrier";
+    }
+    return "unknown";
+}
+
+/**
+ * Charging precedence: lower rank is closer to issuing and wins the
+ * slot.  Order reflects how far a warp got through Sm::eligible —
+ * provider refusals (checked last) outrank the L1 port, which
+ * outranks the scoreboard, which outranks parked/absent warps.
+ * Within the provider causes a transient bank conflict outranks a
+ * capacity wait, which outranks plain not-yet-staged.
+ */
+constexpr unsigned
+stallPrecedence(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::OsuBankConflict: return 0;
+      case StallCause::CmNoCapacity: return 1;
+      case StallCause::CmNotStaged: return 2;
+      case StallCause::ExecPortBusy: return 3;
+      case StallCause::MemPending: return 4;
+      case StallCause::ScoreboardDep: return 5;
+      case StallCause::SyncBarrier: return 6;
+      case StallCause::NoWarp: return 7;
+    }
+    return 8;
+}
+
+/**
+ * Point-in-time copy of an SM's slot counters; differences between
+ * two snapshots give the breakdown for a window (used by the
+ * watchdog's DeadlockReport).
+ */
+struct StallSnapshot
+{
+    std::uint64_t issuedSlots = 0;
+    std::array<std::uint64_t, kNumStallCauses> stallSlots{};
+};
+
+} // namespace regless::arch
+
+#endif // REGLESS_ARCH_STALL_HH

@@ -38,6 +38,12 @@ DeadlockReport::render() const
     }
     if (!memState.empty())
         oss << "  memory: " << memState << "\n";
+    if (!stallBreakdown.empty()) {
+        oss << "  last-window stall breakdown (dominant: "
+            << dominantStall << "):\n";
+        for (const std::string &line : stallBreakdown)
+            oss << "    " << line << "\n";
+    }
     return oss.str();
 }
 
@@ -51,7 +57,9 @@ operator==(const DeadlockReport &a, const DeadlockReport &b)
            a.maxCycles == b.maxCycles &&
            a.insnsIssued == b.insnsIssued &&
            a.progressEvents == b.progressEvents && a.warps == b.warps &&
-           a.banks == b.banks && a.memState == b.memState;
+           a.banks == b.banks && a.memState == b.memState &&
+           a.stallBreakdown == b.stallBreakdown &&
+           a.dominantStall == b.dominantStall;
 }
 
 namespace

@@ -79,6 +79,18 @@ struct DeadlockReport
     std::vector<std::string> banks;
     /** Memory-system state (MSHR fill per cache level). */
     std::string memState;
+    /**
+     * Issue-slot attribution since the last progress event, one
+     * "cause: N slots" line per non-zero cause (DESIGN.md section 10).
+     * Pre-formatted strings keep common/ free of arch/ dependencies.
+     */
+    std::vector<std::string> stallBreakdown;
+    /**
+     * Cause with the most slots in the window, preferring causes that
+     * pin a live warp over no_warp (idle schedulers); "none" when the
+     * window charged nothing.
+     */
+    std::string dominantStall;
 
     /** Multi-line human-readable rendering. */
     std::string render() const;

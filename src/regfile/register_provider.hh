@@ -17,6 +17,7 @@
 #include <ostream>
 #include <string>
 
+#include "arch/stall.hh"
 #include "arch/warp.hh"
 #include "common/fault_injector.hh"
 #include "common/stats.hh"
@@ -48,6 +49,19 @@ class RegisterProvider
      * structural checks.
      */
     virtual bool canIssue(const arch::Warp &warp, Cycle now) = 0;
+
+    /**
+     * Why canIssue refused @a warp (stall attribution; DESIGN.md
+     * section 10). Called only after canIssue returned false, so
+     * providers that never refuse keep the default.
+     */
+    virtual arch::StallCause blockCause(const arch::Warp &warp,
+                                        Cycle now) const
+    {
+        (void)warp;
+        (void)now;
+        return arch::StallCause::CmNotStaged;
+    }
 
     /**
      * An instruction was issued. Called after functional execution,

@@ -181,10 +181,13 @@ void
 CapacityManager::processPreloads(WarpCtx &wc, WarpId warp, Cycle now,
                                  std::array<bool, osuBanks> &bank_busy)
 {
+    bool blocked_bank = false;
+    bool blocked_mem = false;
     for (auto it = wc.preloads.begin(); it != wc.preloads.end();) {
         const compiler::Preload preload = *it;
         unsigned bank = OperandStagingUnit::bankOf(warp, preload.reg);
         if (bank_busy[bank]) {
+            blocked_bank = true;
             ++it;
             continue;
         }
@@ -213,6 +216,7 @@ CapacityManager::processPreloads(WarpCtx &wc, WarpId warp, Cycle now,
             Compressor::PreloadResult cr =
                 _compressor->preload(warp, preload.reg, now);
             if (!cr.accepted) {
+                blocked_mem = true;
                 ++it;
                 continue; // L1 port busy; retry next cycle
             }
@@ -235,6 +239,7 @@ CapacityManager::processPreloads(WarpCtx &wc, WarpId warp, Cycle now,
         }
         if (!via_compressor) {
             if (!_mem.l1PortFree(now)) {
+                blocked_mem = true;
                 ++it;
                 continue;
             }
@@ -243,6 +248,7 @@ CapacityManager::processPreloads(WarpCtx &wc, WarpId warp, Cycle now,
                             /*is_write=*/false, mem::MemSpace::Register,
                             now);
             if (!mr.accepted) {
+                blocked_mem = true;
                 ++it;
                 continue;
             }
@@ -267,6 +273,12 @@ CapacityManager::processPreloads(WarpCtx &wc, WarpId warp, Cycle now,
         ++wc.preloadCount;
         it = wc.preloads.erase(it);
     }
+    // Attribution: a bank-port conflict only charges OsuBankConflict
+    // when nothing was also waiting on memory; otherwise the preload
+    // data in flight dominates.
+    wc.blockCause = blocked_bank && !blocked_mem
+                        ? arch::StallCause::OsuBankConflict
+                        : arch::StallCause::MemPending;
 }
 
 unsigned
@@ -317,6 +329,7 @@ CapacityManager::finishDrain(WarpCtx &wc, WarpId warp, Cycle now)
 
     sampleRegionStats(wc, now);
     wc.state = CmState::Inactive;
+    wc.blockCause = arch::StallCause::CmNotStaged;
     wc.region = compiler::invalidRegion;
     wc.preloadCount = 0;
     // Last-executed warp goes on top so its outputs are likely still
@@ -411,6 +424,7 @@ CapacityManager::tryActivate(Cycle now)
         }
         if (!fits) {
             ++_activationBlocked;
+            wc.blockCause = arch::StallCause::CmNoCapacity;
             return;
         }
         for (RegId reg : stale_outputs) {
@@ -424,6 +438,7 @@ CapacityManager::tryActivate(Cycle now)
         _metadataInsns += region.metadataInsns;
         _stack.erase(pick);
         wc.state = CmState::Preloading;
+        wc.blockCause = arch::StallCause::MemPending;
         wc.region = rid;
         wc.preloadReady = now;
         wc.drainUntil = 0;
@@ -457,8 +472,11 @@ CapacityManager::tryActivate(Cycle now)
 
         if (wc.preloads.empty() && wc.invalidations.empty()) {
             wc.state = CmState::Active;
+            wc.blockCause = arch::StallCause::CmNotStaged;
             wc.activatedAt = now;
             ++_activations;
+            if (_onActivate)
+                _onActivate(warp, rid, now);
         }
     }
 }
@@ -496,8 +514,11 @@ CapacityManager::tick(Cycle now)
         if (wc.preloads.empty() && wc.invalidations.empty() &&
             now >= wc.preloadReady) {
             wc.state = CmState::Active;
+            wc.blockCause = arch::StallCause::CmNotStaged;
             wc.activatedAt = now;
             ++_activations;
+            if (_onActivate)
+                _onActivate(w, wc.region, now);
         }
     }
 
@@ -601,6 +622,7 @@ CapacityManager::onIssue(const arch::Warp &warp, Pc pc,
         }
         wc.drainUntil = std::max({wc.drainUntil, now + 1, writeback});
         wc.state = CmState::Draining;
+        wc.blockCause = arch::StallCause::CmNotStaged;
     }
 }
 

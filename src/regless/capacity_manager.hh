@@ -20,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "arch/stall.hh"
 #include "arch/warp.hh"
 #include "common/fault_injector.hh"
 #include "common/stats.hh"
@@ -87,6 +88,25 @@ class CapacityManager
     /** Only active warps whose PC is inside their region may issue. */
     bool canIssue(const arch::Warp &warp, Cycle now) const;
 
+    /**
+     * Why canIssue last refused @a warp (stall attribution): waiting
+     * for activation (CmNotStaged), activation blocked on OSU space
+     * (CmNoCapacity), preloads blocked on a bank port
+     * (OsuBankConflict), or preload data in flight (MemPending).
+     */
+    arch::StallCause blockCause(WarpId warp) const
+    {
+        return ctx(warp).blockCause;
+    }
+
+    /** Observer called at every region activation (tracing). */
+    using ActivationHook =
+        std::function<void(WarpId, compiler::RegionId, Cycle)>;
+    void setActivationHook(ActivationHook hook)
+    {
+        _onActivate = std::move(hook);
+    }
+
     /** Process annotations and region boundaries for an issue. */
     void onIssue(const arch::Warp &warp, Pc pc,
                  const ir::Instruction &insn, Cycle now, Cycle writeback);
@@ -152,6 +172,8 @@ class CapacityManager
         std::array<int, osuBanks> budget{};
         std::vector<RegId> deferredErase;
         std::vector<RegId> deferredEvict;
+        /** Last reason canIssue would refuse this warp. */
+        arch::StallCause blockCause = arch::StallCause::CmNotStaged;
     };
 
     WarpCtx &ctx(WarpId warp);
@@ -192,6 +214,7 @@ class CapacityManager
     WarpSource _warpOf;
     ShadowChecker *_shadow = nullptr;
     FaultInjector *_faults = nullptr;
+    ActivationHook _onActivate;
 
     std::unordered_map<WarpId, WarpCtx> _ctx;
     std::deque<WarpId> _stack; ///< front = top (last to have executed)

@@ -149,7 +149,10 @@ Compressor::preload(WarpId warp, RegId reg, Cycle now)
     }
     ++_lineFetches;
     installLine(line, /*dirty=*/false);
-    result.ready = mr.readyCycle + _cfg.hitLatency;
+    // The bit-vector check precedes the fetch, so a miss pays
+    // checkLatency just like the hit and not-compressed paths (it was
+    // formerly dropped here, modelling misses as cheaper than hits).
+    result.ready = mr.readyCycle + _cfg.checkLatency + _cfg.hitLatency;
     result.source = mr.source;
     return result;
 }

@@ -42,6 +42,18 @@ class ReglessProvider : public regfile::RegisterProvider
 
     void tick(Cycle now) override;
     bool canIssue(const arch::Warp &warp, Cycle now) override;
+    arch::StallCause blockCause(const arch::Warp &warp,
+                                Cycle now) const override
+    {
+        (void)now;
+        return _cms.at(shardOf(warp.id()))->blockCause(warp.id());
+    }
+    /** Forward an activation observer to every shard's CM. */
+    void setActivationHook(CapacityManager::ActivationHook hook)
+    {
+        for (auto &cm : _cms)
+            cm->setActivationHook(hook);
+    }
     void onIssue(const arch::Warp &warp, Pc pc,
                  const ir::Instruction &insn, Cycle now,
                  Cycle writeback) override;

@@ -31,7 +31,9 @@ namespace
 // (and so every simulated trajectory).
 // v4: entries became JobRecords (outcome + stats); pre-watchdog bare
 // RunStats entries are rejected by the record parser anyway.
-constexpr unsigned kCacheSchemaVersion = 4;
+// v5: RunStats gained issue-slot attribution (issued_slots + the
+// stall_* causes); older entries would read those fields as zero.
+constexpr unsigned kCacheSchemaVersion = 5;
 
 /** Fingerprint of everything that determines a job's results. */
 std::uint64_t

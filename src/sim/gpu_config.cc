@@ -288,6 +288,14 @@ dump(KeyValueSink &kv, const std::string &p, const FaultPlan &c)
 }
 
 void
+dump(KeyValueSink &kv, const std::string &p, const TraceConfig &c)
+{
+    const auto &[enabled, path] = c;
+    kv.add(p + "enabled", enabled);
+    kv.add(p + "path", path);
+}
+
+void
 dump(KeyValueSink &kv, const std::string &p,
      const regfile::RfHierarchy::Params &c)
 {
@@ -305,7 +313,7 @@ configKeyValues(const GpuConfig &config)
 {
     const auto &[provider, sm, mem, compiler_cfg, regless, energy,
                  area, baseline_rf_entries, limit_occupancy_by_rf,
-                 rfv_phys_entries, rfh, faults] = config;
+                 rfv_phys_entries, rfh, faults, trace] = config;
 
     std::vector<std::pair<std::string, std::string>> out;
     KeyValueSink kv(out);
@@ -321,6 +329,7 @@ configKeyValues(const GpuConfig &config)
     kv.add("rfv_phys_entries", rfv_phys_entries);
     dump(kv, "rfh.", rfh);
     dump(kv, "faults.", faults);
+    dump(kv, "trace.", trace);
     return out;
 }
 

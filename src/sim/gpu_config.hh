@@ -43,6 +43,18 @@ ProviderKind providerFromName(const std::string &name);
 /** providerFromName() that reports failure instead of dying. */
 bool tryProviderFromName(const std::string &name, ProviderKind &out);
 
+/**
+ * Optional Chrome-trace emission (DESIGN.md section 10). Part of the
+ * fingerprint, so traced and untraced runs never share cache entries.
+ */
+struct TraceConfig
+{
+    /** Emit per-warp stall/issue timeline + CM activation events. */
+    bool enabled = false;
+    /** Output path; multi-SM runs append ".smN" per instance. */
+    std::string path = "regless_trace.json";
+};
+
 /** Full simulator configuration. */
 struct GpuConfig
 {
@@ -78,6 +90,9 @@ struct GpuConfig
      * nothing and adds no per-cycle work.
      */
     FaultPlan faults;
+
+    /** Stall/activation timeline emission (off by default). */
+    TraceConfig trace;
 
     /** Canonical configuration for @a kind (wires the RFH scheduler). */
     static GpuConfig forProvider(ProviderKind kind);

@@ -1,6 +1,7 @@
 #include "sim/gpu_simulator.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -171,6 +172,27 @@ GpuSimulator::assemble(std::shared_ptr<mem::DramModel> shared_dram)
         });
     }
 
+    if (_config.trace.enabled) {
+        _trace = std::make_unique<TraceWriter>();
+        _tracePath = _config.trace.path + ".sm0";
+        _sm->setStallTraceHook([this](WarpId warp, const char *label,
+                                      Cycle from, Cycle to) {
+            _trace->addComplete(_tracePid, warp, label, from,
+                                to - from);
+        });
+        if (auto *rp = dynamic_cast<staging::ReglessProvider *>(
+                _provider.get())) {
+            rp->setActivationHook([this](WarpId warp,
+                                         compiler::RegionId region,
+                                         Cycle now) {
+                _trace->addInstant(_tracePid, warp,
+                                   "cm_activate r" +
+                                       std::to_string(region),
+                                   now);
+            });
+        }
+    }
+
     if (_config.faults.kind != FaultPlan::Kind::None) {
         _injector = std::make_unique<FaultInjector>(_config.faults);
         _mem->setFaultInjector(_injector.get());
@@ -194,6 +216,14 @@ void
 GpuSimulator::harvest(RunStats &stats)
 {
     stats.insns = _sm->totalInsns();
+
+    // Issue-slot attribution (provider-independent): issued + stalled
+    // slots sum to numSchedulers * cycles exactly.
+    stats.issuedSlots = _sm->issuedSlots();
+    for (std::size_t c = 0; c < arch::kNumStallCauses; ++c) {
+        stats.stallSlots[c] =
+            _sm->stallSlots(static_cast<arch::StallCause>(c));
+    }
 
     // Memory hierarchy counts.
     auto cache_accesses = [](mem::Cache &cache) {
@@ -296,7 +326,8 @@ GpuSimulator::dumpStats(std::ostream &os)
 DeadlockReport
 GpuSimulator::deadlockSnapshot(const ProgressMonitor &monitor,
                                ProgressMonitor::Verdict verdict,
-                               Cycle now) const
+                               Cycle now,
+                               const arch::StallSnapshot *since) const
 {
     DeadlockReport report;
     report.kernel = _ck->kernel().name();
@@ -321,6 +352,18 @@ GpuSimulator::deadlockSnapshot(const ProgressMonitor &monitor,
         std::ostringstream os;
         os << "w" << w.id() << ": " << warpStatusName(w.status())
            << " pc=" << w.pc() << " insns=" << w.insnsExecuted();
+        // The warp's dominant stall cause over the whole run.
+        const auto &ws = _sm->warpStalls(w.id());
+        std::size_t top = 0;
+        for (std::size_t c = 1; c < arch::kNumStallCauses; ++c) {
+            if (ws[c] > ws[top])
+                top = c;
+        }
+        if (ws[top] > 0) {
+            os << " stall="
+               << arch::stallCauseName(
+                      static_cast<arch::StallCause>(top));
+        }
         if (mrp) {
             auto &cm = mrp->cm(w.id() % mrp->numShards());
             os << " cm=" << cmStateName(cm.state(w.id()))
@@ -353,7 +396,74 @@ GpuSimulator::deadlockSnapshot(const ProgressMonitor &monitor,
     mem << "L1 MSHRs in use: " << _mem->l1().mshrsInUse()
         << ", L2 MSHRs in use: " << _mem->l2().mshrsInUse();
     report.memState = mem.str();
+
+    // Slot attribution over the no-progress window (or the whole run
+    // when no baseline snapshot is supplied).
+    const arch::StallSnapshot cur = _sm->slotSnapshot();
+    const arch::StallSnapshot base =
+        since ? *since : arch::StallSnapshot{};
+    {
+        std::ostringstream os;
+        os << "issued: " << cur.issuedSlots - base.issuedSlots
+           << " slots";
+        report.stallBreakdown.push_back(os.str());
+    }
+    std::size_t top = 0;
+    std::uint64_t top_delta = 0;
+    std::uint64_t no_warp_delta = 0;
+    for (std::size_t c = 0; c < arch::kNumStallCauses; ++c) {
+        const std::uint64_t delta =
+            cur.stallSlots[c] - base.stallSlots[c];
+        if (delta == 0)
+            continue;
+        const auto cause = static_cast<arch::StallCause>(c);
+        std::ostringstream os;
+        os << arch::stallCauseName(cause) << ": " << delta << " slots";
+        report.stallBreakdown.push_back(os.str());
+        // NoWarp marks schedulers with nothing runnable (e.g. groups
+        // whose warps all finished); it never outranks a cause that
+        // actually pins a live warp.
+        if (cause == arch::StallCause::NoWarp) {
+            no_warp_delta = delta;
+            continue;
+        }
+        if (delta > top_delta) {
+            top_delta = delta;
+            top = c;
+        }
+    }
+    if (top_delta > 0) {
+        report.dominantStall =
+            arch::stallCauseName(static_cast<arch::StallCause>(top));
+    } else {
+        report.dominantStall = no_warp_delta > 0 ? "no_warp" : "none";
+    }
     return report;
+}
+
+void
+GpuSimulator::setTraceInstance(unsigned pid)
+{
+    if (!_trace)
+        return;
+    _tracePid = pid;
+    _tracePath = _config.trace.path + ".sm" + std::to_string(pid);
+}
+
+void
+GpuSimulator::writeTrace()
+{
+    if (!_trace || _traceWritten)
+        return;
+    _sm->flushStallTrace();
+    std::ofstream out(_tracePath, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("cannot write trace file '", _tracePath, "'");
+    _trace->write(out);
+    out << "\n";
+    if (!out)
+        fatal("error writing trace file '", _tracePath, "'");
+    _traceWritten = true;
 }
 
 RunStats
@@ -361,13 +471,23 @@ GpuSimulator::run(double wall_timeout_sec)
 {
     ProgressMonitor monitor(_config.sm.watchdogWindow,
                             _config.sm.maxCycles, wall_timeout_sec);
+    // Slot counters as of the last progress event, so a deadlock
+    // report can attribute the stalled window specifically.
+    arch::StallSnapshot at_progress = _sm->slotSnapshot();
+    Cycle last_progress = monitor.lastProgressCycle();
     while (!_sm->done()) {
         _sm->step();
         auto verdict = monitor.check(
             _sm->now(), _sm->totalInsns() + _provider->progressEvents());
         if (verdict != ProgressMonitor::Verdict::Ok) {
-            throw DeadlockError(
-                deadlockSnapshot(monitor, verdict, _sm->now()));
+            writeTrace(); // a deadlocked run still gets its timeline
+            throw DeadlockError(deadlockSnapshot(monitor, verdict,
+                                                 _sm->now(),
+                                                 &at_progress));
+        }
+        if (monitor.lastProgressCycle() != last_progress) {
+            last_progress = monitor.lastProgressCycle();
+            at_progress = _sm->slotSnapshot();
         }
     }
     return collect();
@@ -378,6 +498,7 @@ GpuSimulator::collect()
 {
     if (!_sm->done())
         fatal("collect() before the kernel finished");
+    writeTrace();
     RunStats stats;
     stats.kernel = _ck->kernel().name();
     stats.provider = _config.provider;

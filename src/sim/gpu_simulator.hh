@@ -24,6 +24,7 @@
 #include "sim/gpu_config.hh"
 #include "sim/progress_monitor.hh"
 #include "sim/run_stats.hh"
+#include "sim/trace_writer.hh"
 
 namespace regless::sim
 {
@@ -99,10 +100,28 @@ class GpuSimulator
     /**
      * Snapshot scheduler, staging, and memory state into a structured
      * report (used by the watchdog; exposed for the multi-SM runner).
+     * @param since When non-null, the report's stall breakdown covers
+     *        only the slots charged after this snapshot (the no-
+     *        progress window); otherwise it covers the whole run.
      */
-    DeadlockReport deadlockSnapshot(const ProgressMonitor &monitor,
-                                    ProgressMonitor::Verdict verdict,
-                                    Cycle now) const;
+    DeadlockReport
+    deadlockSnapshot(const ProgressMonitor &monitor,
+                     ProgressMonitor::Verdict verdict, Cycle now,
+                     const arch::StallSnapshot *since = nullptr) const;
+
+    /**
+     * Multi-SM instance identity for tracing: pid @a pid in the trace
+     * and a ".sm<pid>" suffix on the output path. No-op when tracing
+     * is disabled.
+     */
+    void setTraceInstance(unsigned pid);
+
+    /**
+     * Flush and write the trace file if tracing is enabled (called by
+     * collect(); exposed so deadlocked runs still get their trace).
+     * Idempotent per run.
+     */
+    void writeTrace();
 
   private:
     /** Shared tail of every ctor: memory, provider, SM. */
@@ -116,6 +135,10 @@ class GpuSimulator
     std::unique_ptr<regfile::RegisterProvider> _provider;
     std::unique_ptr<arch::Sm> _sm;
     std::unique_ptr<FaultInjector> _injector;
+    std::unique_ptr<TraceWriter> _trace;
+    unsigned _tracePid = 0;
+    std::string _tracePath;
+    bool _traceWritten = false;
 };
 
 } // namespace regless::sim

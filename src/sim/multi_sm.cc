@@ -16,6 +16,9 @@ struct MultiSmSimulator::Instance
     {
     }
     std::unique_ptr<GpuSimulator> simulator;
+    /** Slot counters as of the GPU's last progress event, so a
+     *  deadlock report can attribute the stalled window. */
+    arch::StallSnapshot atProgress;
 };
 
 MultiSmSimulator::MultiSmSimulator(const ir::Kernel &kernel,
@@ -42,8 +45,10 @@ MultiSmSimulator::MultiSmSimulator(const ir::Kernel &kernel,
     // own port; cross-SM arbitration happens at the epoch barrier in
     // SM-id order, regardless of thread schedule.
     _dram->enableEpochMode(num_sms);
-    for (unsigned i = 0; i < num_sms; ++i)
+    for (unsigned i = 0; i < num_sms; ++i) {
         _sms[i]->simulator->memory().setDramPort(i);
+        _sms[i]->simulator->setTraceInstance(i);
+    }
 
     _threads = threads == 0 ? ThreadPool::defaultThreads(num_sms)
                             : std::min(threads, num_sms);
@@ -62,6 +67,7 @@ MultiSmSimulator::run(double wall_timeout_sec)
     // own and the barrier rethrows the lowest SM id's (deterministic
     // for every thread count).
     std::vector<std::exception_ptr> errors(_sms.size());
+    Cycle last_progress = monitor.lastProgressCycle();
     bool all_done = false;
     while (!all_done) {
         // Parallel phase: each SM advances one epoch against its own
@@ -100,13 +106,21 @@ MultiSmSimulator::run(double wall_timeout_sec)
 
         auto verdict = monitor.check(now, progress);
         if (verdict != ProgressMonitor::Verdict::Ok) {
+            for (auto &instance : _sms)
+                instance->simulator->writeTrace();
             for (auto &instance : _sms) {
                 GpuSimulator &gpu = *instance->simulator;
                 if (gpu.sm().done())
                     continue;
-                throw DeadlockError(
-                    gpu.deadlockSnapshot(monitor, verdict, now));
+                throw DeadlockError(gpu.deadlockSnapshot(
+                    monitor, verdict, now, &instance->atProgress));
             }
+        }
+        if (monitor.lastProgressCycle() != last_progress) {
+            last_progress = monitor.lastProgressCycle();
+            for (auto &instance : _sms)
+                instance->atProgress =
+                    instance->simulator->sm().slotSnapshot();
         }
     }
 
@@ -138,6 +152,9 @@ MultiSmSimulator::run(double wall_timeout_sec)
         total.l1PreloadReqs += s.l1PreloadReqs;
         total.l1StoreReqs += s.l1StoreReqs;
         total.l1InvalidateReqs += s.l1InvalidateReqs;
+        total.issuedSlots += s.issuedSlots;
+        for (std::size_t c = 0; c < arch::kNumStallCauses; ++c)
+            total.stallSlots[c] += s.stallSlots[c];
         total.energy.regDynamic += s.energy.regDynamic;
         total.energy.regStatic += s.energy.regStatic;
         total.energy.compressor += s.energy.compressor;

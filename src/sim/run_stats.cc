@@ -32,6 +32,8 @@ operator==(const RunStats &a, const RunStats &b)
            a.l1PreloadReqs == b.l1PreloadReqs &&
            a.l1StoreReqs == b.l1StoreReqs &&
            a.l1InvalidateReqs == b.l1InvalidateReqs &&
+           a.issuedSlots == b.issuedSlots &&
+           a.stallSlots == b.stallSlots &&
            a.meanWorkingSetBytes == b.meanWorkingSetBytes &&
            a.backingSeries == b.backingSeries &&
            a.regionPreloadsMean == b.regionPreloadsMean &&

@@ -8,10 +8,12 @@
 #ifndef REGLESS_SIM_RUN_STATS_HH
 #define REGLESS_SIM_RUN_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "arch/stall.hh"
 #include "common/types.hh"
 #include "energy/energy_model.hh"
 #include "sim/gpu_config.hh"
@@ -64,6 +66,16 @@ struct RunStats
     std::uint64_t l1PreloadReqs = 0;
     std::uint64_t l1StoreReqs = 0;
     std::uint64_t l1InvalidateReqs = 0;
+    /// @}
+
+    /** @name Issue-slot attribution (DESIGN.md section 10). */
+    /// @{
+    /** Scheduler slots that issued (one per scheduler per cycle). */
+    std::uint64_t issuedSlots = 0;
+    /** Slots lost, charged to exactly one cause each; indexed by
+     *  arch::StallCause. issuedSlots + sum == schedulers * cycles
+     *  per SM (summed over SMs in multi-SM runs). */
+    std::array<std::uint64_t, arch::kNumStallCauses> stallSlots{};
     /// @}
 
     /** Mean register working set per 100 cycles, bytes (Figure 2). */

@@ -305,6 +305,18 @@ applyRunField(RunStats &stats, const std::string &key,
             stats.l1StoreReqs = asCount(v);
         else if (key == "l1_invalidate_reqs")
             stats.l1InvalidateReqs = asCount(v);
+        else if (key == "issued_slots")
+            stats.issuedSlots = asCount(v);
+        else if (key.rfind("stall_", 0) == 0) {
+            for (std::size_t c = 0; c < arch::kNumStallCauses; ++c) {
+                const auto cause = static_cast<arch::StallCause>(c);
+                if (key.compare(6, std::string::npos,
+                                arch::stallCauseName(cause)) == 0) {
+                    stats.stallSlots[c] = asCount(v);
+                    break;
+                }
+            }
+        }
         else if (key == "working_set_bytes")
             stats.meanWorkingSetBytes = v.num;
         else if (key == "region_preloads_mean")
@@ -380,6 +392,13 @@ writeRunFields(JsonObject &obj, const RunStats &stats)
     obj.field("l1_preload_reqs", stats.l1PreloadReqs);
     obj.field("l1_store_reqs", stats.l1StoreReqs);
     obj.field("l1_invalidate_reqs", stats.l1InvalidateReqs);
+    obj.field("issued_slots", stats.issuedSlots);
+    for (std::size_t c = 0; c < arch::kNumStallCauses; ++c) {
+        const std::string key =
+            std::string("stall_") +
+            arch::stallCauseName(static_cast<arch::StallCause>(c));
+        obj.field(key.c_str(), stats.stallSlots[c]);
+    }
     obj.field("working_set_bytes", stats.meanWorkingSetBytes);
     obj.field("region_preloads_mean", stats.regionPreloadsMean);
     obj.field("region_live_mean", stats.regionLiveMean);

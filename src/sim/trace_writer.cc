@@ -1,0 +1,269 @@
+#include "sim/trace_writer.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace regless::sim
+{
+
+void
+TraceWriter::addComplete(unsigned pid, unsigned tid,
+                         const std::string &name, Cycle ts, Cycle dur)
+{
+    _events.push_back({'X', pid, tid, name, ts, dur});
+}
+
+void
+TraceWriter::addInstant(unsigned pid, unsigned tid,
+                        const std::string &name, Cycle ts)
+{
+    _events.push_back({'i', pid, tid, name, ts, 0});
+}
+
+void
+TraceWriter::write(std::ostream &os) const
+{
+    std::vector<const Event *> order;
+    order.reserve(_events.size());
+    for (const Event &e : _events)
+        order.push_back(&e);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Event *a, const Event *b) {
+                         return a->ts < b->ts;
+                     });
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const Event *e : order) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"";
+        for (char c : e->name) {
+            if (c == '"' || c == '\\')
+                os << '\\';
+            os << c;
+        }
+        os << "\",\"ph\":\"" << e->phase << "\",\"pid\":" << e->pid
+           << ",\"tid\":" << e->tid << ",\"ts\":" << e->ts;
+        if (e->phase == 'X')
+            os << ",\"dur\":" << e->dur;
+        else
+            os << ",\"s\":\"t\"";
+        os << "}";
+    }
+    os << "]}";
+}
+
+namespace
+{
+
+/**
+ * Minimal recursive parser for the subset TraceWriter emits: objects
+ * of string / unsigned-number values, one nested array of such
+ * objects. Kept separate from stats_io's reader, which is private to
+ * that translation unit and tied to the flat RunStats schema.
+ */
+class TraceParser
+{
+  public:
+    explicit TraceParser(const std::string &text) : _text(text) {}
+
+    struct EventFields
+    {
+        std::map<std::string, std::string> strings;
+        std::map<std::string, double> numbers;
+    };
+
+    /** Parse the whole document into per-event field maps. */
+    bool
+    parse(std::vector<EventFields> &events, std::string *error)
+    {
+        _error = error;
+        if (!expect('{') || !parseTopObject(events))
+            return false;
+        skipSpace();
+        if (_pos != _text.size())
+            return fail("trailing characters after trace object");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &message)
+    {
+        if (_error && _error->empty())
+            *_error = "trace: " + message + " (offset " +
+                      std::to_string(_pos) + ")";
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos])))
+            ++_pos;
+    }
+
+    bool
+    expect(char c)
+    {
+        skipSpace();
+        if (_pos >= _text.size() || _text[_pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++_pos;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (_pos < _text.size() && _text[_pos] != '"') {
+            char c = _text[_pos++];
+            if (c == '\\') {
+                if (_pos >= _text.size())
+                    return fail("dangling escape");
+                c = _text[_pos++];
+            }
+            out.push_back(c);
+        }
+        if (_pos >= _text.size())
+            return fail("unterminated string");
+        ++_pos;
+        return true;
+    }
+
+    bool
+    parseNumber(double &out)
+    {
+        skipSpace();
+        const char *begin = _text.c_str() + _pos;
+        char *end = nullptr;
+        out = std::strtod(begin, &end);
+        if (end == begin)
+            return fail("expected a number");
+        _pos += static_cast<std::size_t>(end - begin);
+        return true;
+    }
+
+    bool
+    parseEvent(EventFields &out)
+    {
+        if (!expect('{'))
+            return false;
+        for (;;) {
+            std::string key;
+            if (!parseString(key) || !expect(':'))
+                return false;
+            skipSpace();
+            if (_pos >= _text.size())
+                return fail("unexpected end in event");
+            if (_text[_pos] == '"') {
+                std::string value;
+                if (!parseString(value))
+                    return false;
+                out.strings[key] = value;
+            } else {
+                double value;
+                if (!parseNumber(value))
+                    return false;
+                out.numbers[key] = value;
+            }
+            skipSpace();
+            if (_pos >= _text.size())
+                return fail("unexpected end in event");
+            char c = _text[_pos++];
+            if (c == '}')
+                return true;
+            if (c != ',')
+                return fail("expected ',' or '}' in event");
+        }
+    }
+
+    bool
+    parseTopObject(std::vector<EventFields> &events)
+    {
+        std::string key;
+        if (!parseString(key))
+            return false;
+        if (key != "traceEvents")
+            return fail("first key must be \"traceEvents\"");
+        if (!expect(':') || !expect('['))
+            return false;
+        skipSpace();
+        if (_pos < _text.size() && _text[_pos] == ']') {
+            ++_pos;
+            return expect('}');
+        }
+        for (;;) {
+            events.emplace_back();
+            if (!parseEvent(events.back()))
+                return false;
+            skipSpace();
+            if (_pos >= _text.size())
+                return fail("unexpected end in traceEvents");
+            char c = _text[_pos++];
+            if (c == ']')
+                return expect('}');
+            if (c != ',')
+                return fail("expected ',' or ']' in traceEvents");
+        }
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+    std::string *_error = nullptr;
+};
+
+} // namespace
+
+bool
+validateChromeTrace(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    std::vector<TraceParser::EventFields> events;
+    TraceParser parser(text);
+    if (!parser.parse(events, error))
+        return false;
+
+    auto fail = [&](std::size_t i, const std::string &message) {
+        if (error)
+            *error = "trace event " + std::to_string(i) + ": " + message;
+        return false;
+    };
+    double last_ts = 0.0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const auto &e = events[i];
+        if (!e.strings.count("name") || e.strings.at("name").empty())
+            return fail(i, "missing name");
+        if (!e.strings.count("ph"))
+            return fail(i, "missing ph");
+        const std::string &ph = e.strings.at("ph");
+        if (ph != "X" && ph != "i")
+            return fail(i, "unexpected phase '" + ph + "'");
+        for (const char *field : {"pid", "tid", "ts"}) {
+            if (!e.numbers.count(field))
+                return fail(i, std::string("missing ") + field);
+            if (e.numbers.at(field) < 0)
+                return fail(i, std::string("negative ") + field);
+        }
+        if (ph == "X" && (!e.numbers.count("dur") ||
+                          e.numbers.at("dur") < 0)) {
+            return fail(i, "complete event without a valid dur");
+        }
+        const double ts = e.numbers.at("ts");
+        if (i > 0 && ts < last_ts)
+            return fail(i, "timestamps not monotonic");
+        last_ts = ts;
+    }
+    return true;
+}
+
+} // namespace regless::sim

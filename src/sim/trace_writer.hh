@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Chrome-trace-format (chrome://tracing / Perfetto) event collector
+ * for the stall-attribution layer (DESIGN.md section 10).
+ *
+ * Events are buffered and written as one {"traceEvents":[...]} object
+ * sorted by timestamp. pid = SM instance, tid = warp, ts/dur are in
+ * cycles (the viewer displays them as microseconds; the scale is
+ * relative so the shapes are what matter).
+ */
+
+#ifndef REGLESS_SIM_TRACE_WRITER_HH
+#define REGLESS_SIM_TRACE_WRITER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace regless::sim
+{
+
+/** Buffers Chrome-trace events and writes the JSON file. */
+class TraceWriter
+{
+  public:
+    /** A "ph":"X" complete event: [ts, ts+dur) on (pid, tid). */
+    void addComplete(unsigned pid, unsigned tid,
+                     const std::string &name, Cycle ts, Cycle dur);
+
+    /** A thread-scoped "ph":"i" instant event at @a ts. */
+    void addInstant(unsigned pid, unsigned tid, const std::string &name,
+                    Cycle ts);
+
+    /** Buffered event count. */
+    std::size_t events() const { return _events.size(); }
+
+    /**
+     * Write the {"traceEvents": [...]} object, events sorted by
+     * timestamp (stable: insertion order breaks ties).
+     */
+    void write(std::ostream &os) const;
+
+  private:
+    struct Event
+    {
+        char phase; ///< 'X' or 'i'
+        unsigned pid;
+        unsigned tid;
+        std::string name;
+        Cycle ts;
+        Cycle dur; ///< complete events only
+    };
+
+    std::vector<Event> _events;
+};
+
+/**
+ * Validate @a text as a well-formed Chrome trace from this writer:
+ * parseable JSON of the flat shape TraceWriter emits, a traceEvents
+ * array whose entries all carry name/ph/pid/tid/ts (plus dur for "X"
+ * events), and non-decreasing ts across the array.
+ * @return true when valid; otherwise false with *error set.
+ */
+bool validateChromeTrace(const std::string &text, std::string *error);
+
+} // namespace regless::sim
+
+#endif // REGLESS_SIM_TRACE_WRITER_HH

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "arch/scheduler.hh"
 #include "arch/scoreboard.hh"
 #include "arch/simt_stack.hh"
@@ -149,6 +151,96 @@ TEST(SchedulerTest, TwoLevelSchedulesOnlyActivePool)
     std::vector<bool> only4(10, false);
     only4[4] = true;
     EXPECT_EQ(tl.pick(only4), 4);
+}
+
+TEST(SchedulerTest, GtoSurvivesShrunkenEligibilityVector)
+{
+    // Regression: the greedy index sticks across calls, so a shorter
+    // eligibility vector (fewer warps in the group) must not be
+    // indexed at the old position.
+    arch::GtoScheduler gto({0, 1, 2});
+    EXPECT_EQ(gto.pick({false, false, true}), 2);
+    EXPECT_EQ(gto.pick({true}), 0);
+    EXPECT_EQ(gto.pick(std::vector<bool>{}), -1);
+}
+
+TEST(SchedulerTest, TwoLevelEmptyPendingDemotionIsNoOp)
+{
+    // Regression: with nothing pending, a demotion used to shrink the
+    // active pool permanently — with one warp, to empty, after which
+    // pick() returned -1 forever (scheduler starvation).
+    arch::TwoLevelScheduler tl({7}, 4, /*promotion_delay=*/0);
+    std::vector<bool> all{true};
+    EXPECT_EQ(tl.pick(all), 0);
+    tl.notifyLongStall(7);
+    EXPECT_EQ(tl.activePool().size(), 1u);
+    EXPECT_EQ(tl.pick(all), 0);
+}
+
+TEST(SchedulerTest, TwoLevelSurvivesDrainAndRefill)
+{
+    // Exercise the pending pool through full drain/refill cycles: one
+    // warp pending, so every demotion drains the pool (promoting its
+    // only entry) and refills it with the demoted warp. The active
+    // pool must keep its size and pick() must keep issuing.
+    arch::TwoLevelScheduler tl({0, 1, 2, 3, 4}, 4,
+                               /*promotion_delay=*/0);
+    std::vector<bool> all(5, true);
+    for (unsigned round = 0; round < 20; ++round) {
+        int picked = tl.pick(all);
+        ASSERT_GE(picked, 0);
+        tl.notifyLongStall(tl.warps()[picked]);
+        ASSERT_EQ(tl.activePool().size(), 4u);
+    }
+    // Demoting a warp that is already pending is also a no-op.
+    arch::TwoLevelScheduler tl2({0, 1}, 1, /*promotion_delay=*/0);
+    tl2.notifyLongStall(1);
+    EXPECT_EQ(tl2.activePool().size(), 1u);
+    EXPECT_EQ(tl2.pick({true, true}), 0);
+}
+
+TEST(SchedulerTest, AllPoliciesPickOnlyEligibleWarps)
+{
+    // Property test over random eligibility patterns: every policy
+    // either declines (-1) or returns an in-range, eligible index;
+    // GTO and RR must not decline while anything is eligible, and the
+    // two-level scheduler (promotion delay 0) must not decline while
+    // anything *active* is eligible.
+    std::mt19937 rng(2017); // fixed seed
+    arch::GtoScheduler gto({0, 1, 2, 3, 4, 5, 6, 7});
+    arch::TwoLevelScheduler tl({0, 1, 2, 3, 4, 5, 6, 7}, 4,
+                               /*promotion_delay=*/0);
+    arch::RrScheduler rr({0, 1, 2, 3, 4, 5, 6, 7});
+    for (unsigned round = 0; round < 2000; ++round) {
+        std::vector<bool> eligible(8);
+        bool any = false;
+        for (std::size_t i = 0; i < eligible.size(); ++i) {
+            eligible[i] = (rng() & 3) != 0;
+            any = any || eligible[i];
+        }
+        for (arch::WarpScheduler *sched :
+             {static_cast<arch::WarpScheduler *>(&gto),
+              static_cast<arch::WarpScheduler *>(&tl),
+              static_cast<arch::WarpScheduler *>(&rr)}) {
+            int picked = sched->pick(eligible);
+            ASSERT_GE(picked, -1);
+            ASSERT_LT(picked, 8);
+            if (picked >= 0)
+                ASSERT_TRUE(eligible[picked]);
+        }
+        if (any) {
+            ASSERT_GE(gto.pick(eligible), 0);
+            ASSERT_GE(rr.pick(eligible), 0);
+        }
+        bool any_active = false;
+        for (unsigned idx : tl.activePool())
+            any_active = any_active || eligible[idx];
+        if (any_active)
+            ASSERT_GE(tl.pick(eligible), 0);
+        // Occasional demotions keep the pools churning.
+        if ((rng() & 7) == 0)
+            tl.notifyLongStall(rng() % 8);
+    }
 }
 
 TEST(SchedulerTest, PolicyFromString)

@@ -18,6 +18,8 @@
 
 #include "compiler/staging_checker.hh"
 #include "ir/cfg_analysis.hh"
+#include "regless/operand_staging_unit.hh"
+#include "regless/regless_provider.hh"
 #include "ir/liveness.hh"
 #include "sim/experiment.hh"
 #include "sim/gpu_simulator.hh"
@@ -99,6 +101,57 @@ INSTANTIATE_TEST_SUITE_P(
                (p.compressor ? "_comp" : "_nocomp") +
                (p.fifo ? "_fifo" : "_lifo");
     });
+
+/**
+ * OSU structural invariants under the fuzzer: while a random kernel
+ * executes with a small OSU (so reclaims, evictions, and warp drops
+ * interleave heavily), every bank's owned + clean + dirty + free must
+ * equal linesPerBank() and occupiedLines() must match their sum.
+ */
+class OsuInvariants : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(OsuInvariants, HoldThroughoutRandomKernelExecution)
+{
+    ir::Kernel kernel = randomKernel(GetParam());
+    sim::GpuConfig cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    cfg.setOsuCapacity(128); // small: stresses reclaims
+    sim::GpuSimulator gpu(kernel, cfg);
+    auto &provider =
+        dynamic_cast<staging::ReglessProvider &>(gpu.provider());
+
+    auto check = [&] {
+        for (unsigned shard = 0; shard < cfg.regless.numShards;
+             ++shard) {
+            staging::OperandStagingUnit &osu = provider.osu(shard);
+            unsigned occupied = 0;
+            for (unsigned b = 0; b < staging::osuBanks; ++b) {
+                auto counts = osu.bankCounts(b);
+                ASSERT_EQ(counts.owned + counts.clean + counts.dirty +
+                              counts.free,
+                          osu.linesPerBank())
+                    << "seed " << GetParam() << " shard " << shard
+                    << " bank " << b << " cycle " << gpu.sm().now();
+                occupied += counts.owned + counts.clean + counts.dirty;
+            }
+            ASSERT_EQ(occupied, osu.occupiedLines())
+                << "seed " << GetParam() << " shard " << shard;
+        }
+    };
+
+    while (!gpu.sm().done()) {
+        gpu.sm().step();
+        if (gpu.sm().now() % 64 == 0)
+            check();
+        ASSERT_LT(gpu.sm().now(), 2'000'000u) << "kernel wedged";
+    }
+    check();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomKernels, OsuInvariants,
+                         ::testing::Values(1, 4, 9, 13));
 
 /** Region-partition invariants on the same random kernels. */
 class RegionInvariants

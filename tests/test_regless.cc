@@ -8,6 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <utility>
+#include <vector>
+
 #include "arch/sm.hh"
 #include "compiler/compiler.hh"
 #include "mem/memory_system.hh"
@@ -146,6 +151,95 @@ TEST(OsuTest, DropWarpReleasesEverything)
     EXPECT_EQ(osu.occupiedLines(), 1u);
 }
 
+TEST(OsuTest, InvariantsHoldUnderRandomInterleavings)
+{
+    // Structural invariants after any interleaving of the public
+    // mutators: in every bank owned + clean + dirty + free equals
+    // linesPerBank(), the cached per-bank counts match a recount of
+    // the actual entries, and occupiedLines() matches their sum.
+    OperandStagingUnit osu("t", 64, staging::VictimOrder::FreeCleanDirty);
+    auto check = [&] {
+        unsigned occupied = 0;
+        for (unsigned b = 0; b < staging::osuBanks; ++b) {
+            auto counts = osu.bankCounts(b);
+            ASSERT_EQ(counts.owned + counts.clean + counts.dirty +
+                          counts.free,
+                      osu.linesPerBank());
+            OperandStagingUnit::BankCounts recount;
+            for (const auto &entry : osu.bankEntries(b)) {
+                switch (entry.state) {
+                  case staging::LineState::Owned:
+                    ++recount.owned;
+                    break;
+                  case staging::LineState::EvictClean:
+                    ++recount.clean;
+                    break;
+                  case staging::LineState::EvictDirty:
+                    ++recount.dirty;
+                    break;
+                }
+            }
+            ASSERT_EQ(recount.owned, counts.owned);
+            ASSERT_EQ(recount.clean, counts.clean);
+            ASSERT_EQ(recount.dirty, counts.dirty);
+            occupied += counts.owned + counts.clean + counts.dirty;
+        }
+        ASSERT_EQ(occupied, osu.occupiedLines());
+    };
+
+    std::mt19937 rng(97);
+    std::vector<std::pair<WarpId, RegId>> resident;
+    auto drop = [&](WarpId warp, RegId reg) {
+        for (auto it = resident.begin(); it != resident.end(); ++it) {
+            if (it->first == warp && it->second == reg) {
+                resident.erase(it);
+                return;
+            }
+        }
+    };
+    for (unsigned step = 0; step < 5000; ++step) {
+        unsigned op = rng() % 8;
+        if (op <= 2 || resident.empty()) { // bias toward filling up
+            WarpId w = rng() % 8;
+            RegId r = static_cast<RegId>(rng() % 64);
+            auto counts =
+                osu.bankCounts(OperandStagingUnit::bankOf(w, r));
+            // A bank full of owned lines is the capacity manager's
+            // over-commit panic, not an OSU state; skip.
+            if (osu.present(w, r) ||
+                counts.owned == osu.linesPerBank())
+                continue;
+            auto rec = osu.allocate(w, r, (rng() & 1) != 0);
+            if (rec.needed)
+                drop(rec.victimWarp, rec.victimReg);
+            resident.emplace_back(w, r);
+        } else if (op == 3) {
+            auto [w, r] = resident[rng() % resident.size()];
+            osu.erase(w, r);
+            drop(w, r);
+        } else if (op == 4) {
+            auto [w, r] = resident[rng() % resident.size()];
+            osu.markEvictable(w, r);
+        } else if (op == 5) {
+            auto [w, r] = resident[rng() % resident.size()];
+            osu.claim(w, r);
+        } else if (op == 6) {
+            auto [w, r] = resident[rng() % resident.size()];
+            osu.recordWrite(w, r);
+        } else {
+            WarpId w = rng() % 8;
+            osu.dropWarp(w);
+            resident.erase(
+                std::remove_if(resident.begin(), resident.end(),
+                               [w](const auto &e) {
+                                   return e.first == w;
+                               }),
+                resident.end());
+        }
+        check();
+    }
+}
+
 TEST(CompressorTest, PatternMatching)
 {
     EXPECT_EQ(Compressor::matchPattern(lanes(42, 0)),
@@ -192,6 +286,58 @@ TEST(CompressorTest, EvictAndPreloadThroughCache)
     EXPECT_TRUE(res.wasCompressed);
     EXPECT_TRUE(res.cacheHit);
     EXPECT_EQ(res.ready, 10 + cfg.checkLatency + cfg.hitLatency);
+}
+
+TEST(CompressorTest, MissPathChargesCheckLatency)
+{
+    // Regression: the cache-miss path used to omit checkLatency, so a
+    // miss could come back *cheaper* than a hit. The bit-vector check
+    // happens on every preload; raising checkLatency by d must shift
+    // every path — including the miss — by exactly d.
+    auto missReady = [](unsigned check_latency) {
+        mem::MemorySystem mem;
+        CompressorConfig cfg;
+        cfg.cacheLines = 1;
+        cfg.checkLatency = check_latency;
+        Compressor comp("c", cfg, mem, 0x6000'0000, 64);
+        // Registers >= 32 apart land in distinct compressed lines, so
+        // the second evict displaces the first from the 1-line cache.
+        comp.compressEvict(0, 0, lanes(1, 0), 0);
+        comp.compressEvict(0, 64, lanes(2, 0), 0);
+        auto res = comp.preload(0, 0, 100);
+        EXPECT_TRUE(res.accepted);
+        EXPECT_TRUE(res.wasCompressed);
+        EXPECT_FALSE(res.cacheHit);
+        return res.ready;
+    };
+    const unsigned delta = 7;
+    EXPECT_EQ(missReady(2 + delta), missReady(2) + delta);
+}
+
+TEST(CompressorTest, PreloadLatencyOrdering)
+{
+    // With one cache line, stage a hit (resident line), a miss
+    // (displaced line), and a not-compressed register, all probed at
+    // the same cycle: not-compressed <= hit <= miss must hold.
+    mem::MemorySystem mem;
+    CompressorConfig cfg;
+    cfg.cacheLines = 1;
+    Compressor comp("c", cfg, mem, 0x6000'0000, 64);
+    comp.compressEvict(0, 0, lanes(1, 0), 0);
+    comp.compressEvict(0, 64, lanes(2, 0), 0);
+
+    auto not_compressed = comp.preload(0, 128, 100);
+    auto hit = comp.preload(0, 64, 100);
+    auto miss = comp.preload(0, 0, 100);
+    ASSERT_TRUE(not_compressed.accepted);
+    ASSERT_FALSE(not_compressed.wasCompressed);
+    ASSERT_TRUE(hit.accepted);
+    ASSERT_TRUE(hit.cacheHit);
+    ASSERT_TRUE(miss.accepted);
+    ASSERT_FALSE(miss.cacheHit);
+    EXPECT_EQ(not_compressed.ready, 100 + cfg.checkLatency);
+    EXPECT_LE(not_compressed.ready, hit.ready);
+    EXPECT_LE(hit.ready, miss.ready);
 }
 
 TEST(CompressorTest, IncompressibleValueRejected)

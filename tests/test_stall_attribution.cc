@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Stall-attribution tests (DESIGN.md section 10): every scheduler
+ * slot of every cycle is charged to exactly one bucket — issued or
+ * one of the eight stall causes — so per SM the buckets must sum to
+ * numSchedulers * cycles on every workload and provider. Also covers
+ * the Chrome-trace emission (validity, determinism of traced runs)
+ * and the deadlock report's last-window breakdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "arch/stall.hh"
+#include "common/fault_injector.hh"
+#include "common/sim_error.hh"
+#include "sim/experiment.hh"
+#include "sim/gpu_simulator.hh"
+#include "sim/multi_sm.hh"
+#include "sim/trace_writer.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless
+{
+namespace
+{
+
+/** issued + sum(stalls), the left side of the slot invariant. */
+std::uint64_t
+totalSlots(const sim::RunStats &stats)
+{
+    std::uint64_t total = stats.issuedSlots;
+    for (std::uint64_t s : stats.stallSlots)
+        total += s;
+    return total;
+}
+
+void
+expectSlotInvariant(const sim::RunStats &stats, unsigned schedulers,
+                    const std::string &label)
+{
+    EXPECT_EQ(totalSlots(stats), schedulers * stats.cycles) << label;
+    EXPECT_GT(stats.issuedSlots, 0u) << label;
+}
+
+TEST(SlotInvariant, HoldsForEveryWorkloadUnderBaseline)
+{
+    const sim::GpuConfig cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Baseline);
+    for (const std::string &name : workloads::rodiniaNames()) {
+        sim::RunStats stats =
+            sim::runKernel(workloads::makeRodinia(name), cfg);
+        expectSlotInvariant(stats, cfg.sm.numSchedulers, name);
+    }
+}
+
+TEST(SlotInvariant, HoldsForEveryWorkloadUnderRegless)
+{
+    const sim::GpuConfig cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    for (const std::string &name : workloads::rodiniaNames()) {
+        sim::RunStats stats =
+            sim::runKernel(workloads::makeRodinia(name), cfg);
+        expectSlotInvariant(stats, cfg.sm.numSchedulers, name);
+    }
+}
+
+TEST(SlotInvariant, HoldsPerSmInMultiSmRuns)
+{
+    const sim::GpuConfig cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    for (const char *name : {"nn", "backprop"}) {
+        sim::MultiSmSimulator multi(workloads::makeRodinia(name), cfg,
+                                    /*num_sms=*/2);
+        sim::RunStats total = multi.run();
+        std::uint64_t issued = 0, stalled = 0;
+        for (const sim::RunStats &per : multi.perSm()) {
+            // The invariant holds per SM against that SM's own cycle
+            // count, not the aggregate maximum.
+            expectSlotInvariant(per, cfg.sm.numSchedulers,
+                                std::string(name) + " per-SM");
+            issued += per.issuedSlots;
+            for (std::uint64_t s : per.stallSlots)
+                stalled += s;
+        }
+        EXPECT_EQ(total.issuedSlots, issued) << name;
+        EXPECT_EQ(totalSlots(total), issued + stalled) << name;
+    }
+}
+
+TEST(StallTrace, TracedRunStatsMatchUntracedExactly)
+{
+    // Tracing is observational: enabling it must not change a single
+    // statistic (operator== covers every field, slots included).
+    const ir::Kernel kernel = workloads::makeRodinia("nn");
+    sim::GpuConfig plain =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    sim::GpuConfig traced = plain;
+    traced.trace.enabled = true;
+    traced.trace.path =
+        (std::filesystem::path(::testing::TempDir()) /
+         "regless-traced-run.json")
+            .string();
+    sim::RunStats a = sim::runKernel(kernel, plain);
+    sim::RunStats b = sim::runKernel(kernel, traced);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(StallTrace, MultiSmStatsAreThreadCountInvariant)
+{
+    // Byte-identical RunStats (slot fields included) for any worker
+    // thread count with tracing off.
+    const ir::Kernel kernel = workloads::makeRodinia("backprop");
+    const sim::GpuConfig cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    sim::MultiSmSimulator serial(kernel, cfg, /*num_sms=*/4,
+                                 /*threads=*/1);
+    sim::MultiSmSimulator threaded(kernel, cfg, /*num_sms=*/4,
+                                   /*threads=*/3);
+    sim::RunStats a = serial.run();
+    sim::RunStats b = threaded.run();
+    EXPECT_TRUE(a == b);
+    ASSERT_EQ(serial.perSm().size(), threaded.perSm().size());
+    for (std::size_t i = 0; i < serial.perSm().size(); ++i)
+        EXPECT_TRUE(serial.perSm()[i] == threaded.perSm()[i]) << i;
+}
+
+TEST(StallTrace, WrittenFileIsValidChromeTrace)
+{
+    const std::string stem =
+        (std::filesystem::path(::testing::TempDir()) /
+         "regless-trace-test.json")
+            .string();
+    sim::GpuConfig cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    cfg.trace.enabled = true;
+    cfg.trace.path = stem;
+    sim::GpuSimulator gpu(workloads::makeRodinia("nn"), cfg);
+    gpu.run();
+
+    std::ifstream in(stem + ".sm0", std::ios::binary);
+    ASSERT_TRUE(in.good()) << stem << ".sm0 missing";
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    EXPECT_TRUE(sim::validateChromeTrace(text.str(), &error)) << error;
+    // Both event kinds made it out: warp-state spans and capacity-
+    // manager activation instants.
+    EXPECT_NE(text.str().find("\"issue\""), std::string::npos);
+    EXPECT_NE(text.str().find("cm_activate"), std::string::npos);
+    EXPECT_NE(text.str().find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.str().find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(StallTrace, ValidatorRejectsMalformedTraces)
+{
+    std::string error;
+    EXPECT_FALSE(sim::validateChromeTrace("not json", &error));
+    EXPECT_FALSE(sim::validateChromeTrace("{\"traceEvents\":[", &error));
+    // Missing dur on a complete event.
+    EXPECT_FALSE(sim::validateChromeTrace(
+        "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"pid\":0,"
+        "\"tid\":0,\"ts\":1}]}",
+        &error));
+    // Non-monotonic timestamps.
+    EXPECT_FALSE(sim::validateChromeTrace(
+        "{\"traceEvents\":["
+        "{\"name\":\"a\",\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":5,"
+        "\"s\":\"t\"},"
+        "{\"name\":\"b\",\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":4,"
+        "\"s\":\"t\"}]}",
+        &error));
+    EXPECT_TRUE(sim::validateChromeTrace("{\"traceEvents\":[]}",
+                                         &error))
+        << error;
+}
+
+TEST(StallTrace, TraceConfigIsPartOfTheConfigFingerprint)
+{
+    // Traced and untraced runs must never share an experiment-cache
+    // entry, so the trace settings are part of the canonical text.
+    sim::GpuConfig plain =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    sim::GpuConfig traced = plain;
+    traced.trace.enabled = true;
+    EXPECT_NE(sim::configCanonicalText(plain),
+              sim::configCanonicalText(traced));
+    sim::GpuConfig other_path = traced;
+    other_path.trace.path = "elsewhere.json";
+    EXPECT_NE(sim::configCanonicalText(traced),
+              sim::configCanonicalText(other_path));
+}
+
+TEST(DeadlockBreakdown, NamesTheDominantCauseOfTheStalledWindow)
+{
+    // An injected OSU-slot leak starves every activation: the watchdog
+    // report's last-window breakdown must be present, account only
+    // stall (not issue) slots in the window, and name cm_no_capacity
+    // as the dominant cause.
+    sim::GpuConfig cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    cfg.faults.kind = FaultPlan::Kind::LeakOsuSlot;
+    cfg.faults.triggerCycle = 0;
+    cfg.sm.watchdogWindow = 5000;
+    cfg.sm.maxCycles = 2'000'000;
+    sim::GpuSimulator gpu(workloads::makeRodinia("nn"), cfg);
+    try {
+        gpu.run();
+        FAIL() << "leaked OSU reservations did not deadlock";
+    } catch (const sim::DeadlockError &e) {
+        const sim::DeadlockReport &r = e.report();
+        ASSERT_FALSE(r.stallBreakdown.empty());
+        EXPECT_EQ(r.dominantStall, "cm_no_capacity")
+            << r.render();
+        bool found = false;
+        for (const std::string &line : r.stallBreakdown)
+            found = found || line.find("cm_no_capacity") !=
+                                 std::string::npos;
+        EXPECT_TRUE(found) << r.render();
+        // The rendering surfaces the section.
+        EXPECT_NE(r.render().find("last-window stall breakdown"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace regless

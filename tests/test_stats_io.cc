@@ -9,6 +9,7 @@
 
 #include <sstream>
 
+#include "arch/stall.hh"
 #include "sim/experiment.hh"
 #include "sim/stats_io.hh"
 #include "workloads/rodinia.hh"
@@ -64,6 +65,32 @@ TEST(StatsIoRoundTrip, HandMadeCornerCases)
     EXPECT_EQ(back.kernel, stats.kernel);
     EXPECT_EQ(back.meanWorkingSetBytes, stats.meanWorkingSetBytes);
     EXPECT_EQ(back.backingSeries, stats.backingSeries);
+}
+
+TEST(StatsIoRoundTrip, SlotAttributionSurvives)
+{
+    // The issue-slot fields land in the flat schema as issued_slots
+    // plus one stall_<cause> key each; distinct per-cause values catch
+    // any prefix-matching mix-up between causes.
+    sim::RunStats stats;
+    stats.kernel = "slots";
+    stats.issuedSlots = 1000001;
+    for (std::size_t c = 0; c < arch::kNumStallCauses; ++c)
+        stats.stallSlots[c] = 100 + 7 * c;
+
+    const std::string json = sim::toJson(stats);
+    for (std::size_t c = 0; c < arch::kNumStallCauses; ++c) {
+        const std::string key =
+            std::string("stall_") +
+            arch::stallCauseName(static_cast<arch::StallCause>(c));
+        EXPECT_NE(json.find("\"" + key + "\""), std::string::npos)
+            << key;
+    }
+    sim::RunStats back = sim::fromJson(json);
+    EXPECT_TRUE(stats == back);
+    EXPECT_EQ(back.issuedSlots, stats.issuedSlots);
+    for (std::size_t c = 0; c < arch::kNumStallCauses; ++c)
+        EXPECT_EQ(back.stallSlots[c], stats.stallSlots[c]) << c;
 }
 
 TEST(StatsIoRoundTrip, ArrayOfRunsSurvives)
