@@ -41,30 +41,35 @@ timedRun(sim::MultiSmSimulator &multi, sim::RunStats &out)
 
 int
 timedMode(unsigned threads, unsigned sms, const std::string &kernel,
-          sim::ProviderKind provider)
+          sim::ProviderKind provider, bool cycle_skip)
 {
     sim::banner("Multi-SM parallel execution",
                 "epoch-barrier executor; results thread-invariant");
-    sim::MultiSmSimulator multi(workloads::makeRodinia(kernel),
-                                sim::GpuConfig::forProvider(provider),
+    sim::GpuConfig config = sim::GpuConfig::forProvider(provider);
+    config.sm.cycleSkip = cycle_skip;
+    sim::MultiSmSimulator multi(workloads::makeRodinia(kernel), config,
                                 sms, threads);
     sim::RunStats stats;
     double wall = timedRun(multi, stats);
     double cps = static_cast<double>(stats.cycles) / wall;
 
     std::cout << sim::cell("kernel", 15) << sim::cell("sms", 5)
-              << sim::cell("threads", 9) << sim::cell("cycles", 12)
-              << sim::cell("insns", 12) << sim::cell("wall_s", 9)
+              << sim::cell("threads", 9) << sim::cell("skip", 6)
+              << sim::cell("cycles", 12) << sim::cell("insns", 12)
+              << sim::cell("skipped", 12) << sim::cell("wall_s", 9)
               << sim::cell("Mcycles/s", 11) << "\n";
     std::cout << sim::cell(kernel, 15)
               << sim::cell(static_cast<double>(sms), 5, 0)
               << sim::cell(static_cast<double>(multi.threads()), 9, 0)
+              << sim::cell(cycle_skip ? "on" : "off", 6)
               << sim::cell(static_cast<double>(stats.cycles), 12, 0)
               << sim::cell(static_cast<double>(stats.insns), 12, 0)
+              << sim::cell(static_cast<double>(stats.skippedCycles), 12,
+                           0)
               << sim::cell(wall, 9)
               << sim::cell(cps / 1e6, 11) << "\n";
     std::cout << "# rerun with --threads 1 for the serial reference; "
-                 "stats are bit-identical\n";
+                 "stats are bit-identical (and match --no-skip)\n";
     return 0;
 }
 
@@ -82,6 +87,7 @@ main(int argc, char **argv)
         unsigned sms = 16;
         std::string kernel = "streamcluster";
         sim::ProviderKind provider = sim::ProviderKind::Baseline;
+        bool cycle_skip = true;
         for (int j = 1; j < argc; ++j) {
             std::string arg = argv[j];
             auto value = [&]() -> std::string {
@@ -99,14 +105,16 @@ main(int argc, char **argv)
                 kernel = value();
             } else if (arg == "--provider") {
                 provider = sim::providerFromName(value());
+            } else if (arg == "--no-skip") {
+                cycle_skip = false;
             } else {
                 std::cerr << "usage: " << argv[0]
                           << " [--threads N [--sms M] [--kernel K]"
-                             " [--provider P]]\n";
+                             " [--provider P] [--no-skip]]\n";
                 return arg == "--help" ? 0 : 1;
             }
         }
-        return timedMode(threads, sms, kernel, provider);
+        return timedMode(threads, sms, kernel, provider, cycle_skip);
     }
     return regless::figures::figureMain("multi_sm_scaling", argc, argv);
 }

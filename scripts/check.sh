@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# One-stop verification gate for the cycle-skip engine (DESIGN.md §12):
+#   1. the tier-1 suite (plain build, ctest), which now runs with the
+#      skip engine enabled by default;
+#   2. the cycle-skip differential oracle (ctest label "oracle"):
+#      skip-on vs skip-off byte-identity across the Rodinia set, both
+#      providers, multi-SM thread counts, traces, and fault plans;
+#   3. ASan and TSan passes over the skip-enabled determinism subset
+#      (the SoA warp state and bulk stall-charging touch hot arrays;
+#      the multi-SM epoch loop skips under worker threads).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+(cd "$BUILD_DIR" && ctest --output-on-failure -L oracle -j "$(nproc)")
+
+# Skip-enabled determinism subset under AddressSanitizer: the oracle
+# sweep plus the property fuzzer (random kernels + fault plans).
+ASAN_DIR=${ASAN_BUILD_DIR:-build-asan}
+cmake -B "$ASAN_DIR" -S . -DREGLESS_SANITIZE=address
+cmake --build "$ASAN_DIR" -j --target regless_tests \
+    --target regless_oracle_tests
+"$ASAN_DIR"/tests/regless_oracle_tests \
+    --gtest_filter='*CycleSkipOracle*:CycleSkip*'
+"$ASAN_DIR"/tests/regless_tests --gtest_filter='*CycleSkipFuzz*'
+
+# Same subset's parallel face under ThreadSanitizer: epoch-clamped
+# skipping on worker threads must stay race-free.
+TSAN_DIR=${TSAN_BUILD_DIR:-build-tsan}
+cmake -B "$TSAN_DIR" -S . -DREGLESS_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j --target regless_oracle_tests
+"$TSAN_DIR"/tests/regless_oracle_tests \
+    --gtest_filter='*MultiSmCycleSkipOracle*'
+
+echo "check: tier-1, oracle, asan, and tsan subsets all passed"

@@ -57,6 +57,18 @@ class WarpScheduler
      */
     virtual void notifyLongStall(WarpId) {}
 
+    /**
+     * Does this scheduler's internal state stay constant across a
+     * cycle in which nothing is eligible? Required for event-driven
+     * cycle skipping: a window of all-stalled cycles may be collapsed
+     * only when replaying them one by one would not have changed the
+     * scheduler (pick() is never called while nothing is eligible, so
+     * only per-cycle side effects outside pick() matter). The
+     * two-level scheduler ages promotion timers and shuffles pools
+     * every cycle, so it opts out.
+     */
+    virtual bool quiescentWhenStalled() const { return true; }
+
     const std::vector<WarpId> &warps() const { return _warps; }
 
     /** Factory for @a policy over @a warps. */
@@ -104,6 +116,7 @@ class TwoLevelScheduler : public WarpScheduler
 
     int pick(const std::vector<bool> &eligible) override;
     void notifyLongStall(WarpId warp) override;
+    bool quiescentWhenStalled() const override { return false; }
 
     /** Warps currently in the active pool (exposed for Figure 2). */
     const std::deque<unsigned> &activePool() const { return _active; }

@@ -52,6 +52,23 @@ Scoreboard::blockedOnMem(WarpId warp, const ir::Instruction &insn,
 }
 
 Cycle
+Scoreboard::nextReadyChange(WarpId warp, const ir::Instruction &insn,
+                            Cycle now) const
+{
+    Cycle next = 0;
+    auto consider = [&](RegId reg) {
+        const Cycle at = readyAt(warp, reg);
+        if (at > now && (next == 0 || at < next))
+            next = at;
+    };
+    for (RegId src : insn.srcs())
+        consider(src);
+    if (insn.writesReg())
+        consider(insn.dst());
+    return next;
+}
+
+Cycle
 Scoreboard::readyAt(WarpId warp, RegId reg) const
 {
     return _readyCycle.at(warp * _numRegs + reg);

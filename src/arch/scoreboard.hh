@@ -44,6 +44,20 @@ class Scoreboard
     /** Ready cycle of a specific register (for drain tracking). */
     Cycle readyAt(WarpId warp, RegId reg) const;
 
+    /**
+     * Earliest cycle after @a now at which the set of registers
+     * blocking @a insn for @a warp can shrink: the minimum pending
+     * ready cycle across the instruction's sources and destination.
+     * Returns 0 when nothing is pending (the caller should only ask
+     * for insns that failed ready()). This is the scoreboard's
+     * next-event bound for cycle skipping — attribution between
+     * MemPending and ScoreboardDep can flip as individual registers
+     * clear, so the bound is the *minimum*, not the last, pending
+     * write.
+     */
+    Cycle nextReadyChange(WarpId warp, const ir::Instruction &insn,
+                          Cycle now) const;
+
     /** Latest pending-write cycle across @a regs for @a warp. */
     Cycle lastPendingWrite(WarpId warp,
                            const std::vector<RegId> &regs) const;

@@ -22,6 +22,8 @@ Sm::Sm(const compiler::CompiledKernel &ck, mem::MemorySystem &mem,
       _slotIssued(_stats.counter("issued_slots")),
       _divergentBranches(_stats.counter("divergent_branches")),
       _memTransactions(_stats.counter("global_mem_transactions")),
+      _skippedCycles(_stats.counter("skipped_cycles")),
+      _skipEvents(_stats.counter("skip_events")),
       _warpStalls(config.numWarps)
 {
     for (std::size_t c = 0; c < kNumStallCauses; ++c) {
@@ -51,6 +53,12 @@ Sm::Sm(const compiler::CompiledKernel &ck, mem::MemorySystem &mem,
         _schedulers.push_back(
             WarpScheduler::create(_cfg.scheduler, std::move(group)));
     }
+    for (const auto &sched : _schedulers)
+        _schedulersQuiescent &= sched->quiescentWhenStalled();
+    _scanCan.resize(_cfg.numWarps / _cfg.numSchedulers);
+    _scanCause.resize(_scanCan.size());
+    _groupCharge.resize(_cfg.numSchedulers, StallCause::NoWarp);
+    _chargedWarps.reserve(_cfg.numWarps);
 }
 
 bool
@@ -89,7 +97,7 @@ Sm::admitBlocks()
 
 bool
 Sm::eligible(const Warp &warp, Cycle now, bool *long_stall,
-             StallCause *cause)
+             StallCause *cause, Cycle *next_event)
 {
     *long_stall = false;
     auto blocked = [&](StallCause why) {
@@ -97,6 +105,13 @@ Sm::eligible(const Warp &warp, Cycle now, bool *long_stall,
             *cause = why;
         return false;
     };
+    auto bound = [&](Cycle at) {
+        if (next_event)
+            *next_event = std::min(*next_event, at);
+    };
+    // Non-resident, finished, and barrier-parked warps have no bound:
+    // their release requires another warp to issue, which cannot
+    // happen inside an all-stalled window.
     if (!_resident[warp.id()])
         return blocked(StallCause::NoWarp);
     if (warp.status() == WarpStatus::AtBarrier)
@@ -112,16 +127,20 @@ Sm::eligible(const Warp &warp, Cycle now, bool *long_stall,
                 *long_stall = true;
             }
         }
+        bound(_scoreboard.nextReadyChange(warp.id(), insn, now));
         return blocked(_scoreboard.blockedOnMem(warp.id(), insn, now)
                            ? StallCause::MemPending
                            : StallCause::ScoreboardDep);
     }
     if (insn.isGlobalLoad() || insn.isGlobalStore()) {
-        if (!_mem.l1PortFree(now))
+        if (!_mem.l1PortFree(now)) {
+            bound(_mem.nextEventCycle(now));
             return blocked(StallCause::ExecPortBusy);
+        }
     }
     // The provider check comes last so its internal gating (e.g. the
     // RegLess capacity manager) sees only otherwise-issuable warps.
+    // No per-warp bound: the provider's own nextEventCycle covers it.
     if (!_provider.canIssue(warp, now))
         return blocked(_provider.blockCause(warp, now));
     return true;
@@ -368,19 +387,31 @@ Sm::issue(Warp &warp, Cycle now)
 void
 Sm::step()
 {
-    _provider.tick(_now);
+    stepImpl(nullptr);
+}
 
-    for (auto &sched : _schedulers) {
+void
+Sm::stepImpl(SkipProbe *probe)
+{
+    _provider.tick(_now);
+    if (probe)
+        _chargedWarps.clear();
+
+    for (std::size_t g = 0; g < _schedulers.size(); ++g) {
+        auto &sched = _schedulers[g];
         const auto &group = sched->warps();
-        std::vector<bool> can(group.size(), false);
-        std::vector<StallCause> cause(group.size(),
-                                      StallCause::NoWarp);
+        std::vector<bool> &can = _scanCan;
+        std::vector<StallCause> &cause = _scanCause;
+        std::fill(can.begin(), can.end(), false);
+        std::fill(cause.begin(), cause.end(), StallCause::NoWarp);
         bool any = false;
         for (std::size_t i = 0; i < group.size(); ++i) {
             bool long_stall = false;
-            can[i] = eligible(_warps[group[i]], _now, &long_stall,
-                              &cause[i]);
-            any |= can[i];
+            bool eligible_now =
+                eligible(_warps[group[i]], _now, &long_stall, &cause[i],
+                         probe ? &probe->nextEvent : nullptr);
+            can[i] = eligible_now;
+            any |= eligible_now;
             // Warps blocked indefinitely (finished, at a barrier) must
             // vacate a two-level scheduler's active pool, or pending
             // warps never get promoted and the SM deadlocks.
@@ -391,10 +422,12 @@ Sm::step()
             // Per-warp stall detail (feeds the trace and the deadlock
             // report); the per-slot charge below is separate so every
             // scheduler-cycle is charged exactly once.
-            if (!can[i] &&
+            if (!eligible_now &&
                 _warps[group[i]].status() == WarpStatus::Running) {
                 ++_warpStalls[group[i]]
                              [static_cast<std::size_t>(cause[i])];
+                if (probe)
+                    _chargedWarps.emplace_back(group[i], cause[i]);
             }
         }
         const int picked = any ? sched->pick(can) : -1;
@@ -416,6 +449,12 @@ Sm::step()
                 }
             }
             ++*_stallSlots[static_cast<std::size_t>(charge)];
+            if (probe)
+                _groupCharge[g] = charge;
+        }
+        if (probe) {
+            probe->anyIssue |= picked >= 0;
+            probe->anyEligible |= any;
         }
         if (_traceHook) {
             for (std::size_t i = 0; i < group.size(); ++i) {
@@ -444,6 +483,39 @@ Sm::step()
     }
 
     ++_now;
+}
+
+void
+Sm::stepSkipping(Cycle limit)
+{
+    SkipProbe probe;
+    stepImpl(&probe);
+    // Collapse only provably dead windows: nothing issued, nothing was
+    // even eligible (so no scheduler pick() was consulted), every
+    // scheduler is stall-quiescent, and the SM is not finished.
+    if (probe.anyIssue || probe.anyEligible || !_schedulersQuiescent ||
+        done()) {
+        return;
+    }
+    Cycle target =
+        std::min(probe.nextEvent, _provider.nextEventCycle(_now));
+    target = std::min(target, limit);
+    if (target <= _now)
+        return;
+    const Cycle n = target - _now;
+    // Bulk charging: state is constant across the window, so each
+    // skipped cycle would have charged exactly the causes the probe
+    // cycle did — one slot per scheduler group plus the per-warp
+    // detail. This preserves the closed-account invariant
+    // issued + stalls == schedulers * cycles.
+    for (std::size_t g = 0; g < _groupCharge.size(); ++g)
+        *_stallSlots[static_cast<std::size_t>(_groupCharge[g])] += n;
+    for (const auto &[w, cause] : _chargedWarps)
+        _warpStalls[w][static_cast<std::size_t>(cause)] += n;
+    _provider.onCyclesSkipped(_now, n);
+    _skippedCycles += n;
+    ++_skipEvents;
+    _now = target;
 }
 
 void

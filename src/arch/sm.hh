@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "arch/exec_unit.hh"
@@ -61,6 +62,17 @@ struct SmConfig
      * occupancy limits for fixed-capacity designs.
      */
     unsigned maxResidentWarps = 0;
+
+    /**
+     * Event-driven cycle skipping (DESIGN.md §12): when no scheduler
+     * group can issue and every component is quiescent, jump straight
+     * to the next event cycle, bulk-charging the skipped slots to the
+     * already-attributed stall causes. Results are byte-identical to
+     * cycle-by-cycle stepping (enforced by the differential oracle in
+     * tests/test_cycle_skip.cc); this flag exists so those reference
+     * runs can be produced.
+     */
+    bool cycleSkip = true;
 };
 
 /** One SM executing one kernel launch to completion. */
@@ -85,6 +97,20 @@ class Sm
 
     /** Advance exactly one cycle (exposed for unit tests). */
     void step();
+
+    /**
+     * Advance one cycle, then — if that cycle proved no warp can issue
+     * and every component is quiescent — jump directly to the earliest
+     * next event, charging the skipped scheduler slots and per-warp
+     * stall cycles exactly as stepping them would have. Never advances
+     * past @a limit (the caller's watchdog / budget / epoch boundary).
+     */
+    void stepSkipping(Cycle limit);
+
+    /** Cycles collapsed by stepSkipping() so far. */
+    std::uint64_t skippedCycles() const { return _skippedCycles.value(); }
+    /** Number of skip jumps taken. */
+    std::uint64_t skipEvents() const { return _skipEvents.value(); }
 
     /** @return true when every warp has finished. */
     bool done() const;
@@ -130,13 +156,34 @@ class Sm
 
   private:
     /**
+     * What one probed cycle learned about whether the stalled window
+     * it starts can be collapsed (filled by stepImpl when requested).
+     */
+    struct SkipProbe
+    {
+        bool anyIssue = false;
+        bool anyEligible = false;
+        /** Min next-event bound over all per-warp blockers. */
+        Cycle nextEvent = regfile::kNoProviderEvent;
+    };
+
+    /**
      * Can @a warp issue its next instruction now?
      * @param long_stall Set when the blocker is a long-latency source.
      * @param cause If non-null and the warp cannot issue, receives the
      *        attributed StallCause.
+     * @param next_event If non-null and the warp cannot issue, lowered
+     *        to the earliest cycle its blocker can clear (left alone
+     *        for blockers with no SM-visible bound: barriers,
+     *        non-residency, and provider gating, which the provider's
+     *        own nextEventCycle covers).
      */
     bool eligible(const Warp &warp, Cycle now, bool *long_stall,
-                  StallCause *cause = nullptr);
+                  StallCause *cause = nullptr,
+                  Cycle *next_event = nullptr);
+
+    /** One cycle of the SM; fills @a probe when non-null. */
+    void stepImpl(SkipProbe *probe);
 
     /** Run-length tracking behind the stall-trace hook. */
     void updateTraceLabel(WarpId warp, const char *label);
@@ -192,7 +239,20 @@ class Sm
     std::array<Counter *, kNumStallCauses> _stallSlots{};
     Counter &_divergentBranches;
     Counter &_memTransactions;
+    Counter &_skippedCycles;
+    Counter &_skipEvents;
     std::vector<std::array<std::uint64_t, kNumStallCauses>> _warpStalls;
+    /** All schedulers safe to skip over? (precomputed at build) */
+    bool _schedulersQuiescent = true;
+    /** @name Preallocated per-group scan buffers (no per-cycle heap). */
+    ///@{
+    std::vector<bool> _scanCan;
+    std::vector<StallCause> _scanCause;
+    ///@}
+    /** Per-group slot charge of the last probed all-stalled cycle. */
+    std::vector<StallCause> _groupCharge;
+    /** (warp, cause) pairs charged per-warp in the probed cycle. */
+    std::vector<std::pair<WarpId, StallCause>> _chargedWarps;
     StallTraceHook _traceHook;
     std::vector<const char *> _traceLabel;
     std::vector<Cycle> _traceStart;

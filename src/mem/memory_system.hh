@@ -14,6 +14,7 @@
 #ifndef REGLESS_MEM_MEMORY_SYSTEM_HH
 #define REGLESS_MEM_MEMORY_SYSTEM_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -89,6 +90,18 @@ class MemorySystem
 
     /** First cycle at which the L1 port is free. */
     Cycle l1PortNextFree() const { return _l1NextFree; }
+
+    /**
+     * Next-event bound for cycle skipping: the earliest cycle >=
+     * @a from at which this hierarchy's state changes on its own. All
+     * latencies are resolved at access time (ready cycles are computed
+     * when a request enters the port), so the only autonomous event is
+     * the L1 port freeing up.
+     */
+    Cycle nextEventCycle(Cycle from) const
+    {
+        return std::max(from, _l1NextFree);
+    }
 
     /**
      * Issue one transaction through the L1 port.

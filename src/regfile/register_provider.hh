@@ -27,6 +27,14 @@
 namespace regless::regfile
 {
 
+/**
+ * Sentinel for "no pending provider event": far enough out to act as
+ * infinity in min() reductions without overflowing when offsets are
+ * added.
+ */
+inline constexpr Cycle kNoProviderEvent =
+    static_cast<Cycle>(-1) / 2;
+
 /** Abstract operand-storage model. */
 class RegisterProvider
 {
@@ -95,6 +103,35 @@ class RegisterProvider
         (void)insn;
         (void)now;
         return 0;
+    }
+
+    /**
+     * Earliest cycle >= @a from at which this provider's tick() could
+     * do anything observable (state transition, counter increment,
+     * fault firing). The cycle-skip engine only collapses a stalled
+     * window when every cycle in it is provably dead; returning
+     * @a from means "I have per-cycle work right now, do not skip".
+     * Providers whose tick() is a no-op (all the non-RegLess designs)
+     * keep the default: no events, ever.
+     */
+    virtual Cycle nextEventCycle(Cycle from) const
+    {
+        (void)from;
+        return kNoProviderEvent;
+    }
+
+    /**
+     * The SM skipped cycles [@a from, @a from + @a n): the provider
+     * must apply whatever its tick() would have done in that window.
+     * By the nextEventCycle() contract those ticks were observable
+     * no-ops except for bookkeeping that advances unconditionally
+     * (e.g. rotation counters, per-cycle blocked-activation charges),
+     * which is compensated here.
+     */
+    virtual void onCyclesSkipped(Cycle from, Cycle n)
+    {
+        (void)from;
+        (void)n;
     }
 
     /**

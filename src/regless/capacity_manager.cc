@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "regfile/register_provider.hh"
 #include "regless/shadow_checker.hh"
 
 namespace regless::staging
@@ -47,8 +48,13 @@ CapacityManager::CapacityManager(std::string name,
       _activationBlocked(_stats.counter("activation_blocked_cycles")),
       _metadataInsns(_stats.counter("metadata_insns"))
 {
+    WarpId max_id = 0;
+    for (WarpId w : _shardWarps)
+        max_id = std::max(max_id, w);
+    _ctx.resize(_shardWarps.empty() ? 0 : max_id + 1);
+    _supervised.assign(_ctx.size(), 0);
     for (WarpId w : _shardWarps) {
-        _ctx.emplace(w, WarpCtx{});
+        _supervised[w] = 1;
         _stack.push_back(w); // lowest id activates first
     }
 }
@@ -56,19 +62,17 @@ CapacityManager::CapacityManager(std::string name,
 CapacityManager::WarpCtx &
 CapacityManager::ctx(WarpId warp)
 {
-    auto it = _ctx.find(warp);
-    if (it == _ctx.end())
+    if (warp >= _ctx.size() || !_supervised[warp])
         panic("warp ", warp, " not supervised by this CM");
-    return it->second;
+    return _ctx[warp];
 }
 
 const CapacityManager::WarpCtx &
 CapacityManager::ctx(WarpId warp) const
 {
-    auto it = _ctx.find(warp);
-    if (it == _ctx.end())
+    if (warp >= _ctx.size() || !_supervised[warp])
         panic("warp ", warp, " not supervised by this CM");
-    return it->second;
+    return _ctx[warp];
 }
 
 Addr
@@ -285,8 +289,8 @@ unsigned
 CapacityManager::preloadingWarps() const
 {
     unsigned n = 0;
-    for (const auto &[w, wc] : _ctx)
-        n += (wc.state == CmState::Preloading);
+    for (WarpId w : _shardWarps)
+        n += (_ctx[w].state == CmState::Preloading);
     return n;
 }
 
@@ -424,6 +428,7 @@ CapacityManager::tryActivate(Cycle now)
         }
         if (!fits) {
             ++_activationBlocked;
+            _activationWasBlocked = true;
             wc.blockCause = arch::StallCause::CmNoCapacity;
             return;
         }
@@ -484,6 +489,8 @@ CapacityManager::tryActivate(Cycle now)
 void
 CapacityManager::tick(Cycle now)
 {
+    _activationWasBlocked = false;
+
     // Injected staging-space leak: phantom reservations permanently
     // consume every bank's lines, so no region ever fits again and
     // the shard's warps wedge in Inactive — the §4.4 deadlock class
@@ -523,6 +530,44 @@ CapacityManager::tick(Cycle now)
     }
 
     tryActivate(now);
+}
+
+Cycle
+CapacityManager::nextEventCycle(Cycle from) const
+{
+    // Per-cycle busy work pins the CM to cycle granularity: queued
+    // preloads retry ports and count tag lookups every cycle, and the
+    // compressor flushes one line per cycle while its queue drains.
+    if (_compressor && _compressor->flushPending())
+        return from;
+    Cycle next = regfile::kNoProviderEvent;
+    auto consider = [&](Cycle at) {
+        next = std::min(next, std::max(from, at));
+    };
+    for (WarpId w : _shardWarps) {
+        const WarpCtx &wc = _ctx[w];
+        if (wc.state == CmState::Preloading) {
+            if (!wc.preloads.empty() || !wc.invalidations.empty())
+                return from;
+            consider(wc.preloadReady);
+        } else if (wc.state == CmState::Draining) {
+            consider(wc.drainUntil);
+        }
+    }
+    // Activation attempts need no bound of their own: their outcome
+    // only changes when a drain retires, a preload slot frees, or a
+    // warp issues — all covered above or impossible while skipping.
+    return next;
+}
+
+void
+CapacityManager::onCyclesSkipped(Cycle from, Cycle n)
+{
+    (void)from;
+    // Each skipped tick would have retried (and re-blocked) the same
+    // activation: the counter is defined as blocked *cycles*.
+    if (_activationWasBlocked)
+        _activationBlocked += n;
 }
 
 bool

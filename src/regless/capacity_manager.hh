@@ -16,7 +16,6 @@
 
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -84,6 +83,23 @@ class CapacityManager
 
     /** Per-cycle work: queues, drains, activation. */
     void tick(Cycle now);
+
+    /**
+     * Earliest cycle >= @a from at which tick() could do anything
+     * observable. Returns @a from while any warp has queued preloads
+     * or invalidations, or the compressor has flushes pending (those
+     * paths count tag lookups and retry ports every cycle); otherwise
+     * the nearest preload-ready or drain-end cycle; otherwise never.
+     */
+    Cycle nextEventCycle(Cycle from) const;
+
+    /**
+     * Cycles [@a from, @a from + @a n) were skipped: bulk-apply the
+     * unconditional per-cycle bookkeeping those ticks would have done
+     * (currently just the blocked-activation counter, which charges
+     * one cycle per tick while the top stacked warp does not fit).
+     */
+    void onCyclesSkipped(Cycle from, Cycle n);
 
     /** Only active warps whose PC is inside their region may issue. */
     bool canIssue(const arch::Warp &warp, Cycle now) const;
@@ -216,7 +232,16 @@ class CapacityManager
     FaultInjector *_faults = nullptr;
     ActivationHook _onActivate;
 
-    std::unordered_map<WarpId, WarpCtx> _ctx;
+    /**
+     * Per-warp state, indexed by global warp id (structure-of-arrays
+     * layout: the issue path and the skip probe scan this flat vector
+     * instead of chasing hash buckets). `_supervised[w]` guards
+     * against lookups for warps this CM does not own.
+     */
+    std::vector<WarpCtx> _ctx;
+    std::vector<std::uint8_t> _supervised;
+    /** Did the last tick charge a blocked activation? (skip replay) */
+    bool _activationWasBlocked = false;
     std::deque<WarpId> _stack; ///< front = top (last to have executed)
     std::array<int, osuBanks> _reservedFuture{};
     /** Registers with a live copy in the compressor/L1/L2 path. */

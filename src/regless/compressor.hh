@@ -98,6 +98,13 @@ class Compressor
     /** Flush at most one dirty cached line to L1 (background work). */
     void tick(Cycle now);
 
+    /**
+     * Dirty lines still queued for write-back. While true, tick() has
+     * per-cycle observable work, so the cycle-skip engine must not
+     * collapse cycles over this shard.
+     */
+    bool flushPending() const { return !_flushQueue.empty(); }
+
     /** Extra latency charged on top of a compressed preload. */
     Cycle hitLatency() const { return _cfg.hitLatency; }
 

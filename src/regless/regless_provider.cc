@@ -74,6 +74,35 @@ ReglessProvider::tick(Cycle now)
     ++_tickRotation;
 }
 
+Cycle
+ReglessProvider::nextEventCycle(Cycle from) const
+{
+    Cycle next = regfile::kNoProviderEvent;
+    for (const auto &cm : _cms)
+        next = std::min(next, cm->nextEventCycle(from));
+    // Faults polled by tick() must still fire exactly at their trigger
+    // cycle: clamp the skip target so the landing tick polls them.
+    // DropDramResponse fires inside memory accesses, whose sequence a
+    // skip never changes, so it needs no clamp.
+    if (_faults && !_faults->fired()) {
+        const FaultPlan &plan = _faults->plan();
+        if (plan.kind == FaultPlan::Kind::LeakOsuSlot ||
+            plan.kind == FaultPlan::Kind::ProviderThrow) {
+            next = std::min(next, std::max(from, plan.triggerCycle));
+        }
+    }
+    return next;
+}
+
+void
+ReglessProvider::onCyclesSkipped(Cycle from, Cycle n)
+{
+    // Each skipped tick would have advanced the shard rotation once.
+    _tickRotation += n;
+    for (auto &cm : _cms)
+        cm->onCyclesSkipped(from, n);
+}
+
 std::uint64_t
 ReglessProvider::progressEvents() const
 {

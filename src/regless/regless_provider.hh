@@ -41,6 +41,8 @@ class ReglessProvider : public regfile::RegisterProvider
     void setWarpSource(CapacityManager::WarpSource ws);
 
     void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle from) const override;
+    void onCyclesSkipped(Cycle from, Cycle n) override;
     bool canIssue(const arch::Warp &warp, Cycle now) override;
     arch::StallCause blockCause(const arch::Warp &warp,
                                 Cycle now) const override

@@ -33,7 +33,9 @@ namespace
 // RunStats entries are rejected by the record parser anyway.
 // v5: RunStats gained issue-slot attribution (issued_slots + the
 // stall_* causes); older entries would read those fields as zero.
-constexpr unsigned kCacheSchemaVersion = 5;
+// v6: RunStats gained the cycle-skip meta-counters (skipped_cycles +
+// skip_events) and runs default to event-driven skipping.
+constexpr unsigned kCacheSchemaVersion = 6;
 
 /** Fingerprint of everything that determines a job's results. */
 std::uint64_t

@@ -139,8 +139,8 @@ dump(KeyValueSink &kv, const std::string &p, const arch::SmConfig &c)
 {
     const auto &[num_warps, num_schedulers, issue_width, scheduler,
                  latencies, max_cycles, watchdog_window, data_base,
-                 shared_base, long_stall_threshold,
-                 max_resident_warps] = c;
+                 shared_base, long_stall_threshold, max_resident_warps,
+                 cycle_skip] = c;
     kv.add(p + "num_warps", num_warps);
     kv.add(p + "num_schedulers", num_schedulers);
     kv.add(p + "issue_width", issue_width);
@@ -152,6 +152,7 @@ dump(KeyValueSink &kv, const std::string &p, const arch::SmConfig &c)
     kv.add(p + "shared_base", shared_base);
     kv.add(p + "long_stall_threshold", long_stall_threshold);
     kv.add(p + "max_resident_warps", max_resident_warps);
+    kv.add(p + "cycle_skip", cycle_skip);
 }
 
 void

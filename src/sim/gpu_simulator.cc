@@ -225,6 +225,12 @@ GpuSimulator::harvest(RunStats &stats)
             _sm->stallSlots(static_cast<arch::StallCause>(c));
     }
 
+    // Cycle-skip meta-counters: how much of the run was collapsed.
+    // Definitionally zero in skip-off reference runs; the differential
+    // oracle zeroes them on both sides before comparing.
+    stats.skippedCycles = _sm->skippedCycles();
+    stats.skipEvents = _sm->skipEvents();
+
     // Memory hierarchy counts.
     auto cache_accesses = [](mem::Cache &cache) {
         return cache.stats().counter("hits").value() +
@@ -475,8 +481,12 @@ GpuSimulator::run(double wall_timeout_sec)
     // report can attribute the stalled window specifically.
     arch::StallSnapshot at_progress = _sm->slotSnapshot();
     Cycle last_progress = monitor.lastProgressCycle();
+    const bool skip = _config.sm.cycleSkip;
     while (!_sm->done()) {
-        _sm->step();
+        if (skip)
+            _sm->stepSkipping(monitor.skipLimit(_sm->now()));
+        else
+            _sm->step();
         auto verdict = monitor.check(
             _sm->now(), _sm->totalInsns() + _provider->progressEvents());
         if (verdict != ProgressMonitor::Verdict::Ok) {

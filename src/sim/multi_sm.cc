@@ -75,8 +75,17 @@ MultiSmSimulator::run(double wall_timeout_sec)
         pool.parallelFor(_sms.size(), [this, &errors](std::size_t i) {
             try {
                 arch::Sm &sm = _sms[i]->simulator->sm();
-                for (Cycle c = 0; c < epochCycles && !sm.done(); ++c)
-                    sm.step();
+                // Skip jumps are clamped to the epoch boundary so the
+                // DRAM drain and watchdog checks still happen at the
+                // exact same barrier cycles as plain stepping.
+                const Cycle epoch_end = sm.now() + epochCycles;
+                if (_config.sm.cycleSkip) {
+                    while (!sm.done() && sm.now() < epoch_end)
+                        sm.stepSkipping(epoch_end);
+                } else {
+                    while (!sm.done() && sm.now() < epoch_end)
+                        sm.step();
+                }
             } catch (...) {
                 errors[i] = std::current_exception();
             }
@@ -155,6 +164,8 @@ MultiSmSimulator::run(double wall_timeout_sec)
         total.issuedSlots += s.issuedSlots;
         for (std::size_t c = 0; c < arch::kNumStallCauses; ++c)
             total.stallSlots[c] += s.stallSlots[c];
+        total.skippedCycles += s.skippedCycles;
+        total.skipEvents += s.skipEvents;
         total.energy.regDynamic += s.energy.regDynamic;
         total.energy.regStatic += s.energy.regStatic;
         total.energy.compressor += s.energy.compressor;

@@ -1,5 +1,8 @@
 #include "sim/progress_monitor.hh"
 
+#include <algorithm>
+#include <limits>
+
 namespace regless::sim
 {
 
@@ -37,6 +40,24 @@ ProgressMonitor::check(Cycle now, std::uint64_t progress)
             return Verdict::WallTimeout;
     }
     return Verdict::Ok;
+}
+
+Cycle
+ProgressMonitor::skipLimit(Cycle now) const
+{
+    Cycle limit = std::numeric_limits<Cycle>::max() / 2;
+    if (_maxCycles)
+        limit = std::min(limit, _maxCycles);
+    if (_window)
+        limit = std::min(limit, _lastProgressCycle + _window);
+    if (_wallTimeoutSec > 0.0) {
+        // Land on wall-poll cycles so a skipped-over run still honours
+        // its wall-clock budget (the poll cadence, not the verdict, is
+        // what matters here).
+        limit = std::min(
+            limit, (now / wallCheckInterval + 1) * wallCheckInterval);
+    }
+    return limit;
 }
 
 const char *

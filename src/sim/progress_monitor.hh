@@ -60,6 +60,17 @@ class ProgressMonitor
     Cycle window() const { return _window; }
     Cycle maxCycles() const { return _maxCycles; }
 
+    /**
+     * Skip ceiling for the cycle-skip engine: the earliest future
+     * cycle at which this monitor could return a non-Ok verdict or
+     * poll the wall clock. Clamping skip jumps to this bound makes
+     * watchdog trips land on exactly the same cycle as cycle-by-cycle
+     * stepping (the deadlock-report determinism the oracle tests
+     * check), and keeps the coarse wall-clock poll alive.
+     * @param now The cycle loop's current cycle.
+     */
+    Cycle skipLimit(Cycle now) const;
+
     /** Human-readable reason for a non-Ok verdict. */
     static const char *reason(Verdict verdict);
 

@@ -34,6 +34,8 @@ operator==(const RunStats &a, const RunStats &b)
            a.l1InvalidateReqs == b.l1InvalidateReqs &&
            a.issuedSlots == b.issuedSlots &&
            a.stallSlots == b.stallSlots &&
+           a.skippedCycles == b.skippedCycles &&
+           a.skipEvents == b.skipEvents &&
            a.meanWorkingSetBytes == b.meanWorkingSetBytes &&
            a.backingSeries == b.backingSeries &&
            a.regionPreloadsMean == b.regionPreloadsMean &&

@@ -76,6 +76,12 @@ struct RunStats
      *  arch::StallCause. issuedSlots + sum == schedulers * cycles
      *  per SM (summed over SMs in multi-SM runs). */
     std::array<std::uint64_t, arch::kNumStallCauses> stallSlots{};
+    /** @name Cycle-skip meta-counters (DESIGN.md §12). Zero in
+     *  skip-off reference runs; excluded from differential oracles. */
+    /** Cycles collapsed by the skip-ahead engine. */
+    std::uint64_t skippedCycles = 0;
+    /** Skip jumps taken. */
+    std::uint64_t skipEvents = 0;
     /// @}
 
     /** Mean register working set per 100 cycles, bytes (Figure 2). */

@@ -317,6 +317,10 @@ applyRunField(RunStats &stats, const std::string &key,
                 }
             }
         }
+        else if (key == "skipped_cycles")
+            stats.skippedCycles = asCount(v);
+        else if (key == "skip_events")
+            stats.skipEvents = asCount(v);
         else if (key == "working_set_bytes")
             stats.meanWorkingSetBytes = v.num;
         else if (key == "region_preloads_mean")
@@ -399,6 +403,8 @@ writeRunFields(JsonObject &obj, const RunStats &stats)
             arch::stallCauseName(static_cast<arch::StallCause>(c));
         obj.field(key.c_str(), stats.stallSlots[c]);
     }
+    obj.field("skipped_cycles", stats.skippedCycles);
+    obj.field("skip_events", stats.skipEvents);
     obj.field("working_set_bytes", stats.meanWorkingSetBytes);
     obj.field("region_preloads_mean", stats.regionPreloadsMean);
     obj.field("region_live_mean", stats.regionLiveMean);

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared golden-run fixture for the test suites. Reference runs are
+ * single-SM, skip-off (cycleSkip = false) executions memoized by
+ * (kernel, provider), so suites that sweep the Rodinia set against a
+ * reference — the slot-invariant tests, the cycle-skip differential
+ * oracle, the property fuzzer — re-simulate each reference at most
+ * once per process instead of once per test.
+ *
+ * The cache deliberately keys on the *canonical* per-provider
+ * configuration (GpuConfig::forProvider). Tests that perturb the
+ * configuration (faults, watchdog windows, trace paths, ...) must run
+ * their own references; the fixture would otherwise hand them stats
+ * from a different machine.
+ */
+
+#ifndef REGLESS_TESTS_GOLDEN_RUNS_HH
+#define REGLESS_TESTS_GOLDEN_RUNS_HH
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "sim/experiment.hh"
+#include "sim/gpu_config.hh"
+#include "sim/run_stats.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless::testutil
+{
+
+/** The canonical config for @a kind with the skip engine disabled. */
+inline sim::GpuConfig
+referenceConfig(sim::ProviderKind kind)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::forProvider(kind);
+    cfg.sm.cycleSkip = false;
+    return cfg;
+}
+
+/**
+ * Memoized skip-off reference run of Rodinia kernel @a kernel under
+ * the canonical configuration for @a kind. The returned reference
+ * stays valid for the life of the process.
+ */
+inline const sim::RunStats &
+goldenRun(const std::string &kernel, sim::ProviderKind kind)
+{
+    static std::map<std::pair<std::string, sim::ProviderKind>,
+                    sim::RunStats>
+        cache;
+    const auto key = std::make_pair(kernel, kind);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(key,
+                          sim::runKernel(workloads::makeRodinia(kernel),
+                                         referenceConfig(kind)))
+                 .first;
+    }
+    return it->second;
+}
+
+/**
+ * @a stats with the cycle-skip meta-counters zeroed. The differential
+ * oracles compare skip-on against skip-off runs field-for-field;
+ * skipped_cycles/skip_events differ between the two by definition
+ * (they count the engine's own activity), so both sides are compared
+ * through this filter.
+ */
+inline sim::RunStats
+withoutSkipMeta(sim::RunStats stats)
+{
+    stats.skippedCycles = 0;
+    stats.skipEvents = 0;
+    return stats;
+}
+
+/** issued + sum(stalls), the left side of the slot invariant. */
+inline std::uint64_t
+totalSlots(const sim::RunStats &stats)
+{
+    std::uint64_t total = stats.issuedSlots;
+    for (std::uint64_t s : stats.stallSlots)
+        total += s;
+    return total;
+}
+
+/**
+ * The closed-account invariant (DESIGN.md §10): every scheduler slot
+ * of every cycle is charged to exactly one bucket.
+ */
+inline void
+expectSlotInvariant(const sim::RunStats &stats, unsigned schedulers,
+                    const std::string &label)
+{
+    EXPECT_EQ(totalSlots(stats), schedulers * stats.cycles) << label;
+    EXPECT_GT(stats.issuedSlots, 0u) << label;
+}
+
+} // namespace regless::testutil
+
+#endif // REGLESS_TESTS_GOLDEN_RUNS_HH

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Differential determinism oracle for the event-driven cycle-skip
+ * engine (DESIGN.md §12). Skipping is a pure wall-clock optimisation:
+ * a skip-on run must be byte-for-byte identical to the skip-off
+ * reference — every RunStats field, every stall counter, the
+ * serialized JSON, Chrome traces, and deadlock reports — on every
+ * workload, under both providers, at every thread count, and with
+ * fault plans active. The only permitted difference is the engine's
+ * own meta-counters (skipped_cycles / skip_events), which the oracle
+ * zeroes on both sides before comparing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/fault_injector.hh"
+#include "common/sim_error.hh"
+#include "golden_runs.hh"
+#include "sim/experiment.hh"
+#include "sim/gpu_simulator.hh"
+#include "sim/multi_sm.hh"
+#include "sim/stats_io.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless
+{
+namespace
+{
+
+using testutil::goldenRun;
+using testutil::referenceConfig;
+using testutil::withoutSkipMeta;
+
+/** The canonical config for @a kind with the skip engine enabled. */
+sim::GpuConfig
+skippingConfig(sim::ProviderKind kind)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::forProvider(kind);
+    cfg.sm.cycleSkip = true;
+    return cfg;
+}
+
+/** gtest param names must be [A-Za-z0-9_] ("b+tree" is not). */
+std::string
+paramName(const std::string &text)
+{
+    std::string out = text;
+    for (char &c : out) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return out;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path << " missing";
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/**
+ * Single-SM oracle: all 21 Rodinia workloads under both providers.
+ * The skip-off reference comes from the shared golden-run fixture, so
+ * the 42 cases pay for each reference simulation once per process.
+ */
+class CycleSkipOracle
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, sim::ProviderKind>>
+{
+};
+
+TEST_P(CycleSkipOracle, SkipOnMatchesSkipOffByteForByte)
+{
+    const auto &[name, kind] = GetParam();
+    const sim::RunStats &golden = goldenRun(name, kind);
+    // A skip-off run must never have touched the engine.
+    EXPECT_EQ(golden.skippedCycles, 0u);
+    EXPECT_EQ(golden.skipEvents, 0u);
+
+    const sim::RunStats skipped = sim::runKernel(
+        workloads::makeRodinia(name), skippingConfig(kind));
+
+    // Field-for-field equality (operator== covers every counter,
+    // stall attribution and energy included).
+    EXPECT_TRUE(withoutSkipMeta(skipped) == golden) << name;
+    // And byte-for-byte through the serializer, so the JSON artefacts
+    // the report pipeline caches are identical too.
+    EXPECT_EQ(sim::toJson(withoutSkipMeta(skipped)),
+              sim::toJson(golden));
+    // The closed-account invariant survives bulk charging.
+    testutil::expectSlotInvariant(
+        skipped, skippingConfig(kind).sm.numSchedulers, name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, CycleSkipOracle,
+    ::testing::Combine(::testing::ValuesIn(workloads::rodiniaNames()),
+                       ::testing::Values(sim::ProviderKind::Baseline,
+                                         sim::ProviderKind::Regless)),
+    [](const auto &info) {
+        return paramName(std::get<0>(info.param)) + "_" +
+               sim::providerName(std::get<1>(info.param));
+    });
+
+/**
+ * Multi-SM oracle: the epoch loop's clamped skipping must preserve
+ * the aggregate and every per-SM RunStats at any worker thread count.
+ */
+class MultiSmCycleSkipOracle
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, sim::ProviderKind, unsigned>>
+{
+};
+
+TEST_P(MultiSmCycleSkipOracle, TotalsAndPerSmStatsMatchSkipOff)
+{
+    const auto &[name, kind, threads] = GetParam();
+    const ir::Kernel kernel = workloads::makeRodinia(name);
+    constexpr unsigned sms = 8;
+
+    sim::MultiSmSimulator reference(kernel, referenceConfig(kind), sms,
+                                    /*threads=*/1);
+    sim::MultiSmSimulator skipping(kernel, skippingConfig(kind), sms,
+                                   threads);
+    const sim::RunStats ref_total = reference.run();
+    const sim::RunStats skip_total = skipping.run();
+
+    EXPECT_EQ(ref_total.skippedCycles, 0u);
+    EXPECT_TRUE(withoutSkipMeta(skip_total) == ref_total) << name;
+    ASSERT_EQ(reference.perSm().size(), skipping.perSm().size());
+    for (std::size_t i = 0; i < reference.perSm().size(); ++i) {
+        EXPECT_TRUE(withoutSkipMeta(skipping.perSm()[i]) ==
+                    reference.perSm()[i])
+            << name << " sm" << i;
+        testutil::expectSlotInvariant(
+            skipping.perSm()[i], skippingConfig(kind).sm.numSchedulers,
+            name + " sm" + std::to_string(i));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, MultiSmCycleSkipOracle,
+    ::testing::Combine(::testing::Values(std::string("nn"),
+                                         std::string("streamcluster"),
+                                         std::string("hotspot")),
+                       ::testing::Values(sim::ProviderKind::Baseline,
+                                         sim::ProviderKind::Regless),
+                       ::testing::Values(1u, 8u)),
+    [](const auto &info) {
+        return paramName(std::get<0>(info.param)) + "_" +
+               sim::providerName(std::get<1>(info.param)) + "_t" +
+               std::to_string(std::get<2>(info.param));
+    });
+
+TEST(CycleSkipTrace, ChromeTracesAreByteIdentical)
+{
+    // Trace labels are state-derived and state is frozen across a
+    // skipped window, so the RLE spans must extend across skips and
+    // the emitted files must match the skip-off reference exactly.
+    const ir::Kernel kernel = workloads::makeRodinia("nn");
+    const std::filesystem::path dir(::testing::TempDir());
+
+    auto traced = [&](bool skip) {
+        sim::GpuConfig cfg =
+            skip ? skippingConfig(sim::ProviderKind::Regless)
+                 : referenceConfig(sim::ProviderKind::Regless);
+        cfg.trace.enabled = true;
+        cfg.trace.path =
+            (dir / (std::string("regless-skip-trace-") +
+                    (skip ? "on" : "off") + ".json"))
+                .string();
+        sim::GpuSimulator gpu(kernel, cfg);
+        gpu.run();
+        return readFile(cfg.trace.path + ".sm0");
+    };
+
+    const std::string off = traced(false);
+    const std::string on = traced(true);
+    ASSERT_FALSE(off.empty());
+    EXPECT_EQ(on, off);
+}
+
+TEST(CycleSkipWatchdog, DroppedDramResponseTripsAtTheSameCycle)
+{
+    // A wedged run is the skip engine's hardest case: every cycle of
+    // the stalled window is skipped over, yet the watchdog must fire
+    // at the identical cycle with the identical last-window stall
+    // breakdown (DeadlockReport operator== covers every field).
+    auto wedge = [](bool skip) {
+        sim::GpuConfig cfg =
+            skip ? skippingConfig(sim::ProviderKind::Baseline)
+                 : referenceConfig(sim::ProviderKind::Baseline);
+        cfg.faults.kind = FaultPlan::Kind::DropDramResponse;
+        cfg.faults.triggerCycle = 0;
+        cfg.sm.watchdogWindow = 10'000;
+        cfg.sm.maxCycles = 2'000'000;
+        sim::GpuSimulator gpu(workloads::makeRodinia("nn"), cfg);
+        try {
+            gpu.run();
+        } catch (const sim::DeadlockError &e) {
+            return e.report();
+        }
+        ADD_FAILURE() << "dropped DRAM response did not wedge (skip="
+                      << skip << ")";
+        return sim::DeadlockReport{};
+    };
+
+    const sim::DeadlockReport off = wedge(false);
+    const sim::DeadlockReport on = wedge(true);
+    EXPECT_EQ(on.cycle, off.cycle);
+    EXPECT_EQ(on.lastProgressCycle, off.lastProgressCycle);
+    EXPECT_EQ(on.stallBreakdown, off.stallBreakdown);
+    EXPECT_EQ(on.dominantStall, off.dominantStall);
+    EXPECT_TRUE(on == off) << on.render() << "\nvs\n" << off.render();
+}
+
+TEST(CycleSkipWatchdog, OsuLeakDeadlockReportsAreIdentical)
+{
+    // Same parity check for a staging-side wedge: the leaked-slot
+    // deadlock must produce the same diagnosis either way, still
+    // naming cm_no_capacity as the dominant cause.
+    auto starve = [](bool skip) {
+        sim::GpuConfig cfg =
+            skip ? skippingConfig(sim::ProviderKind::Regless)
+                 : referenceConfig(sim::ProviderKind::Regless);
+        cfg.faults.kind = FaultPlan::Kind::LeakOsuSlot;
+        cfg.faults.triggerCycle = 0;
+        cfg.sm.watchdogWindow = 5000;
+        cfg.sm.maxCycles = 2'000'000;
+        sim::GpuSimulator gpu(workloads::makeRodinia("nn"), cfg);
+        try {
+            gpu.run();
+        } catch (const sim::DeadlockError &e) {
+            return e.report();
+        }
+        ADD_FAILURE() << "leaked OSU reservations did not deadlock "
+                         "(skip="
+                      << skip << ")";
+        return sim::DeadlockReport{};
+    };
+
+    const sim::DeadlockReport off = starve(false);
+    const sim::DeadlockReport on = starve(true);
+    EXPECT_EQ(on.dominantStall, "cm_no_capacity") << on.render();
+    EXPECT_TRUE(on == off) << on.render() << "\nvs\n" << off.render();
+}
+
+TEST(CycleSkipEngagement, SkipsCyclesOnMemoryBoundWork)
+{
+    // The oracle would pass vacuously if the engine never fired; pin
+    // that it collapses a meaningful share of a memory-bound run.
+    const sim::RunStats skipped =
+        sim::runKernel(workloads::makeRodinia("streamcluster"),
+                       skippingConfig(sim::ProviderKind::Baseline));
+    EXPECT_GT(skipped.skipEvents, 0u);
+    EXPECT_GT(skipped.skippedCycles, 0u);
+    EXPECT_EQ(skipped.cycles,
+              goldenRun("streamcluster", sim::ProviderKind::Baseline)
+                  .cycles);
+}
+
+TEST(CycleSkipConfig, SkipModeIsPartOfTheConfigFingerprint)
+{
+    // Cached experiment results must never be shared across skip
+    // modes (they differ in the meta-counters), so the flag has to
+    // reach the canonical config text.
+    EXPECT_NE(sim::configCanonicalText(
+                  referenceConfig(sim::ProviderKind::Regless)),
+              sim::configCanonicalText(
+                  skippingConfig(sim::ProviderKind::Regless)));
+}
+
+} // namespace
+} // namespace regless

@@ -16,7 +16,10 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.hh"
+#include "common/sim_error.hh"
 #include "compiler/staging_checker.hh"
+#include "golden_runs.hh"
 #include "ir/cfg_analysis.hh"
 #include "regless/operand_staging_unit.hh"
 #include "regless/regless_provider.hh"
@@ -543,6 +546,133 @@ TEST(MutationHarness, RestoredDivergentInvalidateIsCaughtAtRuntime)
         << "runtime shadow checker missed the restored invalidate bug ("
         << compiler::formatFindings(violations) << ")";
 }
+
+/**
+ * Differential fuzzing of the cycle-skip engine (DESIGN.md §12):
+ * random kernels under randomized fault plans must produce the exact
+ * same observable outcome with skipping on and off — identical
+ * RunStats (engine meta-counters aside), identical runtime-violation
+ * sets from the shadow checker, and identical deadlock/error
+ * diagnoses when the plan wedges or crashes the run.
+ */
+
+struct SkipFuzzCase
+{
+    std::uint64_t seed;
+    sim::ProviderKind provider;
+    FaultPlan plan;
+};
+
+/** Everything a run can externally produce, skip-mode-independent. */
+struct SkipFuzzOutcome
+{
+    bool completed = false;
+    sim::RunStats stats;
+    std::vector<std::string> violations;
+    std::string deadlock; ///< rendered DeadlockReport, empty if none
+    std::string error;    ///< SimError message, empty if none
+};
+
+SkipFuzzOutcome
+runFuzzCase(const SkipFuzzCase &c, bool cycle_skip)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::forProvider(c.provider);
+    cfg.sm.cycleSkip = cycle_skip;
+    cfg.faults = c.plan;
+    // Exercise the shadow checker so the violation set is live, and
+    // keep wedged plans from running to the multi-million default.
+    if (c.provider == sim::ProviderKind::Regless)
+        cfg.regless.runtimeCheck = true;
+    cfg.sm.watchdogWindow = 5000;
+    cfg.sm.maxCycles = 2'000'000;
+
+    SkipFuzzOutcome out;
+    sim::GpuSimulator gpu(randomKernel(c.seed), cfg);
+    try {
+        out.stats = testutil::withoutSkipMeta(gpu.run());
+        out.completed = true;
+    } catch (const sim::DeadlockError &e) {
+        out.deadlock = e.report().render();
+    } catch (const sim::SimError &e) {
+        out.error = e.what();
+    }
+    for (const compiler::Finding &f : gpu.runtimeViolations())
+        out.violations.push_back(f.toString());
+    return out;
+}
+
+std::vector<SkipFuzzCase>
+skipFuzzCases()
+{
+    std::vector<SkipFuzzCase> cases;
+    // Deterministic pseudo-random plan mix (xorshift): kernels, fault
+    // kinds, trigger cycles, and providers all vary case to case.
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    auto next = [&state] {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dULL;
+    };
+    const FaultPlan::Kind kinds[] = {
+        FaultPlan::Kind::None,
+        FaultPlan::Kind::LeakOsuSlot,
+        FaultPlan::Kind::DropDramResponse,
+        FaultPlan::Kind::ProviderThrow,
+    };
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        const std::uint64_t r = next();
+        SkipFuzzCase c;
+        c.seed = seed;
+        c.provider = (r & 1) ? sim::ProviderKind::Regless
+                             : sim::ProviderKind::Baseline;
+        c.plan.kind = kinds[(r >> 1) & 3];
+        c.plan.triggerCycle = (r >> 8) % 4000;
+        c.plan.transient = (r >> 4) & 1;
+        cases.push_back(c);
+    }
+    // Pinned corners: every fault kind on the provider it targets
+    // (LeakOsuSlot / ProviderThrow are staging-side and inert under
+    // the baseline register file).
+    cases.push_back({2, sim::ProviderKind::Regless,
+                     {FaultPlan::Kind::LeakOsuSlot, 0, false}});
+    cases.push_back({3, sim::ProviderKind::Regless,
+                     {FaultPlan::Kind::ProviderThrow, 1000, false}});
+    cases.push_back({5, sim::ProviderKind::Baseline,
+                     {FaultPlan::Kind::DropDramResponse, 0, false}});
+    cases.push_back({7, sim::ProviderKind::Regless,
+                     {FaultPlan::Kind::DropDramResponse, 500, true}});
+    return cases;
+}
+
+class CycleSkipFuzz : public ::testing::TestWithParam<SkipFuzzCase>
+{
+};
+
+TEST_P(CycleSkipFuzz, OutcomeIsIdenticalWithAndWithoutSkipping)
+{
+    const SkipFuzzCase &c = GetParam();
+    const SkipFuzzOutcome off = runFuzzCase(c, false);
+    const SkipFuzzOutcome on = runFuzzCase(c, true);
+
+    EXPECT_EQ(on.completed, off.completed);
+    if (on.completed && off.completed)
+        EXPECT_TRUE(on.stats == off.stats);
+    EXPECT_EQ(on.violations, off.violations);
+    EXPECT_EQ(on.deadlock, off.deadlock);
+    EXPECT_EQ(on.error, off.error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPlans, CycleSkipFuzz, ::testing::ValuesIn(skipFuzzCases()),
+    [](const ::testing::TestParamInfo<SkipFuzzCase> &info) {
+        const SkipFuzzCase &c = info.param;
+        return "seed" + std::to_string(c.seed) + "_" +
+               std::string(sim::providerName(c.provider)) + "_" +
+               faultKindName(c.plan.kind) + "_t" +
+               std::to_string(c.plan.triggerCycle) +
+               (c.plan.transient ? "_transient" : "");
+    });
 
 } // namespace
 } // namespace regless

@@ -18,6 +18,7 @@
 #include "arch/stall.hh"
 #include "common/fault_injector.hh"
 #include "common/sim_error.hh"
+#include "golden_runs.hh"
 #include "sim/experiment.hh"
 #include "sim/gpu_simulator.hh"
 #include "sim/multi_sm.hh"
@@ -29,43 +30,32 @@ namespace regless
 namespace
 {
 
-/** issued + sum(stalls), the left side of the slot invariant. */
-std::uint64_t
-totalSlots(const sim::RunStats &stats)
-{
-    std::uint64_t total = stats.issuedSlots;
-    for (std::uint64_t s : stats.stallSlots)
-        total += s;
-    return total;
-}
-
-void
-expectSlotInvariant(const sim::RunStats &stats, unsigned schedulers,
-                    const std::string &label)
-{
-    EXPECT_EQ(totalSlots(stats), schedulers * stats.cycles) << label;
-    EXPECT_GT(stats.issuedSlots, 0u) << label;
-}
+using testutil::expectSlotInvariant;
+using testutil::totalSlots;
 
 TEST(SlotInvariant, HoldsForEveryWorkloadUnderBaseline)
 {
-    const sim::GpuConfig cfg =
-        sim::GpuConfig::forProvider(sim::ProviderKind::Baseline);
+    // The memoized skip-off references; the skip-on counterpart of
+    // this sweep lives in the cycle-skip oracle suite.
+    const unsigned schedulers =
+        testutil::referenceConfig(sim::ProviderKind::Baseline)
+            .sm.numSchedulers;
     for (const std::string &name : workloads::rodiniaNames()) {
-        sim::RunStats stats =
-            sim::runKernel(workloads::makeRodinia(name), cfg);
-        expectSlotInvariant(stats, cfg.sm.numSchedulers, name);
+        expectSlotInvariant(
+            testutil::goldenRun(name, sim::ProviderKind::Baseline),
+            schedulers, name);
     }
 }
 
 TEST(SlotInvariant, HoldsForEveryWorkloadUnderRegless)
 {
-    const sim::GpuConfig cfg =
-        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    const unsigned schedulers =
+        testutil::referenceConfig(sim::ProviderKind::Regless)
+            .sm.numSchedulers;
     for (const std::string &name : workloads::rodiniaNames()) {
-        sim::RunStats stats =
-            sim::runKernel(workloads::makeRodinia(name), cfg);
-        expectSlotInvariant(stats, cfg.sm.numSchedulers, name);
+        expectSlotInvariant(
+            testutil::goldenRun(name, sim::ProviderKind::Regless),
+            schedulers, name);
     }
 }
 
