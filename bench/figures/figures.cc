@@ -33,6 +33,7 @@ void genAblationDivergence(FigureContext &ctx);
 void genOversubscriptionSweep(FigureContext &ctx);
 void genMultiSmScaling(FigureContext &ctx);
 void genStallBreakdown(FigureContext &ctx);
+void genProviderBakeoff(FigureContext &ctx);
 
 const std::vector<Figure> &
 allFigures()
@@ -91,6 +92,10 @@ allFigures()
         {"stall_breakdown", "Issue-slot stall attribution (%)",
          "DESIGN.md section 10 (one cause per slot)",
          genStallBreakdown},
+        {"provider_bakeoff",
+         "Provider bake-off: runtime / energy / area, all providers",
+         "DESIGN.md section 13 (the provider registry)",
+         genProviderBakeoff},
     };
     return figures;
 }

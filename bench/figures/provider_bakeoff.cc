@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Provider bake-off (DESIGN.md §13): every provider in the registry —
+ * including the compiler-assisted RF cache and RegDem spilling rivals
+ * — runs the full Rodinia set, and the figure cross-compares runtime,
+ * energy, and area, all normalized to the baseline register file. The
+ * column set comes from the registry, so a newly registered provider
+ * appears here without touching this file.
+ */
+
+#include "figures/figures.hh"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/provider_registry.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless::figures
+{
+
+void
+genProviderBakeoff(FigureContext &ctx)
+{
+    const auto &registry = sim::providerRegistry();
+    const auto &names = workloads::rodiniaNames();
+
+    // One job per (workload, provider); jobs[w][p] mirrors the loops.
+    std::vector<std::vector<sim::ExperimentEngine::JobId>> jobs;
+    for (const auto &name : names) {
+        jobs.emplace_back();
+        for (const sim::ProviderDescriptor &d : registry)
+            jobs.back().push_back(ctx.engine.submit(name, d.kind));
+    }
+
+    std::vector<sim::TableColumn> columns = {{"benchmark", 24}};
+    for (const sim::ProviderDescriptor &d : registry) {
+        const unsigned width = std::max<unsigned>(
+            9, static_cast<unsigned>(std::strlen(d.name)) + 2);
+        columns.push_back({d.name, width});
+    }
+    sim::TableWriter table(ctx.out, columns);
+    table.header();
+
+    // Per-provider ratio series; the baseline run of the same
+    // workload is the denominator for both runtime and energy.
+    std::vector<sim::GeomeanSeries> runtime, gpu_energy;
+    for (const sim::ProviderDescriptor &d : registry) {
+        runtime.emplace_back(std::string("bakeoff runtime ratio ") +
+                             d.name);
+        gpu_energy.emplace_back(std::string("bakeoff energy ratio ") +
+                                d.name);
+    }
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        // Fault isolation: a failed baseline drops the whole row (no
+        // denominator); any other failed point drops only its cell.
+        const sim::RunStats *base = ctx.engine.tryStats(jobs[w][0]);
+        if (!base) {
+            ctx.out << "# " << names[w] << ": excluded ("
+                    << ctx.engine.result(jobs[w][0]).error << ")\n";
+            continue;
+        }
+        std::vector<sim::TableCell> cells = {names[w]};
+        for (std::size_t p = 0; p < registry.size(); ++p) {
+            const sim::RunStats *s = ctx.engine.tryStats(jobs[w][p]);
+            if (!s) {
+                ctx.out << "# " << names[w] << " ("
+                        << registry[p].name << "): excluded ("
+                        << ctx.engine.result(jobs[w][p]).error
+                        << ")\n";
+                cells.emplace_back("-");
+                continue;
+            }
+            const double ratio = static_cast<double>(s->cycles) /
+                                 static_cast<double>(base->cycles);
+            runtime[p].add(names[w], ratio);
+            gpu_energy[p].add(names[w], s->energy.total() /
+                                            base->energy.total());
+            cells.emplace_back(ratio);
+        }
+        table.row(cells);
+    }
+
+    auto footer = [&table](const char *label, auto value) {
+        std::vector<sim::TableCell> cells = {label};
+        for (std::size_t p = 0; p < sim::kNumProviderKinds; ++p)
+            cells.emplace_back(value(p));
+        table.row(cells);
+    };
+    footer("GEOMEAN runtime", [&](std::size_t p) {
+        return runtime[p].count() ? runtime[p].value() : 0.0;
+    });
+    footer("GEOMEAN gpu energy", [&](std::size_t p) {
+        return gpu_energy[p].count() ? gpu_energy[p].value() : 0.0;
+    });
+
+    // Area is a pure model (no simulation): each design's storage
+    // structures under its canonical config, vs the baseline RF.
+    const double base_area =
+        registry[0]
+            .area(sim::GpuConfig::forProvider(registry[0].kind))
+            .total();
+    footer("AREA (model)", [&](std::size_t p) {
+        const sim::GpuConfig cfg =
+            sim::GpuConfig::forProvider(registry[p].kind);
+        return registry[p].area(cfg).total() / base_area;
+    });
+
+    ctx.out << "# runtime/energy normalized per-benchmark to the "
+               "baseline run; area from the analytical model\n";
+}
+
+} // namespace regless::figures

@@ -1,13 +1,13 @@
 /**
  * @file
  * Stall-attribution breakdown (DESIGN.md section 10): for every
- * Rodinia benchmark under the baseline RF and under RegLess, the
- * percentage of issue slots that issued vs. the percentage charged to
- * each stall cause. Every scheduler slot of every cycle is charged to
- * exactly one bucket, so each row sums to 100%; comparing the
- * baseline and RegLess rows shows where RegLess's staging latency
- * goes (cm_not_staged / cm_no_capacity) and which baseline stalls it
- * absorbs.
+ * Rodinia benchmark under every registered provider, the percentage
+ * of issue slots that issued vs. the percentage charged to each stall
+ * cause. Every scheduler slot of every cycle is charged to exactly
+ * one bucket, so each row sums to 100%; comparing the providers' rows
+ * shows where each design's operand latency goes (cm_not_staged /
+ * cm_no_capacity for RegLess, port_bsy for RegDem's spill traffic)
+ * and which baseline stalls it absorbs.
  */
 
 #include "figures/figures.hh"
@@ -18,6 +18,7 @@
 
 #include "arch/stall.hh"
 #include "sim/experiment.hh"
+#include "sim/provider_registry.hh"
 #include "workloads/rodinia.hh"
 
 namespace regless::figures
@@ -73,47 +74,46 @@ emitRow(const sim::TableWriter &table, const std::string &name,
 void
 genStallBreakdown(FigureContext &ctx)
 {
-    struct Row
-    {
-        sim::ExperimentEngine::JobId base, rl;
-    };
-    std::vector<Row> jobs;
-    for (const auto &name : workloads::rodiniaNames())
-        jobs.push_back(
-            {ctx.engine.submit(name, sim::ProviderKind::Baseline),
-             ctx.engine.submit(name, sim::ProviderKind::Regless)});
+    const auto &registry = sim::providerRegistry();
+
+    // jobs[w][p]: one job per (workload, registered provider).
+    std::vector<std::vector<sim::ExperimentEngine::JobId>> jobs;
+    for (const auto &name : workloads::rodiniaNames()) {
+        jobs.emplace_back();
+        for (const sim::ProviderDescriptor &d : registry)
+            jobs.back().push_back(ctx.engine.submit(name, d.kind));
+    }
 
     std::vector<sim::TableColumn> columns = {{"benchmark", 24},
-                                             {"provider", 9},
+                                             {"provider", 15},
                                              {"issue%", 7, 1}};
     for (const char *header : kCauseHeader)
         columns.push_back({header, 9, 1});
     sim::TableWriter table(ctx.out, columns);
     table.header();
 
-    SlotTotals base_total, rl_total;
-    std::size_t i = 0;
+    std::vector<SlotTotals> totals(registry.size());
+    std::size_t w = 0;
     for (const auto &name : workloads::rodiniaNames()) {
-        const Row &row = jobs[i++];
         // Fault isolation: a failed point drops only its own row.
-        for (auto [id, provider, totals] :
-             {std::tuple{row.base, "baseline", &base_total},
-              std::tuple{row.rl, "regless", &rl_total}}) {
+        for (std::size_t p = 0; p < registry.size(); ++p) {
+            const auto id = jobs[w][p];
             const sim::RunStats *s = ctx.engine.tryStats(id);
             if (!s) {
-                ctx.out << "# " << name << " (" << provider
+                ctx.out << "# " << name << " (" << registry[p].name
                         << "): excluded ("
                         << ctx.engine.result(id).error << ")\n";
                 continue;
             }
-            totals->add(*s);
-            emitRow(table, name, provider, s->issuedSlots,
+            totals[p].add(*s);
+            emitRow(table, name, registry[p].name, s->issuedSlots,
                     s->stallSlots);
         }
+        ++w;
     }
-    emitRow(table, "ALL", "baseline", base_total.issued,
-            base_total.stalls);
-    emitRow(table, "ALL", "regless", rl_total.issued, rl_total.stalls);
+    for (std::size_t p = 0; p < registry.size(); ++p)
+        emitRow(table, "ALL", registry[p].name, totals[p].issued,
+                totals[p].stalls);
     ctx.out << "# every slot of every scheduler cycle is charged to "
                "exactly one column; rows sum to 100%\n";
 }

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Thin wrapper: the provider_bakeoff generator lives in
+ * figures/provider_bakeoff.cc and is shared with the regless_report
+ * driver.
+ */
+
+#include "figures/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return regless::figures::figureMain("provider_bakeoff", argc, argv);
+}

@@ -19,6 +19,7 @@
 #include "ir/assembler.hh"
 #include "sim/experiment.hh"
 #include "sim/gpu_simulator.hh"
+#include "sim/provider_registry.hh"
 #include "sim/stats_io.hh"
 #include "workloads/rodinia.hh"
 
@@ -27,6 +28,18 @@ using namespace regless;
 namespace
 {
 
+std::string
+providerNameList()
+{
+    std::string names;
+    for (const sim::ProviderDescriptor &d : sim::providerRegistry()) {
+        if (!names.empty())
+            names += " | ";
+        names += d.name;
+    }
+    return names;
+}
+
 void
 usage()
 {
@@ -34,8 +47,8 @@ usage()
         "usage: regless_sim [options]\n"
         "  --bench <name>       built-in benchmark (see --list)\n"
         "  --asm <file>         kernel in text assembly\n"
-        "  --provider <p>       baseline | rfh | rfv | regless |\n"
-        "                       regless_nocomp (default regless)\n"
+        "  --provider <p>       " << providerNameList() << "\n"
+        "                       (default regless)\n"
         "  --capacity <n>       OSU entries per SM (default 512)\n"
         "  --scale <n>          workload scale factor (default 1)\n"
         "  --limit-occupancy    model RF occupancy limits\n"
@@ -50,17 +63,11 @@ usage()
 sim::ProviderKind
 parseProvider(const std::string &name)
 {
-    if (name == "baseline")
-        return sim::ProviderKind::Baseline;
-    if (name == "rfh")
-        return sim::ProviderKind::Rfh;
-    if (name == "rfv")
-        return sim::ProviderKind::Rfv;
-    if (name == "regless")
-        return sim::ProviderKind::Regless;
-    if (name == "regless_nocomp")
-        return sim::ProviderKind::ReglessNoCompressor;
-    fatal("unknown provider '", name, "'");
+    sim::ProviderKind kind;
+    if (!sim::tryProviderFromName(name, kind))
+        fatal("unknown provider '", name, "' (expected ",
+              providerNameList(), ")");
+    return kind;
 }
 
 } // namespace

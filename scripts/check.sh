@@ -3,9 +3,13 @@
 #   1. the tier-1 suite (plain build, ctest), which now runs with the
 #      skip engine enabled by default;
 #   2. the cycle-skip differential oracle (ctest label "oracle"):
-#      skip-on vs skip-off byte-identity across the Rodinia set, both
-#      providers, multi-SM thread counts, traces, and fault plans;
-#   3. ASan and TSan passes over the skip-enabled determinism subset
+#      skip-on vs skip-off byte-identity across the Rodinia set, every
+#      registered provider, multi-SM thread counts, traces, and fault
+#      plans;
+#   3. the provider-registry contract suite (ctest label "providers"):
+#      every registered provider end-to-end under the closed stall
+#      account and memory-image invariants (DESIGN.md §13);
+#   4. ASan and TSan passes over the skip-enabled determinism subset
 #      (the SoA warp state and bulk stall-charging touch hot arrays;
 #      the multi-SM epoch loop skips under worker threads).
 set -euo pipefail
@@ -13,11 +17,22 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 
+# Registry guard (DESIGN.md §13): the provider seam is cast-free.
+# Consumers reach a provider through RegisterProvider virtuals or the
+# registry's typed hooks, never through dynamic_cast probes — a probe
+# is a provider the registry doesn't fully describe.
+if grep -rn "dynamic_cast<[^>]*Provider" src tests bench examples tools; then
+    echo "check: dynamic_cast on the provider seam; use a" \
+         "RegisterProvider virtual or a registry hook instead" >&2
+    exit 1
+fi
+
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 (cd "$BUILD_DIR" && ctest --output-on-failure -L oracle -j "$(nproc)")
+(cd "$BUILD_DIR" && ctest --output-on-failure -L providers -j "$(nproc)")
 
 # Skip-enabled determinism subset under AddressSanitizer: the oracle
 # sweep plus the property fuzzer (random kernels + fault plans).

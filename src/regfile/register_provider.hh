@@ -14,14 +14,18 @@
 #ifndef REGLESS_REGFILE_REGISTER_PROVIDER_HH
 #define REGLESS_REGFILE_REGISTER_PROVIDER_HH
 
+#include <functional>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "arch/stall.hh"
 #include "arch/warp.hh"
 #include "common/fault_injector.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "compiler/finding.hh"
+#include "compiler/region.hh"
 #include "ir/instruction.hh"
 
 namespace regless::regfile
@@ -151,6 +155,68 @@ class RegisterProvider
     {
         (void)injector;
     }
+
+    /** @name Simulator-integration hooks (DESIGN.md §13).
+     *
+     * These replace the dynamic_cast probes the simulator used to aim
+     * at the RegLess provider: every provider answers them, almost
+     * always with these trivial defaults, so GpuSimulator never needs
+     * to know which concrete design it holds. */
+    /// @{
+
+    /** Accessor for another warp's architectural state by id. */
+    using WarpSource = std::function<const arch::Warp &(WarpId)>;
+
+    /**
+     * Bind the warp-state accessor; called once, after the SM exists
+     * and before the first tick. Providers whose background machinery
+     * inspects warps (the RegLess capacity managers) store it; the
+     * rest ignore it.
+     */
+    virtual void bindWarpSource(WarpSource source) { (void)source; }
+
+    /** Observer for provider-internal activation events (tracing). */
+    using ActivationObserver =
+        std::function<void(WarpId, compiler::RegionId, Cycle)>;
+
+    /**
+     * Attach a trace observer for activation-style events. Providers
+     * without multi-cycle staging machinery have nothing to report
+     * and ignore it.
+     */
+    virtual void setActivationObserver(ActivationObserver observer)
+    {
+        (void)observer;
+    }
+
+    /**
+     * Dynamic invariant violations this provider's shadow checking
+     * recorded (empty for providers without a runtime checker).
+     */
+    virtual std::vector<compiler::Finding> runtimeViolations() const
+    {
+        return {};
+    }
+
+    /**
+     * Append this provider's view of @a warp to its deadlock-report
+     * line (staging state, pending work, ...). One line, no newline.
+     */
+    virtual void describeWarp(WarpId warp, std::ostream &os) const
+    {
+        (void)warp;
+        (void)os;
+    }
+
+    /**
+     * Append one line per internal storage structure (bank occupancy,
+     * reservations, ...) to a deadlock report's bank section.
+     */
+    virtual void describeStorage(std::vector<std::string> &out) const
+    {
+        (void)out;
+    }
+    /// @}
 
     StatGroup &stats() { return _stats; }
     const StatGroup &stats() const { return _stats; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/logging.hh"
 
@@ -294,6 +295,62 @@ ReglessProvider::l1SeriesPoints()
             merged[i] += pts[i];
     }
     return merged;
+}
+
+namespace
+{
+
+const char *
+cmStateName(CmState s)
+{
+    switch (s) {
+      case CmState::Inactive:
+        return "inactive";
+      case CmState::Preloading:
+        return "preloading";
+      case CmState::Active:
+        return "active";
+      case CmState::Draining:
+        return "draining";
+      case CmState::Done:
+        return "done";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+ReglessProvider::describeWarp(WarpId warp, std::ostream &os) const
+{
+    // CM accessors are non-const only for historical reasons; the
+    // snapshot does not mutate anything.
+    auto &self = const_cast<ReglessProvider &>(*this);
+    auto &cm = self.cm(shardOf(warp));
+    os << " cm=" << cmStateName(cm.state(warp)) << " region=";
+    if (cm.warpRegion(warp) == compiler::invalidRegion)
+        os << "none";
+    else
+        os << cm.warpRegion(warp);
+    os << " pending_preloads=" << cm.pendingPreloads(warp);
+}
+
+void
+ReglessProvider::describeStorage(std::vector<std::string> &out) const
+{
+    auto &self = const_cast<ReglessProvider &>(*this);
+    for (unsigned s = 0; s < numShards(); ++s) {
+        auto &osu = self.osu(s);
+        auto &cm = self.cm(s);
+        for (unsigned b = 0; b < osuBanks; ++b) {
+            auto c = osu.bankCounts(b);
+            std::ostringstream os;
+            os << "osu" << s << ".b" << b << ": " << c.owned << "/"
+               << c.clean << "/" << c.dirty << "/" << c.free
+               << ", reserved=" << cm.reservedFuture(b);
+            out.push_back(os.str());
+        }
+    }
 }
 
 } // namespace regless::staging

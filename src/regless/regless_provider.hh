@@ -40,6 +40,20 @@ class ReglessProvider : public regfile::RegisterProvider
     /** Bind the warp-state accessor; must precede the first tick. */
     void setWarpSource(CapacityManager::WarpSource ws);
 
+    /** Registry hook: the CMs are the warp-source consumers. */
+    void
+    bindWarpSource(WarpSource source) override
+    {
+        setWarpSource(std::move(source));
+    }
+
+    /** Registry hook: CM activations are the activation events. */
+    void
+    setActivationObserver(ActivationObserver observer) override
+    {
+        setActivationHook(std::move(observer));
+    }
+
     void tick(Cycle now) override;
     Cycle nextEventCycle(Cycle from) const override;
     void onCyclesSkipped(Cycle from, Cycle n) override;
@@ -86,11 +100,19 @@ class ReglessProvider : public regfile::RegisterProvider
      * Dynamic staging violations seen so far (always empty unless
      * ReglessConfig::runtimeCheck is set).
      */
-    std::vector<compiler::Finding> runtimeViolations() const
+    std::vector<compiler::Finding>
+    runtimeViolations() const override
     {
         return _shadow ? _shadow->violations()
                        : std::vector<compiler::Finding>{};
     }
+
+    /** CM state, region, and pending preloads of @a warp. */
+    void describeWarp(WarpId warp, std::ostream &os) const override;
+
+    /** One line per OSU bank: owned/clean/dirty/free + reservations. */
+    void
+    describeStorage(std::vector<std::string> &out) const override;
 
     /** @name Aggregates across shards (Figures 3, 17, 18, 19). */
     /// @{

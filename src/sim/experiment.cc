@@ -86,6 +86,12 @@ TableWriter::header() const
 void
 TableWriter::row(std::initializer_list<TableCell> cells) const
 {
+    row(std::vector<TableCell>(cells));
+}
+
+void
+TableWriter::row(const std::vector<TableCell> &cells) const
+{
     if (cells.size() > _columns.size())
         fatal("table row has ", cells.size(), " cells but only ",
               _columns.size(), " columns");

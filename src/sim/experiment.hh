@@ -104,6 +104,10 @@ class TableWriter
      */
     void row(std::initializer_list<TableCell> cells) const;
 
+    /** row() for cell lists built at run time (e.g. one column per
+     *  registered provider). */
+    void row(const std::vector<TableCell> &cells) const;
+
   private:
     std::ostream &_os;
     std::vector<TableColumn> _columns;

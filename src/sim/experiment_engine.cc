@@ -35,7 +35,10 @@ namespace
 // stall_* causes); older entries would read those fields as zero.
 // v6: RunStats gained the cycle-skip meta-counters (skipped_cycles +
 // skip_events) and runs default to event-driven skipping.
-constexpr unsigned kCacheSchemaVersion = 6;
+// v7: the provider registry added the rfcache/regdem designs: new
+// RunStats fields (rf_cache_hits/misses, spill_stores, fill_loads)
+// and new fingerprint fields (rf_cache.*, regdem.*).
+constexpr unsigned kCacheSchemaVersion = 7;
 
 /** Fingerprint of everything that determines a job's results. */
 std::uint64_t

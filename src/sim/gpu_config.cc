@@ -10,56 +10,12 @@
 namespace regless::sim
 {
 
-const char *
-providerName(ProviderKind kind)
-{
-    switch (kind) {
-      case ProviderKind::Baseline: return "baseline";
-      case ProviderKind::Rfh: return "rfh";
-      case ProviderKind::Rfv: return "rfv";
-      case ProviderKind::Regless: return "regless";
-      case ProviderKind::ReglessNoCompressor: return "regless_nocomp";
-    }
-    return "?";
-}
-
-bool
-tryProviderFromName(const std::string &name, ProviderKind &out)
-{
-    for (ProviderKind kind :
-         {ProviderKind::Baseline, ProviderKind::Rfh, ProviderKind::Rfv,
-          ProviderKind::Regless, ProviderKind::ReglessNoCompressor}) {
-        if (name == providerName(kind)) {
-            out = kind;
-            return true;
-        }
-    }
-    return false;
-}
-
-ProviderKind
-providerFromName(const std::string &name)
-{
-    ProviderKind kind;
-    if (!tryProviderFromName(name, kind))
-        fatal("unknown provider name '", name, "'");
-    return kind;
-}
-
-GpuConfig
-GpuConfig::forProvider(ProviderKind kind)
-{
-    GpuConfig config;
-    config.provider = kind;
-    // Both prior techniques are built around the two-level scheduler
-    // ([11] integrally; [19] as evaluated in the paper, Fig. 16);
-    // baseline and RegLess use GTO (Table 1).
-    if (kind == ProviderKind::Rfh || kind == ProviderKind::Rfv)
-        config.sm.scheduler = arch::SchedulerPolicy::TwoLevel;
-    if (kind == ProviderKind::ReglessNoCompressor)
-        config.regless.compressorEnabled = false;
-    return config;
-}
+/*
+ * providerName / tryProviderFromName / providerFromName / forProvider
+ * live in sim/provider_registry.cc: they are single-table lookups over
+ * the provider registry, so a provider missing from the registry
+ * cannot have a name or a canonical config.
+ */
 
 void
 GpuConfig::setOsuCapacity(unsigned entries)
@@ -307,6 +263,26 @@ dump(KeyValueSink &kv, const std::string &p,
     kv.add(p + "orf_entries_per_warp", orf_entries_per_warp);
 }
 
+void
+dump(KeyValueSink &kv, const std::string &p,
+     const regfile::CompilerRfCache::Params &c)
+{
+    const auto &[cache_entries_per_warp, miss_penalty,
+                 max_def_use_distance] = c;
+    kv.add(p + "cache_entries_per_warp", cache_entries_per_warp);
+    kv.add(p + "miss_penalty", miss_penalty);
+    kv.add(p + "max_def_use_distance", max_def_use_distance);
+}
+
+void
+dump(KeyValueSink &kv, const std::string &p,
+     const regfile::RegDemProvider::Params &c)
+{
+    const auto &[hot_regs_per_warp, spill_base] = c;
+    kv.add(p + "hot_regs_per_warp", hot_regs_per_warp);
+    kv.add(p + "spill_base", spill_base);
+}
+
 } // namespace
 
 std::vector<std::pair<std::string, std::string>>
@@ -314,7 +290,8 @@ configKeyValues(const GpuConfig &config)
 {
     const auto &[provider, sm, mem, compiler_cfg, regless, energy,
                  area, baseline_rf_entries, limit_occupancy_by_rf,
-                 rfv_phys_entries, rfh, faults, trace] = config;
+                 rfv_phys_entries, rfh, rf_cache, regdem, faults,
+                 trace] = config;
 
     std::vector<std::pair<std::string, std::string>> out;
     KeyValueSink kv(out);
@@ -329,6 +306,8 @@ configKeyValues(const GpuConfig &config)
     kv.add("limit_occupancy_by_rf", limit_occupancy_by_rf);
     kv.add("rfv_phys_entries", rfv_phys_entries);
     dump(kv, "rfh.", rfh);
+    dump(kv, "rf_cache.", rf_cache);
+    dump(kv, "regdem.", regdem);
     dump(kv, "faults.", faults);
     dump(kv, "trace.", trace);
     return out;

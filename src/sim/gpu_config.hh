@@ -12,12 +12,16 @@
 #include <utility>
 #include <vector>
 
+#include <array>
+
 #include "arch/sm.hh"
 #include "common/fault_injector.hh"
 #include "compiler/config.hh"
 #include "energy/area_model.hh"
 #include "energy/energy_model.hh"
 #include "mem/memory_system.hh"
+#include "regfile/compiler_rf_cache.hh"
+#include "regfile/regdem.hh"
 #include "regfile/rf_hierarchy.hh"
 #include "regless/regless_config.hh"
 
@@ -32,9 +36,20 @@ enum class ProviderKind
     Rfv,                 ///< register file virtualization [19] (1c)
     Regless,             ///< operand staging (Figure 1e)
     ReglessNoCompressor, ///< Figure 16 ablation
+    CompilerRfCache,     ///< compiler-assisted RF cache (2310.17501)
+    RegDem,              ///< register demotion / spilling (1907.02894)
 };
 
-/** Human-readable provider name. */
+/**
+ * Number of registered providers. Keep in sync with ProviderKind; the
+ * registry has a static_assert against its descriptor table.
+ */
+inline constexpr std::size_t kNumProviderKinds = 7;
+
+/** Every registered provider, in canonical (enum) order. */
+const std::array<ProviderKind, kNumProviderKinds> &allProviderKinds();
+
+/** Human-readable provider name (from the provider registry). */
 const char *providerName(ProviderKind kind);
 
 /** Inverse of providerName(); fatal() on an unknown name. */
@@ -83,6 +98,12 @@ struct GpuConfig
 
     regfile::RfHierarchy::Params rfh;
 
+    /** Compiler-assisted RF-cache parameters (DESIGN.md §13.2). */
+    regfile::CompilerRfCache::Params rfCache;
+
+    /** RegDem demotion parameters (DESIGN.md §13.3). */
+    regfile::RegDemProvider::Params regdem;
+
     /**
      * Deterministic fault-injection plan (common/fault_injector.hh).
      * Part of the fingerprint: an injected failure is an ordinary,
@@ -94,7 +115,10 @@ struct GpuConfig
     /** Stall/activation timeline emission (off by default). */
     TraceConfig trace;
 
-    /** Canonical configuration for @a kind (wires the RFH scheduler). */
+    /**
+     * Canonical configuration for @a kind. Scheduler policy and any
+     * per-provider tuning come from the provider registry descriptor.
+     */
     static GpuConfig forProvider(ProviderKind kind);
 
     /**

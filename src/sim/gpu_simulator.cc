@@ -5,9 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
-#include "regfile/rf_hierarchy.hh"
-#include "regfile/rf_virtualization.hh"
-#include "regless/regless_provider.hh"
+#include "sim/provider_registry.hh"
 
 namespace regless::sim
 {
@@ -25,24 +23,6 @@ warpStatusName(arch::WarpStatus s)
         return "at_barrier";
       case arch::WarpStatus::Finished:
         return "finished";
-    }
-    return "?";
-}
-
-const char *
-cmStateName(staging::CmState s)
-{
-    switch (s) {
-      case staging::CmState::Inactive:
-        return "inactive";
-      case staging::CmState::Preloading:
-        return "preloading";
-      case staging::CmState::Active:
-        return "active";
-      case staging::CmState::Draining:
-        return "draining";
-      case staging::CmState::Done:
-        return "done";
     }
     return "?";
 }
@@ -118,12 +98,13 @@ GpuSimulator::assemble(std::shared_ptr<mem::DramModel> shared_dram)
     _mem->setValueGenerator(
         valueGenerator(_ck->kernel().valueProfile()));
 
+    const ProviderDescriptor &desc =
+        providerDescriptor(_config.provider);
+
     // Occupancy limit: a fixed architectural register file can only
-    // host rfEntries / kernelRegs warps. RegLess and RFV virtualise
-    // the name space and keep full occupancy (oversubscription).
-    if (_config.limitOccupancyByRf &&
-        (_config.provider == ProviderKind::Baseline ||
-         _config.provider == ProviderKind::Rfh)) {
+    // host rfEntries / kernelRegs warps. Virtualising designs
+    // oversubscribe the name space and keep full occupancy.
+    if (_config.limitOccupancyByRf && desc.fixedArchitecturalRf) {
         unsigned regs = std::max(1u, _ck->kernel().numRegs());
         unsigned wpb = _ck->kernel().warpsPerBlock();
         unsigned fit = _config.baselineRfEntries / regs;
@@ -136,41 +117,15 @@ GpuSimulator::assemble(std::shared_ptr<mem::DramModel> shared_dram)
         }
     }
 
-    switch (_config.provider) {
-      case ProviderKind::Baseline:
-        _provider = std::make_unique<regfile::BaselineRf>();
-        break;
-      case ProviderKind::Rfv:
-        _provider = std::make_unique<regfile::RfVirtualization>(
-            *_ck, _config.rfvPhysEntries);
-        break;
-      case ProviderKind::Rfh:
-        _provider = std::make_unique<regfile::RfHierarchy>(
-            *_ck, _config.rfh);
-        if (_config.sm.scheduler != arch::SchedulerPolicy::TwoLevel)
-            warn("RFH without the two-level scheduler is not the "
-                 "published technique");
-        break;
-      case ProviderKind::Regless:
-      case ProviderKind::ReglessNoCompressor: {
-        staging::ReglessConfig rcfg = _config.regless;
-        if (_config.provider == ProviderKind::ReglessNoCompressor)
-            rcfg.compressorEnabled = false;
-        _provider = std::make_unique<staging::ReglessProvider>(
-            *_ck, *_mem, rcfg, _config.sm.numWarps);
-        break;
-      }
-    }
+    _provider = desc.make(*_ck, *_mem, _config);
 
     _sm = std::make_unique<arch::Sm>(*_ck, *_mem, *_provider,
                                      _config.sm);
 
-    if (auto *rp =
-            dynamic_cast<staging::ReglessProvider *>(_provider.get())) {
-        rp->setWarpSource([this](WarpId w) -> const arch::Warp & {
+    _provider->bindWarpSource(
+        [this](WarpId w) -> const arch::Warp & {
             return _sm->warp(w);
         });
-    }
 
     if (_config.trace.enabled) {
         _trace = std::make_unique<TraceWriter>();
@@ -180,17 +135,13 @@ GpuSimulator::assemble(std::shared_ptr<mem::DramModel> shared_dram)
             _trace->addComplete(_tracePid, warp, label, from,
                                 to - from);
         });
-        if (auto *rp = dynamic_cast<staging::ReglessProvider *>(
-                _provider.get())) {
-            rp->setActivationHook([this](WarpId warp,
-                                         compiler::RegionId region,
-                                         Cycle now) {
+        _provider->setActivationObserver(
+            [this](WarpId warp, compiler::RegionId region, Cycle now) {
                 _trace->addInstant(_tracePid, warp,
                                    "cm_activate r" +
                                        std::to_string(region),
                                    now);
             });
-        }
     }
 
     if (_config.faults.kind != FaultPlan::Kind::None) {
@@ -205,11 +156,7 @@ GpuSimulator::~GpuSimulator() = default;
 std::vector<compiler::Finding>
 GpuSimulator::runtimeViolations() const
 {
-    if (auto *rp = dynamic_cast<const staging::ReglessProvider *>(
-            _provider.get())) {
-        return rp->runtimeViolations();
-    }
-    return {};
+    return _provider->runtimeViolations();
 }
 
 void
@@ -240,77 +187,9 @@ GpuSimulator::harvest(RunStats &stats)
     stats.l2Accesses = cache_accesses(_mem->l2());
     stats.dramAccesses = _mem->dram().stats().counter("accesses").value();
 
-    switch (_config.provider) {
-      case ProviderKind::Baseline: {
-        auto &rf = static_cast<regfile::BaselineRf &>(*_provider);
-        stats.rfReads = rf.stats().counter("reads").value();
-        stats.rfWrites = rf.stats().counter("writes").value();
-        stats.meanWorkingSetBytes = rf.meanWorkingSetBytes();
-        rf.flushSeries();
-        stats.backingSeries = rf.accessSeries().points();
-        break;
-      }
-      case ProviderKind::Rfv: {
-        auto &rfv = static_cast<regfile::RfVirtualization &>(*_provider);
-        stats.rfReads = rfv.stats().counter("reads").value();
-        stats.rfWrites = rfv.stats().counter("writes").value();
-        stats.renameLookups =
-            rfv.stats().counter("rename_lookups").value();
-        break;
-      }
-      case ProviderKind::Rfh: {
-        auto &rfh = static_cast<regfile::RfHierarchy &>(*_provider);
-        auto &s = rfh.stats();
-        stats.lrfAccesses = s.counter("lrf_reads").value() +
-                            s.counter("lrf_writes").value();
-        stats.orfAccesses = s.counter("orf_reads").value() +
-                            s.counter("orf_writes").value();
-        stats.mrfAccesses = s.counter("mrf_reads").value() +
-                            s.counter("mrf_writes").value();
-        rfh.mrfSeries().flush();
-        stats.backingSeries = rfh.mrfSeries().points();
-        break;
-      }
-      case ProviderKind::Regless:
-      case ProviderKind::ReglessNoCompressor: {
-        auto &rp = static_cast<staging::ReglessProvider &>(*_provider);
-        stats.osuAccesses = rp.osuAccesses();
-        stats.compressorAccesses = rp.compressorAccesses();
-        std::uint64_t tags = 0;
-        for (unsigned s = 0; s < rp.numShards(); ++s)
-            tags += rp.osu(s).stats().counter("tag_lookups").value();
-        stats.osuTagLookups = tags;
-        stats.preloadSrcOsu = rp.preloadsFrom("preload_src_osu");
-        stats.preloadSrcCompressor =
-            rp.preloadsFrom("preload_src_compressor");
-        stats.preloadSrcL1 = rp.preloadsFrom("preload_src_l1");
-        stats.preloadSrcL2Dram = rp.preloadsFrom("preload_src_l2dram");
-        stats.l1PreloadReqs = rp.l1Requests("l1_preload_reqs");
-        stats.l1StoreReqs = rp.l1Requests("l1_store_reqs");
-        stats.l1InvalidateReqs = rp.l1Requests("l1_invalidate_reqs");
-        stats.metadataInsns = rp.l1Requests("metadata_insns");
-        stats.regionPreloadsMean = rp.meanRegionPreloads();
-        stats.regionLiveMean = rp.meanRegionLive();
-        stats.regionLiveStddev = rp.stddevRegionLive();
-        stats.regionCyclesMean = rp.meanRegionCycles();
-        stats.regionInsnsMean = rp.meanRegionInsns();
-        stats.backingSeries = rp.l1SeriesPoints();
-        stats.osuBankConflicts =
-            rp.stats().counter("osu_bank_conflicts").value();
-        // Compressed line flushes are L1 stores too (Figure 18).
-        for (unsigned s = 0; s < rp.numShards(); ++s) {
-            if (auto *comp = rp.compressor(s)) {
-                stats.l1StoreReqs +=
-                    comp->stats().counter("line_flushes").value();
-                stats.compressorMatches +=
-                    comp->stats().counter("matches").value();
-                stats.compressorIncompressible +=
-                    comp->stats().counter("incompressible").value();
-            }
-        }
-        break;
-      }
-    }
+    // Provider-specific counters: each registry descriptor knows how
+    // to harvest its own design.
+    providerDescriptor(_config.provider).collect(*_provider, stats);
 
     stats.staticInsnsPerRegion = _ck->meanInsnsPerRegion();
     stats.numRegions = static_cast<unsigned>(_ck->regions().size());
@@ -346,12 +225,6 @@ GpuSimulator::deadlockSnapshot(const ProgressMonitor &monitor,
     report.progressEvents =
         _sm->totalInsns() + _provider->progressEvents();
 
-    auto *rp =
-        dynamic_cast<const staging::ReglessProvider *>(_provider.get());
-    // `rp` is non-const only because its accessors are; the snapshot
-    // does not mutate it.
-    auto *mrp = const_cast<staging::ReglessProvider *>(rp);
-
     for (const arch::Warp &w : _sm->warps()) {
         if (w.finished())
             continue;
@@ -370,33 +243,11 @@ GpuSimulator::deadlockSnapshot(const ProgressMonitor &monitor,
                << arch::stallCauseName(
                       static_cast<arch::StallCause>(top));
         }
-        if (mrp) {
-            auto &cm = mrp->cm(w.id() % mrp->numShards());
-            os << " cm=" << cmStateName(cm.state(w.id()))
-               << " region=";
-            if (cm.warpRegion(w.id()) == compiler::invalidRegion)
-                os << "none";
-            else
-                os << cm.warpRegion(w.id());
-            os << " pending_preloads=" << cm.pendingPreloads(w.id());
-        }
+        _provider->describeWarp(w.id(), os);
         report.warps.push_back(os.str());
     }
 
-    if (mrp) {
-        for (unsigned s = 0; s < mrp->numShards(); ++s) {
-            auto &osu = mrp->osu(s);
-            auto &cm = mrp->cm(s);
-            for (unsigned b = 0; b < staging::osuBanks; ++b) {
-                auto c = osu.bankCounts(b);
-                std::ostringstream os;
-                os << "osu" << s << ".b" << b << ": " << c.owned << "/"
-                   << c.clean << "/" << c.dirty << "/" << c.free
-                   << ", reserved=" << cm.reservedFuture(b);
-                report.banks.push_back(os.str());
-            }
-        }
-    }
+    _provider->describeStorage(report.banks);
 
     std::ostringstream mem;
     mem << "L1 MSHRs in use: " << _mem->l1().mshrsInUse()

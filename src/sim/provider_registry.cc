@@ -1,0 +1,470 @@
+#include "sim/provider_registry.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "compiler/compiler.hh"
+#include "regfile/baseline_rf.hh"
+#include "regfile/compiler_rf_cache.hh"
+#include "regfile/regdem.hh"
+#include "regfile/rf_hierarchy.hh"
+#include "regfile/rf_virtualization.hh"
+#include "regless/regless_provider.hh"
+
+namespace regless::sim
+{
+
+namespace
+{
+
+using Provider = std::unique_ptr<regfile::RegisterProvider>;
+
+/* ---------------- factories ---------------- */
+
+Provider
+makeBaseline(const compiler::CompiledKernel &, mem::MemorySystem &,
+             const GpuConfig &)
+{
+    return std::make_unique<regfile::BaselineRf>();
+}
+
+Provider
+makeRfh(const compiler::CompiledKernel &ck, mem::MemorySystem &,
+        const GpuConfig &config)
+{
+    if (config.sm.scheduler != arch::SchedulerPolicy::TwoLevel)
+        warn("RFH without the two-level scheduler is not the "
+             "published technique");
+    return std::make_unique<regfile::RfHierarchy>(ck, config.rfh);
+}
+
+Provider
+makeRfv(const compiler::CompiledKernel &ck, mem::MemorySystem &,
+        const GpuConfig &config)
+{
+    return std::make_unique<regfile::RfVirtualization>(
+        ck, config.rfvPhysEntries);
+}
+
+Provider
+makeRegless(const compiler::CompiledKernel &ck, mem::MemorySystem &mem,
+            const GpuConfig &config)
+{
+    return std::make_unique<staging::ReglessProvider>(
+        ck, mem, config.regless, config.sm.numWarps);
+}
+
+Provider
+makeReglessNoCompressor(const compiler::CompiledKernel &ck,
+                        mem::MemorySystem &mem, const GpuConfig &config)
+{
+    // Force the ablation even for configs built without forProvider().
+    staging::ReglessConfig rcfg = config.regless;
+    rcfg.compressorEnabled = false;
+    return std::make_unique<staging::ReglessProvider>(
+        ck, mem, rcfg, config.sm.numWarps);
+}
+
+Provider
+makeCompilerRfCache(const compiler::CompiledKernel &ck,
+                    mem::MemorySystem &, const GpuConfig &config)
+{
+    return std::make_unique<regfile::CompilerRfCache>(ck,
+                                                      config.rfCache);
+}
+
+Provider
+makeRegDem(const compiler::CompiledKernel &ck, mem::MemorySystem &mem,
+           const GpuConfig &config)
+{
+    return std::make_unique<regfile::RegDemProvider>(ck, mem,
+                                                     config.regdem);
+}
+
+/* ---------------- config tuning ---------------- */
+
+void
+tuneReglessNoCompressor(GpuConfig &config)
+{
+    config.regless.compressorEnabled = false;
+}
+
+/* ---------------- stat collection ---------------- */
+
+void
+collectBaseline(regfile::RegisterProvider &provider, RunStats &stats)
+{
+    auto &rf = static_cast<regfile::BaselineRf &>(provider);
+    stats.rfReads = rf.stats().counter("reads").value();
+    stats.rfWrites = rf.stats().counter("writes").value();
+    stats.meanWorkingSetBytes = rf.meanWorkingSetBytes();
+    rf.flushSeries();
+    stats.backingSeries = rf.accessSeries().points();
+}
+
+void
+collectRfh(regfile::RegisterProvider &provider, RunStats &stats)
+{
+    auto &rfh = static_cast<regfile::RfHierarchy &>(provider);
+    auto &s = rfh.stats();
+    stats.lrfAccesses = s.counter("lrf_reads").value() +
+                        s.counter("lrf_writes").value();
+    stats.orfAccesses = s.counter("orf_reads").value() +
+                        s.counter("orf_writes").value();
+    stats.mrfAccesses = s.counter("mrf_reads").value() +
+                        s.counter("mrf_writes").value();
+    rfh.mrfSeries().flush();
+    stats.backingSeries = rfh.mrfSeries().points();
+}
+
+void
+collectRfv(regfile::RegisterProvider &provider, RunStats &stats)
+{
+    auto &rfv = static_cast<regfile::RfVirtualization &>(provider);
+    stats.rfReads = rfv.stats().counter("reads").value();
+    stats.rfWrites = rfv.stats().counter("writes").value();
+    stats.renameLookups =
+        rfv.stats().counter("rename_lookups").value();
+}
+
+void
+collectRegless(regfile::RegisterProvider &provider, RunStats &stats)
+{
+    auto &rp = static_cast<staging::ReglessProvider &>(provider);
+    stats.osuAccesses = rp.osuAccesses();
+    stats.compressorAccesses = rp.compressorAccesses();
+    std::uint64_t tags = 0;
+    for (unsigned s = 0; s < rp.numShards(); ++s)
+        tags += rp.osu(s).stats().counter("tag_lookups").value();
+    stats.osuTagLookups = tags;
+    stats.preloadSrcOsu = rp.preloadsFrom("preload_src_osu");
+    stats.preloadSrcCompressor =
+        rp.preloadsFrom("preload_src_compressor");
+    stats.preloadSrcL1 = rp.preloadsFrom("preload_src_l1");
+    stats.preloadSrcL2Dram = rp.preloadsFrom("preload_src_l2dram");
+    stats.l1PreloadReqs = rp.l1Requests("l1_preload_reqs");
+    stats.l1StoreReqs = rp.l1Requests("l1_store_reqs");
+    stats.l1InvalidateReqs = rp.l1Requests("l1_invalidate_reqs");
+    stats.metadataInsns = rp.l1Requests("metadata_insns");
+    stats.regionPreloadsMean = rp.meanRegionPreloads();
+    stats.regionLiveMean = rp.meanRegionLive();
+    stats.regionLiveStddev = rp.stddevRegionLive();
+    stats.regionCyclesMean = rp.meanRegionCycles();
+    stats.regionInsnsMean = rp.meanRegionInsns();
+    stats.backingSeries = rp.l1SeriesPoints();
+    stats.osuBankConflicts =
+        rp.stats().counter("osu_bank_conflicts").value();
+    // Compressed line flushes are L1 stores too (Figure 18).
+    for (unsigned s = 0; s < rp.numShards(); ++s) {
+        if (auto *comp = rp.compressor(s)) {
+            stats.l1StoreReqs +=
+                comp->stats().counter("line_flushes").value();
+            stats.compressorMatches +=
+                comp->stats().counter("matches").value();
+            stats.compressorIncompressible +=
+                comp->stats().counter("incompressible").value();
+        }
+    }
+}
+
+void
+collectCompilerRfCache(regfile::RegisterProvider &provider,
+                       RunStats &stats)
+{
+    auto &rc = static_cast<regfile::CompilerRfCache &>(provider);
+    auto &s = rc.stats();
+    stats.rfCacheHits = s.counter("cache_hits").value();
+    stats.rfCacheMisses = s.counter("cache_misses").value();
+    // The backing MRF absorbs whatever the cache did not.
+    stats.rfReads = s.counter("mrf_reads").value();
+    stats.rfWrites = s.counter("mrf_writes").value();
+}
+
+void
+collectRegDem(regfile::RegisterProvider &provider, RunStats &stats)
+{
+    auto &rd = static_cast<regfile::RegDemProvider &>(provider);
+    auto &s = rd.stats();
+    stats.rfReads = s.counter("rf_reads").value();
+    stats.rfWrites = s.counter("rf_writes").value();
+    stats.fillLoads = s.counter("fill_loads").value();
+    stats.spillStores = s.counter("spill_stores").value();
+}
+
+/* ---------------- energy models ---------------- */
+
+void
+energyBaseline(const RunStats &stats, const GpuConfig &config,
+               energy::EnergyBreakdown &out)
+{
+    const energy::EnergyConfig &e = config.energy;
+    out.regDynamic =
+        static_cast<double>(stats.rfReads + stats.rfWrites) *
+        e.accessEnergy(config.baselineRfEntries);
+    out.regStatic = e.staticPower(config.baselineRfEntries) *
+                    static_cast<double>(stats.cycles);
+}
+
+void
+energyRfh(const RunStats &stats, const GpuConfig &config,
+          energy::EnergyBreakdown &out)
+{
+    const energy::EnergyConfig &e = config.energy;
+    // The MRF stays full size; short-lived values hit the small
+    // levels instead.
+    out.regDynamic =
+        static_cast<double>(stats.lrfAccesses) * e.lrfAccess +
+        static_cast<double>(stats.orfAccesses) * e.orfAccess +
+        static_cast<double>(stats.mrfAccesses) *
+            e.accessEnergy(config.baselineRfEntries);
+    out.regStatic = e.staticPower(config.baselineRfEntries) *
+                    static_cast<double>(stats.cycles);
+}
+
+void
+energyRfv(const RunStats &stats, const GpuConfig &config,
+          energy::EnergyBreakdown &out)
+{
+    const energy::EnergyConfig &e = config.energy;
+    out.regDynamic =
+        static_cast<double>(stats.rfReads + stats.rfWrites) *
+            e.accessEnergy(config.rfvPhysEntries) +
+        static_cast<double>(stats.renameLookups) * e.renameAccess;
+    out.regStatic = e.staticPower(config.rfvPhysEntries) *
+                    static_cast<double>(stats.cycles);
+}
+
+void
+energyRegless(const RunStats &stats, const GpuConfig &config,
+              energy::EnergyBreakdown &out)
+{
+    const energy::EnergyConfig &e = config.energy;
+    const double cycles = static_cast<double>(stats.cycles);
+    out.regDynamic =
+        (static_cast<double>(stats.osuAccesses) *
+             e.accessEnergy(config.regless.osuEntriesPerSm) +
+         static_cast<double>(stats.osuTagLookups) * e.tagAccess) *
+        e.osuOverheadFactor;
+    out.regStatic = e.staticPower(config.regless.osuEntriesPerSm) *
+                    e.osuOverheadFactor * cycles;
+    out.compressor = static_cast<double>(stats.compressorAccesses) *
+                         e.compressorAccess +
+                     e.compressorStaticPerCycle * cycles;
+}
+
+void
+energyReglessNoCompressor(const RunStats &stats,
+                          const GpuConfig &config,
+                          energy::EnergyBreakdown &out)
+{
+    energyRegless(stats, config, out);
+    out.compressor = 0.0; // the ablation has no compressor at all
+}
+
+unsigned
+rfCacheEntries(const GpuConfig &config)
+{
+    return config.rfCache.cacheEntriesPerWarp * config.sm.numWarps;
+}
+
+void
+energyCompilerRfCache(const RunStats &stats, const GpuConfig &config,
+                      energy::EnergyBreakdown &out)
+{
+    const energy::EnergyConfig &e = config.energy;
+    // Hits and miss-refills touch the small cache; everything the
+    // cache did not absorb pays full-MRF access energy.
+    out.regDynamic =
+        static_cast<double>(stats.rfCacheHits + stats.rfCacheMisses) *
+            e.accessEnergy(rfCacheEntries(config)) +
+        static_cast<double>(stats.rfReads + stats.rfWrites) *
+            e.accessEnergy(config.baselineRfEntries);
+    out.regStatic = (e.staticPower(config.baselineRfEntries) +
+                     e.staticPower(rfCacheEntries(config))) *
+                    static_cast<double>(stats.cycles);
+}
+
+unsigned
+regdemEntries(const GpuConfig &config)
+{
+    return std::min(config.baselineRfEntries,
+                    config.regdem.hotRegsPerWarp *
+                        config.sm.numWarps);
+}
+
+void
+energyRegDem(const RunStats &stats, const GpuConfig &config,
+             energy::EnergyBreakdown &out)
+{
+    const energy::EnergyConfig &e = config.energy;
+    // Only the shrunken hot file remains; spill/fill traffic is real
+    // memory traffic and is charged in the memory term.
+    out.regDynamic =
+        static_cast<double>(stats.rfReads + stats.rfWrites) *
+        e.accessEnergy(regdemEntries(config));
+    out.regStatic = e.staticPower(regdemEntries(config)) *
+                    static_cast<double>(stats.cycles);
+}
+
+/* ---------------- area models ---------------- */
+
+energy::AreaBreakdown
+areaBaselineRf(const GpuConfig &config)
+{
+    return config.area.plainRf(config.baselineRfEntries);
+}
+
+energy::AreaBreakdown
+areaRfh(const GpuConfig &config)
+{
+    // The full-size MRF dominates; LRF/ORF storage rides on top.
+    energy::AreaBreakdown a =
+        config.area.plainRf(config.baselineRfEntries);
+    energy::AreaBreakdown small = config.area.plainRf(
+        config.rfh.orfEntriesPerWarp * config.sm.numWarps);
+    a.storage += small.storage;
+    a.logic += small.logic;
+    return a;
+}
+
+energy::AreaBreakdown
+areaRfv(const GpuConfig &config)
+{
+    return config.area.plainRf(config.rfvPhysEntries);
+}
+
+energy::AreaBreakdown
+areaRegless(const GpuConfig &config)
+{
+    return config.area.regless(config.regless.osuEntriesPerSm,
+                               /*with_compressor=*/true);
+}
+
+energy::AreaBreakdown
+areaReglessNoCompressor(const GpuConfig &config)
+{
+    return config.area.regless(config.regless.osuEntriesPerSm,
+                               /*with_compressor=*/false);
+}
+
+energy::AreaBreakdown
+areaCompilerRfCache(const GpuConfig &config)
+{
+    energy::AreaBreakdown a =
+        config.area.plainRf(config.baselineRfEntries);
+    energy::AreaBreakdown cache =
+        config.area.plainRf(rfCacheEntries(config));
+    a.storage += cache.storage;
+    a.logic += cache.logic;
+    return a;
+}
+
+energy::AreaBreakdown
+areaRegDem(const GpuConfig &config)
+{
+    return config.area.plainRf(regdemEntries(config));
+}
+
+const std::array<ProviderDescriptor, kNumProviderKinds> registry{{
+    {ProviderKind::Baseline, "baseline", "Baseline RF",
+     arch::SchedulerPolicy::Gto, /*fixedArchitecturalRf=*/true,
+     makeBaseline, nullptr, collectBaseline, energyBaseline,
+     areaBaselineRf},
+    {ProviderKind::Rfh, "rfh", "RF hierarchy",
+     arch::SchedulerPolicy::TwoLevel, /*fixedArchitecturalRf=*/true,
+     makeRfh, nullptr, collectRfh, energyRfh, areaRfh},
+    {ProviderKind::Rfv, "rfv", "RF virtualization",
+     arch::SchedulerPolicy::TwoLevel, /*fixedArchitecturalRf=*/false,
+     makeRfv, nullptr, collectRfv, energyRfv, areaRfv},
+    {ProviderKind::Regless, "regless", "RegLess",
+     arch::SchedulerPolicy::Gto, /*fixedArchitecturalRf=*/false,
+     makeRegless, nullptr, collectRegless, energyRegless, areaRegless},
+    {ProviderKind::ReglessNoCompressor, "regless_nocomp",
+     "RegLess (no compressor)", arch::SchedulerPolicy::Gto,
+     /*fixedArchitecturalRf=*/false, makeReglessNoCompressor,
+     tuneReglessNoCompressor, collectRegless,
+     energyReglessNoCompressor, areaReglessNoCompressor},
+    {ProviderKind::CompilerRfCache, "rfcache", "Compiler RF cache",
+     arch::SchedulerPolicy::Gto, /*fixedArchitecturalRf=*/true,
+     makeCompilerRfCache, nullptr, collectCompilerRfCache,
+     energyCompilerRfCache, areaCompilerRfCache},
+    {ProviderKind::RegDem, "regdem", "RegDem spilling",
+     arch::SchedulerPolicy::Gto, /*fixedArchitecturalRf=*/true,
+     makeRegDem, nullptr, collectRegDem, energyRegDem, areaRegDem},
+}};
+
+} // namespace
+
+const std::array<ProviderDescriptor, kNumProviderKinds> &
+providerRegistry()
+{
+    return registry;
+}
+
+const ProviderDescriptor &
+providerDescriptor(ProviderKind kind)
+{
+    const auto index = static_cast<std::size_t>(kind);
+    if (index >= registry.size() ||
+        registry[index].kind != kind) {
+        fatal("provider kind ", index, " is not registered");
+    }
+    return registry[index];
+}
+
+const std::array<ProviderKind, kNumProviderKinds> &
+allProviderKinds()
+{
+    static const std::array<ProviderKind, kNumProviderKinds> kinds =
+        [] {
+            std::array<ProviderKind, kNumProviderKinds> out{};
+            for (std::size_t i = 0; i < registry.size(); ++i)
+                out[i] = registry[i].kind;
+            return out;
+        }();
+    return kinds;
+}
+
+const char *
+providerName(ProviderKind kind)
+{
+    return providerDescriptor(kind).name;
+}
+
+bool
+tryProviderFromName(const std::string &name, ProviderKind &out)
+{
+    for (const ProviderDescriptor &d : registry) {
+        if (name == d.name) {
+            out = d.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+ProviderKind
+providerFromName(const std::string &name)
+{
+    ProviderKind kind;
+    if (!tryProviderFromName(name, kind))
+        fatal("unknown provider name '", name, "'");
+    return kind;
+}
+
+GpuConfig
+GpuConfig::forProvider(ProviderKind kind)
+{
+    const ProviderDescriptor &d = providerDescriptor(kind);
+    GpuConfig config;
+    config.provider = kind;
+    // The scheduler default is part of each published technique
+    // ([11] integrally; [19] as evaluated in the paper, Fig. 16);
+    // everything else uses GTO (Table 1).
+    config.sm.scheduler = d.scheduler;
+    if (d.tuneConfig)
+        d.tuneConfig(config);
+    return config;
+}
+
+} // namespace regless::sim

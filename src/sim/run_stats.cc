@@ -1,6 +1,7 @@
 #include "sim/run_stats.hh"
 
 #include "common/logging.hh"
+#include "sim/provider_registry.hh"
 
 namespace regless::sim
 {
@@ -25,6 +26,10 @@ operator==(const RunStats &a, const RunStats &b)
            a.compressorAccesses == b.compressorAccesses &&
            a.compressorMatches == b.compressorMatches &&
            a.compressorIncompressible == b.compressorIncompressible &&
+           a.rfCacheHits == b.rfCacheHits &&
+           a.rfCacheMisses == b.rfCacheMisses &&
+           a.spillStores == b.spillStores &&
+           a.fillLoads == b.fillLoads &&
            a.preloadSrcOsu == b.preloadSrcOsu &&
            a.preloadSrcCompressor == b.preloadSrcCompressor &&
            a.preloadSrcL1 == b.preloadSrcL1 &&
@@ -59,47 +64,10 @@ computeEnergy(RunStats &stats, const GpuConfig &config)
     energy::EnergyBreakdown out;
 
     const double cycles = static_cast<double>(stats.cycles);
-    switch (stats.provider) {
-      case ProviderKind::Baseline:
-        out.regDynamic = static_cast<double>(stats.rfReads +
-                                             stats.rfWrites) *
-                         e.accessEnergy(config.baselineRfEntries);
-        out.regStatic = e.staticPower(config.baselineRfEntries) * cycles;
-        break;
-      case ProviderKind::Rfv:
-        out.regDynamic =
-            static_cast<double>(stats.rfReads + stats.rfWrites) *
-                e.accessEnergy(config.rfvPhysEntries) +
-            static_cast<double>(stats.renameLookups) * e.renameAccess;
-        out.regStatic = e.staticPower(config.rfvPhysEntries) * cycles;
-        break;
-      case ProviderKind::Rfh:
-        // The MRF stays full size; short-lived values hit the small
-        // levels instead.
-        out.regDynamic =
-            static_cast<double>(stats.lrfAccesses) * e.lrfAccess +
-            static_cast<double>(stats.orfAccesses) * e.orfAccess +
-            static_cast<double>(stats.mrfAccesses) *
-                e.accessEnergy(config.baselineRfEntries);
-        out.regStatic = e.staticPower(config.baselineRfEntries) * cycles;
-        break;
-      case ProviderKind::Regless:
-      case ProviderKind::ReglessNoCompressor:
-        out.regDynamic =
-            (static_cast<double>(stats.osuAccesses) *
-                 e.accessEnergy(config.regless.osuEntriesPerSm) +
-             static_cast<double>(stats.osuTagLookups) * e.tagAccess) *
-            e.osuOverheadFactor;
-        out.regStatic = e.staticPower(config.regless.osuEntriesPerSm) *
-                        e.osuOverheadFactor * cycles;
-        if (stats.provider == ProviderKind::Regless) {
-            out.compressor =
-                static_cast<double>(stats.compressorAccesses) *
-                    e.compressorAccess +
-                e.compressorStaticPerCycle * cycles;
-        }
-        break;
-    }
+    // Register-structure terms are per-design: the provider's registry
+    // descriptor fills regDynamic/regStatic/compressor.
+    providerDescriptor(stats.provider)
+        .registerEnergy(stats, config, out);
 
     out.memory = static_cast<double>(stats.l1Accesses) * e.l1Access +
                  static_cast<double>(stats.l2Accesses) * e.l2Access +

@@ -55,6 +55,12 @@ struct RunStats
     std::uint64_t compressorAccesses = 0;
     std::uint64_t compressorMatches = 0;
     std::uint64_t compressorIncompressible = 0;
+    /** Compiler-assisted RF cache (DESIGN.md §13.2). */
+    std::uint64_t rfCacheHits = 0;
+    std::uint64_t rfCacheMisses = 0;
+    /** RegDem demotion traffic (DESIGN.md §13.3). */
+    std::uint64_t spillStores = 0;
+    std::uint64_t fillLoads = 0;
     /// @}
 
     /** @name RegLess preload/traffic detail (Figures 17, 18). */

@@ -291,6 +291,14 @@ applyRunField(RunStats &stats, const std::string &key,
             stats.compressorMatches = asCount(v);
         else if (key == "compressor_incompressible")
             stats.compressorIncompressible = asCount(v);
+        else if (key == "rf_cache_hits")
+            stats.rfCacheHits = asCount(v);
+        else if (key == "rf_cache_misses")
+            stats.rfCacheMisses = asCount(v);
+        else if (key == "spill_stores")
+            stats.spillStores = asCount(v);
+        else if (key == "fill_loads")
+            stats.fillLoads = asCount(v);
         else if (key == "preload_src_osu")
             stats.preloadSrcOsu = asCount(v);
         else if (key == "preload_src_compressor")
@@ -389,6 +397,10 @@ writeRunFields(JsonObject &obj, const RunStats &stats)
     obj.field("compressor_matches", stats.compressorMatches);
     obj.field("compressor_incompressible",
               stats.compressorIncompressible);
+    obj.field("rf_cache_hits", stats.rfCacheHits);
+    obj.field("rf_cache_misses", stats.rfCacheMisses);
+    obj.field("spill_stores", stats.spillStores);
+    obj.field("fill_loads", stats.fillLoads);
     obj.field("preload_src_osu", stats.preloadSrcOsu);
     obj.field("preload_src_compressor", stats.preloadSrcCompressor);
     obj.field("preload_src_l1", stats.preloadSrcL1);

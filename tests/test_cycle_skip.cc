@@ -5,8 +5,8 @@
  * a skip-on run must be byte-for-byte identical to the skip-off
  * reference — every RunStats field, every stall counter, the
  * serialized JSON, Chrome traces, and deadlock reports — on every
- * workload, under both providers, at every thread count, and with
- * fault plans active. The only permitted difference is the engine's
+ * workload, under every registered provider, at every thread count,
+ * and with fault plans active. The only permitted difference is the engine's
  * own meta-counters (skipped_cycles / skip_events), which the oracle
  * zeroes on both sides before comparing.
  */
@@ -71,9 +71,10 @@ readFile(const std::string &path)
 }
 
 /**
- * Single-SM oracle: all 21 Rodinia workloads under both providers.
- * The skip-off reference comes from the shared golden-run fixture, so
- * the 42 cases pay for each reference simulation once per process.
+ * Single-SM oracle: all 21 Rodinia workloads under every registered
+ * provider. The skip-off reference comes from the shared golden-run
+ * fixture, so the cases pay for each reference simulation once per
+ * process.
  */
 class CycleSkipOracle
     : public ::testing::TestWithParam<
@@ -106,9 +107,9 @@ TEST_P(CycleSkipOracle, SkipOnMatchesSkipOffByteForByte)
 
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, CycleSkipOracle,
-    ::testing::Combine(::testing::ValuesIn(workloads::rodiniaNames()),
-                       ::testing::Values(sim::ProviderKind::Baseline,
-                                         sim::ProviderKind::Regless)),
+    ::testing::Combine(
+        ::testing::ValuesIn(workloads::rodiniaNames()),
+        ::testing::ValuesIn(sim::allProviderKinds())),
     [](const auto &info) {
         return paramName(std::get<0>(info.param)) + "_" +
                sim::providerName(std::get<1>(info.param));
@@ -155,8 +156,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(std::string("nn"),
                                          std::string("streamcluster"),
                                          std::string("hotspot")),
-                       ::testing::Values(sim::ProviderKind::Baseline,
-                                         sim::ProviderKind::Regless),
+                       ::testing::ValuesIn(sim::allProviderKinds()),
                        ::testing::Values(1u, 8u)),
     [](const auto &info) {
         return paramName(std::get<0>(info.param)) + "_" +
