@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Thin wrapper: the ablation_static_compression generator lives in
+ * figures/ablation_static_compression.cc and is shared with the
+ * regless_report driver.
+ */
+
+#include "figures/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return regless::figures::figureMain("ablation_static_compression",
+                                        argc, argv);
+}

@@ -29,6 +29,7 @@ void genTable1Config(FigureContext &ctx);
 void genTable2RegionSizes(FigureContext &ctx);
 void genAblationRegless(FigureContext &ctx);
 void genAblationCompressor(FigureContext &ctx);
+void genAblationStaticCompression(FigureContext &ctx);
 void genAblationDivergence(FigureContext &ctx);
 void genOversubscriptionSweep(FigureContext &ctx);
 void genMultiSmScaling(FigureContext &ctx);
@@ -78,6 +79,10 @@ allFigures()
         {"ablation_compressor", "Compressor pattern-set ablation",
          "section 5.3 (the six value patterns)",
          genAblationCompressor},
+        {"ablation_static_compression",
+         "Static vs dynamic compression encodings + bank gating",
+         "DESIGN.md section 14 (value-range analysis)",
+         genAblationStaticCompression},
         {"ablation_divergence",
          "Soft-definition cost vs divergence degree",
          "section 4.4 / 6.4 (conservative liveness)",

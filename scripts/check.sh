@@ -27,6 +27,29 @@ if grep -rn "dynamic_cast<[^>]*Provider" src tests bench examples tools; then
     exit 1
 fi
 
+# Finding-code guard: every compiler::Finding code declared in
+# finding.hh must be exercised by at least one test, so a code can't
+# silently decay into dead diagnostics nothing would catch regressing.
+missing=0
+for code in $(grep -o 'inline constexpr const char \*[A-Za-z]*' \
+                   src/compiler/finding.hh |
+                  sed 's/.*\*//' | sort -u); do
+    if ! grep -rq "codes::$code" tests; then
+        echo "check: finding code codes::$code has no test" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
+    exit 1
+fi
+
+# Static-analysis companion (scripts/tidy.sh): skips cleanly when
+# clang-tidy is absent. REGLESS_TIDY=0 opts out, e.g. when iterating
+# on a slow machine.
+if [ "${REGLESS_TIDY:-1}" != "0" ]; then
+    scripts/tidy.sh
+fi
+
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 

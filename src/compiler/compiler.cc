@@ -6,6 +6,7 @@
 #include "compiler/bank_assigner.hh"
 #include "compiler/metadata_encoder.hh"
 #include "compiler/region_builder.hh"
+#include "compiler/value_range.hh"
 #include "ir/cfg_analysis.hh"
 #include "ir/liveness.hh"
 
@@ -29,6 +30,33 @@ CompiledKernel::CompiledKernel(ir::Kernel kernel,
     for (Pc pc = 0; pc < _kernel.numInsns(); ++pc) {
         if (_pcToRegion[pc] == invalidRegion)
             panic("pc ", pc, " not covered by any region");
+    }
+
+    // Kernel-wide encoding table for the compressor, which has no
+    // region context at reclaim time: a reclaim can evict a register
+    // mid-region, holding any def's value, so the per-region encodings
+    // (proven only at their evict points) are not usable here. Joining
+    // the post-def facts over every definition site covers every value
+    // the register can ever hold, making the table sound for arbitrary
+    // eviction times.
+    _staticEncodings.assign(_kernel.numRegs(), StaticEncoding::None);
+    if (!_regions.empty()) {
+        ir::CfgAnalysis cfg(_kernel);
+        ir::Liveness live(_kernel, cfg);
+        ValueRangeAnalysis vra(_kernel, cfg, live);
+        std::vector<ValueFacts> all_defs(_kernel.numRegs(),
+                                         ValueFacts{});
+        for (Pc pc = 0; pc < _kernel.numInsns(); ++pc) {
+            const ir::Instruction &insn = _kernel.insn(pc);
+            if (!insn.writesReg() ||
+                !cfg.reachable(_kernel.blockOf(pc))) {
+                continue;
+            }
+            all_defs[insn.dst()] =
+                join(all_defs[insn.dst()], vra.after(pc, insn.dst()));
+        }
+        for (RegId r = 0; r < _kernel.numRegs(); ++r)
+            _staticEncodings[r] = classifyEncoding(all_defs[r]);
     }
 }
 

@@ -48,6 +48,18 @@ class CompiledKernel
     /** Total metadata instructions inserted in the stream. */
     unsigned metadataInsns() const { return _metadataInsns; }
 
+    /**
+     * Kernel-wide static compression encoding per register, indexed
+     * by RegId: the per-region encodings merged across all regions
+     * (regions that disagree demote the register to None). This is
+     * the table the eviction compressor consults in static/hybrid
+     * mode — it has no region context at reclaim time.
+     */
+    const std::vector<StaticEncoding> &staticEncodings() const
+    {
+        return _staticEncodings;
+    }
+
     /** Static mean of per-region preload counts. */
     double meanPreloadsPerRegion() const;
 
@@ -64,6 +76,7 @@ class CompiledKernel
     ir::Kernel _kernel;
     std::vector<Region> _regions;
     std::vector<RegionId> _pcToRegion;
+    std::vector<StaticEncoding> _staticEncodings;
     LifetimeAnnotator::Stats _lifetimeStats;
     unsigned _metadataInsns;
 };

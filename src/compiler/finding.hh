@@ -68,6 +68,11 @@ inline constexpr const char *invalidateLive = "invalidate-live";
 inline constexpr const char *leakedLine = "leaked-line";
 inline constexpr const char *capacityUnderclaim = "capacity-underclaim";
 
+// Value-range (compiler/staging_checker.cc, DESIGN.md §14).
+inline constexpr const char *encodingUnsound = "encoding-unsound";
+inline constexpr const char *bankOverclaim = "bank-overclaim";
+inline constexpr const char *deadStagedLine = "dead-staged-line";
+
 // Runtime (regless/shadow_checker.cc).
 inline constexpr const char *rtReadUnstaged = "rt-read-unstaged";
 inline constexpr const char *rtReadAfterErase = "rt-read-after-erase";
@@ -75,6 +80,7 @@ inline constexpr const char *rtReadAfterInvalidate =
     "rt-read-after-invalidate";
 inline constexpr const char *rtPreloadLost = "rt-preload-lost";
 inline constexpr const char *rtLeakedLine = "rt-leaked-line";
+inline constexpr const char *rtEncodingUnsound = "rt-encoding-unsound";
 
 } // namespace codes
 

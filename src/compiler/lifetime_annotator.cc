@@ -20,13 +20,32 @@ LifetimeAnnotator::LifetimeAnnotator(const ir::Kernel &kernel,
 void
 LifetimeAnnotator::annotate(std::vector<Region> &regions)
 {
+    const ValueRangeAnalysis vra(_kernel, _cfg, _live);
     for (Region &region : regions) {
         classifyRegisters(region);
         placePreloads(region);
         placeEraseEvict(region);
+        recordEncodings(region, vra);
         computeCapacity(region);
     }
     placeCacheInvalidations(regions);
+}
+
+void
+LifetimeAnnotator::recordEncodings(Region &region,
+                                   const ValueRangeAnalysis &vra) const
+{
+    region.encodings.clear();
+    // A line marked evictable at pc keeps the value it holds there
+    // until a later region reclaims or redefines it, so the facts
+    // after the evict point are exactly what an eviction would see.
+    for (const auto &[pc, regs] : region.evicts) {
+        for (RegId reg : regs) {
+            StaticEncoding enc = classifyEncoding(vra.after(pc, reg));
+            if (enc != StaticEncoding::None)
+                region.encodings[reg] = enc;
+        }
+    }
 }
 
 void

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "compiler/region.hh"
+#include "compiler/value_range.hh"
 #include "ir/cfg_analysis.hh"
 #include "ir/kernel.hh"
 #include "ir/liveness.hh"
@@ -66,6 +67,13 @@ class LifetimeAnnotator
     void classifyRegisters(Region &region) const;
     void placeEraseEvict(Region &region) const;
     void placePreloads(Region &region) const;
+
+    /**
+     * Record the compression encoding the value-range analysis proves
+     * for each boundary register at its evict point (DESIGN.md §14).
+     */
+    void recordEncodings(Region &region,
+                         const ValueRangeAnalysis &vra) const;
     void placeCacheInvalidations(std::vector<Region> &regions);
     void computeCapacity(Region &region) const;
 

@@ -6,6 +6,18 @@
 namespace regless::compiler
 {
 
+const char *
+staticEncodingName(StaticEncoding enc)
+{
+    switch (enc) {
+      case StaticEncoding::None: return "none";
+      case StaticEncoding::UniformScalar: return "uniform-scalar";
+      case StaticEncoding::NarrowWidth: return "narrow-width";
+      case StaticEncoding::SignCompressed: return "sign-compressed";
+    }
+    return "?";
+}
+
 unsigned
 Region::reservedLines() const
 {

@@ -33,6 +33,24 @@ constexpr RegionId invalidRegion = 0xffffffffu;
 /** Number of OSU banks; fixed at 8 by the hardware design (§5.2). */
 constexpr unsigned numOsuBanks = 8;
 
+/**
+ * Compression encoding proven at compile time for a staged register
+ * (DESIGN.md §14). Recorded by the lifetime annotator from the static
+ * value-range analysis at the register's evict point; the eviction
+ * compressor consults it (ReglessConfig::compressionMode) before — or
+ * instead of — the runtime pattern matcher.
+ */
+enum class StaticEncoding : std::uint8_t
+{
+    None = 0,       ///< nothing provable; dynamic matcher only
+    UniformScalar,  ///< all lanes provably equal: one 4-byte scalar
+    NarrowWidth,    ///< every lane provably fits 16 unsigned bits
+    SignCompressed, ///< every lane provably a 16-bit signed int32
+};
+
+/** "none" / "uniform-scalar" / "narrow-width" / "sign-compressed". */
+const char *staticEncodingName(StaticEncoding enc);
+
 /** A register to stage before a region activates. */
 struct Preload
 {
@@ -81,6 +99,13 @@ struct Region
      * becomes eligible for eviction (evict annotation).
      */
     std::map<Pc, std::vector<RegId>> evicts;
+
+    /**
+     * Proven compression encoding per boundary (input/output)
+     * register, valid at — and after — the register's evict point in
+     * this region. Registers not listed have no proven encoding.
+     */
+    std::map<RegId, StaticEncoding> encodings;
 
     /** Max concurrently live region-referenced registers, per OSU bank. */
     std::array<std::uint8_t, numOsuBanks> bankUsage{};

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "compiler/region_builder.hh"
+#include "compiler/value_range.hh"
 #include "compiler/verifier.hh"
 #include "ir/cfg_analysis.hh"
 #include "ir/liveness.hh"
@@ -454,6 +455,96 @@ checkStagingStates(const CompiledKernel &ck)
 }
 
 std::vector<Finding>
+checkValueRanges(const CompiledKernel &ck, bool advisory)
+{
+    const ir::Kernel &kernel = ck.kernel();
+    if (kernel.numInsns() == 0 || kernel.numRegs() == 0 ||
+        ck.regions().empty()) {
+        return {};
+    }
+    ir::CfgAnalysis cfg(kernel);
+    ir::Liveness live(kernel, cfg);
+    ValueRangeAnalysis vra(kernel, cfg, live);
+
+    std::vector<Finding> findings;
+    auto add = [&](const char *code, Severity severity, RegionId rid,
+                   Pc pc, RegId reg, std::string message) {
+        findings.push_back(Finding{code, severity, rid, pc, reg,
+                                   std::move(message)});
+    };
+
+    for (const Region &region : ck.regions()) {
+        if (region.startPc > region.endPc ||
+            region.endPc >= kernel.numInsns()) {
+            continue; // structural verifier's problem
+        }
+
+        // Each boundary register's unique evict point in this region.
+        std::map<RegId, Pc> evict_pc;
+        for (const auto &[pc, regs] : region.evicts) {
+            for (RegId r : regs)
+                evict_pc.emplace(r, pc);
+        }
+
+        for (const auto &[reg, enc] : region.encodings) {
+            auto it = evict_pc.find(reg);
+            if (it == evict_pc.end()) {
+                std::ostringstream oss;
+                oss << "region records encoding "
+                    << staticEncodingName(enc) << " for r" << reg
+                    << " which it never evicts";
+                add(codes::encodingUnsound, Severity::Error, region.id,
+                    invalidPc, reg, oss.str());
+                continue;
+            }
+            const ValueFacts facts = vra.after(it->second, reg);
+            if (!encodingImplied(enc, facts)) {
+                std::ostringstream oss;
+                oss << "recorded encoding " << staticEncodingName(enc)
+                    << " for r" << reg
+                    << " is not implied by the value facts "
+                    << facts.toString() << " at its evict point";
+                add(codes::encodingUnsound, Severity::Error, region.id,
+                    it->second, reg, oss.str());
+            }
+        }
+
+        if (!advisory)
+            continue;
+
+        // Advisory: a staged register with a proven narrow encoding
+        // still occupies (and writes back) a full 128-byte line.
+        for (const auto &[reg, enc] : region.encodings) {
+            const unsigned bytes = encodingBytes(enc);
+            if (bytes >= regBytes)
+                continue;
+            std::ostringstream oss;
+            oss << "r" << reg << " claims a full " << regBytes
+                << "-byte line but provably needs " << bytes
+                << " bytes (" << staticEncodingName(enc) << ")";
+            add(codes::bankOverclaim, Severity::Warning, region.id,
+                evict_pc.count(reg) ? evict_pc[reg] : invalidPc, reg,
+                oss.str());
+        }
+
+        // Advisory: a preload of a provably constant value stages a
+        // line the hardware could rematerialize from the immediate.
+        for (const Preload &p : region.preloads) {
+            const ValueFacts facts = vra.before(region.startPc, p.reg);
+            if (!facts.isConstant())
+                continue;
+            std::ostringstream oss;
+            oss << "preload of r" << p.reg
+                << " whose value is provably the constant " << facts.lo
+                << "; the staged line is statically dead weight";
+            add(codes::deadStagedLine, Severity::Warning, region.id,
+                region.startPc, p.reg, oss.str());
+        }
+    }
+    return findings;
+}
+
+std::vector<Finding>
 lintCompiledKernel(const CompiledKernel &ck, const LintOptions &options)
 {
     std::vector<Finding> findings =
@@ -462,6 +553,11 @@ lintCompiledKernel(const CompiledKernel &ck, const LintOptions &options)
     findings.insert(findings.end(),
                     std::make_move_iterator(staging.begin()),
                     std::make_move_iterator(staging.end()));
+    std::vector<Finding> ranges =
+        checkValueRanges(ck, options.advisory);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(ranges.begin()),
+                    std::make_move_iterator(ranges.end()));
     return findings;
 }
 

@@ -47,6 +47,20 @@ namespace regless::compiler
  */
 std::vector<Finding> checkStagingStates(const CompiledKernel &ck);
 
+/**
+ * Re-derive the value-range analysis (compiler/value_range.hh) and
+ * cross-check every recorded StaticEncoding annotation against it:
+ * an encoding the recomputed facts do not imply, or recorded for a
+ * register the region never evicts, is an encoding-unsound Error (a
+ * compressor trusting it would mis-decode without the runtime guard).
+ * With @a advisory set, also emit Warnings for provable waste:
+ * bank-overclaim (a staged register with a proven narrow encoding
+ * still claims a full 128-byte line) and dead-staged-line (a preload
+ * of a provably compile-time-constant value).
+ */
+std::vector<Finding> checkValueRanges(const CompiledKernel &ck,
+                                      bool advisory = false);
+
 /** Knobs for the combined lint entry point. */
 struct LintOptions
 {
@@ -55,6 +69,12 @@ struct LintOptions
      * compiled with splitLoadUse off).
      */
     bool checkLoadUse = true;
+
+    /**
+     * Emit the advisory value-range Warnings (bank-overclaim,
+     * dead-staged-line) in addition to the always-on soundness check.
+     */
+    bool advisory = false;
 };
 
 /**

@@ -92,6 +92,13 @@ verifyStructure(const CompiledKernel &ck, bool check_load_use)
     }
 
     for (const Region &region : ck.regions()) {
+        // Bad bounds were flagged above; the per-pc checks below (and
+        // computeOccupancy's interval sweep in particular) assume
+        // startPc <= endPc < numInsns.
+        if (region.startPc > region.endPc ||
+            region.endPc >= kernel.numInsns()) {
+            continue;
+        }
         // 2. Register classification is a partition of the region's
         //    referenced registers.
         std::set<RegId> refs;

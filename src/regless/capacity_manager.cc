@@ -46,7 +46,8 @@ CapacityManager::CapacityManager(std::string name,
       _l1StoreReqs(_stats.counter("l1_store_reqs")),
       _l1InvalidateReqs(_stats.counter("l1_invalidate_reqs")),
       _activationBlocked(_stats.counter("activation_blocked_cycles")),
-      _metadataInsns(_stats.counter("metadata_insns"))
+      _metadataInsns(_stats.counter("metadata_insns")),
+      _gatedBankCycles(_stats.counter("gated_bank_cycles"))
 {
     WarpId max_id = 0;
     for (WarpId w : _shardWarps)
@@ -90,14 +91,18 @@ CapacityManager::handleReclaim(const OperandStagingUnit::Reclaim &reclaim,
         return;
     const WarpId vw = reclaim.victimWarp;
     const RegId vr = reclaim.victimReg;
-    if (_compressor && _warpOf &&
-        _compressor->compressEvict(vw, vr, _warpOf(vw).regValue(vr),
-                                   now)) {
-        // The copy lives in the compressed path; invalidating it later
-        // is a free bit-vector clear, not an L1 request.
-        _inBackingStore.insert(backingKey(vw, vr));
-        _inL1.erase(backingKey(vw, vr));
-        return;
+    if (_compressor && _warpOf) {
+        Compressor::EvictResult er = _compressor->compressEvict(
+            vw, vr, _warpOf(vw).regValue(vr), now);
+        if (er.unsound && _shadow)
+            _shadow->onEncodingUnsound(vw, vr);
+        if (er.compressed) {
+            // The copy lives in the compressed path; invalidating it
+            // later is a free bit-vector clear, not an L1 request.
+            _inBackingStore.insert(backingKey(vw, vr));
+            _inL1.erase(backingKey(vw, vr));
+            return;
+        }
     }
     // Incompressible: full-line write to L1 at the next port slot.
     Cycle t = std::max(now, _mem.l1PortNextFree());
@@ -530,6 +535,23 @@ CapacityManager::tick(Cycle now)
     }
 
     tryActivate(now);
+
+    // Static footprint gating (DESIGN.md §14): a bank with no resident
+    // lines and no outstanding reservation provably stays empty until
+    // an activation — which this tick declined or exhausted — claims
+    // space in it, so the energy model may discount its leakage.
+    if (_cfg.bankGating) {
+        unsigned gated = 0;
+        for (unsigned b = 0; b < osuBanks; ++b) {
+            auto c = _osu.bankCounts(b);
+            if (c.owned + c.clean + c.dirty == 0 &&
+                _reservedFuture[b] <= 0) {
+                ++gated;
+            }
+        }
+        _lastGatedBanks = gated;
+        _gatedBankCycles += gated;
+    }
 }
 
 Cycle
@@ -568,6 +590,9 @@ CapacityManager::onCyclesSkipped(Cycle from, Cycle n)
     // activation: the counter is defined as blocked *cycles*.
     if (_activationWasBlocked)
         _activationBlocked += n;
+    // Skippable windows cannot change OSU occupancy or reservations,
+    // so every skipped tick would have counted the same gated banks.
+    _gatedBankCycles += static_cast<std::uint64_t>(n) * _lastGatedBanks;
 }
 
 bool

@@ -242,6 +242,8 @@ class CapacityManager
     std::vector<std::uint8_t> _supervised;
     /** Did the last tick charge a blocked activation? (skip replay) */
     bool _activationWasBlocked = false;
+    /** Banks counted gated by the last tick (skip replay). */
+    unsigned _lastGatedBanks = 0;
     std::deque<WarpId> _stack; ///< front = top (last to have executed)
     std::array<int, osuBanks> _reservedFuture{};
     /** Registers with a live copy in the compressor/L1/L2 path. */
@@ -265,6 +267,7 @@ class CapacityManager
     Counter &_l1InvalidateReqs;
     Counter &_activationBlocked;
     Counter &_metadataInsns;
+    Counter &_gatedBankCycles;
 };
 
 } // namespace regless::staging

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "compiler/value_range.hh"
 
 namespace regless::staging
 {
@@ -34,6 +35,8 @@ Compressor::Compressor(std::string name, const CompressorConfig &config,
       _stats(std::move(name)),
       _matches(_stats.counter("matches")),
       _misses(_stats.counter("incompressible")),
+      _staticHits(_stats.counter("static_hits")),
+      _staticUnsound(_stats.counter("static_unsound")),
       _cacheHits(_stats.counter("cache_hits")),
       _cacheMisses(_stats.counter("cache_misses")),
       _lineFetches(_stats.counter("line_fetches")),
@@ -94,11 +97,47 @@ Compressor::installLine(std::uint32_t line, bool dirty)
     _cache.emplace(line, entry);
 }
 
-bool
+Compressor::EvictResult
 Compressor::compressEvict(WarpId warp, RegId reg,
                           const ir::LaneValues &value, Cycle now)
 {
     (void)now;
+    EvictResult result;
+
+    // Static/hybrid: consult the compile-time proven encoding before
+    // (or instead of) the runtime matcher. The guard against the
+    // actual lanes makes an unsound proof cost compression only.
+    if (_mode != CompressionMode::Dynamic) {
+        compiler::StaticEncoding enc = compiler::StaticEncoding::None;
+        if (_encodings && reg < _encodings->size())
+            enc = (*_encodings)[reg];
+        if (enc != compiler::StaticEncoding::None) {
+            if (compiler::encodingHolds(enc, value)) {
+                ++_staticHits;
+                ++_matches;
+                _bitVector.insert(regIndex(warp, reg));
+                installLine(lineOf(warp, reg), /*dirty=*/true);
+                result.compressed = true;
+                result.staticHit = true;
+                return result;
+            }
+            // The value escaped its proven range.
+            ++_staticUnsound;
+            result.unsound = true;
+            if (_mode == CompressionMode::Static) {
+                ++_misses;
+                _bitVector.erase(regIndex(warp, reg));
+                return result;
+            }
+            // Hybrid falls through to the matcher.
+        } else if (_mode == CompressionMode::Static) {
+            // Nothing proven and no matcher in static mode.
+            ++_misses;
+            _bitVector.erase(regIndex(warp, reg));
+            return result;
+        }
+    }
+
     Pattern pattern = matchPattern(value);
     if (pattern != Pattern::None &&
         !((_cfg.patternMask >> static_cast<unsigned>(pattern)) & 1u)) {
@@ -108,12 +147,13 @@ Compressor::compressEvict(WarpId warp, RegId reg,
     if (pattern == Pattern::None) {
         ++_misses;
         _bitVector.erase(regIndex(warp, reg));
-        return false;
+        return result;
     }
     ++_matches;
     _bitVector.insert(regIndex(warp, reg));
     installLine(lineOf(warp, reg), /*dirty=*/true);
-    return true;
+    result.compressed = true;
+    return result;
 }
 
 Compressor::PreloadResult

@@ -22,6 +22,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "compiler/region.hh"
 #include "ir/instruction.hh"
 #include "mem/memory_system.hh"
 #include "regless/regless_config.hh"
@@ -71,15 +72,40 @@ class Compressor
     /** Classify @a value (pure; exposed for tests and benches). */
     static Pattern matchPattern(const ir::LaneValues &value);
 
+    /** Outcome of offering a dirty eviction to the compressor. */
+    struct EvictResult
+    {
+        /**
+         * The value compressed (stored internally, flushed lazily);
+         * when false the caller must write the full line to L1.
+         */
+        bool compressed = false;
+        /** A compile-time proven encoding was applied. */
+        bool staticHit = false;
+        /**
+         * The value escaped its compile-time proven range: the static
+         * analysis (or a mutated annotation) is unsound for it.
+         */
+        bool unsound = false;
+    };
+
     /**
-     * Try to absorb a dirty eviction.
-     *
-     * @return true when the value compressed (stored internally, to be
-     * flushed lazily); false when the caller must write the full line
-     * to L1 itself.
+     * Enable static/hybrid compression against the compiled kernel's
+     * proven-encoding table (indexed by RegId; may be null or short —
+     * missing entries behave as StaticEncoding::None). The table must
+     * outlive the compressor.
      */
-    bool compressEvict(WarpId warp, RegId reg,
-                       const ir::LaneValues &value, Cycle now);
+    void setStaticEncodings(
+        CompressionMode mode,
+        const std::vector<compiler::StaticEncoding> *encodings)
+    {
+        _mode = mode;
+        _encodings = encodings;
+    }
+
+    /** Try to absorb a dirty eviction. */
+    EvictResult compressEvict(WarpId warp, RegId reg,
+                              const ir::LaneValues &value, Cycle now);
 
     /**
      * Route a preload. Checks the bit vector; for compressed registers
@@ -143,6 +169,9 @@ class Compressor
     mem::MemorySystem &_mem;
     Addr _compressedBase;
     unsigned _numWarps;
+    CompressionMode _mode = CompressionMode::Dynamic;
+    /** Kernel-wide proven encodings, or null in dynamic mode. */
+    const std::vector<compiler::StaticEncoding> *_encodings = nullptr;
     /** Registers currently stored compressed. */
     std::unordered_set<std::uint32_t> _bitVector;
     /** Internal compressed-line cache. */
@@ -153,6 +182,8 @@ class Compressor
     StatGroup _stats;
     Counter &_matches;
     Counter &_misses;
+    Counter &_staticHits;
+    Counter &_staticUnsound;
     Counter &_cacheHits;
     Counter &_cacheMisses;
     Counter &_lineFetches;

@@ -6,6 +6,8 @@
 #ifndef REGLESS_REGLESS_REGLESS_CONFIG_HH
 #define REGLESS_REGLESS_REGLESS_CONFIG_HH
 
+#include <cstdint>
+
 #include "common/types.hh"
 
 namespace regless::staging
@@ -16,6 +18,20 @@ enum class VictimOrder
 {
     FreeCleanDirty, ///< paper order: free, then clean, then dirty
     DirtyFirst,     ///< ablation: prefer dirty victims
+};
+
+/**
+ * How the eviction compressor picks a representation (DESIGN.md §14).
+ * Static and hybrid consult the compile-time proven encoding table
+ * from the value-range analysis; every static decision is still
+ * guarded against the actual lanes, so an unsound proof can only cost
+ * compression, never correctness.
+ */
+enum class CompressionMode : std::uint8_t
+{
+    Dynamic = 0, ///< runtime pattern matcher only (paper §5.3)
+    Static,      ///< compile-time proven encodings only, no matcher
+    Hybrid,      ///< proven encoding first, matcher as fallback
 };
 
 /** Compressor parameters (§5.3). */
@@ -50,6 +66,15 @@ struct ReglessConfig
     /** Enable the eviction compressor. */
     bool compressorEnabled = true;
     CompressorConfig compressor;
+    /** Compressed-representation selection policy. */
+    CompressionMode compressionMode = CompressionMode::Dynamic;
+    /**
+     * Power-gate OSU banks that hold no lines and have no outstanding
+     * reservation: the static per-region footprint bound proves such a
+     * bank stays empty until the next activation can touch it, so its
+     * leakage is discounted in the energy model (DESIGN.md §14).
+     */
+    bool bankGating = true;
     /** Activation order: LIFO warp stack (paper) vs FIFO (ablation). */
     bool fifoActivation = false;
     VictimOrder victimOrder = VictimOrder::FreeCleanDirty;

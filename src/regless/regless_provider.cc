@@ -32,6 +32,8 @@ ReglessProvider::ReglessProvider(const compiler::CompiledKernel &ck,
             _compressors.push_back(std::make_unique<Compressor>(
                 "compressor" + std::to_string(s), cfg.compressor, mem,
                 cfg.compressedBase, num_warps));
+            _compressors.back()->setStaticEncodings(
+                cfg.compressionMode, &ck.staticEncodings());
         }
     }
     for (unsigned s = 0; s < cfg.numShards; ++s) {

@@ -134,6 +134,16 @@ ShadowChecker::onDrainEnd(WarpId warp, const OperandStagingUnit &osu,
 }
 
 void
+ShadowChecker::onEncodingUnsound(WarpId warp, RegId reg)
+{
+    flag(compiler::codes::rtEncodingUnsound, compiler::invalidRegion,
+         invalidPc, reg,
+         "warp " + std::to_string(warp) + " evicts r" +
+             std::to_string(reg) +
+             " with a value outside its statically proven encoding");
+}
+
+void
 ShadowChecker::onWarpDropped(WarpId warp)
 {
     for (auto it = _lost.begin(); it != _lost.end();) {

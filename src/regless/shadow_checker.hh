@@ -81,6 +81,14 @@ class ShadowChecker
     void onDrainEnd(WarpId warp, const OperandStagingUnit &osu,
                     compiler::RegionId region, Pc end_pc);
 
+    /**
+     * An evicted value escaped its compile-time proven encoding: the
+     * static value-range analysis (or a mutated annotation) claimed a
+     * range the runtime value violates. The compressor's lane guard
+     * already kept the data safe; this records the unsound proof.
+     */
+    void onEncodingUnsound(WarpId warp, RegId reg);
+
     /** The warp exited the kernel; all its values are dead. */
     void onWarpDropped(WarpId warp);
 

@@ -38,7 +38,10 @@ namespace
 // v7: the provider registry added the rfcache/regdem designs: new
 // RunStats fields (rf_cache_hits/misses, spill_stores, fill_loads)
 // and new fingerprint fields (rf_cache.*, regdem.*).
-constexpr unsigned kCacheSchemaVersion = 7;
+// v8: static value-range compression: new RunStats fields
+// (compressor_static_hits/unsound, osu_gated_bank_cycles) and new
+// fingerprint fields (regless.compression_mode, regless.bank_gating).
+constexpr unsigned kCacheSchemaVersion = 8;
 
 /** Fingerprint of everything that determines a job's results. */
 std::uint64_t

@@ -179,14 +179,16 @@ dump(KeyValueSink &kv, const std::string &p,
      const staging::ReglessConfig &c)
 {
     const auto &[osu_entries, num_shards, preload_slots,
-                 compressor_enabled, compressor, fifo_activation,
-                 victim_order, reg_base, compressed_base,
-                 runtime_check] = c;
+                 compressor_enabled, compressor, compression_mode,
+                 bank_gating, fifo_activation, victim_order, reg_base,
+                 compressed_base, runtime_check] = c;
     kv.add(p + "osu_entries_per_sm", osu_entries);
     kv.add(p + "num_shards", num_shards);
     kv.add(p + "preload_slots_per_shard", preload_slots);
     kv.add(p + "compressor_enabled", compressor_enabled);
     dump(kv, p + "compressor.", compressor);
+    kv.add(p + "compression_mode", compression_mode);
+    kv.add(p + "bank_gating", bank_gating);
     kv.add(p + "fifo_activation", fifo_activation);
     kv.add(p + "victim_order", victim_order);
     kv.add(p + "reg_base", reg_base);

@@ -154,6 +154,9 @@ MultiSmSimulator::run(double wall_timeout_sec)
         total.compressorAccesses += s.compressorAccesses;
         total.compressorMatches += s.compressorMatches;
         total.compressorIncompressible += s.compressorIncompressible;
+        total.compressorStaticHits += s.compressorStaticHits;
+        total.compressorStaticUnsound += s.compressorStaticUnsound;
+        total.osuGatedBankCycles += s.osuGatedBankCycles;
         total.preloadSrcOsu += s.preloadSrcOsu;
         total.preloadSrcCompressor += s.preloadSrcCompressor;
         total.preloadSrcL1 += s.preloadSrcL1;

@@ -146,6 +146,7 @@ collectRegless(regfile::RegisterProvider &provider, RunStats &stats)
     stats.l1StoreReqs = rp.l1Requests("l1_store_reqs");
     stats.l1InvalidateReqs = rp.l1Requests("l1_invalidate_reqs");
     stats.metadataInsns = rp.l1Requests("metadata_insns");
+    stats.osuGatedBankCycles = rp.preloadsFrom("gated_bank_cycles");
     stats.regionPreloadsMean = rp.meanRegionPreloads();
     stats.regionLiveMean = rp.meanRegionLive();
     stats.regionLiveStddev = rp.stddevRegionLive();
@@ -163,6 +164,10 @@ collectRegless(regfile::RegisterProvider &provider, RunStats &stats)
                 comp->stats().counter("matches").value();
             stats.compressorIncompressible +=
                 comp->stats().counter("incompressible").value();
+            stats.compressorStaticHits +=
+                comp->stats().counter("static_hits").value();
+            stats.compressorStaticUnsound +=
+                comp->stats().counter("static_unsound").value();
         }
     }
 }
@@ -247,6 +252,19 @@ energyRegless(const RunStats &stats, const GpuConfig &config,
         e.osuOverheadFactor;
     out.regStatic = e.staticPower(config.regless.osuEntriesPerSm) *
                     e.osuOverheadFactor * cycles;
+    // Static footprint gating (DESIGN.md §14): banks proven empty by
+    // the per-region bound leak nothing while gated. The counter sums
+    // gated banks over cycles and shards, so the discount is its share
+    // of the total bank-cycles.
+    if (config.regless.bankGating && stats.cycles > 0) {
+        const double bank_cycles =
+            cycles * static_cast<double>(config.regless.numShards) *
+            static_cast<double>(staging::osuBanks);
+        const double gated_frac = std::min(
+            1.0,
+            static_cast<double>(stats.osuGatedBankCycles) / bank_cycles);
+        out.regStatic *= 1.0 - gated_frac;
+    }
     out.compressor = static_cast<double>(stats.compressorAccesses) *
                          e.compressorAccess +
                      e.compressorStaticPerCycle * cycles;

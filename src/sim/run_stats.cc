@@ -26,6 +26,9 @@ operator==(const RunStats &a, const RunStats &b)
            a.compressorAccesses == b.compressorAccesses &&
            a.compressorMatches == b.compressorMatches &&
            a.compressorIncompressible == b.compressorIncompressible &&
+           a.compressorStaticHits == b.compressorStaticHits &&
+           a.compressorStaticUnsound == b.compressorStaticUnsound &&
+           a.osuGatedBankCycles == b.osuGatedBankCycles &&
            a.rfCacheHits == b.rfCacheHits &&
            a.rfCacheMisses == b.rfCacheMisses &&
            a.spillStores == b.spillStores &&

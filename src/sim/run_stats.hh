@@ -55,6 +55,13 @@ struct RunStats
     std::uint64_t compressorAccesses = 0;
     std::uint64_t compressorMatches = 0;
     std::uint64_t compressorIncompressible = 0;
+    /** @name Static compression (DESIGN.md §14). */
+    /** Evictions compressed via a compile-time proven encoding. */
+    std::uint64_t compressorStaticHits = 0;
+    /** Evictions whose value escaped its proven encoding. */
+    std::uint64_t compressorStaticUnsound = 0;
+    /** Sum over cycles of OSU banks power-gated as provably empty. */
+    std::uint64_t osuGatedBankCycles = 0;
     /** Compiler-assisted RF cache (DESIGN.md §13.2). */
     std::uint64_t rfCacheHits = 0;
     std::uint64_t rfCacheMisses = 0;

@@ -291,6 +291,12 @@ applyRunField(RunStats &stats, const std::string &key,
             stats.compressorMatches = asCount(v);
         else if (key == "compressor_incompressible")
             stats.compressorIncompressible = asCount(v);
+        else if (key == "compressor_static_hits")
+            stats.compressorStaticHits = asCount(v);
+        else if (key == "compressor_static_unsound")
+            stats.compressorStaticUnsound = asCount(v);
+        else if (key == "osu_gated_bank_cycles")
+            stats.osuGatedBankCycles = asCount(v);
         else if (key == "rf_cache_hits")
             stats.rfCacheHits = asCount(v);
         else if (key == "rf_cache_misses")
@@ -397,6 +403,10 @@ writeRunFields(JsonObject &obj, const RunStats &stats)
     obj.field("compressor_matches", stats.compressorMatches);
     obj.field("compressor_incompressible",
               stats.compressorIncompressible);
+    obj.field("compressor_static_hits", stats.compressorStaticHits);
+    obj.field("compressor_static_unsound",
+              stats.compressorStaticUnsound);
+    obj.field("osu_gated_bank_cycles", stats.osuGatedBankCycles);
     obj.field("rf_cache_hits", stats.rfCacheHits);
     obj.field("rf_cache_misses", stats.rfCacheMisses);
     obj.field("spill_stores", stats.spillStores);

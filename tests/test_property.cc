@@ -19,6 +19,7 @@
 #include "common/fault_injector.hh"
 #include "common/sim_error.hh"
 #include "compiler/staging_checker.hh"
+#include "compiler/value_range.hh"
 #include "golden_runs.hh"
 #include "ir/cfg_analysis.hh"
 #include "regless/operand_staging_unit.hh"
@@ -359,6 +360,52 @@ bogusCacheInvalidation(const compiler::CompiledKernel &,
     return true;
 }
 
+/**
+ * Record @a enc on the first evicted register whose recomputed value
+ * facts do NOT imply it: a compile-time compression claim the value
+ * can escape at runtime (codes::encodingUnsound).
+ */
+bool
+forgeEncoding(const compiler::CompiledKernel &ck,
+              std::vector<compiler::Region> &regions,
+              compiler::StaticEncoding enc)
+{
+    ir::CfgAnalysis cfg(ck.kernel());
+    ir::Liveness live(ck.kernel(), cfg);
+    compiler::ValueRangeAnalysis vra(ck.kernel(), cfg, live);
+    for (compiler::Region &region : regions) {
+        for (const auto &[pc, regs] : region.evicts) {
+            for (RegId r : regs) {
+                if (compiler::encodingImplied(enc, vra.after(pc, r)))
+                    continue;
+                region.encodings[r] = enc;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+forgeNarrowEncoding(const compiler::CompiledKernel &ck,
+                    std::vector<compiler::Region> &regions)
+{
+    // Widen a value past its proven range: claim the low 16 bits
+    // suffice for a register the analysis cannot bound.
+    return forgeEncoding(ck, regions,
+                         compiler::StaticEncoding::NarrowWidth);
+}
+
+bool
+forgeUniformEncoding(const compiler::CompiledKernel &ck,
+                     std::vector<compiler::Region> &regions)
+{
+    // Flip a divergent vector to a uniform broadcast: claim one lane
+    // represents all 32 for a register that is not proven uniform.
+    return forgeEncoding(ck, regions,
+                         compiler::StaticEncoding::UniformScalar);
+}
+
 TEST(MutationHarness, StaticLintKillsAtLeast95PercentOfMutants)
 {
     const std::vector<std::pair<const char *, MutationOp>> ops = {
@@ -369,6 +416,8 @@ TEST(MutationHarness, StaticLintKillsAtLeast95PercentOfMutants)
         {"shrinkMaxLive", shrinkMaxLive},
         {"underclaimBank", underclaimBank},
         {"bogusCacheInvalidation", bogusCacheInvalidation},
+        {"forgeNarrowEncoding", forgeNarrowEncoding},
+        {"forgeUniformEncoding", forgeUniformEncoding},
     };
 
     unsigned generated = 0;
@@ -413,6 +462,46 @@ TEST(MutationHarness, StaticLintKillsAtLeast95PercentOfMutants)
             << "mutant " << m.op << " seed " << m.seed
             << " escaped both the static lint and the runtime check";
     }
+}
+
+/**
+ * The value-corrupting operators must be killed statically on EVERY
+ * random kernel with an eligible site — 100%, not just the harness's
+ * 95% aggregate bar: a forged encoding that reached the compressor
+ * could mis-decode an evicted vector, so no escape is tolerable.
+ */
+TEST(MutationHarness, ForgedEncodingsAreAlwaysStaticallyKilled)
+{
+    const std::vector<std::pair<const char *, MutationOp>> forgers = {
+        {"forgeNarrowEncoding", forgeNarrowEncoding},
+        {"forgeUniformEncoding", forgeUniformEncoding},
+    };
+    unsigned generated = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const compiler::CompiledKernel ck =
+            compiler::compile(randomKernel(seed));
+        for (const auto &[name, op] : forgers) {
+            auto regions = ck.regions();
+            if (!op(ck, regions))
+                continue;
+            compiler::CompiledKernel mutant(ck.kernel(),
+                                            std::move(regions),
+                                            ck.lifetimeStats(),
+                                            ck.metadataInsns());
+            ++generated;
+            std::vector<compiler::Finding> findings =
+                compiler::lintCompiledKernel(mutant);
+            EXPECT_TRUE(std::any_of(
+                findings.begin(), findings.end(),
+                [](const compiler::Finding &f) {
+                    return f.code == compiler::codes::encodingUnsound;
+                }))
+                << name << " escaped the lint on seed " << seed;
+            EXPECT_TRUE(compiler::hasErrors(findings)) << name;
+        }
+    }
+    EXPECT_GT(generated, 10u)
+        << "too few forgeable sites for a meaningful kill rate";
 }
 
 /**

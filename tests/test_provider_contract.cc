@@ -314,14 +314,14 @@ TEST(RegDemTest, SpillTrafficIsRealMemoryTraffic)
 }
 
 // ---------------------------------------------------------------------
-// Cache schema v7 (negative test: v6 entries are stale).
+// Cache schema v8 (negative test: v7 entries are stale).
 // ---------------------------------------------------------------------
 
-TEST(CacheSchema, V6EntriesAreRejected)
+TEST(CacheSchema, V7EntriesAreRejected)
 {
     const std::filesystem::path dir =
         std::filesystem::path(::testing::TempDir()) /
-        "regless-schema-v6";
+        "regless-schema-v7";
     std::filesystem::remove_all(dir);
     sim::ExperimentEngine::Options options;
     options.cacheDir = dir.string();
@@ -338,7 +338,7 @@ TEST(CacheSchema, V6EntriesAreRejected)
     const auto path = dir / sim::ExperimentEngine::cacheFileName(job);
     ASSERT_TRUE(std::filesystem::exists(path));
 
-    // Downgrade the entry's schema stamp to 6 in place (the file name
+    // Downgrade the entry's schema stamp to 7 in place (the file name
     // stays valid, so only the record-level check can reject it).
     std::string text;
     {
@@ -354,11 +354,11 @@ TEST(CacheSchema, V6EntriesAreRejected)
     ASSERT_NE(digit, std::string::npos);
     const std::size_t end =
         text.find_first_not_of("0123456789", digit);
-    ASSERT_EQ(text.substr(digit, end - digit), "7");
-    text.replace(digit, end - digit, "6");
+    ASSERT_EQ(text.substr(digit, end - digit), "8");
+    text.replace(digit, end - digit, "7");
     std::ofstream(path, std::ios::binary | std::ios::trunc) << text;
 
-    // A v6 entry is a miss, the job re-simulates, the entry heals.
+    // A v7 entry is a miss, the job re-simulates, the entry heals.
     {
         sim::ExperimentEngine engine(options);
         const sim::RunStats &stats = engine.stats(engine.submit(job));

@@ -278,7 +278,7 @@ TEST(CompressorTest, EvictAndPreloadThroughCache)
     Compressor comp("c", cfg, mem, 0x6000'0000, 64);
 
     EXPECT_FALSE(comp.isCompressed(1, 2));
-    EXPECT_TRUE(comp.compressEvict(1, 2, lanes(5, 0), 0));
+    EXPECT_TRUE(comp.compressEvict(1, 2, lanes(5, 0), 0).compressed);
     EXPECT_TRUE(comp.isCompressed(1, 2));
 
     auto res = comp.preload(1, 2, 10);
@@ -347,7 +347,7 @@ TEST(CompressorTest, IncompressibleValueRejected)
     ir::LaneValues random{};
     for (unsigned i = 0; i < 32; ++i)
         random[i] = i * 2654435761u + (i % 3);
-    EXPECT_FALSE(comp.compressEvict(0, 0, random, 0));
+    EXPECT_FALSE(comp.compressEvict(0, 0, random, 0).compressed);
     EXPECT_FALSE(comp.isCompressed(0, 0));
     auto res = comp.preload(0, 0, 5);
     EXPECT_FALSE(res.wasCompressed);

@@ -16,8 +16,11 @@
 
 #include "compiler/compiler.hh"
 #include "compiler/staging_checker.hh"
+#include "compiler/verifier.hh"
 #include "ir/cfg_analysis.hh"
 #include "ir/liveness.hh"
+#include "regless/operand_staging_unit.hh"
+#include "regless/shadow_checker.hh"
 #include "sim/gpu_config.hh"
 #include "sim/gpu_simulator.hh"
 #include "workloads/rodinia.hh"
@@ -480,6 +483,269 @@ TEST(StagingCheckerTest, MutantsAreReportedOnceNotPerPath)
                        << codesOf(findings);
 }
 
+/* ---- structural verifier codes, one ctor-safe mutant each ---- */
+
+TEST(VerifierTest, InvertedRegionBoundsReported)
+{
+    // A region whose startPc exceeds its endPc covers nothing; the
+    // CompiledKernel ctor tolerates it (the cover loop never runs) but
+    // the verifier must flag it before anything else trusts it.
+    auto [ck, idx] = findKernelWith(
+        [](const compiler::CompiledKernel &,
+           const compiler::Region &region) {
+            return region.startPc < region.endPc;
+        });
+    auto regions = ck.regions();
+    compiler::Region bogus = regions[idx];
+    std::swap(bogus.startPc, bogus.endPc);
+    regions.push_back(bogus);
+    std::vector<compiler::Finding> findings = compiler::verifyStructure(
+        rebuild(ck, std::move(regions)), /*check_load_use=*/true);
+    EXPECT_TRUE(hasCode(findings, compiler::codes::regionBounds))
+        << codesOf(findings);
+}
+
+TEST(VerifierTest, RegionSpanningBlockBoundaryReported)
+{
+    auto [ck, idx] = findKernelWith(
+        [](const compiler::CompiledKernel &k,
+           const compiler::Region &region) {
+            return region.endPc + 1 < k.kernel().numInsns() &&
+                   k.kernel().blockOf(region.endPc + 1) !=
+                       k.kernel().blockOf(region.endPc);
+        });
+    auto regions = ck.regions();
+    ++regions[idx].endPc;
+    std::vector<compiler::Finding> findings = compiler::verifyStructure(
+        rebuild(ck, std::move(regions)), true);
+    EXPECT_TRUE(hasCode(findings, compiler::codes::regionSpansBlock))
+        << codesOf(findings);
+}
+
+TEST(VerifierTest, OverlappingRegionStartsReported)
+{
+    // Two regions claiming the same startPc cannot both satisfy the
+    // pc-to-region map: whichever loses the map write is reported.
+    auto [ck, idx] = findKernelWith(
+        [](const compiler::CompiledKernel &k,
+           const compiler::Region &region) {
+            return region.endPc + 1 < k.kernel().numInsns();
+        });
+    auto regions = ck.regions();
+    const compiler::RegionId next = ck.regionAt(regions[idx].endPc + 1);
+    regions[next].startPc = regions[idx].startPc;
+    std::vector<compiler::Finding> findings = compiler::verifyStructure(
+        rebuild(ck, std::move(regions)), true);
+    EXPECT_TRUE(hasCode(findings, compiler::codes::regionIdMap))
+        << codesOf(findings);
+}
+
+TEST(VerifierTest, DoubleCoveredPcReported)
+{
+    // Extend a region one pc into its successor without crossing a
+    // block boundary: that pc is now covered twice, and only the
+    // coverage invariant is violated.
+    auto [ck, idx] = findKernelWith(
+        [](const compiler::CompiledKernel &k,
+           const compiler::Region &region) {
+            return region.endPc + 1 < k.kernel().numInsns() &&
+                   k.kernel().blockOf(region.endPc + 1) ==
+                       k.kernel().blockOf(region.endPc);
+        });
+    auto regions = ck.regions();
+    ++regions[idx].endPc;
+    std::vector<compiler::Finding> findings = compiler::verifyStructure(
+        rebuild(ck, std::move(regions)), true);
+    EXPECT_TRUE(hasCode(findings, compiler::codes::coverage))
+        << codesOf(findings);
+    EXPECT_FALSE(hasCode(findings, compiler::codes::regionSpansBlock))
+        << codesOf(findings);
+}
+
+TEST(VerifierTest, UnreferencedInputReported)
+{
+    auto [ck, idx] = findKernelWith(
+        [](const compiler::CompiledKernel &k,
+           const compiler::Region &region) {
+            return regionRefs(k, region).size() < k.kernel().numRegs();
+        });
+    auto regions = ck.regions();
+    const std::vector<RegId> refs = regionRefs(ck, regions[idx]);
+    for (RegId r = 0; r < ck.kernel().numRegs(); ++r) {
+        if (!std::binary_search(refs.begin(), refs.end(), r)) {
+            regions[idx].inputs.push_back(r);
+            break;
+        }
+    }
+    std::vector<compiler::Finding> findings = compiler::verifyStructure(
+        rebuild(ck, std::move(regions)), true);
+    EXPECT_TRUE(hasCode(findings, compiler::codes::classification))
+        << codesOf(findings);
+}
+
+TEST(VerifierTest, PreloadOfNonInputReported)
+{
+    // Preloading an interior register leaves the region's input
+    // classification intact but breaks preloads == inputs.
+    auto [ck, idx] = findKernelWith(
+        [](const compiler::CompiledKernel &,
+           const compiler::Region &region) {
+            return !region.interiors.empty();
+        });
+    auto regions = ck.regions();
+    regions[idx].preloads.push_back(
+        compiler::Preload{regions[idx].interiors.front(), false});
+    std::vector<compiler::Finding> findings = compiler::verifyStructure(
+        rebuild(ck, std::move(regions)), true);
+    EXPECT_TRUE(hasCode(findings, compiler::codes::preloadSet))
+        << codesOf(findings);
+    EXPECT_FALSE(hasCode(findings, compiler::codes::classification))
+        << codesOf(findings);
+}
+
+TEST(VerifierTest, EraseOfNonInteriorReported)
+{
+    auto [ck, idx] = findKernelWith(
+        [](const compiler::CompiledKernel &,
+           const compiler::Region &region) {
+            return !region.inputs.empty();
+        });
+    auto regions = ck.regions();
+    regions[idx].erases[regions[idx].startPc].push_back(
+        regions[idx].inputs.front());
+    std::vector<compiler::Finding> findings = compiler::verifyStructure(
+        rebuild(ck, std::move(regions)), true);
+    EXPECT_TRUE(hasCode(findings, compiler::codes::erasePlacement))
+        << codesOf(findings);
+}
+
+TEST(VerifierTest, EvictOfInteriorReported)
+{
+    auto [ck, idx] = findKernelWith(
+        [](const compiler::CompiledKernel &,
+           const compiler::Region &region) {
+            return !region.interiors.empty();
+        });
+    auto regions = ck.regions();
+    regions[idx].evicts[regions[idx].endPc].push_back(
+        regions[idx].interiors.front());
+    std::vector<compiler::Finding> findings = compiler::verifyStructure(
+        rebuild(ck, std::move(regions)), true);
+    EXPECT_TRUE(hasCode(findings, compiler::codes::evictPlacement))
+        << codesOf(findings);
+}
+
+TEST(VerifierTest, InflatedMaxLiveReported)
+{
+    // The complement of ShrunkMaxLiveReportsUnderclaim: over-claiming
+    // maxLive no longer matches the recomputed occupancy either.
+    compiler::CompiledKernel ck =
+        compiler::compile(workloads::makeRodinia("nn"));
+    auto regions = ck.regions();
+    ++regions.front().maxLive;
+    std::vector<compiler::Finding> findings = compiler::verifyStructure(
+        rebuild(ck, std::move(regions)), true);
+    EXPECT_TRUE(hasCode(findings, compiler::codes::capacityMismatch))
+        << codesOf(findings);
+}
+
+TEST(VerifierTest, UnsplitLoadUseReported)
+{
+    // Compiling with load/use splitting disabled leaves some region
+    // holding a global load together with its first use — exactly what
+    // the check_load_use pass exists to flag.
+    compiler::CompilerConfig config;
+    config.splitLoadUse = false;
+    bool flagged = false;
+    for (const std::string &name : workloads::rodiniaNames()) {
+        compiler::CompiledKernel ck =
+            compiler::compile(workloads::makeRodinia(name), config);
+        flagged = flagged ||
+                  hasCode(compiler::verifyStructure(ck, true),
+                          compiler::codes::loadUseSplit);
+    }
+    EXPECT_TRUE(flagged)
+        << "no Rodinia kernel keeps a load with its use when "
+           "splitting is off";
+}
+
+TEST(VerifierTest, MissingMetadataReported)
+{
+    compiler::CompiledKernel ck =
+        compiler::compile(workloads::makeRodinia("nn"));
+    auto regions = ck.regions();
+    regions.front().metadataInsns = 0;
+    std::vector<compiler::Finding> findings = compiler::verifyStructure(
+        rebuild(ck, std::move(regions)), true);
+    EXPECT_TRUE(hasCode(findings, compiler::codes::metadataMissing))
+        << codesOf(findings);
+}
+
+TEST(StagingCheckerTest, EraseOfSoftDefValueReported)
+{
+    // Erasing a register a later soft definition merges into destroys
+    // the lanes the partial write would have kept (Algorithm 2).
+    auto [ck, idx] = findKernelWith(
+        [](const compiler::CompiledKernel &k,
+           const compiler::Region &region) {
+            ir::CfgAnalysis cfg(k.kernel());
+            ir::Liveness live(k.kernel(), cfg);
+            for (const auto &[pc, regs] : region.evicts) {
+                for (RegId r : regs) {
+                    if (live.liveAfter(pc, r) && live.hasSoftDef(r))
+                        return true;
+                }
+            }
+            return false;
+        });
+    ir::CfgAnalysis cfg(ck.kernel());
+    ir::Liveness live(ck.kernel(), cfg);
+    auto regions = ck.regions();
+    bool mutated = false;
+    for (auto &[pc, regs] : regions[idx].evicts) {
+        for (auto rit = regs.begin(); rit != regs.end(); ++rit) {
+            if (live.liveAfter(pc, *rit) && live.hasSoftDef(*rit)) {
+                regions[idx].erases[pc].push_back(*rit);
+                regs.erase(rit);
+                mutated = true;
+                break;
+            }
+        }
+        if (mutated)
+            break;
+    }
+    ASSERT_TRUE(mutated);
+    std::vector<compiler::Finding> findings =
+        compiler::checkStagingStates(rebuild(ck, std::move(regions)));
+    EXPECT_TRUE(hasCode(findings, compiler::codes::eraseSoftDef))
+        << codesOf(findings);
+}
+
+TEST(StagingCheckerTest, InvalidatedValuePreloadedDownstreamReported)
+{
+    // Invalidating the cached copy of a value a later region preloads
+    // is the cache-side twin of ErasedValuePreloadedDownstream.
+    auto [ck, idx] = findKernelWith(
+        [](const compiler::CompiledKernel &k,
+           const compiler::Region &region) {
+            const ir::BasicBlock &block =
+                k.kernel().block(k.kernel().blockOf(region.endPc));
+            if (region.endPc == block.lastPc())
+                return false;
+            const compiler::RegionId next =
+                k.regionAt(region.endPc + 1);
+            return !k.region(next).preloads.empty();
+        });
+    auto regions = ck.regions();
+    const compiler::RegionId next = ck.regionAt(regions[idx].endPc + 1);
+    const RegId reg = regions[next].preloads.front().reg;
+    regions[next].cacheInvalidations.push_back(reg);
+    std::vector<compiler::Finding> findings =
+        compiler::checkStagingStates(rebuild(ck, std::move(regions)));
+    EXPECT_TRUE(hasCode(findings, compiler::codes::preloadInvalidated))
+        << codesOf(findings);
+}
+
 /** The dynamic shadow checker agrees with the static verdict: clean. */
 TEST(ShadowCheckerTest, RuntimeCleanOnRodiniaUnderPressure)
 {
@@ -498,6 +764,74 @@ TEST(ShadowCheckerTest, RuntimeCleanOnRodiniaUnderPressure)
             << name << ":\n"
             << codesOf(violations);
     }
+}
+
+/**
+ * First pc in @a ck whose instruction reads at least one register,
+ * with one such register; the runtime read checks key off these.
+ */
+std::pair<Pc, RegId>
+firstReadingPc(const compiler::CompiledKernel &ck)
+{
+    for (Pc pc = 0; pc < ck.kernel().numInsns(); ++pc) {
+        std::vector<RegId> used =
+            ir::Liveness::usedRegs(ck.kernel().insn(pc));
+        if (!used.empty())
+            return {pc, used.front()};
+    }
+    ADD_FAILURE() << "kernel reads no registers";
+    return {0, 0};
+}
+
+TEST(ShadowCheckerTest, ReadOfErasedValueIsARuntimeViolation)
+{
+    compiler::CompiledKernel ck =
+        compiler::compile(workloads::makeRodinia("nn"));
+    staging::ShadowChecker checker(ck);
+    staging::OperandStagingUnit osu(
+        "osu", 64, staging::VictimOrder::FreeCleanDirty);
+    auto [pc, reg] = firstReadingPc(ck);
+    checker.onErase(0, reg);
+    checker.onIssue(0, pc, ck.kernel().insn(pc), osu, ck.regionAt(pc));
+    EXPECT_TRUE(hasCode(checker.violations(),
+                        compiler::codes::rtReadAfterErase))
+        << codesOf(checker.violations());
+}
+
+TEST(ShadowCheckerTest, ReadOfInvalidatedValueIsARuntimeViolation)
+{
+    compiler::CompiledKernel ck =
+        compiler::compile(workloads::makeRodinia("nn"));
+    staging::ShadowChecker checker(ck);
+    staging::OperandStagingUnit osu(
+        "osu", 64, staging::VictimOrder::FreeCleanDirty);
+    auto [pc, reg] = firstReadingPc(ck);
+    // The backing copy vanished while the line was NOT resident: the
+    // value is gone on both paths.
+    checker.onBackingInvalidate(0, reg, /*resident=*/false);
+    checker.onIssue(0, pc, ck.kernel().insn(pc), osu, ck.regionAt(pc));
+    EXPECT_TRUE(hasCode(checker.violations(),
+                        compiler::codes::rtReadAfterInvalidate))
+        << codesOf(checker.violations());
+}
+
+TEST(ShadowCheckerTest, ReadOfUnstagedOperandIsARuntimeViolation)
+{
+    compiler::CompiledKernel ck =
+        compiler::compile(workloads::makeRodinia("nn"));
+    staging::ShadowChecker checker(ck);
+    // An empty OSU: the operand was never staged, yet the value was
+    // never destroyed either — the softest of the three read codes.
+    staging::OperandStagingUnit osu(
+        "osu", 64, staging::VictimOrder::FreeCleanDirty);
+    auto [pc, reg] = firstReadingPc(ck);
+    checker.onIssue(0, pc, ck.kernel().insn(pc), osu, ck.regionAt(pc));
+    EXPECT_TRUE(hasCode(checker.violations(),
+                        compiler::codes::rtReadUnstaged))
+        << codesOf(checker.violations());
+    EXPECT_FALSE(hasCode(checker.violations(),
+                         compiler::codes::rtReadAfterErase))
+        << codesOf(checker.violations());
 }
 
 } // namespace

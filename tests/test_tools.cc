@@ -278,12 +278,12 @@ TEST(CompressorMaskTest, DisabledPatternsDoNotMatch)
 
     ir::LaneValues constant{};
     constant.fill(9);
-    EXPECT_TRUE(comp.compressEvict(0, 0, constant, 0));
+    EXPECT_TRUE(comp.compressEvict(0, 0, constant, 0).compressed);
 
     ir::LaneValues stride{};
     for (unsigned i = 0; i < warpSize; ++i)
         stride[i] = 100 + i;
-    EXPECT_FALSE(comp.compressEvict(0, 8, stride, 0));
+    EXPECT_FALSE(comp.compressEvict(0, 8, stride, 0).compressed);
 }
 
 } // namespace

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -47,11 +48,21 @@ usage(std::FILE *out)
         "                  dynamic shadow checker and report violations\n"
         "  --osu N         OSU entries per SM for --runtime runs\n"
         "                  (default 512; small values stress reclaims)\n"
-        "  --json          machine-readable output\n"
+        "  --advisory      also report advisory value-range warnings\n"
+        "                  (bank-overclaim, dead-staged-line)\n"
+        "  --json          machine-readable output (lint schema 2:\n"
+        "                  object with kernels + per-code summary)\n"
         "  --list          print available workload names and exit\n"
         "  --help          this text\n",
         workloads::rodiniaNames().size());
 }
+
+/**
+ * Version of the --json output layout. 1 was a bare array of kernel
+ * objects; 2 wraps it in {"lint_schema", "kernels", "summary"} with a
+ * per-code finding-count summary.
+ */
+constexpr unsigned kLintSchemaVersion = 2;
 
 struct Options
 {
@@ -60,6 +71,7 @@ struct Options
     std::uint64_t seed = 1;
     bool runtime = false;
     unsigned osuEntries = 0; ///< 0 = config default
+    bool advisory = false;
     bool json = false;
 };
 
@@ -76,7 +88,9 @@ lintOne(const ir::Kernel &kernel, const Options &opt)
     KernelReport report;
     report.name = kernel.name();
     compiler::CompiledKernel ck = compiler::compile(kernel);
-    report.findings = compiler::lintCompiledKernel(ck);
+    compiler::LintOptions lint_options;
+    lint_options.advisory = opt.advisory;
+    report.findings = compiler::lintCompiledKernel(ck, lint_options);
     if (opt.runtime) {
         sim::GpuConfig cfg =
             sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
@@ -129,18 +143,33 @@ printText(const std::vector<KernelReport> &reports)
 void
 printJson(const std::vector<KernelReport> &reports)
 {
-    std::printf("[\n");
+    std::printf("{\n  \"lint_schema\": %u,\n  \"kernels\": [\n",
+                kLintSchemaVersion);
     for (std::size_t i = 0; i < reports.size(); ++i) {
         const KernelReport &r = reports[i];
-        std::printf("  {\"kernel\": \"%s\", \"findings\": [",
+        std::printf("    {\"kernel\": \"%s\", \"findings\": [",
                     r.name.c_str());
         for (std::size_t j = 0; j < r.findings.size(); ++j)
-            std::printf("%s\n    %s", j ? "," : "",
+            std::printf("%s\n      %s", j ? "," : "",
                         r.findings[j].toJson().c_str());
-        std::printf("%s]}%s\n", r.findings.empty() ? "" : "\n  ",
+        std::printf("%s]}%s\n", r.findings.empty() ? "" : "\n    ",
                     i + 1 < reports.size() ? "," : "");
     }
-    std::printf("]\n");
+    // Per-code counts across all kernels, so CI can gate on specific
+    // finding classes without re-parsing every finding object.
+    std::map<std::string, unsigned> by_code;
+    for (const KernelReport &r : reports) {
+        for (const compiler::Finding &f : r.findings)
+            ++by_code[f.code];
+    }
+    std::printf("  ],\n  \"summary\": {");
+    std::size_t k = 0;
+    for (const auto &[code, count] : by_code) {
+        std::printf("%s\n    \"%s\": %u", k ? "," : "", code.c_str(),
+                    count);
+        ++k;
+    }
+    std::printf("%s}\n}\n", by_code.empty() ? "" : "\n  ");
 }
 
 } // namespace
@@ -169,6 +198,8 @@ main(int argc, char **argv)
             opt.runtime = true;
         } else if (arg == "--osu") {
             opt.osuEntries = std::strtoul(value(), nullptr, 10);
+        } else if (arg == "--advisory") {
+            opt.advisory = true;
         } else if (arg == "--json") {
             opt.json = true;
         } else if (arg == "--list") {
