@@ -158,6 +158,21 @@ parseReportOptions(int argc, char **argv, bool allow_filter)
         } else if (arg == "--job-timeout") {
             options.jobTimeoutSec =
                 std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--shard") {
+            const std::string spec = value();
+            char *end = nullptr;
+            options.shardIndex = static_cast<unsigned>(
+                std::strtoul(spec.c_str(), &end, 10));
+            if (!end || *end != '/')
+                fatal("--shard wants I/N (e.g. 2/4), got '", spec,
+                      "'");
+            options.shardCount = static_cast<unsigned>(
+                std::strtoul(end + 1, &end, 10));
+            if ((end && *end) || options.shardCount < 1 ||
+                options.shardIndex < 1 ||
+                options.shardIndex > options.shardCount)
+                fatal("--shard wants I/N with 1 <= I <= N, got '",
+                      spec, "'");
         } else if (allow_filter && arg == "--inject-deadlock") {
             options.injectDeadlock = true;
         } else {
@@ -168,10 +183,13 @@ parseReportOptions(int argc, char **argv, bool allow_filter)
                                  : "")
                 << " [--jobs N] [--json PATH] [--no-cache]"
                    " [--cache-dir DIR] [--lint] [--max-cycles N]"
-                   " [--job-timeout SEC]\n";
+                   " [--job-timeout SEC] [--shard I/N]\n";
             std::exit(arg == "--help" ? 0 : 1);
         }
     }
+    if (options.shardCount > 1 && !options.cache)
+        fatal("--shard partitions work through the shared cache; it "
+              "cannot be combined with --no-cache");
     return options;
 }
 
@@ -184,6 +202,8 @@ engineOptions(const ReportOptions &options)
     engine.lint = options.lint;
     engine.maxCycles = options.maxCycles;
     engine.jobTimeoutSec = options.jobTimeoutSec;
+    engine.shardIndex = options.shardIndex;
+    engine.shardCount = options.shardCount;
     return engine;
 }
 

@@ -76,6 +76,14 @@ struct ReportOptions
     /** Per-job wall-clock budget in seconds (0 = unlimited). */
     double jobTimeoutSec = 0.0;
     /**
+     * Fleet partitioning (`--shard i/n`): simulate only the jobs
+     * whose fingerprint lands on shard i of n, serving the rest from
+     * the shared cache (or leaving them skipped). Requires the cache;
+     * the union of all n shard runs equals an unsharded run.
+     */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 0;
+    /**
      * Fault drill (regless_report only): submit one doomed job with an
      * injected OSU-slot leak so the watchdog, the failure footer, and
      * the isolation of healthy jobs can be exercised end to end.

@@ -17,6 +17,11 @@
  *   regless_report --max-cycles N      # hard cycle budget per job
  *   regless_report --job-timeout SEC   # wall-clock budget per job
  *   regless_report --inject-deadlock   # fault drill: one doomed job
+ *   regless_report --shard 2/4         # simulate only shard 2 of 4
+ *                                      # (fleet runs over one shared
+ *                                      # --cache-dir; the union of
+ *                                      # all shards == an unsharded
+ *                                      # run)
  *
  * A failed or deadlocked job never aborts the report: its figures
  * annotate the gap, the footer counts failures, and each one is
@@ -71,6 +76,40 @@ submitDoomedJob(sim::ExperimentEngine &engine)
     doomed.config.sm.maxCycles = 2'000'000;
     doomed.builder = [] { return workloads::randomKernel(1); };
     return engine.submit(doomed);
+}
+
+/**
+ * One structured line on the cache subsystem's health: the
+ * degradation ladder surfaces here (never as a crash), and the
+ * counters make a fleet run's cache behaviour auditable after the
+ * fact (DESIGN.md §15).
+ */
+void
+printCacheFooter(const sim::ExperimentEngine &engine, std::ostream &os)
+{
+    const sim::JobCache &cache = engine.cache();
+    if (!cache.enabled() && cache.options().dir.empty())
+        return; // ran with --no-cache: nothing to report
+    const sim::CacheCounters &c = cache.counters();
+    os << "# cache: " << sim::cacheModeName(cache.mode()) << " ("
+       << cache.options().dir << "): " << c.hits << " hits, "
+       << c.misses << " misses, " << c.stores << " stores";
+    if (c.coalesced)
+        os << ", " << c.coalesced << " coalesced";
+    if (c.storeFailures)
+        os << ", " << c.storeFailures << " store failures";
+    if (c.corrupt)
+        os << ", " << c.corrupt << " corrupt entries healed";
+    if (c.schemaRejects)
+        os << ", " << c.schemaRejects << " schema rejects";
+    if (c.janitorRemoved)
+        os << ", " << c.janitorRemoved << " stale temps swept";
+    if (c.lockWaits || c.lockTimeouts)
+        os << ", " << c.lockWaits << " lock waits ("
+           << c.lockTimeouts << " timed out)";
+    os << "\n";
+    if (cache.mode() != sim::CacheMode::ReadWrite)
+        os << "# cache: degraded: " << cache.modeReason() << "\n";
 }
 
 void
@@ -148,7 +187,13 @@ main(int argc, char **argv)
                   << engine.deadlocked() << " deadlocked";
         if (engine.retried())
             std::cout << ", " << engine.retried() << " retried";
+        if (options.shardCount > 1)
+            std::cout << ", " << engine.skipped()
+                      << " left to other shards (this is shard "
+                      << options.shardIndex << "/"
+                      << options.shardCount << ")";
         std::cout << "\n";
+        printCacheFooter(engine, std::cout);
         printFailures(engine, std::cout);
         return 0;
     } catch (const std::exception &e) {

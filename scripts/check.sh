@@ -9,7 +9,11 @@
 #   3. the provider-registry contract suite (ctest label "providers"):
 #      every registered provider end-to-end under the closed stall
 #      account and memory-image invariants (DESIGN.md §13);
-#   4. ASan and TSan passes over the skip-enabled determinism subset
+#   4. the fleet-safe cache suite (ctest label "cache"): chaos
+#      injection under every CacheFaultPlan, forked multi-process
+#      stress over one shared directory, and the --shard partition
+#      parity oracle (DESIGN.md §15);
+#   5. ASan and TSan passes over the skip-enabled determinism subset
 #      (the SoA warp state and bulk stall-charging touch hot arrays;
 #      the multi-SM epoch loop skips under worker threads).
 set -euo pipefail
@@ -56,6 +60,7 @@ cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 (cd "$BUILD_DIR" && ctest --output-on-failure -L oracle -j "$(nproc)")
 (cd "$BUILD_DIR" && ctest --output-on-failure -L providers -j "$(nproc)")
+(cd "$BUILD_DIR" && ctest --output-on-failure -L cache -j "$(nproc)")
 
 # Skip-enabled determinism subset under AddressSanitizer: the oracle
 # sweep plus the property fuzzer (random kernels + fault plans).

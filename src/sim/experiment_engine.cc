@@ -3,10 +3,8 @@
 #include <cctype>
 #include <chrono>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <thread>
-#include <unistd.h>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -22,43 +20,6 @@ namespace regless::sim
 namespace
 {
 
-/**
- * Bumped whenever RunStats gains fields the report layer consumes, so
- * cache entries written before the field existed (and which would
- * silently deserialize it to zero) miss instead of serving stale data.
- */
-// v3: divergence-aware invalidating preloads changed compiled regions
-// (and so every simulated trajectory).
-// v4: entries became JobRecords (outcome + stats); pre-watchdog bare
-// RunStats entries are rejected by the record parser anyway.
-// v5: RunStats gained issue-slot attribution (issued_slots + the
-// stall_* causes); older entries would read those fields as zero.
-// v6: RunStats gained the cycle-skip meta-counters (skipped_cycles +
-// skip_events) and runs default to event-driven skipping.
-// v7: the provider registry added the rfcache/regdem designs: new
-// RunStats fields (rf_cache_hits/misses, spill_stores, fill_loads)
-// and new fingerprint fields (rf_cache.*, regdem.*).
-// v8: static value-range compression: new RunStats fields
-// (compressor_static_hits/unsound, osu_gated_bank_cycles) and new
-// fingerprint fields (regless.compression_mode, regless.bank_gating).
-constexpr unsigned kCacheSchemaVersion = 8;
-
-/** Fingerprint of everything that determines a job's results. */
-std::uint64_t
-jobFingerprint(const SimJob &job)
-{
-    std::string text = configCanonicalText(job.config);
-    text += "kernel=" + job.kernel + "\n";
-    text += "sms=" + std::to_string(job.sms) + "\n";
-    text += "schema=" + std::to_string(kCacheSchemaVersion) + "\n";
-    std::uint64_t hash = 1469598103934665603ULL;
-    for (unsigned char c : text) {
-        hash ^= c;
-        hash *= 1099511628211ULL;
-    }
-    return hash;
-}
-
 std::string
 sanitize(const std::string &name)
 {
@@ -73,6 +34,22 @@ sanitize(const std::string &name)
 
 } // namespace
 
+/** Fingerprint of everything that determines a job's results. */
+std::uint64_t
+ExperimentEngine::jobFingerprint(const SimJob &job)
+{
+    std::string text = configCanonicalText(job.config);
+    text += "kernel=" + job.kernel + "\n";
+    text += "sms=" + std::to_string(job.sms) + "\n";
+    text += "schema=" + std::to_string(kJobCacheSchemaVersion) + "\n";
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
 std::string
 ExperimentEngine::cacheFileName(const SimJob &job)
 {
@@ -83,11 +60,38 @@ ExperimentEngine::cacheFileName(const SimJob &job)
     return oss.str();
 }
 
+std::filesystem::path
+ExperimentEngine::cacheEntryPath(const SimJob &job)
+{
+    return JobCache::relativePath(
+        JobCache::Key{cacheFileName(job), jobFingerprint(job)});
+}
+
+namespace
+{
+
+JobCache::Options
+cacheOptions(const ExperimentEngine::Options &options)
+{
+    JobCache::Options cache;
+    cache.dir = options.cacheDir;
+    cache.readOnly = options.cacheReadOnly;
+    cache.faults = options.cacheFaults;
+    return cache;
+}
+
+} // namespace
+
 ExperimentEngine::ExperimentEngine() : ExperimentEngine(Options{}) {}
 
 ExperimentEngine::ExperimentEngine(Options options)
-    : _options(std::move(options))
+    : _options(std::move(options)), _cache(cacheOptions(_options))
 {
+    if (_options.shardCount > 1 &&
+        (_options.shardIndex < 1 ||
+         _options.shardIndex > _options.shardCount))
+        panic("ExperimentEngine: shard index ", _options.shardIndex,
+              " outside 1..", _options.shardCount);
 }
 
 ExperimentEngine::JobId
@@ -101,8 +105,11 @@ ExperimentEngine::submit(const SimJob &job)
         effective.config.sm.maxCycles = _options.maxCycles;
     const std::string key = cacheFileName(effective);
     auto [it, inserted] = _index.try_emplace(key, _entries.size());
-    if (inserted)
-        _entries.push_back(Entry{effective, JobResult{}, false});
+    if (inserted) {
+        const std::uint64_t fp = jobFingerprint(effective);
+        _entries.push_back(
+            Entry{std::move(effective), fp, JobResult{}, false});
+    }
     return it->second;
 }
 
@@ -217,27 +224,18 @@ ExperimentEngine::runIsolated(SimJob job, const Options &options)
 bool
 ExperimentEngine::loadFromCache(Entry &entry)
 {
-    if (_options.cacheDir.empty())
+    if (!_cache.enabled())
         return false;
-    const std::filesystem::path path =
-        std::filesystem::path(_options.cacheDir) /
-        cacheFileName(entry.job);
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-
-    // A corrupt or truncated entry is a miss, never an error: the
-    // point is re-simulated and the entry rewritten. Bare pre-record
-    // RunStats entries are rejected by the record parser.
     JobRecord record;
-    if (!tryRecordFromJson(buffer.str(), record))
-        return false;
-    if (record.schema != kCacheSchemaVersion)
+    if (!_cache.load(
+            JobCache::Key{cacheFileName(entry.job), entry.fingerprint},
+            record))
         return false;
     // Entries are keyed by fingerprint, so a provider mismatch means
-    // the file was tampered with or collided; treat it as a miss too.
+    // the file was tampered with or collided; a Skipped record can
+    // only be hand-placed (shards never store them). Miss on both.
+    if (record.status == JobStatus::Skipped)
+        return false;
     if (record.status == JobStatus::Ok &&
         record.stats.provider != entry.job.config.provider)
         return false;
@@ -252,40 +250,20 @@ ExperimentEngine::loadFromCache(Entry &entry)
 void
 ExperimentEngine::storeToCache(const Entry &entry)
 {
-    if (_options.cacheDir.empty())
+    // Skipped results carry no data: the owning shard publishes the
+    // real entry. Never negative-cache them.
+    if (entry.result.status == JobStatus::Skipped)
         return;
-    std::error_code ec;
-    std::filesystem::create_directories(_options.cacheDir, ec);
-    if (ec) {
-        warn("experiment cache: cannot create '", _options.cacheDir,
-             "': ", ec.message());
-        return;
-    }
-    const std::filesystem::path path =
-        std::filesystem::path(_options.cacheDir) /
-        cacheFileName(entry.job);
-    const std::filesystem::path tmp =
-        path.string() + ".tmp" + std::to_string(::getpid());
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            warn("experiment cache: cannot write '", tmp.string(),
-                 "'");
-            return;
-        }
-        JobRecord record;
-        record.schema = kCacheSchemaVersion;
-        record.status = entry.result.status;
-        record.stats = entry.result.stats;
-        record.error = entry.result.error;
-        record.deadlock = entry.result.deadlock;
-        record.attempts = entry.result.attempts;
-        writeJson(out, record);
-    }
-    // Atomic publish so concurrent report runs never see a torn file.
-    std::filesystem::rename(tmp, path, ec);
-    if (ec)
-        std::filesystem::remove(tmp, ec);
+    JobRecord record;
+    record.schema = kJobCacheSchemaVersion;
+    record.status = entry.result.status;
+    record.stats = entry.result.stats;
+    record.error = entry.result.error;
+    record.deadlock = entry.result.deadlock;
+    record.attempts = entry.result.attempts;
+    _cache.store(
+        JobCache::Key{cacheFileName(entry.job), entry.fingerprint},
+        record);
 }
 
 void
@@ -331,9 +309,26 @@ ExperimentEngine::flush()
         if (loadFromCache(entry)) {
             entry.done = true;
             ++_cacheHits;
-        } else {
-            to_run.push_back(&entry);
+            continue;
         }
+        // The shard filter applies to *simulation* only: a shard run
+        // still serves any cross-shard cache hit (above), so figures
+        // of a late shard render everything earlier shards published.
+        if (_options.shardCount > 1 &&
+            entry.fingerprint % _options.shardCount !=
+                _options.shardIndex - 1) {
+            entry.result.status = JobStatus::Skipped;
+            entry.result.error =
+                "left to shard " +
+                std::to_string(entry.fingerprint %
+                                   _options.shardCount +
+                               1) +
+                "/" + std::to_string(_options.shardCount) +
+                " of this partitioned run";
+            entry.done = true;
+            continue;
+        }
+        to_run.push_back(&entry);
     }
     if (to_run.empty())
         return;
@@ -385,8 +380,11 @@ ExperimentEngine::failedJobs() const
 {
     std::vector<JobId> out;
     for (JobId id = 0; id < _entries.size(); ++id) {
+        // Skipped is not a failure: the footer counts those
+        // separately instead of diagnosing each one.
         if (_entries[id].done &&
-            _entries[id].result.status != JobStatus::Ok)
+            _entries[id].result.status != JobStatus::Ok &&
+            _entries[id].result.status != JobStatus::Skipped)
             out.push_back(id);
     }
     return out;

@@ -14,6 +14,13 @@
  * always completes. Consumers that need hard results use stats()
  * (throws on a failed job); report code uses tryStats()/result() and
  * annotates the gap.
+ *
+ * The on-disk cache is the JobCache subsystem (DESIGN.md §15):
+ * sharded, crash-tolerant, safe under concurrent writer processes,
+ * and degrading structurally (read-only / disabled, surfaced in the
+ * report footer) instead of ever failing a run. Options::shardIndex/
+ * shardCount partition one report's simulation work across a fleet
+ * of processes that share a cache directory.
  */
 
 #ifndef REGLESS_SIM_EXPERIMENT_ENGINE_HH
@@ -29,6 +36,7 @@
 
 #include "ir/kernel.hh"
 #include "sim/gpu_config.hh"
+#include "sim/job_cache.hh"
 #include "sim/run_stats.hh"
 #include "sim/stats_io.hh"
 
@@ -113,6 +121,25 @@ class ExperimentEngine
         /** Base delay before a retry, in milliseconds (doubles per
          * attempt). */
         unsigned retryBackoffMs = 10;
+
+        /** Never write cache entries (reads still hit). */
+        bool cacheReadOnly = false;
+
+        /** Chaos injection into the cache layer (tests only). */
+        CacheFaultPlan cacheFaults;
+
+        /**
+         * Deterministic job partitioner for fleet runs: with
+         * shardCount n > 1, only jobs whose fingerprint lands on
+         * shard shardIndex (1-based, 1 <= shardIndex <= n) are
+         * simulated; the rest are served from the cache when present
+         * and otherwise finish as JobStatus::Skipped. The union of
+         * the n shard runs over one shared cache directory is
+         * byte-identical to an unsharded run (the shard-parity
+         * oracle). shardCount == 0 or 1 disables partitioning.
+         */
+        unsigned shardIndex = 0;
+        unsigned shardCount = 0;
     };
 
     /** Handle to a submitted job, valid for this engine's lifetime. */
@@ -179,9 +206,19 @@ class ExperimentEngine
     {
         return countStatus(JobStatus::Deadlocked);
     }
+    /** Jobs left to other shards of a partitioned run. */
+    std::uint64_t skipped() const
+    {
+        return countStatus(JobStatus::Skipped);
+    }
     /** Re-executions performed after transient failures. */
     std::uint64_t retried() const;
     /// @}
+
+    /** The on-disk cache behind this engine (Disabled when no
+     * cacheDir was configured): mode, degradation reason, and the
+     * counters the report footer prints. */
+    const JobCache &cache() const { return _cache; }
 
     /** Ids of flushed jobs that failed or deadlocked, in submission
      * order (for the report's failure footer). */
@@ -193,15 +230,25 @@ class ExperimentEngine
     const Options &options() const { return _options; }
 
     /**
-     * Cache-entry filename (relative to the cache directory) for a
-     * job, exposed for tests that corrupt or inspect entries.
+     * Cache-entry leaf filename for a job, exposed for tests that
+     * corrupt or inspect entries. The entry itself lives under a
+     * shard subdirectory — see cacheEntryPath().
      */
     static std::string cacheFileName(const SimJob &job);
+
+    /** Cache-entry path relative to the cache directory, shard
+     * subdirectory included ("ab/kernel-provider-0sm-….json"). */
+    static std::filesystem::path cacheEntryPath(const SimJob &job);
+
+    /** The sharding fingerprint of @a job (config + kernel + sms +
+     * schema), as used for the cache key and `--shard` partition. */
+    static std::uint64_t jobFingerprint(const SimJob &job);
 
   private:
     struct Entry
     {
         SimJob job;
+        std::uint64_t fingerprint = 0;
         JobResult result;
         bool done = false;
     };
@@ -217,6 +264,7 @@ class ExperimentEngine
     void lintPending();
 
     Options _options;
+    JobCache _cache;
     std::deque<Entry> _entries;
     std::unordered_map<std::string, JobId> _index;
     std::uint64_t _requested = 0;

@@ -1,0 +1,726 @@
+#include "sim/job_cache.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define REGLESS_HAVE_FLOCK 1
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
+#include "common/logging.hh"
+
+namespace regless::sim
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Shard lock-file leaf name; never an entry, skipped by survey/gc. */
+constexpr const char *kLockName = ".lock";
+
+double
+ageSeconds(fs::file_time_type then, fs::file_time_type now)
+{
+    return std::chrono::duration<double>(now - then).count();
+}
+
+/**
+ * Advisory per-shard writer lock: flock with bounded exponential
+ * backoff. Failing to lock is never an error — the caller proceeds
+ * lock-free (atomic rename keeps that correct; the lock only
+ * coalesces redundant work). Where flock does not exist the class
+ * degenerates to the deterministic lock-free fallback.
+ */
+class ShardLock
+{
+  public:
+    ShardLock(const fs::path &shard, unsigned timeout_ms,
+              CacheCounters *counters)
+    {
+#ifdef REGLESS_HAVE_FLOCK
+        const fs::path lock_path = shard / kLockName;
+        _fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                     0666);
+        if (_fd < 0)
+            return; // unwritable shard: lock-free fallback
+        unsigned waited_ms = 0;
+        unsigned delay_ms = 1;
+        bool waited = false;
+        for (;;) {
+            if (::flock(_fd, LOCK_EX | LOCK_NB) == 0) {
+                _held = true;
+                break;
+            }
+            if (errno == EINTR)
+                continue;
+            if (errno != EWOULDBLOCK)
+                break; // e.g. flock unsupported on this filesystem
+            if (!waited && counters)
+                ++counters->lockWaits;
+            waited = true;
+            if (waited_ms >= timeout_ms) {
+                if (counters)
+                    ++counters->lockTimeouts;
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay_ms));
+            waited_ms += delay_ms;
+            delay_ms = std::min(delay_ms * 2, 50u);
+        }
+        if (!_held) {
+            ::close(_fd);
+            _fd = -1;
+        }
+#else
+        (void)shard;
+        (void)timeout_ms;
+        (void)counters;
+#endif
+    }
+
+    ~ShardLock()
+    {
+#ifdef REGLESS_HAVE_FLOCK
+        if (_fd >= 0) {
+            ::flock(_fd, LOCK_UN);
+            ::close(_fd);
+        }
+#endif
+    }
+
+    ShardLock(const ShardLock &) = delete;
+    ShardLock &operator=(const ShardLock &) = delete;
+
+    /** True when the flock is actually held (not the fallback). */
+    bool held() const { return _held; }
+
+  private:
+    int _fd = -1;
+    bool _held = false;
+};
+
+/** PID + per-process nonce so temp names never collide across (or
+ * within) writer processes, even after a crash left old ones. */
+std::string
+tempSuffix()
+{
+    static std::atomic<unsigned> nonce{0};
+#ifdef REGLESS_HAVE_FLOCK
+    const long pid = static_cast<long>(::getpid());
+#else
+    const long pid = 0;
+#endif
+    return ".tmp." + std::to_string(pid) + "." +
+           std::to_string(nonce.fetch_add(1));
+}
+
+bool
+isHexShardName(const std::string &name)
+{
+    return name.size() == 2 &&
+           std::isxdigit(static_cast<unsigned char>(name[0])) &&
+           std::isxdigit(static_cast<unsigned char>(name[1]));
+}
+
+/** Read a whole file; false when it cannot be opened. */
+bool
+slurp(const fs::path &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+} // namespace
+
+const char *
+cacheFaultKindName(CacheFaultPlan::Kind kind)
+{
+    switch (kind) {
+      case CacheFaultPlan::Kind::None:
+        return "none";
+      case CacheFaultPlan::Kind::TornWrite:
+        return "torn_write";
+      case CacheFaultPlan::Kind::RenameFail:
+        return "rename_fail";
+      case CacheFaultPlan::Kind::Enospc:
+        return "enospc";
+      case CacheFaultPlan::Kind::Clobber:
+        return "clobber";
+      case CacheFaultPlan::Kind::CrashAfterTmp:
+        return "crash_after_tmp";
+    }
+    return "?";
+}
+
+const char *
+cacheModeName(CacheMode mode)
+{
+    switch (mode) {
+      case CacheMode::ReadWrite:
+        return "read-write";
+      case CacheMode::ReadOnly:
+        return "read-only";
+      case CacheMode::Disabled:
+        return "disabled";
+    }
+    return "?";
+}
+
+JobCache::JobCache(Options options) : _options(std::move(options))
+{
+    if (!_options.dir.empty()) {
+        // Open lazily: constructing an engine must not touch the
+        // filesystem, only a load/store may.
+        _mode = CacheMode::ReadWrite;
+        _modeReason.clear();
+    }
+}
+
+std::string
+JobCache::shardName(std::uint64_t fingerprint)
+{
+    static const char *digits = "0123456789abcdef";
+    const unsigned byte = static_cast<unsigned>(fingerprint & 0xff);
+    std::string out;
+    out.push_back(digits[byte >> 4]);
+    out.push_back(digits[byte & 0xf]);
+    return out;
+}
+
+std::filesystem::path
+JobCache::relativePath(const Key &key)
+{
+    return fs::path(shardName(key.fingerprint)) / key.file;
+}
+
+std::filesystem::path
+JobCache::entryPath(const Key &key) const
+{
+    return fs::path(_options.dir) / relativePath(key);
+}
+
+bool
+JobCache::parseEntryName(const std::string &file,
+                         std::uint64_t &fingerprint)
+{
+    const std::string suffix = ".json";
+    if (file.size() <= suffix.size() ||
+        file.compare(file.size() - suffix.size(), suffix.size(),
+                     suffix) != 0)
+        return false;
+    if (isTempName(file))
+        return false;
+    const std::string stem =
+        file.substr(0, file.size() - suffix.size());
+    const std::size_t dash = stem.rfind('-');
+    if (dash == std::string::npos || dash + 1 >= stem.size())
+        return false;
+    const std::string hex = stem.substr(dash + 1);
+    if (hex.size() > 16)
+        return false;
+    std::uint64_t value = 0;
+    for (char c : hex) {
+        if (!std::isxdigit(static_cast<unsigned char>(c)))
+            return false;
+        value = value * 16 +
+                static_cast<std::uint64_t>(
+                    c <= '9' ? c - '0'
+                             : std::tolower(
+                                   static_cast<unsigned char>(c)) -
+                                   'a' + 10);
+    }
+    fingerprint = value;
+    return true;
+}
+
+bool
+JobCache::isTempName(const std::string &file)
+{
+    return file.find(".tmp") != std::string::npos;
+}
+
+void
+JobCache::degrade(CacheMode mode, std::string reason)
+{
+    if (static_cast<int>(mode) <= static_cast<int>(_mode))
+        return; // never move back up the ladder
+    _mode = mode;
+    _modeReason = std::move(reason);
+    warn("experiment cache: degraded to ", cacheModeName(_mode), ": ",
+         _modeReason);
+}
+
+bool
+JobCache::ensureOpen()
+{
+    if (_opened)
+        return enabled();
+    _opened = true;
+    if (_options.dir.empty())
+        return false;
+    if (_options.readOnly) {
+        // Read-only by configuration: don't even create the
+        // directory; a missing one just means every load misses.
+        degrade(CacheMode::ReadOnly, "configured read-only");
+        return enabled();
+    }
+    std::error_code ec;
+    fs::create_directories(_options.dir, ec);
+    if (ec) {
+        if (fs::exists(_options.dir)) {
+            degrade(CacheMode::ReadOnly,
+                    "cannot prepare '" + _options.dir +
+                        "': " + ec.message());
+        } else {
+            degrade(CacheMode::Disabled,
+                    "cannot create '" + _options.dir +
+                        "': " + ec.message());
+        }
+    }
+    return enabled();
+}
+
+bool
+JobCache::load(const Key &key, JobRecord &out)
+{
+    if (!ensureOpen())
+        return false;
+    std::string text;
+    if (!slurp(entryPath(key), text)) {
+        ++_counters.misses;
+        return false;
+    }
+    // A corrupt or truncated entry is a miss, never an error: the
+    // point is re-simulated and the entry rewritten (healed).
+    JobRecord record;
+    if (!tryRecordFromJson(text, record)) {
+        ++_counters.corrupt;
+        ++_counters.misses;
+        return false;
+    }
+    if (record.schema != _options.expectedSchema) {
+        // Parseable but foreign: the flat key-value body would
+        // *half-parse* (unknown keys dropped, new fields zeroed), so
+        // the schema gate must reject it outright — and say why.
+        ++_counters.schemaRejects;
+        ++_counters.misses;
+        if (!_warnedSchema) {
+            _warnedSchema = true;
+            warn("experiment cache: rejecting '", key.file,
+                 "': entry schema ", record.schema, " != expected ",
+                 _options.expectedSchema, " (",
+                 record.schema > _options.expectedSchema
+                     ? "written by a newer build sharing this cache; "
+                       "upgrade this binary or use a separate "
+                       "--cache-dir"
+                     : "stale entry from an older build; "
+                       "`regless_cache gc` can reclaim it",
+                 "); re-simulating");
+        }
+        return false;
+    }
+    ++_counters.hits;
+    out = std::move(record);
+    return true;
+}
+
+bool
+JobCache::faultFires(CacheFaultPlan::Kind kind, unsigned index) const
+{
+    if (_options.faults.kind != kind)
+        return false;
+    return _options.faults.repeat
+               ? index >= _options.faults.triggerStore
+               : index == _options.faults.triggerStore;
+}
+
+void
+JobCache::janitor(const fs::path &shard)
+{
+    if (!_sweptShards.insert(shard.string()).second)
+        return; // once per shard per process
+    std::error_code ec;
+    const auto now = fs::file_time_type::clock::now();
+    for (const auto &it : fs::directory_iterator(shard, ec)) {
+        if (!it.is_regular_file(ec))
+            continue;
+        const std::string leaf = it.path().filename().string();
+        if (!isTempName(leaf))
+            continue;
+        const auto mtime = fs::last_write_time(it.path(), ec);
+        if (ec)
+            continue;
+        // Fresh temps may belong to a live writer mid-publish; only
+        // ones past the staleness threshold are crash leftovers.
+        if (ageSeconds(mtime, now) < _options.staleTmpAgeSec)
+            continue;
+        if (fs::remove(it.path(), ec))
+            ++_counters.janitorRemoved;
+    }
+}
+
+bool
+JobCache::store(const Key &key, const JobRecord &record)
+{
+    if (!ensureOpen() || _mode != CacheMode::ReadWrite)
+        return false;
+    const unsigned index = _storeIndex++;
+
+    const fs::path path = entryPath(key);
+    const fs::path shard = path.parent_path();
+    std::error_code ec;
+    fs::create_directories(shard, ec);
+    if (ec) {
+        storeFailed(path, "cannot create shard: " + ec.message());
+        return false;
+    }
+    janitor(shard);
+
+    // Coalesce concurrent writers: take the shard's advisory lock
+    // (bounded backoff, lock-free fallback on timeout), then check
+    // whether the race winner already published this entry — entries
+    // are deterministic functions of their fingerprint, so a valid
+    // same-schema record on disk makes this write redundant.
+    ShardLock lock(shard, _options.lockTimeoutMs, &_counters);
+    {
+        std::string existing;
+        JobRecord prior;
+        if (slurp(path, existing) &&
+            tryRecordFromJson(existing, prior) &&
+            prior.schema == _options.expectedSchema) {
+            ++_counters.coalesced;
+            return true;
+        }
+    }
+
+    std::ostringstream payload_stream;
+    writeJson(payload_stream, record);
+    std::string payload = payload_stream.str();
+    if (faultFires(CacheFaultPlan::Kind::TornWrite, index)) {
+        // Simulated disk corruption: publish only half the bytes.
+        payload.resize(payload.size() / 2);
+    }
+
+    const fs::path tmp = path.string() + tempSuffix();
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        const bool enospc =
+            faultFires(CacheFaultPlan::Kind::Enospc, index);
+        if (out && !enospc)
+            out.write(payload.data(),
+                      static_cast<std::streamsize>(payload.size()));
+        out.flush();
+        if (!out || enospc) {
+            // A partial temp must not linger (satellite of PR 9: the
+            // old engine-inline writer leaked it silently).
+            out.close();
+            fs::remove(tmp, ec);
+            storeFailed(path, enospc ? "no space left on device"
+                                     : "short write");
+            return false;
+        }
+    }
+
+    if (faultFires(CacheFaultPlan::Kind::CrashAfterTmp, index)) {
+        // Writer "dies" here: the temp is orphaned for the janitor,
+        // nothing is published, no cleanup runs.
+        return false;
+    }
+
+    if (faultFires(CacheFaultPlan::Kind::Clobber, index)) {
+        // A rival writer wins the publish race first. Rival content
+        // is what any writer of this fingerprint would produce, so
+        // whoever's rename lands last, readers see a valid record.
+        const fs::path rival_tmp = path.string() + tempSuffix();
+        std::ostringstream rival;
+        writeJson(rival, record);
+        std::ofstream(rival_tmp, std::ios::binary | std::ios::trunc)
+            << rival.str();
+        fs::rename(rival_tmp, path, ec);
+    }
+
+    // Atomic publish so readers never observe a torn file.
+    ec.clear();
+    if (faultFires(CacheFaultPlan::Kind::RenameFail, index))
+        ec = std::make_error_code(std::errc::io_error);
+    else
+        fs::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code ignored;
+        fs::remove(tmp, ignored);
+        storeFailed(path, "rename failed: " + ec.message());
+        return false;
+    }
+    ++_counters.stores;
+    _consecutiveStoreFailures = 0;
+    return true;
+}
+
+void
+JobCache::storeFailed(const std::filesystem::path &path,
+                      const std::string &why)
+{
+    ++_counters.storeFailures;
+    if (!_warnedStoreFailure) {
+        _warnedStoreFailure = true;
+        warn("experiment cache: cannot store '", path.string(), "': ",
+             why, " (warning once; see the report footer for counts)");
+    }
+    if (++_consecutiveStoreFailures >= _options.maxStoreFailures) {
+        degrade(CacheMode::ReadOnly,
+                "writes disabled after " +
+                    std::to_string(_consecutiveStoreFailures) +
+                    " consecutive store failures (last: " + why + ")");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Maintenance: survey (stats/verify) and gc.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** One file seen by the gc scan. */
+struct GcFile
+{
+    fs::path path;
+    fs::path shard; ///< shard dir to lock ("" = cache root)
+    std::uint64_t bytes = 0;
+    double ageSec = 0.0;
+    bool isTemp = false;
+    bool isSuspect = false; ///< corrupt or misplaced
+};
+
+void
+surveyFile(const fs::path &root, const fs::path &path,
+           const std::string &shard_name, unsigned expected_schema,
+           CacheSurvey &survey)
+{
+    const std::string leaf = path.filename().string();
+    if (leaf == kLockName || leaf[0] == '.')
+        return; // internal bookkeeping, not cache content
+    std::error_code ec;
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(fs::file_size(path, ec));
+    if (JobCache::isTempName(leaf)) {
+        ++survey.tempFiles;
+        survey.totalBytes += bytes;
+        return;
+    }
+    std::uint64_t fingerprint = 0;
+    if (!JobCache::parseEntryName(leaf, fingerprint)) {
+        ++survey.otherFiles;
+        return;
+    }
+    survey.totalBytes += bytes;
+    const std::string home = JobCache::shardName(fingerprint);
+    if (shard_name != home) {
+        // Filed under the wrong shard (or at the pre-shard flat
+        // root): unreachable by lookups, pure dead weight.
+        ++survey.misplaced;
+        survey.suspects.push_back(
+            fs::relative(path, root, ec).string());
+    }
+    std::string text;
+    JobRecord record;
+    if (!slurp(path, text) || !tryRecordFromJson(text, record)) {
+        ++survey.corrupt;
+        survey.suspects.push_back(
+            fs::relative(path, root, ec).string());
+        return;
+    }
+    ++survey.entries;
+    if (record.schema != expected_schema) {
+        ++survey.wrongSchema;
+        if (record.schema > expected_schema)
+            ++survey.newerSchema;
+    }
+    switch (record.status) {
+      case JobStatus::Ok:
+        ++survey.okRecords;
+        break;
+      case JobStatus::Failed:
+        ++survey.failedRecords;
+        break;
+      case JobStatus::Deadlocked:
+        ++survey.deadlockedRecords;
+        break;
+      case JobStatus::Skipped:
+        break; // never stored; tolerated if hand-placed
+    }
+}
+
+} // namespace
+
+CacheSurvey
+cacheSurveyDir(const fs::path &dir, unsigned expected_schema)
+{
+    CacheSurvey survey;
+    std::error_code ec;
+    if (!fs::exists(dir, ec))
+        return survey;
+    for (const auto &it : fs::directory_iterator(dir, ec)) {
+        if (it.is_directory(ec)) {
+            const std::string name = it.path().filename().string();
+            if (!isHexShardName(name))
+                continue;
+            ++survey.shardsUsed;
+            for (const auto &f :
+                 fs::directory_iterator(it.path(), ec)) {
+                if (f.is_regular_file(ec))
+                    surveyFile(dir, f.path(), name, expected_schema,
+                               survey);
+            }
+        } else if (it.is_regular_file(ec)) {
+            // Flat root files: legacy pre-shard entries and strays.
+            surveyFile(dir, it.path(), "", expected_schema, survey);
+        }
+    }
+    return survey;
+}
+
+CacheGcResult
+cacheGcDir(const fs::path &dir, const CacheGcOptions &options)
+{
+    CacheGcResult result;
+    std::error_code ec;
+    if (!fs::exists(dir, ec))
+        return result;
+    const auto now = fs::file_time_type::clock::now();
+
+    // Phase 1: scan without locks.
+    std::vector<GcFile> files;
+    auto scan = [&](const fs::path &path, const fs::path &shard,
+                    const std::string &shard_name) {
+        const std::string leaf = path.filename().string();
+        if (leaf == kLockName || leaf[0] == '.')
+            return;
+        GcFile f;
+        f.path = path;
+        f.shard = shard;
+        f.bytes = static_cast<std::uint64_t>(fs::file_size(path, ec));
+        const auto mtime = fs::last_write_time(path, ec);
+        f.ageSec = ec ? 0.0 : ageSeconds(mtime, now);
+        f.isTemp = JobCache::isTempName(leaf);
+        if (!f.isTemp) {
+            std::uint64_t fingerprint = 0;
+            if (!JobCache::parseEntryName(leaf, fingerprint)) {
+                return; // unrecognized: leave it alone
+            }
+            std::string text;
+            JobRecord record;
+            f.isSuspect =
+                JobCache::shardName(fingerprint) != shard_name ||
+                !slurp(path, text) ||
+                !tryRecordFromJson(text, record);
+        }
+        files.push_back(std::move(f));
+    };
+    for (const auto &it : fs::directory_iterator(dir, ec)) {
+        if (it.is_directory(ec)) {
+            const std::string name = it.path().filename().string();
+            if (!isHexShardName(name))
+                continue;
+            for (const auto &f :
+                 fs::directory_iterator(it.path(), ec)) {
+                if (f.is_regular_file(ec))
+                    scan(f.path(), it.path(), name);
+            }
+        } else if (it.is_regular_file(ec)) {
+            scan(it.path(), fs::path(), "");
+        }
+    }
+
+    // Decide removals. The grace margin is the live-lock/live-writer
+    // safety net: nothing young enough to be mid-publish is touched,
+    // so gc can never race a writer into data loss.
+    auto protectedByGrace = [&](const GcFile &f) {
+        return f.ageSec < options.graceSec;
+    };
+    std::vector<const GcFile *> doomed;
+    std::vector<const GcFile *> kept;
+    for (const GcFile &f : files) {
+        if (protectedByGrace(f)) {
+            if (!f.isTemp)
+                kept.push_back(&f);
+            continue;
+        }
+        if (f.isTemp || (f.isSuspect && options.removeCorrupt) ||
+            (options.maxAgeSec > 0.0 && f.ageSec > options.maxAgeSec))
+            doomed.push_back(&f);
+        else
+            kept.push_back(&f);
+    }
+    if (options.maxBytes > 0) {
+        std::uint64_t kept_bytes = 0;
+        for (const GcFile *f : kept)
+            kept_bytes += f->bytes;
+        // Oldest-first eviction until the cache fits the budget.
+        std::stable_sort(kept.begin(), kept.end(),
+                         [](const GcFile *a, const GcFile *b) {
+                             return a->ageSec > b->ageSec;
+                         });
+        std::size_t i = 0;
+        while (kept_bytes > options.maxBytes && i < kept.size()) {
+            const GcFile *f = kept[i++];
+            if (protectedByGrace(*f))
+                break; // the rest are younger still
+            kept_bytes -= f->bytes;
+            doomed.push_back(f);
+        }
+        kept.erase(kept.begin(),
+                   kept.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    // Phase 2: remove, one bounded-wait shard lock at a time. A shard
+    // whose lock never frees is skipped — gc yields to writers rather
+    // than spinning against them.
+    std::stable_sort(doomed.begin(), doomed.end(),
+                     [](const GcFile *a, const GcFile *b) {
+                         return a->shard.string() < b->shard.string();
+                     });
+    std::size_t i = 0;
+    while (i < doomed.size()) {
+        const fs::path shard = doomed[i]->shard;
+        std::size_t end = i;
+        while (end < doomed.size() && doomed[end]->shard == shard)
+            ++end;
+        CacheCounters counters;
+        ShardLock lock(shard.empty() ? dir : shard,
+                       options.lockTimeoutMs, &counters);
+        if (counters.lockTimeouts) {
+            ++result.skippedShards;
+            i = end;
+            continue;
+        }
+        for (; i < end; ++i) {
+            const GcFile &f = *doomed[i];
+            if (!options.dryRun && !fs::remove(f.path, ec))
+                continue;
+            ++(f.isTemp ? result.removedTemps : result.removedEntries);
+            result.removedBytes += f.bytes;
+        }
+    }
+    result.keptEntries = kept.size();
+    return result;
+}
+
+} // namespace regless::sim

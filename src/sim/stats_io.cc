@@ -457,6 +457,8 @@ jobStatusName(JobStatus status)
         return "failed";
       case JobStatus::Deadlocked:
         return "deadlocked";
+      case JobStatus::Skipped:
+        return "skipped";
     }
     return "?";
 }
@@ -465,7 +467,7 @@ bool
 tryJobStatusFromName(const std::string &name, JobStatus &out)
 {
     for (JobStatus s : {JobStatus::Ok, JobStatus::Failed,
-                        JobStatus::Deadlocked}) {
+                        JobStatus::Deadlocked, JobStatus::Skipped}) {
         if (name == jobStatusName(s)) {
             out = s;
             return true;

@@ -178,7 +178,8 @@ TEST(ExperimentEngine, CorruptCacheEntryIsToleratedAsAMiss)
         sim::ExperimentEngine engine(options);
         reference = engine.stats(engine.submit(job));
     }
-    const auto path = dir / sim::ExperimentEngine::cacheFileName(job);
+    const auto path =
+        dir / sim::ExperimentEngine::cacheEntryPath(job);
     ASSERT_TRUE(std::filesystem::exists(path));
 
     // Garbage content: re-simulated, and the entry heals.

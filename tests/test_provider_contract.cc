@@ -335,7 +335,8 @@ TEST(CacheSchema, V7EntriesAreRejected)
         reference = engine.stats(engine.submit(job));
         EXPECT_EQ(engine.simulated(), 1u);
     }
-    const auto path = dir / sim::ExperimentEngine::cacheFileName(job);
+    const auto path =
+        dir / sim::ExperimentEngine::cacheEntryPath(job);
     ASSERT_TRUE(std::filesystem::exists(path));
 
     // Downgrade the entry's schema stamp to 7 in place (the file name

@@ -11,6 +11,7 @@
 
 #include "arch/stall.hh"
 #include "sim/experiment.hh"
+#include "sim/job_cache.hh"
 #include "sim/stats_io.hh"
 #include "workloads/rodinia.hh"
 
@@ -118,6 +119,43 @@ TEST(StatsIoRoundTrip, EmptyArrayAndUnknownKeys)
         "\"future_array\":[1,2],\"kernel\":\"k\"}");
     EXPECT_EQ(parsed.cycles, 77u);
     EXPECT_EQ(parsed.kernel, "k");
+}
+
+TEST(JobRecordForwardCompat, NewerSchemaParsesIntactForTheGate)
+{
+    // Forward-compatibility contract split: the *parser* tolerates a
+    // record written by a newer build (unknown keys skipped, known
+    // fields landed, the foreign schema stamp preserved verbatim);
+    // *rejecting* it is the cache's schema gate, which needs exactly
+    // this intact record.schema to diagnose "newer build shares this
+    // directory" instead of serving a half-parsed record.
+    sim::JobRecord record;
+    std::string error;
+    const std::string json =
+        "{\"record_schema\":" +
+        std::to_string(sim::kJobCacheSchemaVersion + 1) +
+        ",\"record_status\":\"ok\",\"record_attempts\":2,"
+        "\"stat_from_the_future\":[1,2,3],"
+        "\"kernel\":\"tomorrow\",\"cycles\":42}";
+    ASSERT_TRUE(sim::tryRecordFromJson(json, record, &error)) << error;
+    EXPECT_EQ(record.schema, sim::kJobCacheSchemaVersion + 1);
+    EXPECT_EQ(record.status, sim::JobStatus::Ok);
+    EXPECT_EQ(record.attempts, 2u);
+    EXPECT_EQ(record.stats.kernel, "tomorrow");
+    EXPECT_EQ(record.stats.cycles, 42u);
+}
+
+TEST(JobRecordForwardCompat, SkippedStatusRoundTrips)
+{
+    // JobStatus::Skipped exists for --shard runs; it is never cached,
+    // but the name must still round-trip for reports and for any
+    // record that does carry it.
+    EXPECT_STREQ(sim::jobStatusName(sim::JobStatus::Skipped),
+                 "skipped");
+    sim::JobStatus status = sim::JobStatus::Ok;
+    ASSERT_TRUE(sim::tryJobStatusFromName("skipped", status));
+    EXPECT_EQ(status, sim::JobStatus::Skipped);
+    EXPECT_FALSE(sim::tryJobStatusFromName("postponed", status));
 }
 
 } // namespace
