@@ -35,6 +35,7 @@ void genOversubscriptionSweep(FigureContext &ctx);
 void genMultiSmScaling(FigureContext &ctx);
 void genStallBreakdown(FigureContext &ctx);
 void genProviderBakeoff(FigureContext &ctx);
+void genMultiTenant(FigureContext &ctx);
 
 const std::vector<Figure> &
 allFigures()
@@ -101,6 +102,11 @@ allFigures()
          "Provider bake-off: runtime / energy / area, all providers",
          "DESIGN.md section 13 (the provider registry)",
          genProviderBakeoff},
+        {"multi_tenant",
+         "Multi-tenant QoS: co-run slowdown, preemption, capacity "
+         "policies",
+         "DESIGN.md section 16 (concurrent kernel residency)",
+         genMultiTenant},
     };
     return figures;
 }

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Multi-tenant QoS figure (DESIGN.md §16): a latency-sensitive (LS)
+ * kernel co-resident with a throughput hog on one SM, across the
+ * Rodinia pairing matrix, under every OSU capacity policy and with
+ * region-boundary QoS preemption. Three views:
+ *
+ *  1. the pairing matrix — each tenant's finish cycle and its co-run
+ *     slowdown against a solo run of the same kernel, plus how long
+ *     the hog sat parked and how often it was preempted;
+ *  2. per-tenant stall attribution for one representative pairing,
+ *     showing where the LS tenant's slots go under each policy (the
+ *     per-tenant closed account: rows sum to 100%);
+ *  3. an isolation summary — how much less the LS tenant degrades
+ *     under priority-reserve + QoS preemption than under free-for-all
+ *     sharing.
+ */
+
+#include "figures/figures.hh"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/stall.hh"
+#include "regfile/tenant_arbiter.hh"
+#include "sim/experiment.hh"
+#include "workloads/rodinia.hh"
+
+namespace regless::figures
+{
+
+namespace
+{
+
+using regfile::CapacityPolicy;
+
+constexpr std::array<const char *, arch::kNumStallCauses> kCauseHeader =
+    {"no_warp", "sb_dep", "not_stag", "no_cap",
+     "bank_cf", "mem_pnd", "port_bsy", "barrier"};
+
+const std::vector<std::string> &
+lsKernels()
+{
+    static const std::vector<std::string> kernels = {"nn", "backprop"};
+    return kernels;
+}
+
+const std::vector<std::string> &
+hogKernels()
+{
+    static const std::vector<std::string> kernels = {"srad_v1",
+                                                     "hotspot"};
+    return kernels;
+}
+
+/** One policy point of the sweep. */
+struct Variant
+{
+    CapacityPolicy policy;
+    bool qos;
+    const char *label;
+};
+
+const std::vector<Variant> &
+variants()
+{
+    static const std::vector<Variant> all = {
+        {CapacityPolicy::FreeForAll, false, "free_for_all"},
+        {CapacityPolicy::StaticQuota, false, "static_quota"},
+        {CapacityPolicy::PriorityReserve, false, "priority_reserve"},
+        {CapacityPolicy::PriorityReserve, true, "prio_reserve+qos"},
+    };
+    return all;
+}
+
+/** Co-run job for (ls, hog) under @a variant. */
+sim::SimJob
+coRunJob(const std::string &ls, const std::string &hog,
+         const Variant &variant)
+{
+    sim::SimJob job;
+    job.kernel = ls + "+" + hog;
+    job.config = sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    job.config.tenants.workloads = {{ls, 1}, {hog, 0}};
+    job.config.tenants.policy = variant.policy;
+    if (variant.qos) {
+        // Sized against these kernels' few-thousand-cycle co-runs:
+        // several park/resume phases per run, park phases long enough
+        // for the region-boundary handoff to complete inside them.
+        job.config.tenants.qosPreemption = true;
+        job.config.tenants.qosInterval = 2000;
+        job.config.tenants.qosShare = 0.25;
+    }
+    return job;
+}
+
+double
+slowdown(Cycle co_run_finish, Cycle solo_cycles)
+{
+    if (solo_cycles == 0)
+        return 0.0;
+    return static_cast<double>(co_run_finish) /
+           static_cast<double>(solo_cycles);
+}
+
+void
+emitLaneStalls(const sim::TableWriter &table, const std::string &pair,
+               const char *variant, const sim::TenantLane &lane)
+{
+    std::uint64_t slots = lane.issuedSlots;
+    for (std::uint64_t s : lane.stallSlots)
+        slots += s;
+    if (slots == 0) {
+        table.row({pair, variant, lane.kernel, "-"});
+        return;
+    }
+    auto pct = [slots](std::uint64_t v) {
+        return 100.0 * static_cast<double>(v) /
+               static_cast<double>(slots);
+    };
+    std::vector<sim::TableCell> cells = {pair, variant, lane.kernel,
+                                         pct(lane.issuedSlots)};
+    for (std::size_t c = 0; c < arch::kNumStallCauses; ++c)
+        cells.emplace_back(pct(lane.stallSlots[c]));
+    table.row(cells);
+}
+
+} // namespace
+
+void
+genMultiTenant(FigureContext &ctx)
+{
+    // Solo baselines: each kernel alone on a half SM — the same warp
+    // partition and scheduler share a co-resident tenant owns (a
+    // kernel's grid follows its warp count, so a whole-SM solo run
+    // would execute twice the work and corrupt the slowdown ratio).
+    // The denominator of every co-run slowdown.
+    sim::GpuConfig solo_cfg =
+        sim::GpuConfig::forProvider(sim::ProviderKind::Regless);
+    solo_cfg.sm.numWarps /= 2;
+    solo_cfg.sm.numSchedulers /= 2;
+    std::vector<std::string> solo_kernels = lsKernels();
+    solo_kernels.insert(solo_kernels.end(), hogKernels().begin(),
+                        hogKernels().end());
+    std::vector<sim::ExperimentEngine::JobId> solo_jobs;
+    for (const std::string &name : solo_kernels)
+        solo_jobs.push_back(ctx.engine.submit(name, solo_cfg));
+
+    // The pairing matrix, every policy variant.
+    struct Point
+    {
+        std::string ls, hog;
+        const Variant *variant;
+        sim::ExperimentEngine::JobId job;
+    };
+    std::vector<Point> points;
+    for (const std::string &ls : lsKernels()) {
+        for (const std::string &hog : hogKernels()) {
+            for (const Variant &v : variants()) {
+                points.push_back(
+                    {ls, hog, &v,
+                     ctx.engine.submit(coRunJob(ls, hog, v))});
+            }
+        }
+    }
+
+    auto soloCycles = [&](const std::string &name) -> Cycle {
+        for (std::size_t i = 0; i < solo_kernels.size(); ++i) {
+            if (solo_kernels[i] == name) {
+                const sim::RunStats *s =
+                    ctx.engine.tryStats(solo_jobs[i]);
+                return s ? s->cycles : 0;
+            }
+        }
+        return 0;
+    };
+
+    sim::TableWriter matrix(
+        ctx.out,
+        {{"pairing", 22},
+         {"policy", 18},
+         {"ls_finish", 10, 0},
+         {"ls_slow", 8, 2},
+         {"hog_finish", 11, 0},
+         {"hog_slow", 9, 2},
+         {"hog_parked", 11, 0},
+         {"preempts", 9, 0}});
+    matrix.header();
+
+    // Isolation summary accumulators: LS slowdown per variant.
+    std::vector<double> ls_slow_sum(variants().size(), 0.0);
+    std::vector<unsigned> ls_slow_n(variants().size(), 0);
+
+    for (const Point &p : points) {
+        const sim::RunStats *s = ctx.engine.tryStats(p.job);
+        const std::string pair = p.ls + "+" + p.hog;
+        if (!s || s->tenants.size() != 2) {
+            ctx.out << "# " << pair << " (" << p.variant->label
+                    << "): excluded ("
+                    << ctx.engine.result(p.job).error << ")\n";
+            continue;
+        }
+        const sim::TenantLane &ls = s->tenants[0];
+        const sim::TenantLane &hog = s->tenants[1];
+        const double ls_slow =
+            slowdown(ls.finishCycle, soloCycles(p.ls));
+        matrix.row({pair, p.variant->label,
+                    static_cast<double>(ls.finishCycle), ls_slow,
+                    static_cast<double>(hog.finishCycle),
+                    slowdown(hog.finishCycle, soloCycles(p.hog)),
+                    static_cast<double>(hog.suspendedCycles),
+                    static_cast<double>(hog.preemptions)});
+        const std::size_t v =
+            static_cast<std::size_t>(p.variant - &variants()[0]);
+        if (ls_slow > 0.0) {
+            ls_slow_sum[v] += ls_slow;
+            ++ls_slow_n[v];
+        }
+    }
+    ctx.out << "# slowdown = co-run finish cycle / solo-run cycles "
+               "(same kernel, solo on its half-SM partition)\n\n";
+
+    // Per-tenant stall attribution for the representative pairing.
+    ctx.out << "# per-tenant issue-slot attribution, nn+srad_v1 "
+               "(rows sum to 100%)\n";
+    std::vector<sim::TableColumn> columns = {{"pairing", 22},
+                                             {"policy", 18},
+                                             {"tenant", 10},
+                                             {"issue%", 7, 1}};
+    for (const char *header : kCauseHeader)
+        columns.push_back({header, 9, 1});
+    sim::TableWriter stalls(ctx.out, columns);
+    stalls.header();
+    for (const Point &p : points) {
+        if (p.ls != "nn" || p.hog != "srad_v1")
+            continue;
+        const sim::RunStats *s = ctx.engine.tryStats(p.job);
+        if (!s || s->tenants.size() != 2)
+            continue;
+        for (const sim::TenantLane &lane : s->tenants)
+            emitLaneStalls(stalls, p.ls + "+" + p.hog,
+                           p.variant->label, lane);
+    }
+
+    // The isolation headline: priority-reserve + QoS must degrade the
+    // LS tenant measurably less than free-for-all sharing.
+    ctx.out << "\n";
+    for (std::size_t v = 0; v < variants().size(); ++v) {
+        if (ls_slow_n[v] == 0)
+            continue;
+        ctx.out << "# mean LS co-run slowdown, "
+                << variants()[v].label << ": "
+                << sim::cell(ls_slow_sum[v] / ls_slow_n[v], 0, 2)
+                << "x over " << ls_slow_n[v] << " pairings\n";
+    }
+    ctx.out << "# isolation: lower LS slowdown under "
+               "prio_reserve+qos than free_for_all demonstrates "
+               "per-tenant QoS\n";
+}
+
+} // namespace regless::figures

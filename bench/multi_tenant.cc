@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Thin wrapper: the multi_tenant generator lives in figures/multi_tenant.cc and is
+ * shared with the regless_report driver.
+ */
+
+#include "figures/figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return regless::figures::figureMain("multi_tenant", argc, argv);
+}

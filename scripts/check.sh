@@ -13,7 +13,10 @@
 #      injection under every CacheFaultPlan, forked multi-process
 #      stress over one shared directory, and the --shard partition
 #      parity oracle (DESIGN.md §15);
-#   5. ASan and TSan passes over the skip-enabled determinism subset
+#   5. the multi-tenant suite (ctest label "tenants"): single-tenant
+#      byte parity, per-tenant closed accounts, the preemption chaos
+#      test, starved-tenant reporting, and QoS (DESIGN.md §16);
+#   6. ASan and TSan passes over the skip-enabled determinism subset
 #      (the SoA warp state and bulk stall-charging touch hot arrays;
 #      the multi-SM epoch loop skips under worker threads).
 set -euo pipefail
@@ -61,6 +64,7 @@ cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -L oracle -j "$(nproc)")
 (cd "$BUILD_DIR" && ctest --output-on-failure -L providers -j "$(nproc)")
 (cd "$BUILD_DIR" && ctest --output-on-failure -L cache -j "$(nproc)")
+(cd "$BUILD_DIR" && ctest --output-on-failure -L tenants -j "$(nproc)")
 
 # Skip-enabled determinism subset under AddressSanitizer: the oracle
 # sweep plus the property fuzzer (random kernels + fault plans).

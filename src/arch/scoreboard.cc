@@ -7,10 +7,24 @@
 namespace regless::arch
 {
 
-Scoreboard::Scoreboard(unsigned num_warps, unsigned num_regs)
-    : _numRegs(num_regs), _readyCycle(num_warps * num_regs, 0),
-      _fromMem(num_warps * num_regs, false)
+Scoreboard::Scoreboard(unsigned num_warps, unsigned num_regs,
+                       WarpId warp_base)
+    : _numRegs(num_regs), _numWarps(num_warps), _warpBase(warp_base),
+      _readyCycle(static_cast<std::size_t>(num_warps) * num_regs, 0),
+      _fromMem(static_cast<std::size_t>(num_warps) * num_regs, false)
 {
+}
+
+std::size_t
+Scoreboard::index(WarpId warp, RegId reg) const
+{
+    if (warp < _warpBase || warp >= _warpBase + _numWarps) {
+        panic("scoreboard: warp ", warp, " outside supervised range [",
+              _warpBase, ", ", _warpBase + _numWarps, ")");
+    }
+    if (reg >= _numRegs)
+        panic("scoreboard: register ", reg, " >= ", _numRegs);
+    return static_cast<std::size_t>(warp - _warpBase) * _numRegs + reg;
 }
 
 bool
@@ -32,8 +46,9 @@ Scoreboard::recordWrite(WarpId warp, const ir::Instruction &insn,
 {
     if (!insn.writesReg())
         return;
-    _readyCycle.at(warp * _numRegs + insn.dst()) = when;
-    _fromMem.at(warp * _numRegs + insn.dst()) = insn.isGlobalLoad();
+    const std::size_t i = index(warp, insn.dst());
+    _readyCycle[i] = when;
+    _fromMem[i] = insn.isGlobalLoad();
 }
 
 bool
@@ -41,8 +56,7 @@ Scoreboard::blockedOnMem(WarpId warp, const ir::Instruction &insn,
                          Cycle now) const
 {
     auto pending_mem = [&](RegId reg) {
-        return readyAt(warp, reg) > now
-               && _fromMem.at(warp * _numRegs + reg);
+        return readyAt(warp, reg) > now && _fromMem[index(warp, reg)];
     };
     for (RegId src : insn.srcs()) {
         if (pending_mem(src))
@@ -71,7 +85,7 @@ Scoreboard::nextReadyChange(WarpId warp, const ir::Instruction &insn,
 Cycle
 Scoreboard::readyAt(WarpId warp, RegId reg) const
 {
-    return _readyCycle.at(warp * _numRegs + reg);
+    return _readyCycle[index(warp, reg)];
 }
 
 Cycle

@@ -20,11 +20,27 @@
 namespace regless::arch
 {
 
-/** Per-SM scoreboard over all warps' registers. */
+/**
+ * Scoreboard over one contiguous warp range's registers.
+ *
+ * The range is explicit (base + extent) rather than implicitly
+ * 0..num_warps: a multi-tenant SM gives each tenant its own scoreboard
+ * over its warp partition, still addressed with *global* warp ids.
+ * Every access asserts the id lies inside the supervised range, so an
+ * off-by-base index is a panic, not a silent read of a neighbouring
+ * tenant's state.
+ */
 class Scoreboard
 {
   public:
-    Scoreboard(unsigned num_warps, unsigned num_regs);
+    /**
+     * @param num_warps Warps supervised (the extent of the range).
+     * @param num_regs Architectural registers per warp.
+     * @param warp_base First supervised global warp id (default 0:
+     *        the classic whole-SM scoreboard).
+     */
+    Scoreboard(unsigned num_warps, unsigned num_regs,
+               WarpId warp_base = 0);
 
     /** @return true when @a insn's operands are ready for @a warp. */
     bool ready(WarpId warp, const ir::Instruction &insn, Cycle now) const;
@@ -62,9 +78,19 @@ class Scoreboard
     Cycle lastPendingWrite(WarpId warp,
                            const std::vector<RegId> &regs) const;
 
+    /** First supervised global warp id. */
+    WarpId warpBase() const { return _warpBase; }
+    /** Supervised warp count. */
+    unsigned numWarps() const { return _numWarps; }
+
   private:
+    /** Flat index of (warp, reg); panics outside the range. */
+    std::size_t index(WarpId warp, RegId reg) const;
+
     unsigned _numRegs;
-    std::vector<Cycle> _readyCycle; ///< [warp * numRegs + reg]
+    unsigned _numWarps;
+    WarpId _warpBase;
+    std::vector<Cycle> _readyCycle; ///< [(warp - base) * numRegs + reg]
     std::vector<bool> _fromMem;     ///< pending producer is a global load
 };
 

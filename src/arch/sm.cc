@@ -8,15 +8,35 @@
 namespace regless::arch
 {
 
+Sm::Tenant::Tenant(const SmTenantSpec &spec, WarpId warp_base,
+                   unsigned warp_count, unsigned sched_base,
+                   unsigned sched_count)
+    : ck(spec.ck),
+      kernel(&spec.ck->kernel()),
+      provider(spec.provider),
+      cfgAnalysis(spec.ck->kernel()),
+      scoreboard(warp_count, spec.ck->kernel().numRegs(), warp_base),
+      warpBase(warp_base),
+      warpCount(warp_count),
+      schedBase(sched_base),
+      schedCount(sched_count),
+      dataBase(spec.dataBase),
+      sharedBase(spec.sharedBase)
+{
+}
+
 Sm::Sm(const compiler::CompiledKernel &ck, mem::MemorySystem &mem,
        regfile::RegisterProvider &provider, const SmConfig &config)
-    : _ck(ck),
-      _kernel(ck.kernel()),
-      _mem(mem),
-      _provider(provider),
+    : Sm(std::vector<SmTenantSpec>{SmTenantSpec{
+             &ck, &provider, config.dataBase, config.sharedBase}},
+         mem, config)
+{
+}
+
+Sm::Sm(std::vector<SmTenantSpec> tenants, mem::MemorySystem &mem,
+       const SmConfig &config)
+    : _mem(mem),
       _cfg(config),
-      _cfgAnalysis(_kernel),
-      _scoreboard(config.numWarps, _kernel.numRegs()),
       _stats("sm"),
       _issued(_stats.counter("insns_issued")),
       _slotIssued(_stats.counter("issued_slots")),
@@ -33,23 +53,64 @@ Sm::Sm(const compiler::CompiledKernel &ck, mem::MemorySystem &mem,
     }
     if (_cfg.numWarps % _cfg.numSchedulers != 0)
         fatal("warps must divide evenly among schedulers");
+    if (tenants.empty())
+        fatal("SM needs at least one tenant");
+    const auto num_tenants = static_cast<unsigned>(tenants.size());
+    if (_cfg.numSchedulers % num_tenants != 0 ||
+        _cfg.numWarps % num_tenants != 0) {
+        fatal(num_tenants, " tenants must divide ",
+              _cfg.numSchedulers, " schedulers and ", _cfg.numWarps,
+              " warps evenly");
+    }
+    const unsigned warp_count = _cfg.numWarps / num_tenants;
+    const unsigned sched_count = _cfg.numSchedulers / num_tenants;
+    if (warp_count % sched_count != 0)
+        fatal("tenant warps must divide evenly among tenant schedulers");
 
-    const unsigned wpb = _kernel.warpsPerBlock();
+    // Tenant t owns the contiguous warp range [t*W/T, (t+1)*W/T) and
+    // scheduler groups [t*S/T, (t+1)*S/T). Warps carry global slot
+    // ids; block ids and thread indices are tenant-local, so each
+    // tenant sees the same launch geometry as a solo run.
     _warps.reserve(_cfg.numWarps);
-    for (WarpId w = 0; w < _cfg.numWarps; ++w)
-        _warps.emplace_back(w, w / wpb, _kernel.numRegs());
+    _tenantOf.resize(_cfg.numWarps);
+    for (unsigned t = 0; t < num_tenants; ++t) {
+        const SmTenantSpec &spec = tenants[t];
+        if (!spec.ck || !spec.provider)
+            fatal("tenant ", t, " missing kernel or provider");
+        const WarpId base = t * warp_count;
+        _tenants.push_back(std::make_unique<Tenant>(
+            spec, base, warp_count, t * sched_count, sched_count));
+        Tenant &tn = *_tenants.back();
+        const unsigned wpb = tn.kernel->warpsPerBlock();
+        for (unsigned l = 0; l < warp_count; ++l) {
+            const WarpId w = base + l;
+            _warps.emplace_back(w, l / wpb, tn.kernel->numRegs(), l);
+            _tenantOf[w] = t;
+        }
+    }
 
     // Residency: admit thread blocks up to the occupancy limit.
     _resident.assign(_cfg.numWarps, _cfg.maxResidentWarps == 0);
-    if (_cfg.maxResidentWarps != 0)
-        admitBlocks();
+    if (_cfg.maxResidentWarps != 0) {
+        for (auto &tn : _tenants)
+            admitBlocks(*tn);
+    }
 
-    // Interleaved assignment: warp w belongs to group w % numSchedulers
-    // (matches how consecutive warps spread across GTX 980 schedulers).
+    // Interleaved assignment within each tenant: group sg of tenant t
+    // serves warps {base + sg + k*schedCount}, which for one tenant is
+    // exactly warp w in group w % numSchedulers (matches how
+    // consecutive warps spread across GTX 980 schedulers).
+    _groupTenant.resize(_cfg.numSchedulers);
     for (unsigned g = 0; g < _cfg.numSchedulers; ++g) {
+        const unsigned t = g / sched_count;
+        _groupTenant[g] = t;
+        Tenant &tn = *_tenants[t];
+        const unsigned sg = g % sched_count;
         std::vector<WarpId> group;
-        for (WarpId w = g; w < _cfg.numWarps; w += _cfg.numSchedulers)
+        for (WarpId w = tn.warpBase + sg;
+             w < tn.warpBase + tn.warpCount; w += sched_count) {
             group.push_back(w);
+        }
         _schedulers.push_back(
             WarpScheduler::create(_cfg.scheduler, std::move(group)));
     }
@@ -68,35 +129,100 @@ Sm::done() const
                        [](const Warp &w) { return w.finished(); });
 }
 
-Pc
-Sm::reconvergePcFor(ir::BlockId block) const
+bool
+Sm::tenantDone(unsigned t) const
 {
-    ir::BlockId ipdom = _cfgAnalysis.immediatePostdominator(block);
-    if (ipdom == ir::invalidBlock)
-        return invalidPc;
-    return _kernel.block(ipdom).firstPc();
+    return tenant(t).finished;
+}
+
+std::uint64_t
+Sm::tenantSuspendedCycles(unsigned t) const
+{
+    const Tenant &tn = tenant(t);
+    std::uint64_t cycles = tn.suspendedCycles;
+    if (tn.suspended)
+        cycles += _now - tn.suspendStart;
+    return cycles;
 }
 
 void
-Sm::admitBlocks()
+Sm::requestSuspend(unsigned t, Cycle now)
 {
-    const unsigned wpb = _kernel.warpsPerBlock();
-    const unsigned num_blocks = _cfg.numWarps / wpb;
+    Tenant &tn = tenant(t);
+    if (tn.suspended || tn.suspendRequested || tn.finished)
+        return;
+    tn.suspendRequested = true;
+    ++tn.preemptions;
+    tn.provider->requestSuspend(now);
+    _anySuspendPending = true;
+}
+
+void
+Sm::resumeTenant(unsigned t, Cycle now)
+{
+    Tenant &tn = tenant(t);
+    if (tn.suspended) {
+        tn.suspendedCycles += now - tn.suspendStart;
+        tn.suspended = false;
+    }
+    tn.suspendRequested = false;
+    tn.provider->resume(now);
+    bool pending = false;
+    for (const auto &other : _tenants)
+        pending |= other->suspendRequested;
+    _anySuspendPending = pending;
+}
+
+void
+Sm::pollSuspends(Cycle now)
+{
+    bool pending = false;
+    for (auto &tn : _tenants) {
+        if (!tn->suspendRequested)
+            continue;
+        if (tn->provider->suspendComplete()) {
+            // Boundary reached: hand off the staged state. From the
+            // next eligibility scan on, the tenant's warps park.
+            tn->provider->finalizeSuspend(now);
+            tn->suspendRequested = false;
+            tn->suspended = true;
+            tn->suspendStart = now;
+        } else {
+            pending = true;
+        }
+    }
+    _anySuspendPending = pending;
+}
+
+Pc
+Sm::reconvergePcFor(const Tenant &tn, ir::BlockId block) const
+{
+    ir::BlockId ipdom = tn.cfgAnalysis.immediatePostdominator(block);
+    if (ipdom == ir::invalidBlock)
+        return invalidPc;
+    return tn.kernel->block(ipdom).firstPc();
+}
+
+void
+Sm::admitBlocks(Tenant &tn)
+{
+    const unsigned wpb = tn.kernel->warpsPerBlock();
+    const unsigned num_blocks = tn.warpCount / wpb;
     // Always keep at least one block admitted so progress is possible.
-    while (_nextBlockToAdmit < num_blocks &&
-           (_residentWarps == 0 ||
-            _residentWarps + wpb <= _cfg.maxResidentWarps)) {
-        for (WarpId w = _nextBlockToAdmit * wpb;
-             w < (_nextBlockToAdmit + 1) * wpb; ++w) {
+    while (tn.nextBlockToAdmit < num_blocks &&
+           (tn.residentWarps == 0 ||
+            tn.residentWarps + wpb <= _cfg.maxResidentWarps)) {
+        for (WarpId w = tn.warpBase + tn.nextBlockToAdmit * wpb;
+             w < tn.warpBase + (tn.nextBlockToAdmit + 1) * wpb; ++w) {
             _resident[w] = true;
         }
-        _residentWarps += wpb;
-        ++_nextBlockToAdmit;
+        tn.residentWarps += wpb;
+        ++tn.nextBlockToAdmit;
     }
 }
 
 bool
-Sm::eligible(const Warp &warp, Cycle now, bool *long_stall,
+Sm::eligible(Tenant &tn, const Warp &warp, Cycle now, bool *long_stall,
              StallCause *cause, Cycle *next_event)
 {
     *long_stall = false;
@@ -109,26 +235,31 @@ Sm::eligible(const Warp &warp, Cycle now, bool *long_stall,
         if (next_event)
             *next_event = std::min(*next_event, at);
     };
-    // Non-resident, finished, and barrier-parked warps have no bound:
-    // their release requires another warp to issue, which cannot
-    // happen inside an all-stalled window.
+    // Suspended tenants park with no bound: resumption is an external
+    // control decision (the QoS controller clamps the skip limit to
+    // its own decision points). Non-resident, finished, and
+    // barrier-parked warps likewise have no bound: their release
+    // requires another warp to issue, which cannot happen inside an
+    // all-stalled window.
+    if (tn.suspended)
+        return blocked(StallCause::NoWarp);
     if (!_resident[warp.id()])
         return blocked(StallCause::NoWarp);
     if (warp.status() == WarpStatus::AtBarrier)
         return blocked(StallCause::SyncBarrier);
     if (warp.status() != WarpStatus::Running)
         return blocked(StallCause::NoWarp);
-    const ir::Instruction &insn = _kernel.insn(warp.pc());
-    if (!_scoreboard.ready(warp.id(), insn, now)) {
+    const ir::Instruction &insn = tn.kernel->insn(warp.pc());
+    if (!tn.scoreboard.ready(warp.id(), insn, now)) {
         // Long-latency source? (feeds the two-level demotion)
         for (RegId src : insn.srcs()) {
-            if (_scoreboard.readyAt(warp.id(), src) >
+            if (tn.scoreboard.readyAt(warp.id(), src) >
                 now + _cfg.longStallThreshold) {
                 *long_stall = true;
             }
         }
-        bound(_scoreboard.nextReadyChange(warp.id(), insn, now));
-        return blocked(_scoreboard.blockedOnMem(warp.id(), insn, now)
+        bound(tn.scoreboard.nextReadyChange(warp.id(), insn, now));
+        return blocked(tn.scoreboard.blockedOnMem(warp.id(), insn, now)
                            ? StallCause::MemPending
                            : StallCause::ScoreboardDep);
     }
@@ -141,8 +272,8 @@ Sm::eligible(const Warp &warp, Cycle now, bool *long_stall,
     // The provider check comes last so its internal gating (e.g. the
     // RegLess capacity manager) sees only otherwise-issuable warps.
     // No per-warp bound: the provider's own nextEventCycle covers it.
-    if (!_provider.canIssue(warp, now))
-        return blocked(_provider.blockCause(warp, now));
+    if (!tn.provider->canIssue(warp, now))
+        return blocked(tn.provider->blockCause(warp, now));
     return true;
 }
 
@@ -179,7 +310,8 @@ Sm::coalesce(const std::vector<Addr> &addrs, LaneMask mask) const
 }
 
 void
-Sm::execAlu(Warp &warp, const ir::Instruction &insn, Cycle now)
+Sm::execAlu(Tenant &tn, Warp &warp, const ir::Instruction &insn,
+            Cycle now)
 {
     ir::LaneValues result{};
     if (insn.op() == ir::Opcode::Tid) {
@@ -195,16 +327,17 @@ Sm::execAlu(Warp &warp, const ir::Instruction &insn, Cycle now)
         result = insn.evaluate(srcs);
     }
     warp.writeReg(insn.dst(), result, warp.activeMask());
-    _scoreboard.recordWrite(warp.id(), insn,
-                            now + _cfg.latencies.latency(insn));
+    tn.scoreboard.recordWrite(warp.id(), insn,
+                              now + _cfg.latencies.latency(insn));
     warp.stack().advance();
 }
 
 void
-Sm::execGlobalLoad(Warp &warp, const ir::Instruction &insn, Cycle now)
+Sm::execGlobalLoad(Tenant &tn, Warp &warp, const ir::Instruction &insn,
+                   Cycle now)
 {
     LaneMask mask = warp.activeMask();
-    std::vector<Addr> addrs = laneAddrs(warp, insn, _cfg.dataBase);
+    std::vector<Addr> addrs = laneAddrs(warp, insn, tn.dataBase);
 
     ir::LaneValues result{};
     for (unsigned lane = 0; lane < warpSize; ++lane) {
@@ -221,15 +354,16 @@ Sm::execGlobalLoad(Warp &warp, const ir::Instruction &insn, Cycle now)
             _mem.access(line, /*is_write=*/false, mem::MemSpace::Data, t);
         ready = std::max(ready, res.readyCycle);
     }
-    _scoreboard.recordWrite(warp.id(), insn, ready);
+    tn.scoreboard.recordWrite(warp.id(), insn, ready);
     warp.stack().advance();
 }
 
 void
-Sm::execGlobalStore(Warp &warp, const ir::Instruction &insn, Cycle now)
+Sm::execGlobalStore(Tenant &tn, Warp &warp, const ir::Instruction &insn,
+                    Cycle now)
 {
     LaneMask mask = warp.activeMask();
-    std::vector<Addr> addrs = laneAddrs(warp, insn, _cfg.dataBase);
+    std::vector<Addr> addrs = laneAddrs(warp, insn, tn.dataBase);
     const ir::LaneValues &data = warp.regValue(insn.srcs().at(0));
     for (unsigned lane = 0; lane < warpSize; ++lane) {
         if (mask & (1u << lane))
@@ -244,11 +378,12 @@ Sm::execGlobalStore(Warp &warp, const ir::Instruction &insn, Cycle now)
 }
 
 void
-Sm::execShared(Warp &warp, const ir::Instruction &insn, Cycle now)
+Sm::execShared(Tenant &tn, Warp &warp, const ir::Instruction &insn,
+               Cycle now)
 {
     LaneMask mask = warp.activeMask();
     const Addr seg =
-        _cfg.sharedBase + (static_cast<Addr>(warp.blockId()) << 20);
+        tn.sharedBase + (static_cast<Addr>(warp.blockId()) << 20);
     std::vector<Addr> addrs = laneAddrs(warp, insn, seg);
     if (insn.op() == ir::Opcode::LdShared) {
         ir::LaneValues result{};
@@ -257,8 +392,8 @@ Sm::execShared(Warp &warp, const ir::Instruction &insn, Cycle now)
                 result[lane] = _mem.readWord(addrs[lane]);
         }
         warp.writeReg(insn.dst(), result, mask);
-        _scoreboard.recordWrite(warp.id(), insn,
-                                now + _cfg.latencies.sharedMem);
+        tn.scoreboard.recordWrite(warp.id(), insn,
+                                  now + _cfg.latencies.sharedMem);
     } else {
         const ir::LaneValues &data = warp.regValue(insn.srcs().at(0));
         for (unsigned lane = 0; lane < warpSize; ++lane) {
@@ -270,7 +405,8 @@ Sm::execShared(Warp &warp, const ir::Instruction &insn, Cycle now)
 }
 
 void
-Sm::execBranch(Warp &warp, const ir::Instruction &insn, Cycle now)
+Sm::execBranch(Tenant &tn, Warp &warp, const ir::Instruction &insn,
+               Cycle now)
 {
     (void)now;
     LaneMask mask = warp.activeMask();
@@ -280,108 +416,123 @@ Sm::execBranch(Warp &warp, const ir::Instruction &insn, Cycle now)
         if ((mask & (1u << lane)) && pred[lane] != 0)
             taken |= 1u << lane;
     }
-    Pc rpc = reconvergePcFor(_kernel.blockOf(warp.pc()));
+    Pc rpc = reconvergePcFor(tn, tn.kernel->blockOf(warp.pc()));
     if (warp.stack().branch(taken, insn.target(), rpc))
         ++_divergentBranches;
 }
 
 void
-Sm::checkBarrier(unsigned block_id)
+Sm::checkBarrier(Tenant &tn, unsigned block_id)
 {
-    const unsigned wpb = _kernel.warpsPerBlock();
+    // Block ids are tenant-local: only this tenant's warps take part
+    // in the barrier, never a co-resident kernel's.
     bool all_arrived = true;
-    for (Warp &w : _warps) {
-        if (w.blockId() != block_id)
+    for (WarpId w = tn.warpBase; w < tn.warpBase + tn.warpCount; ++w) {
+        const Warp &wp = _warps[w];
+        if (wp.blockId() != block_id)
             continue;
-        if (w.status() == WarpStatus::Running) {
+        if (wp.status() == WarpStatus::Running) {
             all_arrived = false;
             break;
         }
     }
     if (!all_arrived)
         return;
-    (void)wpb;
-    for (Warp &w : _warps) {
-        if (w.blockId() == block_id &&
-            w.status() == WarpStatus::AtBarrier) {
-            w.setStatus(WarpStatus::Running);
+    for (WarpId w = tn.warpBase; w < tn.warpBase + tn.warpCount; ++w) {
+        Warp &wp = _warps[w];
+        if (wp.blockId() == block_id &&
+            wp.status() == WarpStatus::AtBarrier) {
+            wp.setStatus(WarpStatus::Running);
         }
     }
 }
 
 void
-Sm::execBarrier(Warp &warp, Cycle now)
+Sm::execBarrier(Tenant &tn, Warp &warp, Cycle now)
 {
     (void)now;
     warp.stack().advance();
     warp.setStatus(WarpStatus::AtBarrier);
-    checkBarrier(warp.blockId());
+    checkBarrier(tn, warp.blockId());
 }
 
 void
-Sm::execExit(Warp &warp, Cycle now)
+Sm::execExit(Tenant &tn, Warp &warp, Cycle now)
 {
     warp.stack().exitLanes();
     if (warp.stack().allExited()) {
         warp.setStatus(WarpStatus::Finished);
-        _provider.onWarpFinished(warp, now);
-        checkBarrier(warp.blockId());
+        tn.provider->onWarpFinished(warp, now);
+        checkBarrier(tn, warp.blockId());
+        if (!tn.finished) {
+            bool all = true;
+            for (WarpId w = tn.warpBase;
+                 w < tn.warpBase + tn.warpCount; ++w) {
+                all &= _warps[w].finished();
+            }
+            if (all) {
+                tn.finished = true;
+                tn.finishCycle = now;
+            }
+        }
         // If the whole block finished, its residency slots free up.
         if (_cfg.maxResidentWarps != 0) {
-            const unsigned wpb = _kernel.warpsPerBlock();
+            const unsigned wpb = tn.kernel->warpsPerBlock();
             bool block_done = true;
-            for (WarpId w = warp.blockId() * wpb;
-                 w < (warp.blockId() + 1) * wpb; ++w) {
+            for (WarpId w = tn.warpBase + warp.blockId() * wpb;
+                 w < tn.warpBase + (warp.blockId() + 1) * wpb; ++w) {
                 block_done &= _warps[w].finished();
             }
             if (block_done) {
-                _residentWarps -= wpb;
-                admitBlocks();
+                tn.residentWarps -= wpb;
+                admitBlocks(tn);
             }
         }
     }
 }
 
 void
-Sm::issue(Warp &warp, Cycle now)
+Sm::issue(Tenant &tn, Warp &warp, Cycle now)
 {
     const Pc pc = warp.pc();
-    const ir::Instruction &insn = _kernel.insn(pc);
+    const ir::Instruction &insn = tn.kernel->insn(pc);
     if (_issueHook)
         _issueHook(warp, pc, insn, now);
-    Cycle delay = _provider.operandDelay(warp, insn, now);
+    Cycle delay = tn.provider->operandDelay(warp, insn, now);
     Cycle t = now + delay;
 
     switch (insn.fuClass()) {
       case ir::FuClass::Alu:
       case ir::FuClass::Sfu:
-        execAlu(warp, insn, t);
+        execAlu(tn, warp, insn, t);
         break;
       case ir::FuClass::Mem:
         if (insn.isGlobalLoad())
-            execGlobalLoad(warp, insn, t);
+            execGlobalLoad(tn, warp, insn, t);
         else if (insn.isGlobalStore())
-            execGlobalStore(warp, insn, t);
+            execGlobalStore(tn, warp, insn, t);
         else
-            execShared(warp, insn, t);
+            execShared(tn, warp, insn, t);
         break;
       case ir::FuClass::Control:
         if (insn.isBranch())
-            execBranch(warp, insn, t);
+            execBranch(tn, warp, insn, t);
         else if (insn.isJump())
             warp.stack().jump(insn.target());
         else if (insn.isBarrier())
-            execBarrier(warp, t);
+            execBarrier(tn, warp, t);
         else
-            execExit(warp, t);
+            execExit(tn, warp, t);
         break;
     }
 
     warp.countInsn();
     ++_issued;
-    Cycle writeback =
-        insn.writesReg() ? _scoreboard.readyAt(warp.id(), insn.dst()) : t;
-    _provider.onIssue(warp, pc, insn, now, writeback);
+    ++tn.insns;
+    Cycle writeback = insn.writesReg()
+                          ? tn.scoreboard.readyAt(warp.id(), insn.dst())
+                          : t;
+    tn.provider->onIssue(warp, pc, insn, now, writeback);
 }
 
 void
@@ -393,11 +544,15 @@ Sm::step()
 void
 Sm::stepImpl(SkipProbe *probe)
 {
-    _provider.tick(_now);
+    for (auto &tn : _tenants)
+        tn->provider->tick(_now);
+    if (_anySuspendPending)
+        pollSuspends(_now);
     if (probe)
         _chargedWarps.clear();
 
     for (std::size_t g = 0; g < _schedulers.size(); ++g) {
+        Tenant &tn = *_tenants[_groupTenant[g]];
         auto &sched = _schedulers[g];
         const auto &group = sched->warps();
         std::vector<bool> &can = _scanCan;
@@ -408,8 +563,8 @@ Sm::stepImpl(SkipProbe *probe)
         for (std::size_t i = 0; i < group.size(); ++i) {
             bool long_stall = false;
             bool eligible_now =
-                eligible(_warps[group[i]], _now, &long_stall, &cause[i],
-                         probe ? &probe->nextEvent : nullptr);
+                eligible(tn, _warps[group[i]], _now, &long_stall,
+                         &cause[i], probe ? &probe->nextEvent : nullptr);
             can[i] = eligible_now;
             any |= eligible_now;
             // Warps blocked indefinitely (finished, at a barrier) must
@@ -433,11 +588,14 @@ Sm::stepImpl(SkipProbe *probe)
         const int picked = any ? sched->pick(can) : -1;
         if (picked >= 0) {
             ++_slotIssued;
+            ++tn.slotIssued;
         } else if (any) {
             // An eligible warp existed but the policy declined the
             // slot (e.g. two-level promotion delay): no warp was
             // available *to the selector*.
             ++*_stallSlots[static_cast<std::size_t>(
+                StallCause::NoWarp)];
+            ++tn.stallSlots[static_cast<std::size_t>(
                 StallCause::NoWarp)];
         } else {
             // Charge the slot to the blocked warp closest to issuing.
@@ -449,6 +607,7 @@ Sm::stepImpl(SkipProbe *probe)
                 }
             }
             ++*_stallSlots[static_cast<std::size_t>(charge)];
+            ++tn.stallSlots[static_cast<std::size_t>(charge)];
             if (probe)
                 _groupCharge[g] = charge;
         }
@@ -468,17 +627,17 @@ Sm::stepImpl(SkipProbe *probe)
         if (picked < 0)
             continue;
         Warp &warp = _warps[group[picked]];
-        issue(warp, _now);
+        issue(tn, warp, _now);
         // Dual issue: a second independent instruction from the same
         // warp, re-checked against the updated scoreboard. The extra
         // issue shares the slot already counted above.
         for (unsigned extra = 1; extra < _cfg.issueWidth; ++extra) {
             bool long_stall = false;
             if (warp.status() != WarpStatus::Running ||
-                !eligible(warp, _now, &long_stall)) {
+                !eligible(tn, warp, _now, &long_stall)) {
                 break;
             }
-            issue(warp, _now);
+            issue(tn, warp, _now);
         }
     }
 
@@ -492,13 +651,18 @@ Sm::stepSkipping(Cycle limit)
     stepImpl(&probe);
     // Collapse only provably dead windows: nothing issued, nothing was
     // even eligible (so no scheduler pick() was consulted), every
-    // scheduler is stall-quiescent, and the SM is not finished.
+    // scheduler is stall-quiescent, no suspend handoff is in flight
+    // (its boundary poll is per-cycle work), and the SM is not
+    // finished.
     if (probe.anyIssue || probe.anyEligible || !_schedulersQuiescent ||
-        done()) {
+        _anySuspendPending || done()) {
         return;
     }
-    Cycle target =
-        std::min(probe.nextEvent, _provider.nextEventCycle(_now));
+    // Next event is the min over every tenant's provider: a window is
+    // only dead if no co-resident kernel has background work either.
+    Cycle target = probe.nextEvent;
+    for (const auto &tn : _tenants)
+        target = std::min(target, tn->provider->nextEventCycle(_now));
     target = std::min(target, limit);
     if (target <= _now)
         return;
@@ -507,12 +671,16 @@ Sm::stepSkipping(Cycle limit)
     // skipped cycle would have charged exactly the causes the probe
     // cycle did — one slot per scheduler group plus the per-warp
     // detail. This preserves the closed-account invariant
-    // issued + stalls == schedulers * cycles.
-    for (std::size_t g = 0; g < _groupCharge.size(); ++g)
+    // issued + stalls == schedulers * cycles, per tenant and in total.
+    for (std::size_t g = 0; g < _groupCharge.size(); ++g) {
         *_stallSlots[static_cast<std::size_t>(_groupCharge[g])] += n;
+        _tenants[_groupTenant[g]]->stallSlots[static_cast<std::size_t>(
+            _groupCharge[g])] += n;
+    }
     for (const auto &[w, cause] : _chargedWarps)
         _warpStalls[w][static_cast<std::size_t>(cause)] += n;
-    _provider.onCyclesSkipped(_now, n);
+    for (auto &tn : _tenants)
+        tn->provider->onCyclesSkipped(_now, n);
     _skippedCycles += n;
     ++_skipEvents;
     _now = target;
@@ -568,8 +736,9 @@ Sm::run()
     while (!done()) {
         step();
         if (_now >= _cfg.maxCycles) {
-            fatal("kernel '", _kernel.name(), "' exceeded ",
-                  _cfg.maxCycles, " cycles; likely deadlock");
+            fatal("kernel '", _tenants.front()->kernel->name(),
+                  "' exceeded ", _cfg.maxCycles,
+                  " cycles; likely deadlock");
         }
     }
     return _now;

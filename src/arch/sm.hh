@@ -7,6 +7,15 @@
  * shared memory, and a single L1 port into the memory hierarchy. The
  * operand path is delegated to a RegisterProvider, which is the only
  * thing that differs between the baseline, RFH, RFV, and RegLess.
+ *
+ * Multi-tenant operation (DESIGN.md §16): the SM can host several
+ * co-resident kernel launches ("tenants"). Each tenant owns a
+ * contiguous range of scheduler groups and the contiguous warp range
+ * those groups serve, its own scoreboard, its own provider instance,
+ * and its own data/shared address segments. Every issue slot and stall
+ * cause is charged to exactly one tenant, so the PR 5 closed-account
+ * invariant holds per tenant and in total. A single-tenant SM takes
+ * exactly the pre-tenant code paths cycle for cycle.
  */
 
 #ifndef REGLESS_ARCH_SM_HH
@@ -75,11 +84,26 @@ struct SmConfig
     bool cycleSkip = true;
 };
 
-/** One SM executing one kernel launch to completion. */
+/** One co-resident kernel launch on a multi-tenant SM. */
+struct SmTenantSpec
+{
+    /** Compiled kernel this tenant executes. */
+    const compiler::CompiledKernel *ck = nullptr;
+    /** This tenant's operand-storage model over its warp partition. */
+    regfile::RegisterProvider *provider = nullptr;
+    /** Base of this tenant's program-data segment. */
+    Addr dataBase = 0;
+    /** Base of this tenant's shared-memory segments. */
+    Addr sharedBase = 0;
+};
+
+/** One SM executing one or more kernel launches to completion. */
 class Sm
 {
   public:
     /**
+     * Single-tenant launch (the classic configuration).
+     *
      * @param ck Compiled kernel (regions are ignored by non-RegLess
      *        providers but the type carries the instruction stream).
      * @param mem The SM's memory hierarchy.
@@ -88,6 +112,14 @@ class Sm
      */
     Sm(const compiler::CompiledKernel &ck, mem::MemorySystem &mem,
        regfile::RegisterProvider &provider, const SmConfig &config);
+
+    /**
+     * Multi-tenant launch: @a tenants kernels co-resident on one SM.
+     * Tenant t owns scheduler groups [t*S/T, (t+1)*S/T) and warps
+     * [t*W/T, (t+1)*W/T); both divisions must be exact.
+     */
+    Sm(std::vector<SmTenantSpec> tenants, mem::MemorySystem &mem,
+       const SmConfig &config);
 
     /**
      * Run the kernel to completion.
@@ -154,7 +186,129 @@ class Sm
     }
     ///@}
 
+    /** @name Per-tenant residency, preemption, and attribution. */
+    ///@{
+    std::size_t tenantCount() const { return _tenants.size(); }
+    unsigned tenantOfWarp(WarpId warp) const
+    {
+        return _tenantOf.at(warp);
+    }
+    /** First warp slot of tenant @a t. */
+    WarpId tenantWarpBase(unsigned t) const
+    {
+        return tenant(t).warpBase;
+    }
+    /** Warp slots owned by tenant @a t. */
+    unsigned tenantWarpCount(unsigned t) const
+    {
+        return tenant(t).warpCount;
+    }
+    /** Scheduler groups owned by tenant @a t. */
+    unsigned tenantSchedulerCount(unsigned t) const
+    {
+        return tenant(t).schedCount;
+    }
+    const compiler::CompiledKernel &tenantKernel(unsigned t) const
+    {
+        return *tenant(t).ck;
+    }
+
+    /**
+     * Region-boundary preemption: stop tenant @a t from starting new
+     * work; once its provider reaches a preemption boundary the
+     * staged state is handed off and the tenant's warps stop issuing
+     * entirely. Idempotent; a no-op for finished tenants.
+     */
+    void requestSuspend(unsigned t, Cycle now);
+
+    /** Resume tenant @a t after a suspension (or cancel a pending
+     *  suspend request). Idempotent. */
+    void resumeTenant(unsigned t, Cycle now);
+
+    /** Fully suspended (handoff complete, warps parked)? */
+    bool tenantSuspended(unsigned t) const
+    {
+        return tenant(t).suspended;
+    }
+    /** Suspend requested but the boundary not yet reached? */
+    bool tenantSuspendPending(unsigned t) const
+    {
+        return tenant(t).suspendRequested;
+    }
+    /** Every warp of tenant @a t finished? */
+    bool tenantDone(unsigned t) const;
+
+    /** @name Per-tenant closed account: for each tenant,
+     *  issuedSlots + sum(stallSlots) == schedCount * cycles. */
+    ///@{
+    std::uint64_t tenantInsns(unsigned t) const
+    {
+        return tenant(t).insns;
+    }
+    std::uint64_t tenantIssuedSlots(unsigned t) const
+    {
+        return tenant(t).slotIssued;
+    }
+    std::uint64_t tenantStallSlots(unsigned t, StallCause cause) const
+    {
+        return tenant(t).stallSlots[static_cast<std::size_t>(cause)];
+    }
+    ///@}
+
+    /** Cycle tenant @a t's last warp finished (0 while running). */
+    Cycle tenantFinishCycle(unsigned t) const
+    {
+        return tenant(t).finishCycle;
+    }
+    /** Cycles tenant @a t has spent fully suspended so far. */
+    std::uint64_t tenantSuspendedCycles(unsigned t) const;
+    /** Suspensions requested against tenant @a t. */
+    std::uint64_t tenantPreemptions(unsigned t) const
+    {
+        return tenant(t).preemptions;
+    }
+    ///@}
+
   private:
+    /** Per-tenant execution context and accounting. */
+    struct Tenant
+    {
+        const compiler::CompiledKernel *ck;
+        const ir::Kernel *kernel;
+        regfile::RegisterProvider *provider;
+        ir::CfgAnalysis cfgAnalysis;
+        Scoreboard scoreboard;
+        WarpId warpBase;
+        unsigned warpCount;
+        unsigned schedBase;
+        unsigned schedCount;
+        Addr dataBase;
+        Addr sharedBase;
+        unsigned nextBlockToAdmit = 0;
+        unsigned residentWarps = 0;
+        /** @name Region-boundary preemption state. */
+        ///@{
+        bool suspendRequested = false;
+        bool suspended = false;
+        Cycle suspendStart = 0;
+        std::uint64_t suspendedCycles = 0;
+        std::uint64_t preemptions = 0;
+        ///@}
+        bool finished = false;
+        Cycle finishCycle = 0;
+        /** @name Closed per-tenant account (plain counters: they
+         *  shadow the SM-wide Counter objects slot for slot). */
+        ///@{
+        std::uint64_t insns = 0;
+        std::uint64_t slotIssued = 0;
+        std::array<std::uint64_t, kNumStallCauses> stallSlots{};
+        ///@}
+
+        Tenant(const SmTenantSpec &spec, WarpId warp_base,
+               unsigned warp_count, unsigned sched_base,
+               unsigned sched_count);
+    };
+
     /**
      * What one probed cycle learned about whether the stalled window
      * it starts can be collapsed (filled by stepImpl when requested).
@@ -167,6 +321,13 @@ class Sm
         Cycle nextEvent = regfile::kNoProviderEvent;
     };
 
+    Tenant &tenant(unsigned t) { return *_tenants.at(t); }
+    const Tenant &tenant(unsigned t) const { return *_tenants.at(t); }
+    Tenant &tenantOf(const Warp &warp)
+    {
+        return *_tenants[_tenantOf[warp.id()]];
+    }
+
     /**
      * Can @a warp issue its next instruction now?
      * @param long_stall Set when the blocker is a long-latency source.
@@ -175,34 +336,40 @@ class Sm
      * @param next_event If non-null and the warp cannot issue, lowered
      *        to the earliest cycle its blocker can clear (left alone
      *        for blockers with no SM-visible bound: barriers,
-     *        non-residency, and provider gating, which the provider's
-     *        own nextEventCycle covers).
+     *        non-residency, suspension, and provider gating, which the
+     *        provider's own nextEventCycle covers).
      */
-    bool eligible(const Warp &warp, Cycle now, bool *long_stall,
-                  StallCause *cause = nullptr,
+    bool eligible(Tenant &tn, const Warp &warp, Cycle now,
+                  bool *long_stall, StallCause *cause = nullptr,
                   Cycle *next_event = nullptr);
 
     /** One cycle of the SM; fills @a probe when non-null. */
     void stepImpl(SkipProbe *probe);
 
+    /** Complete suspend requests whose provider reached a boundary. */
+    void pollSuspends(Cycle now);
+
     /** Run-length tracking behind the stall-trace hook. */
     void updateTraceLabel(WarpId warp, const char *label);
 
     /** Issue and functionally execute the instruction at warp's PC. */
-    void issue(Warp &warp, Cycle now);
+    void issue(Tenant &tn, Warp &warp, Cycle now);
 
-    void execAlu(Warp &warp, const ir::Instruction &insn, Cycle now);
-    void execGlobalLoad(Warp &warp, const ir::Instruction &insn,
-                        Cycle now);
-    void execGlobalStore(Warp &warp, const ir::Instruction &insn,
-                         Cycle now);
-    void execShared(Warp &warp, const ir::Instruction &insn, Cycle now);
-    void execBranch(Warp &warp, const ir::Instruction &insn, Cycle now);
-    void execBarrier(Warp &warp, Cycle now);
-    void execExit(Warp &warp, Cycle now);
+    void execAlu(Tenant &tn, Warp &warp, const ir::Instruction &insn,
+                 Cycle now);
+    void execGlobalLoad(Tenant &tn, Warp &warp,
+                        const ir::Instruction &insn, Cycle now);
+    void execGlobalStore(Tenant &tn, Warp &warp,
+                         const ir::Instruction &insn, Cycle now);
+    void execShared(Tenant &tn, Warp &warp,
+                    const ir::Instruction &insn, Cycle now);
+    void execBranch(Tenant &tn, Warp &warp,
+                    const ir::Instruction &insn, Cycle now);
+    void execBarrier(Tenant &tn, Warp &warp, Cycle now);
+    void execExit(Tenant &tn, Warp &warp, Cycle now);
 
     /** Reconvergence PC for branches ending @a block. */
-    Pc reconvergePcFor(ir::BlockId block) const;
+    Pc reconvergePcFor(const Tenant &tn, ir::BlockId block) const;
 
     /** Per-lane effective addresses of a memory instruction. */
     std::vector<Addr> laneAddrs(const Warp &warp,
@@ -214,25 +381,26 @@ class Sm
                                LaneMask mask) const;
 
     /** Release a block's barrier when everyone has arrived. */
-    void checkBarrier(unsigned block_id);
+    void checkBarrier(Tenant &tn, unsigned block_id);
 
     /** Admit further thread blocks while residency allows. */
-    void admitBlocks();
+    void admitBlocks(Tenant &tn);
 
-    const compiler::CompiledKernel &_ck;
-    const ir::Kernel &_kernel;
     mem::MemorySystem &_mem;
-    regfile::RegisterProvider &_provider;
     SmConfig _cfg;
-    ir::CfgAnalysis _cfgAnalysis;
+    std::vector<std::unique_ptr<Tenant>> _tenants;
+    /** Owning tenant of each warp slot. */
+    std::vector<unsigned> _tenantOf;
+    /** Owning tenant of each scheduler group. */
+    std::vector<unsigned> _groupTenant;
     std::vector<Warp> _warps;
-    Scoreboard _scoreboard;
     std::vector<std::unique_ptr<WarpScheduler>> _schedulers;
     Cycle _now = 0;
     IssueHook _issueHook;
     std::vector<bool> _resident;
-    unsigned _nextBlockToAdmit = 0;
-    unsigned _residentWarps = 0;
+    /** Any tenant between requestSuspend and its boundary? Gates the
+     *  per-cycle poll and disables cycle skipping while set. */
+    bool _anySuspendPending = false;
     StatGroup _stats;
     Counter &_issued;
     Counter &_slotIssued;

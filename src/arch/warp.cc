@@ -5,8 +5,15 @@
 namespace regless::arch
 {
 
+Warp::Warp(WarpId id, unsigned block_id, unsigned num_regs,
+           WarpId local_id)
+    : _id(id), _localId(local_id), _blockId(block_id),
+      _regs(num_regs, ir::LaneValues{})
+{
+}
+
 Warp::Warp(WarpId id, unsigned block_id, unsigned num_regs)
-    : _id(id), _blockId(block_id), _regs(num_regs, ir::LaneValues{})
+    : Warp(id, block_id, num_regs, id)
 {
 }
 

@@ -33,12 +33,20 @@ class Warp
   public:
     /**
      * @param id Hardware warp slot in the SM.
-     * @param block_id Thread-block this warp belongs to.
+     * @param block_id Thread-block this warp belongs to (tenant-local
+     *        under multi-tenant operation).
      * @param num_regs Register count of the kernel.
+     * @param local_id Kernel-local warp index: equals @a id for a
+     *        whole-SM launch; under multi-tenant operation it is the
+     *        offset inside the tenant's warp partition, so Tid/CtaId
+     *        see the same launch geometry as a solo run.
      */
+    Warp(WarpId id, unsigned block_id, unsigned num_regs,
+         WarpId local_id);
     Warp(WarpId id, unsigned block_id, unsigned num_regs);
 
     WarpId id() const { return _id; }
+    WarpId localId() const { return _localId; }
     unsigned blockId() const { return _blockId; }
 
     WarpStatus status() const { return _status; }
@@ -50,8 +58,8 @@ class Warp
     SimtStack &stack() { return _stack; }
     const SimtStack &stack() const { return _stack; }
 
-    /** Global thread index of lane 0 (used by Tid). */
-    unsigned threadBase() const { return _id * warpSize; }
+    /** Kernel-local thread index of lane 0 (used by Tid). */
+    unsigned threadBase() const { return _localId * warpSize; }
 
     /** @name Functional register file (per-lane values). */
     /// @{
@@ -70,6 +78,7 @@ class Warp
 
   private:
     WarpId _id;
+    WarpId _localId;
     unsigned _blockId;
     WarpStatus _status = WarpStatus::Running;
     SimtStack _stack;

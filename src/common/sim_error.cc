@@ -26,6 +26,11 @@ DeadlockReport::render() const
         << ", budget " << maxCycles << " cycles)\n"
         << "  " << insnsIssued << " instructions retired, "
         << progressEvents << " progress events\n";
+    if (starvedTenant >= 0) {
+        oss << "  starved tenant " << starvedTenant << " ('"
+            << starvedTenantKernel << "'), dominant stall "
+            << starvedTenantStall << "\n";
+    }
     if (!warps.empty()) {
         oss << "  unfinished warps:\n";
         for (const std::string &line : warps)
@@ -59,7 +64,10 @@ operator==(const DeadlockReport &a, const DeadlockReport &b)
            a.progressEvents == b.progressEvents && a.warps == b.warps &&
            a.banks == b.banks && a.memState == b.memState &&
            a.stallBreakdown == b.stallBreakdown &&
-           a.dominantStall == b.dominantStall;
+           a.dominantStall == b.dominantStall &&
+           a.starvedTenant == b.starvedTenant &&
+           a.starvedTenantKernel == b.starvedTenantKernel &&
+           a.starvedTenantStall == b.starvedTenantStall;
 }
 
 namespace

@@ -92,6 +92,18 @@ struct DeadlockReport
      */
     std::string dominantStall;
 
+    /**
+     * Multi-tenant starvation (DESIGN.md §16): when the per-tenant
+     * progress watchdog fired — a tenant that is neither suspended
+     * nor finished made no progress for a full window while the SM as
+     * a whole kept moving — these name the starved tenant. Left at
+     * the defaults (and unrendered) for whole-SM trips.
+     */
+    int starvedTenant = -1;
+    std::string starvedTenantKernel;
+    /** The starved tenant's dominant stall cause over the run. */
+    std::string starvedTenantStall;
+
     /** Multi-line human-readable rendering. */
     std::string render() const;
 };

@@ -31,6 +31,8 @@
 namespace regless::regfile
 {
 
+class TenantArbiter;
+
 /**
  * Sentinel for "no pending provider event": far enough out to act as
  * infinity in min() reductions without overflowing when offsets are
@@ -216,6 +218,62 @@ class RegisterProvider
     {
         (void)out;
     }
+    /// @}
+
+    /** @name Multi-tenant hooks (DESIGN.md §16).
+     *
+     * Under multi-tenant operation each co-resident kernel gets its
+     * own provider instance over its warp partition. Providers with a
+     * shared physical line pool (RegLess) join the SM's TenantArbiter
+     * and implement the region-boundary suspend protocol; the default
+     * implementations make every other design trivially preemptible at
+     * instruction boundaries (their architected state lives in the
+     * warps, so there is nothing to drain). */
+    /// @{
+
+    /**
+     * Register this provider's capacity usage with the SM-wide
+     * arbiter, as @a tenant with QoS @a priority, and install the
+     * arbiter as the provider's allocation admission gate.
+     */
+    virtual void joinTenantArbiter(TenantArbiter &arbiter,
+                                   unsigned tenant, unsigned priority)
+    {
+        (void)arbiter;
+        (void)tenant;
+        (void)priority;
+    }
+
+    /**
+     * Begin suspending: stop starting new work (region activations);
+     * in-flight work runs to its natural boundary. Idempotent.
+     */
+    virtual void requestSuspend(Cycle now) { (void)now; }
+
+    /**
+     * Has in-flight work reached a preemption boundary? Polled by the
+     * SM after requestSuspend(); the default ("immediately") is right
+     * for providers with no multi-cycle staging machinery.
+     */
+    virtual bool suspendComplete() const { return true; }
+
+    /**
+     * In-flight work is done: hand off the architected state. RegLess
+     * writes back and erases every staged line (the region-boundary
+     * handoff the paper's design makes cheap); afterwards
+     * stagedLinesInUse() must be zero.
+     */
+    virtual void finalizeSuspend(Cycle now) { (void)now; }
+
+    /** Resume after a suspension. Idempotent. */
+    virtual void resume(Cycle now) { (void)now; }
+
+    /**
+     * Physical staging lines currently held (occupied + reserved).
+     * 0 for designs without a staging pool; the preemption chaos test
+     * asserts this is 0 after every completed suspend.
+     */
+    virtual std::uint64_t stagedLinesInUse() const { return 0; }
     /// @}
 
     StatGroup &stats() { return _stats; }

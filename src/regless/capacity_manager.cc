@@ -84,34 +84,38 @@ CapacityManager::regAddr(WarpId warp, RegId reg) const
 }
 
 void
-CapacityManager::handleReclaim(const OperandStagingUnit::Reclaim &reclaim,
-                               Cycle now)
+CapacityManager::writeBackLine(WarpId warp, RegId reg, Cycle now)
 {
-    if (!reclaim.needed || !reclaim.writeback)
-        return;
-    const WarpId vw = reclaim.victimWarp;
-    const RegId vr = reclaim.victimReg;
     if (_compressor && _warpOf) {
         Compressor::EvictResult er = _compressor->compressEvict(
-            vw, vr, _warpOf(vw).regValue(vr), now);
+            warp, reg, _warpOf(warp).regValue(reg), now);
         if (er.unsound && _shadow)
-            _shadow->onEncodingUnsound(vw, vr);
+            _shadow->onEncodingUnsound(warp, reg);
         if (er.compressed) {
             // The copy lives in the compressed path; invalidating it
             // later is a free bit-vector clear, not an L1 request.
-            _inBackingStore.insert(backingKey(vw, vr));
-            _inL1.erase(backingKey(vw, vr));
+            _inBackingStore.insert(backingKey(warp, reg));
+            _inL1.erase(backingKey(warp, reg));
             return;
         }
     }
     // Incompressible: full-line write to L1 at the next port slot.
     Cycle t = std::max(now, _mem.l1PortNextFree());
-    _mem.access(regAddr(vw, vr), /*is_write=*/true,
+    _mem.access(regAddr(warp, reg), /*is_write=*/true,
                 mem::MemSpace::Register, t);
-    _inBackingStore.insert(backingKey(vw, vr));
-    _inL1.insert(backingKey(vw, vr));
+    _inBackingStore.insert(backingKey(warp, reg));
+    _inL1.insert(backingKey(warp, reg));
     ++_l1StoreReqs;
     _l1Series.record(now, 1.0);
+}
+
+void
+CapacityManager::handleReclaim(const OperandStagingUnit::Reclaim &reclaim,
+                               Cycle now)
+{
+    if (!reclaim.needed || !reclaim.writeback)
+        return;
+    writeBackLine(reclaim.victimWarp, reclaim.victimReg, now);
 }
 
 void
@@ -354,6 +358,8 @@ CapacityManager::tryActivate(Cycle now)
 {
     if (!_warpOf)
         panic("CapacityManager warp source not bound");
+    if (_suspended)
+        return; // region-boundary preemption: no new activations
     while (preloadingWarps() < _cfg.preloadSlotsPerShard &&
            !_stack.empty()) {
         // Top-of-stack activation; warps parked at a barrier are
@@ -437,6 +443,24 @@ CapacityManager::tryActivate(Cycle now)
             wc.blockCause = arch::StallCause::CmNoCapacity;
             return;
         }
+        // Multi-tenant admission: the shared physical pool may refuse
+        // the reservation even though this CM's own structures fit.
+        // The whole requirement is charged: linesInUse() counts only
+        // non-relinquishable lines, and activation converts the whole
+        // need into those (pinned evictables become Owned, the rest
+        // becomes reservations).
+        if (_admissionGate) {
+            unsigned new_lines = 0;
+            for (unsigned b = 0; b < osuBanks; ++b)
+                new_lines += need[b];
+            if (!_admissionGate(new_lines)) {
+                ++_activationBlocked;
+                _activationWasBlocked = true;
+                _gateBlocked = true;
+                wc.blockCause = arch::StallCause::CmNoCapacity;
+                return;
+            }
+        }
         for (RegId reg : stale_outputs) {
             _osu.erase(warp, reg);
             if (_shadow)
@@ -495,6 +519,7 @@ void
 CapacityManager::tick(Cycle now)
 {
     _activationWasBlocked = false;
+    _gateBlocked = false;
 
     // Injected staging-space leak: phantom reservations permanently
     // consume every bank's lines, so no region ever fits again and
@@ -561,6 +586,11 @@ CapacityManager::nextEventCycle(Cycle from) const
     // preloads retry ports and count tag lookups every cycle, and the
     // compressor flushes one line per cycle while its queue drains.
     if (_compressor && _compressor->flushPending())
+        return from;
+    // A gate-blocked activation can unblock whenever *another* tenant
+    // frees lines — an event outside this CM's horizon. Stay at cycle
+    // granularity until the activation goes through.
+    if (_gateBlocked)
         return from;
     Cycle next = regfile::kNoProviderEvent;
     auto consider = [&](Cycle at) {
@@ -694,6 +724,103 @@ CapacityManager::onIssue(const arch::Warp &warp, Pc pc,
         wc.state = CmState::Draining;
         wc.blockCause = arch::StallCause::CmNotStaged;
     }
+}
+
+void
+CapacityManager::requestSuspend()
+{
+    _suspended = true;
+    _gateBlocked = false; // no more activation attempts to unblock
+}
+
+bool
+CapacityManager::suspendComplete() const
+{
+    for (WarpId w : _shardWarps) {
+        const WarpCtx &wc = _ctx[w];
+        if (wc.state != CmState::Inactive && wc.state != CmState::Done)
+            return false;
+    }
+    return !_compressor || !_compressor->flushPending();
+}
+
+void
+CapacityManager::finalizeSuspend(Cycle now)
+{
+    if (!_suspended)
+        panic("finalizeSuspend without requestSuspend");
+    if (!suspendComplete())
+        panic("finalizeSuspend with regions still in flight");
+
+    // Region-boundary invariant: with every warp parked between
+    // regions, no reservation can be outstanding.
+    for (unsigned b = 0; b < osuBanks; ++b) {
+        if (_reservedFuture[b] != 0) {
+            panic("finalizeSuspend: bank ", b, " holds ",
+                  _reservedFuture[b], " outstanding reservations");
+        }
+    }
+
+    // Every surviving line is a region output parked evictable
+    // between regions (an Owned line would mean a region is still
+    // mid-flight). Write back any value whose only current copy is
+    // the staged line, then release everything: the handoff leaves
+    // the tenant's architected state entirely in the backing path.
+    std::vector<OperandStagingUnit::EntryInfo> lines;
+    for (unsigned b = 0; b < osuBanks; ++b) {
+        for (const OperandStagingUnit::EntryInfo &e :
+             _osu.bankEntries(b)) {
+            if (e.state == LineState::Owned)
+                panic("finalizeSuspend: warp ", e.warp, " reg ",
+                      e.reg, " still owned");
+            lines.push_back(e);
+        }
+    }
+    for (const OperandStagingUnit::EntryInfo &e : lines) {
+        const std::uint32_t key = backingKey(e.warp, e.reg);
+        if (e.state == LineState::EvictDirty ||
+            !_inBackingStore.count(key)) {
+            writeBackLine(e.warp, e.reg, now);
+        }
+        if (_shadow) {
+            // Equivalent to a clean reclaim with the backing copy
+            // guaranteed present: the value is handed off, not lost.
+            _shadow->onCleanReclaim(e.warp, e.reg,
+                                    /*in_backing=*/true);
+        }
+        _osu.erase(e.warp, e.reg);
+    }
+    if (_osu.occupiedLines() != 0) {
+        panic("finalizeSuspend: ", _osu.occupiedLines(),
+              " lines leaked past the handoff");
+    }
+}
+
+void
+CapacityManager::resume()
+{
+    // Warps stayed on the activation stack throughout the suspension;
+    // their next activation re-preloads from the backing path.
+    _suspended = false;
+}
+
+std::uint64_t
+CapacityManager::linesInUse() const
+{
+    // Only lines the tenant cannot relinquish on demand are charged
+    // against the shared pool: Owned lines of in-flight regions plus
+    // outstanding preload reservations. Evictable lines are backed
+    // (or one write-back away from it) and the activation fit check
+    // already treats them as available, so charging them would wedge
+    // a tenant behind its own reclaimable residue — capacity the
+    // arbiter could hand to any tenant on demand.
+    std::uint64_t lines = 0;
+    for (unsigned b = 0; b < osuBanks; ++b) {
+        lines += _osu.bankCounts(b).owned;
+        lines += static_cast<std::uint64_t>(
+            std::max(_reservedFuture[b], 0));
+    }
+    return lines;
 }
 
 void

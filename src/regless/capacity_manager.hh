@@ -159,6 +159,54 @@ class CapacityManager
     /** Region activations so far (a forward-progress event). */
     std::uint64_t activations() const { return _activations.value(); }
 
+    /** @name Multi-tenant hooks (DESIGN.md §16). */
+    /// @{
+
+    /**
+     * Admission gate consulted before a region activation commits
+     * @a lines new OSU-line reservations. Under multi-tenant operation
+     * the TenantArbiter sits here; a refusal blocks the activation
+     * exactly like an out-of-space condition (CmNoCapacity), retried
+     * every cycle.
+     */
+    using AdmissionGate = std::function<bool(unsigned lines)>;
+    void setAdmissionGate(AdmissionGate gate)
+    {
+        _admissionGate = std::move(gate);
+    }
+
+    /**
+     * Begin suspending: stop starting new region activations.
+     * In-flight regions (preloading/active/draining) run to their
+     * natural boundary. Idempotent.
+     */
+    void requestSuspend();
+
+    /**
+     * Every supervised warp parked at a region boundary (Inactive or
+     * Done) and no compressor flushes outstanding?
+     */
+    bool suspendComplete() const;
+
+    /**
+     * Hand off the architected state: write back every staged line
+     * that has no current backing copy, then release all lines. Only
+     * legal once suspendComplete(); afterwards linesInUse() == 0.
+     */
+    void finalizeSuspend(Cycle now);
+
+    /** Allow activations again after a suspension. Idempotent. */
+    void resume();
+
+    /**
+     * Lines currently held against the shared physical pool: Owned
+     * lines of in-flight regions plus outstanding reserved-future
+     * lines. Evictable lines are excluded — they are reclaimable on
+     * demand, so the arbiter treats them as free capacity.
+     */
+    std::uint64_t linesInUse() const;
+    /// @}
+
     StatGroup &stats() { return _stats; }
     const StatGroup &stats() const { return _stats; }
 
@@ -201,6 +249,9 @@ class CapacityManager
     void handleReclaim(const OperandStagingUnit::Reclaim &reclaim,
                        Cycle now);
 
+    /** Write a line's value to the backing path (compressor or L1). */
+    void writeBackLine(WarpId warp, RegId reg, Cycle now);
+
     /** Allocate an owned line, consuming the warp's budget. */
     void allocateLine(WarpCtx &wc, WarpId warp, RegId reg, bool dirty,
                       Cycle now);
@@ -242,6 +293,16 @@ class CapacityManager
     std::vector<std::uint8_t> _supervised;
     /** Did the last tick charge a blocked activation? (skip replay) */
     bool _activationWasBlocked = false;
+    /**
+     * Last activation attempt was refused by the admission gate. The
+     * gate's answer depends on *other* tenants' usage, invisible to
+     * this CM's event horizon, so nextEventCycle() must pin the SM to
+     * cycle granularity while set.
+     */
+    bool _gateBlocked = false;
+    /** Activations are suspended (region-boundary preemption). */
+    bool _suspended = false;
+    AdmissionGate _admissionGate;
     /** Banks counted gated by the last tick (skip replay). */
     unsigned _lastGatedBanks = 0;
     std::deque<WarpId> _stack; ///< front = top (last to have executed)

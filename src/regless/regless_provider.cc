@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "regfile/tenant_arbiter.hh"
 
 namespace regless::staging
 {
@@ -13,6 +14,16 @@ ReglessProvider::ReglessProvider(const compiler::CompiledKernel &ck,
                                  mem::MemorySystem &mem,
                                  const ReglessConfig &cfg,
                                  unsigned num_warps)
+    : ReglessProvider(ck, mem, cfg, num_warps, /*warp_base=*/0,
+                      /*warp_count=*/num_warps)
+{
+}
+
+ReglessProvider::ReglessProvider(const compiler::CompiledKernel &ck,
+                                 mem::MemorySystem &mem,
+                                 const ReglessConfig &cfg,
+                                 unsigned num_warps, WarpId warp_base,
+                                 unsigned warp_count)
     : RegisterProvider("regless"),
       _ck(ck),
       _cfg(cfg),
@@ -21,6 +32,10 @@ ReglessProvider::ReglessProvider(const compiler::CompiledKernel &ck,
     if (cfg.osuEntriesPerSm % cfg.numShards != 0)
         fatal("OSU entries (", cfg.osuEntriesPerSm,
               ") must divide across ", cfg.numShards, " shards");
+    if (warp_base + warp_count > num_warps)
+        fatal("provider warp range [", warp_base, ", ",
+              warp_base + warp_count, ") exceeds ", num_warps,
+              " SM warp slots");
     const unsigned lines_per_shard = cfg.osuEntriesPerSm / cfg.numShards;
 
     for (unsigned s = 0; s < cfg.numShards; ++s) {
@@ -38,8 +53,10 @@ ReglessProvider::ReglessProvider(const compiler::CompiledKernel &ck,
     }
     for (unsigned s = 0; s < cfg.numShards; ++s) {
         std::vector<WarpId> shard_warps;
-        for (WarpId w = s; w < num_warps; w += cfg.numShards)
-            shard_warps.push_back(w);
+        for (WarpId w = warp_base; w < warp_base + warp_count; ++w) {
+            if (w % cfg.numShards == s)
+                shard_warps.push_back(w);
+        }
         _cms.push_back(std::make_unique<CapacityManager>(
             "cm" + std::to_string(s), std::move(shard_warps), ck,
             *_osus[s],
@@ -121,6 +138,62 @@ ReglessProvider::setFaultInjector(FaultInjector *injector)
     _faults = injector;
     for (auto &cm : _cms)
         cm->setFaultInjector(injector);
+}
+
+void
+ReglessProvider::joinTenantArbiter(regfile::TenantArbiter &arbiter,
+                                   unsigned tenant, unsigned priority)
+{
+    arbiter.registerTenant(tenant, priority, [this] {
+        return stagedLinesInUse();
+    });
+    for (auto &cm : _cms) {
+        cm->setAdmissionGate([&arbiter, tenant](unsigned lines) {
+            return arbiter.mayReserve(tenant, lines);
+        });
+    }
+}
+
+void
+ReglessProvider::requestSuspend(Cycle now)
+{
+    (void)now;
+    for (auto &cm : _cms)
+        cm->requestSuspend();
+}
+
+bool
+ReglessProvider::suspendComplete() const
+{
+    for (const auto &cm : _cms) {
+        if (!cm->suspendComplete())
+            return false;
+    }
+    return true;
+}
+
+void
+ReglessProvider::finalizeSuspend(Cycle now)
+{
+    for (auto &cm : _cms)
+        cm->finalizeSuspend(now);
+}
+
+void
+ReglessProvider::resume(Cycle now)
+{
+    (void)now;
+    for (auto &cm : _cms)
+        cm->resume();
+}
+
+std::uint64_t
+ReglessProvider::stagedLinesInUse() const
+{
+    std::uint64_t lines = 0;
+    for (const auto &cm : _cms)
+        lines += cm->linesInUse();
+    return lines;
 }
 
 bool

@@ -31,8 +31,18 @@ class ReglessProvider : public regfile::RegisterProvider
      * @param ck Compiled kernel with region annotations.
      * @param mem The SM's memory hierarchy.
      * @param cfg RegLess parameters.
-     * @param num_warps Warp slots in the SM.
+     * @param num_warps Warp slots in the SM (register address layout
+     *        spans the whole SM even under multi-tenant operation, so
+     *        backing addresses stay globally unique).
+     * @param warp_base First warp this provider serves.
+     * @param warp_count Warps served, [warp_base, warp_base+count).
      */
+    ReglessProvider(const compiler::CompiledKernel &ck,
+                    mem::MemorySystem &mem, const ReglessConfig &cfg,
+                    unsigned num_warps, WarpId warp_base,
+                    unsigned warp_count);
+
+    /** Whole-SM launch: serve every warp slot. */
     ReglessProvider(const compiler::CompiledKernel &ck,
                     mem::MemorySystem &mem, const ReglessConfig &cfg,
                     unsigned num_warps);
@@ -84,6 +94,20 @@ class ReglessProvider : public regfile::RegisterProvider
 
     /** Forward the injector to the CMs; deliver ProviderThrow here. */
     void setFaultInjector(FaultInjector *injector) override;
+
+    /** @name Multi-tenant hooks (DESIGN.md §16): arbiter admission
+     *  gating and the region-boundary suspend protocol, forwarded to
+     *  every shard's capacity manager. */
+    /// @{
+    void joinTenantArbiter(regfile::TenantArbiter &arbiter,
+                           unsigned tenant,
+                           unsigned priority) override;
+    void requestSuspend(Cycle now) override;
+    bool suspendComplete() const override;
+    void finalizeSuspend(Cycle now) override;
+    void resume(Cycle now) override;
+    std::uint64_t stagedLinesInUse() const override;
+    /// @}
 
     unsigned numShards() const { return _cfg.numShards; }
     CapacityManager &cm(unsigned shard) { return *_cms.at(shard); }

@@ -163,6 +163,21 @@ ExperimentEngine::tryStats(JobId id)
 RunStats
 ExperimentEngine::execute(const SimJob &job, double timeout_sec)
 {
+    // Multi-tenant jobs name their co-resident kernels in
+    // config.tenants.workloads; job.kernel stays the display and cache
+    // name (the workloads are part of the config fingerprint).
+    if (job.config.tenants.workloads.size() >= 2) {
+        std::vector<ir::Kernel> kernels;
+        for (const TenantWorkload &w : job.config.tenants.workloads)
+            kernels.push_back(workloads::makeRodinia(w.kernel));
+        if (job.sms >= 1) {
+            MultiSmSimulator multi(kernels, job.config, job.sms,
+                                   /*threads=*/1);
+            return multi.run(timeout_sec);
+        }
+        GpuSimulator simulator(kernels, job.config);
+        return simulator.run(timeout_sec);
+    }
     ir::Kernel kernel = job.builder
                             ? job.builder()
                             : workloads::makeRodinia(job.kernel);
@@ -277,19 +292,31 @@ ExperimentEngine::lintPending()
             compilerConfigText(entry.job.config.compiler);
         if (!_linted.insert(key).second)
             continue;
-        const ir::Kernel kernel =
-            entry.job.builder ? entry.job.builder()
-                              : workloads::makeRodinia(entry.job.kernel);
-        const compiler::CompiledKernel ck =
-            compiler::compile(kernel, entry.job.config.compiler);
-        compiler::LintOptions opts;
-        opts.checkLoadUse = entry.job.config.compiler.splitLoadUse;
-        const std::vector<compiler::Finding> findings =
-            compiler::lintCompiledKernel(ck, opts);
-        if (compiler::hasErrors(findings)) {
-            fatal("lint: kernel '", entry.job.kernel,
-                  "' failed staging verification:\n",
-                  compiler::formatFindings(findings));
+        // Multi-tenant jobs lint every co-resident kernel; otherwise
+        // exactly the job's own kernel.
+        std::vector<ir::Kernel> kernels;
+        if (entry.job.config.tenants.workloads.size() >= 2) {
+            for (const TenantWorkload &w :
+                 entry.job.config.tenants.workloads)
+                kernels.push_back(workloads::makeRodinia(w.kernel));
+        } else {
+            kernels.push_back(
+                entry.job.builder
+                    ? entry.job.builder()
+                    : workloads::makeRodinia(entry.job.kernel));
+        }
+        for (const ir::Kernel &kernel : kernels) {
+            const compiler::CompiledKernel ck =
+                compiler::compile(kernel, entry.job.config.compiler);
+            compiler::LintOptions opts;
+            opts.checkLoadUse = entry.job.config.compiler.splitLoadUse;
+            const std::vector<compiler::Finding> findings =
+                compiler::lintCompiledKernel(ck, opts);
+            if (compiler::hasErrors(findings)) {
+                fatal("lint: kernel '", kernel.name(),
+                      "' failed staging verification:\n",
+                      compiler::formatFindings(findings));
+            }
         }
     }
 }

@@ -255,6 +255,30 @@ dump(KeyValueSink &kv, const std::string &p, const TraceConfig &c)
 }
 
 void
+dump(KeyValueSink &kv, const std::string &p, const TenantConfig &c)
+{
+    const auto &[workloads, policy, quota_lines, reserve_frac,
+                 qos_preemption, qos_interval, qos_share, data_stride,
+                 shared_stride] = c;
+    kv.add(p + "count", workloads.size());
+    for (std::size_t t = 0; t < workloads.size(); ++t) {
+        const auto &[kernel, priority] = workloads[t];
+        const std::string tp = p + std::to_string(t) + ".";
+        kv.add(tp + "kernel", kernel);
+        kv.add(tp + "priority", priority);
+    }
+    kv.add(p + "policy",
+           std::string(regfile::capacityPolicyName(policy)));
+    kv.add(p + "quota_lines", quota_lines);
+    kv.add(p + "reserve_frac", reserve_frac);
+    kv.add(p + "qos_preemption", qos_preemption);
+    kv.add(p + "qos_interval", qos_interval);
+    kv.add(p + "qos_share", qos_share);
+    kv.add(p + "data_stride", data_stride);
+    kv.add(p + "shared_stride", shared_stride);
+}
+
+void
 dump(KeyValueSink &kv, const std::string &p,
      const regfile::RfHierarchy::Params &c)
 {
@@ -293,7 +317,7 @@ configKeyValues(const GpuConfig &config)
     const auto &[provider, sm, mem, compiler_cfg, regless, energy,
                  area, baseline_rf_entries, limit_occupancy_by_rf,
                  rfv_phys_entries, rfh, rf_cache, regdem, faults,
-                 trace] = config;
+                 trace, tenants] = config;
 
     std::vector<std::pair<std::string, std::string>> out;
     KeyValueSink kv(out);
@@ -312,6 +336,7 @@ configKeyValues(const GpuConfig &config)
     dump(kv, "regdem.", regdem);
     dump(kv, "faults.", faults);
     dump(kv, "trace.", trace);
+    dump(kv, "tenants.", tenants);
     return out;
 }
 

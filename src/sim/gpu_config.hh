@@ -23,6 +23,7 @@
 #include "regfile/compiler_rf_cache.hh"
 #include "regfile/regdem.hh"
 #include "regfile/rf_hierarchy.hh"
+#include "regfile/tenant_arbiter.hh"
 #include "regless/regless_config.hh"
 
 namespace regless::sim
@@ -70,6 +71,62 @@ struct TraceConfig
     std::string path = "regless_trace.json";
 };
 
+/** One co-resident kernel of a multi-tenant SM run. */
+struct TenantWorkload
+{
+    /** Rodinia workload name. */
+    std::string kernel;
+    /**
+     * QoS class: 0 = best-effort (throughput), > 0 = latency-
+     * sensitive. PriorityReserve admits priority tenants into the
+     * reserved OSU lines; the QoS controller preempts best-effort
+     * tenants on behalf of priority ones.
+     */
+    unsigned priority = 0;
+};
+
+/**
+ * Multi-tenant SM configuration (DESIGN.md §16). With fewer than two
+ * workloads (the default) the simulator runs the classic single-
+ * kernel path, bit-identical to pre-tenant builds.
+ */
+struct TenantConfig
+{
+    /** Co-resident kernels, one per tenant, in tenant-id order. */
+    std::vector<TenantWorkload> workloads;
+
+    /** How tenants share the OSU capacity. */
+    regfile::CapacityPolicy policy =
+        regfile::CapacityPolicy::FreeForAll;
+
+    /** StaticQuota lines per tenant (0 = total / tenants). */
+    unsigned quotaLines = 0;
+
+    /** PriorityReserve: fraction held for priority tenants. */
+    double reserveFrac = 0.25;
+
+    /**
+     * Region-boundary QoS preemption: while any latency-sensitive
+     * tenant is unfinished, best-effort tenants run only qosShare of
+     * every qosInterval and are suspended (staged state drained and
+     * handed off) for the rest.
+     */
+    bool qosPreemption = false;
+    Cycle qosInterval = 20000;
+    double qosShare = 0.5;
+
+    /**
+     * Per-tenant address-space strides. Tenant t's data segment
+     * starts at sm.dataBase + t * dataStride and its shared segment
+     * at sm.sharedBase + t * sharedStride, and the synthetic value
+     * generator is translated per segment — so each tenant reads the
+     * same values at the same kernel-relative addresses as a solo
+     * run (the memory-image parity the preemption tests check).
+     */
+    Addr dataStride = 0x0400'0000;
+    Addr sharedStride = 0x1000'0000;
+};
+
 /** Full simulator configuration. */
 struct GpuConfig
 {
@@ -114,6 +171,9 @@ struct GpuConfig
 
     /** Stall/activation timeline emission (off by default). */
     TraceConfig trace;
+
+    /** Multi-tenant SM operation (inactive below two workloads). */
+    TenantConfig tenants;
 
     /**
      * Canonical configuration for @a kind. Scheduler policy and any

@@ -21,6 +21,7 @@
 #include "common/sim_error.hh"
 #include "regfile/baseline_rf.hh"
 #include "regfile/register_provider.hh"
+#include "regfile/tenant_arbiter.hh"
 #include "sim/gpu_config.hh"
 #include "sim/progress_monitor.hh"
 #include "sim/run_stats.hh"
@@ -41,6 +42,21 @@ class GpuSimulator
 
     /** Variant with an externally shared DRAM (multi-SM simulation). */
     GpuSimulator(const ir::Kernel &kernel, GpuConfig config,
+                 std::shared_ptr<mem::DramModel> shared_dram);
+
+    /**
+     * Multi-tenant launch (DESIGN.md §16): each kernel becomes one
+     * SM tenant with its own warp partition, scheduler groups,
+     * provider instance, and address segments. config.tenants supplies
+     * priorities and the capacity policy; one kernel is exactly the
+     * classic single-kernel simulation.
+     */
+    GpuSimulator(const std::vector<ir::Kernel> &kernels,
+                 GpuConfig config);
+
+    /** Multi-tenant variant with an externally shared DRAM. */
+    GpuSimulator(const std::vector<ir::Kernel> &kernels,
+                 GpuConfig config,
                  std::shared_ptr<mem::DramModel> shared_dram);
 
     /**
@@ -73,11 +89,61 @@ class GpuSimulator
 
     /** @name Introspection (valid after construction). */
     /// @{
-    const compiler::CompiledKernel &compiled() const { return *_ck; }
+    const compiler::CompiledKernel &compiled() const
+    {
+        return *_cks.front();
+    }
     mem::MemorySystem &memory() { return *_mem; }
     arch::Sm &sm() { return *_sm; }
-    regfile::RegisterProvider &provider() { return *_provider; }
+    regfile::RegisterProvider &provider()
+    {
+        return *_providers.front();
+    }
     const GpuConfig &config() const { return _config; }
+
+    /** Co-resident tenants (1 for classic runs). */
+    unsigned tenantCount() const
+    {
+        return static_cast<unsigned>(_cks.size());
+    }
+    const compiler::CompiledKernel &compiled(unsigned t) const
+    {
+        return *_cks[t];
+    }
+    regfile::RegisterProvider &provider(unsigned t)
+    {
+        return *_providers[t];
+    }
+
+    /** Sum of every tenant's provider progress events (the watchdog
+     *  metric's provider half; exposed for the multi-SM runner). */
+    std::uint64_t providerProgressEvents() const;
+    /// @}
+
+    /**
+     * @name QoS controller (DESIGN.md §16). Active only when
+     * config.tenants.qosPreemption is set, at least two tenants are
+     * resident, and both a priority and a best-effort tenant exist.
+     */
+    /// @{
+    /**
+     * Act on the schedule at @a now: suspend best-effort tenants at
+     * their interval boundary while a priority tenant is unfinished,
+     * resume them for their share window (and permanently once every
+     * priority tenant retires). Called by the run loops every
+     * iteration; skip jumps are clamped to qosNextDecision() so both
+     * stepping modes see every boundary cycle.
+     */
+    void qosPoll(Cycle now);
+
+    /** Next cycle at which qosPoll() could change tenant state. */
+    Cycle qosNextDecision(Cycle now) const;
+
+    /**
+     * Advance to min(@a epoch_end, completion) under the configured
+     * stepping mode with QoS polling (the multi-SM epoch body).
+     */
+    void advanceEpoch(Cycle epoch_end);
     /// @}
 
     /**
@@ -107,7 +173,8 @@ class GpuSimulator
     DeadlockReport
     deadlockSnapshot(const ProgressMonitor &monitor,
                      ProgressMonitor::Verdict verdict, Cycle now,
-                     const arch::StallSnapshot *since = nullptr) const;
+                     const arch::StallSnapshot *since = nullptr,
+                     int starved_tenant = -1) const;
 
     /**
      * Multi-SM instance identity for tracing: pid @a pid in the trace
@@ -130,10 +197,20 @@ class GpuSimulator
     void harvest(RunStats &stats);
 
     GpuConfig _config;
-    std::unique_ptr<compiler::CompiledKernel> _ck;
+    std::vector<std::unique_ptr<compiler::CompiledKernel>> _cks;
     std::unique_ptr<mem::MemorySystem> _mem;
-    std::unique_ptr<regfile::RegisterProvider> _provider;
+    std::vector<std::unique_ptr<regfile::RegisterProvider>> _providers;
+    std::unique_ptr<regfile::TenantArbiter> _arbiter;
     std::unique_ptr<arch::Sm> _sm;
+
+    /** @name QoS controller state (inert unless _qosActive). */
+    /// @{
+    bool _qosActive = false;
+    bool _qosHogsParked = false;
+    std::vector<unsigned> _qosHogs;      ///< best-effort tenant ids
+    std::vector<unsigned> _qosSensitive; ///< priority tenant ids
+    Cycle _qosRunWindow = 0; ///< hog run share of each interval
+    /// @}
     std::unique_ptr<FaultInjector> _injector;
     std::unique_ptr<TraceWriter> _trace;
     unsigned _tracePid = 0;

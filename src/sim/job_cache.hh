@@ -55,7 +55,9 @@ namespace regless::sim
 // v7: the provider registry added the rfcache/regdem designs.
 // v8: static value-range compression fields; entries moved from a
 //     flat directory into per-fingerprint shard subdirectories.
-constexpr unsigned kJobCacheSchemaVersion = 8;
+// v9: multi-tenant SMs — RunStats gained per-tenant lanes and the
+//     config fingerprint gained the tenants.* block.
+constexpr unsigned kJobCacheSchemaVersion = 9;
 
 /**
  * Deterministic failure injection for the cache layer, mirroring the

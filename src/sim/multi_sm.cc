@@ -24,6 +24,14 @@ struct MultiSmSimulator::Instance
 MultiSmSimulator::MultiSmSimulator(const ir::Kernel &kernel,
                                    GpuConfig config, unsigned num_sms,
                                    unsigned threads)
+    : MultiSmSimulator(std::vector<ir::Kernel>{kernel},
+                       std::move(config), num_sms, threads)
+{
+}
+
+MultiSmSimulator::MultiSmSimulator(const std::vector<ir::Kernel> &kernels,
+                                   GpuConfig config, unsigned num_sms,
+                                   unsigned threads)
     : _config(std::move(config))
 {
     if (num_sms == 0)
@@ -38,7 +46,7 @@ MultiSmSimulator::MultiSmSimulator(const ir::Kernel &kernel,
 
     for (unsigned i = 0; i < num_sms; ++i) {
         _sms.push_back(std::make_unique<Instance>(
-            std::make_unique<GpuSimulator>(kernel, _config, _dram)));
+            std::make_unique<GpuSimulator>(kernels, _config, _dram)));
     }
 
     // Deterministic sharing: each SM submits DRAM traffic through its
@@ -74,18 +82,14 @@ MultiSmSimulator::run(double wall_timeout_sec)
         // state and its snapshot view of the DRAM channels.
         pool.parallelFor(_sms.size(), [this, &errors](std::size_t i) {
             try {
-                arch::Sm &sm = _sms[i]->simulator->sm();
-                // Skip jumps are clamped to the epoch boundary so the
-                // DRAM drain and watchdog checks still happen at the
-                // exact same barrier cycles as plain stepping.
-                const Cycle epoch_end = sm.now() + epochCycles;
-                if (_config.sm.cycleSkip) {
-                    while (!sm.done() && sm.now() < epoch_end)
-                        sm.stepSkipping(epoch_end);
-                } else {
-                    while (!sm.done() && sm.now() < epoch_end)
-                        sm.step();
-                }
+                GpuSimulator &gpu = *_sms[i]->simulator;
+                // The epoch body (with its QoS polling and skip-jump
+                // clamping to the boundary) is SM-local, so it is safe
+                // on the worker threads. Skip jumps never pass the
+                // epoch boundary, so the DRAM drain and watchdog
+                // checks happen at the exact same barrier cycles as
+                // plain stepping.
+                gpu.advanceEpoch(gpu.sm().now() + epochCycles);
             } catch (...) {
                 errors[i] = std::current_exception();
             }
@@ -108,7 +112,7 @@ MultiSmSimulator::run(double wall_timeout_sec)
                 all_done = false;
             now = std::max(now, gpu.sm().now());
             progress += gpu.sm().totalInsns() +
-                        gpu.provider().progressEvents();
+                        gpu.providerProgressEvents();
         }
         if (all_done)
             break;
@@ -148,6 +152,14 @@ MultiSmSimulator::run(double wall_timeout_sec)
         total.l2Accesses += s.l2Accesses;
         total.rfReads += s.rfReads;
         total.rfWrites += s.rfWrites;
+        total.renameLookups += s.renameLookups;
+        total.lrfAccesses += s.lrfAccesses;
+        total.orfAccesses += s.orfAccesses;
+        total.mrfAccesses += s.mrfAccesses;
+        total.rfCacheHits += s.rfCacheHits;
+        total.rfCacheMisses += s.rfCacheMisses;
+        total.spillStores += s.spillStores;
+        total.fillLoads += s.fillLoads;
         total.osuAccesses += s.osuAccesses;
         total.osuTagLookups += s.osuTagLookups;
         total.osuBankConflicts += s.osuBankConflicts;
@@ -169,6 +181,22 @@ MultiSmSimulator::run(double wall_timeout_sec)
             total.stallSlots[c] += s.stallSlots[c];
         total.skippedCycles += s.skippedCycles;
         total.skipEvents += s.skipEvents;
+        // Per-tenant lanes: counters sum across SMs; a tenant's finish
+        // cycle is its slowest SM's.
+        for (std::size_t t = 0;
+             t < std::min(total.tenants.size(), s.tenants.size());
+             ++t) {
+            TenantLane &lane = total.tenants[t];
+            const TenantLane &other = s.tenants[t];
+            lane.insns += other.insns;
+            lane.issuedSlots += other.issuedSlots;
+            for (std::size_t c = 0; c < arch::kNumStallCauses; ++c)
+                lane.stallSlots[c] += other.stallSlots[c];
+            lane.finishCycle =
+                std::max(lane.finishCycle, other.finishCycle);
+            lane.suspendedCycles += other.suspendedCycles;
+            lane.preemptions += other.preemptions;
+        }
         total.energy.regDynamic += s.energy.regDynamic;
         total.energy.regStatic += s.energy.regStatic;
         total.energy.compressor += s.energy.compressor;

@@ -62,6 +62,15 @@ class MultiSmSimulator
     MultiSmSimulator(const ir::Kernel &kernel, GpuConfig config,
                      unsigned num_sms, unsigned threads = 0);
 
+    /**
+     * Multi-tenant variant: every SM co-hosts all of @a kernels under
+     * config.tenants (DESIGN.md §16). One kernel is exactly the
+     * classic constructor.
+     */
+    MultiSmSimulator(const std::vector<ir::Kernel> &kernels,
+                     GpuConfig config, unsigned num_sms,
+                     unsigned threads = 0);
+
     ~MultiSmSimulator();
 
     MultiSmSimulator(const MultiSmSimulator &) = delete;

@@ -42,14 +42,46 @@ ProgressMonitor::check(Cycle now, std::uint64_t progress)
     return Verdict::Ok;
 }
 
+void
+ProgressMonitor::trackTenants(unsigned count)
+{
+    _tenants.assign(count, TenantTrack{});
+}
+
+bool
+ProgressMonitor::checkTenant(unsigned t, Cycle now,
+                             std::uint64_t progress, bool exempt)
+{
+    TenantTrack &track = _tenants[t];
+    track.exempt = exempt;
+    if (exempt || progress > track.lastProgress) {
+        // Suspension/completion restarts the window: time parked by
+        // the QoS controller never counts against the tenant.
+        track.lastProgress = progress;
+        track.lastProgressCycle = now;
+        return false;
+    }
+    return _window != 0 && now >= track.lastProgressCycle + _window;
+}
+
 Cycle
 ProgressMonitor::skipLimit(Cycle now) const
 {
     Cycle limit = std::numeric_limits<Cycle>::max() / 2;
     if (_maxCycles)
         limit = std::min(limit, _maxCycles);
-    if (_window)
+    if (_window) {
         limit = std::min(limit, _lastProgressCycle + _window);
+        // Per-tenant windows trip on their own cycle too; exempt
+        // tenants' windows restart at every check, so their bound
+        // trails the skip target instead of clamping it.
+        for (const TenantTrack &track : _tenants) {
+            if (!track.exempt) {
+                limit =
+                    std::min(limit, track.lastProgressCycle + _window);
+            }
+        }
+    }
     if (_wallTimeoutSec > 0.0) {
         // Land on wall-poll cycles so a skipped-over run still honours
         // its wall-clock budget (the poll cadence, not the verdict, is

@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -57,6 +58,34 @@ class ProgressMonitor
     /** Cycle of the last observed progress-metric increase. */
     Cycle lastProgressCycle() const { return _lastProgressCycle; }
 
+    /**
+     * @name Per-tenant starvation tracking (DESIGN.md §16).
+     *
+     * The global metric sums all tenants, so one starved tenant is
+     * invisible behind a co-runner's progress. trackTenants() arms a
+     * per-tenant window; the run loop then feeds each tenant's own
+     * metric through checkTenant() every time it checks the whole SM.
+     */
+    /// @{
+    /** Arm per-tenant tracking for @a count tenants. */
+    void trackTenants(unsigned count);
+
+    /**
+     * Record tenant @a t's progress metric at @a now; true when the
+     * tenant is starved (no progress for a full window). @a exempt
+     * (suspended or finished tenants) restarts the window instead of
+     * judging — a tenant parked by the QoS controller is not starved.
+     */
+    bool checkTenant(unsigned t, Cycle now, std::uint64_t progress,
+                     bool exempt);
+
+    /** Last cycle tenant @a t progressed (or was exempt). */
+    Cycle tenantLastProgressCycle(unsigned t) const
+    {
+        return _tenants[t].lastProgressCycle;
+    }
+    /// @}
+
     Cycle window() const { return _window; }
     Cycle maxCycles() const { return _maxCycles; }
 
@@ -75,12 +104,20 @@ class ProgressMonitor
     static const char *reason(Verdict verdict);
 
   private:
+    struct TenantTrack
+    {
+        std::uint64_t lastProgress = 0;
+        Cycle lastProgressCycle = 0;
+        bool exempt = false;
+    };
+
     Cycle _window;
     Cycle _maxCycles;
     double _wallTimeoutSec;
     std::chrono::steady_clock::time_point _start;
     std::uint64_t _lastProgress = 0;
     Cycle _lastProgressCycle = 0;
+    std::vector<TenantTrack> _tenants;
 };
 
 } // namespace regless::sim

@@ -23,14 +23,14 @@ using Provider = std::unique_ptr<regfile::RegisterProvider>;
 
 Provider
 makeBaseline(const compiler::CompiledKernel &, mem::MemorySystem &,
-             const GpuConfig &)
+             const GpuConfig &, WarpId, unsigned)
 {
     return std::make_unique<regfile::BaselineRf>();
 }
 
 Provider
 makeRfh(const compiler::CompiledKernel &ck, mem::MemorySystem &,
-        const GpuConfig &config)
+        const GpuConfig &config, WarpId, unsigned)
 {
     if (config.sm.scheduler != arch::SchedulerPolicy::TwoLevel)
         warn("RFH without the two-level scheduler is not the "
@@ -40,7 +40,7 @@ makeRfh(const compiler::CompiledKernel &ck, mem::MemorySystem &,
 
 Provider
 makeRfv(const compiler::CompiledKernel &ck, mem::MemorySystem &,
-        const GpuConfig &config)
+        const GpuConfig &config, WarpId, unsigned)
 {
     return std::make_unique<regfile::RfVirtualization>(
         ck, config.rfvPhysEntries);
@@ -48,26 +48,30 @@ makeRfv(const compiler::CompiledKernel &ck, mem::MemorySystem &,
 
 Provider
 makeRegless(const compiler::CompiledKernel &ck, mem::MemorySystem &mem,
-            const GpuConfig &config)
+            const GpuConfig &config, WarpId warp_base,
+            unsigned warp_count)
 {
     return std::make_unique<staging::ReglessProvider>(
-        ck, mem, config.regless, config.sm.numWarps);
+        ck, mem, config.regless, config.sm.numWarps, warp_base,
+        warp_count);
 }
 
 Provider
 makeReglessNoCompressor(const compiler::CompiledKernel &ck,
-                        mem::MemorySystem &mem, const GpuConfig &config)
+                        mem::MemorySystem &mem, const GpuConfig &config,
+                        WarpId warp_base, unsigned warp_count)
 {
     // Force the ablation even for configs built without forProvider().
     staging::ReglessConfig rcfg = config.regless;
     rcfg.compressorEnabled = false;
     return std::make_unique<staging::ReglessProvider>(
-        ck, mem, rcfg, config.sm.numWarps);
+        ck, mem, rcfg, config.sm.numWarps, warp_base, warp_count);
 }
 
 Provider
 makeCompilerRfCache(const compiler::CompiledKernel &ck,
-                    mem::MemorySystem &, const GpuConfig &config)
+                    mem::MemorySystem &, const GpuConfig &config,
+                    WarpId, unsigned)
 {
     return std::make_unique<regfile::CompilerRfCache>(ck,
                                                       config.rfCache);
@@ -75,7 +79,7 @@ makeCompilerRfCache(const compiler::CompiledKernel &ck,
 
 Provider
 makeRegDem(const compiler::CompiledKernel &ck, mem::MemorySystem &mem,
-           const GpuConfig &config)
+           const GpuConfig &config, WarpId, unsigned)
 {
     return std::make_unique<regfile::RegDemProvider>(ck, mem,
                                                      config.regdem);

@@ -53,10 +53,18 @@ struct ProviderDescriptor
      */
     bool fixedArchitecturalRf;
 
-    /** Construct the provider for an assembled simulator. */
+    /**
+     * Construct the provider for an assembled simulator, serving the
+     * SM warp slots [warp_base, warp_base + warp_count). Whole-SM
+     * launches pass (0, config.sm.numWarps); under multi-tenant
+     * operation each tenant's instance gets its warp partition.
+     * Designs whose structures are indexed by global warp id simply
+     * size for the whole SM and ignore the range.
+     */
     std::unique_ptr<regfile::RegisterProvider> (*make)(
         const compiler::CompiledKernel &ck, mem::MemorySystem &mem,
-        const GpuConfig &config);
+        const GpuConfig &config, WarpId warp_base,
+        unsigned warp_count);
 
     /** Per-provider canonical-config tuning (may be null). */
     void (*tuneConfig)(GpuConfig &config);

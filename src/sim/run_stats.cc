@@ -7,6 +7,17 @@ namespace regless::sim
 {
 
 bool
+operator==(const TenantLane &a, const TenantLane &b)
+{
+    return a.kernel == b.kernel && a.insns == b.insns &&
+           a.issuedSlots == b.issuedSlots &&
+           a.stallSlots == b.stallSlots &&
+           a.finishCycle == b.finishCycle &&
+           a.suspendedCycles == b.suspendedCycles &&
+           a.preemptions == b.preemptions;
+}
+
+bool
 operator==(const RunStats &a, const RunStats &b)
 {
     return a.kernel == b.kernel && a.provider == b.provider &&
@@ -52,7 +63,7 @@ operator==(const RunStats &a, const RunStats &b)
            a.regionCyclesMean == b.regionCyclesMean &&
            a.regionInsnsMean == b.regionInsnsMean &&
            a.staticInsnsPerRegion == b.staticInsnsPerRegion &&
-           a.numRegions == b.numRegions &&
+           a.numRegions == b.numRegions && a.tenants == b.tenants &&
            a.energy.regDynamic == b.energy.regDynamic &&
            a.energy.regStatic == b.energy.regStatic &&
            a.energy.compressor == b.energy.compressor &&

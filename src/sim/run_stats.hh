@@ -21,6 +21,29 @@
 namespace regless::sim
 {
 
+/**
+ * Per-tenant accounting for one multi-tenant run (DESIGN.md §16).
+ * One lane per co-resident kernel; the lane's issue-slot account is
+ * closed on its own — insns issued + stalls == the tenant's scheduler
+ * slots × cycles — and the lanes sum to the whole-SM invariant.
+ */
+struct TenantLane
+{
+    std::string kernel;
+    std::uint64_t insns = 0;
+    std::uint64_t issuedSlots = 0;
+    std::array<std::uint64_t, arch::kNumStallCauses> stallSlots{};
+    /** Cycle the tenant's last warp retired (its solo runtime under
+     *  co-residency; the LS tenant's tail latency). */
+    Cycle finishCycle = 0;
+    /** Cycles spent suspended by the QoS controller. */
+    std::uint64_t suspendedCycles = 0;
+    /** Region-boundary preemptions taken. */
+    std::uint64_t preemptions = 0;
+};
+
+bool operator==(const TenantLane &a, const TenantLane &b);
+
 /** Everything measured in one kernel execution. */
 struct RunStats
 {
@@ -113,6 +136,10 @@ struct RunStats
     double staticInsnsPerRegion = 0.0;
     unsigned numRegions = 0;
     /// @}
+
+    /** Per-tenant lanes; empty for single-tenant runs, so classic
+     *  results keep their exact serialized form. */
+    std::vector<TenantLane> tenants;
 
     /** Energy under the model (filled by computeEnergy). */
     energy::EnergyBreakdown energy;

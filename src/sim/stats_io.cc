@@ -363,6 +363,47 @@ applyRunField(RunStats &stats, const std::string &key,
             stats.energy.rest = v.num;
         else if (key == "backing_series")
             stats.backingSeries = v.array;
+        else if (key == "tenant_count")
+            stats.tenants.resize(static_cast<std::size_t>(v.num));
+        else if (key.rfind("tenant", 0) == 0) {
+            // "tenant<t>_<field>"; tenant_count precedes the lanes in
+            // writeRunFields' emission order, so the vector is sized.
+            const std::size_t sep = key.find('_');
+            if (sep == std::string::npos || sep <= 6)
+                return;
+            char *end = nullptr;
+            const unsigned long t =
+                std::strtoul(key.c_str() + 6, &end, 10);
+            if (end != key.c_str() + sep || t >= stats.tenants.size())
+                return;
+            TenantLane &lane = stats.tenants[t];
+            const std::string field = key.substr(sep + 1);
+            if (field == "kernel")
+                lane.kernel = v.str;
+            else if (field == "insns")
+                lane.insns = asCount(v);
+            else if (field == "issued_slots")
+                lane.issuedSlots = asCount(v);
+            else if (field == "finish_cycle")
+                lane.finishCycle = static_cast<Cycle>(v.num);
+            else if (field == "suspended_cycles")
+                lane.suspendedCycles = asCount(v);
+            else if (field == "preemptions")
+                lane.preemptions = asCount(v);
+            else if (field.rfind("stall_", 0) == 0) {
+                for (std::size_t c = 0; c < arch::kNumStallCauses;
+                     ++c) {
+                    const auto cause =
+                        static_cast<arch::StallCause>(c);
+                    if (field.compare(6, std::string::npos,
+                                      arch::stallCauseName(cause)) ==
+                        0) {
+                        lane.stallSlots[c] = asCount(v);
+                        break;
+                    }
+                }
+            }
+        }
         // Unknown keys (e.g. derived "energy_total") are ignored.
 }
 
@@ -443,6 +484,31 @@ writeRunFields(JsonObject &obj, const RunStats &stats)
     obj.field("energy_rest", stats.energy.rest);
     obj.field("energy_total", stats.energy.total());
     obj.fieldArray("backing_series", stats.backingSeries);
+    // Tenant lanes are emitted only when present, so single-tenant
+    // JSON stays byte-identical to pre-tenant builds.
+    if (!stats.tenants.empty()) {
+        obj.field("tenant_count",
+                  static_cast<std::uint64_t>(stats.tenants.size()));
+        for (std::size_t t = 0; t < stats.tenants.size(); ++t) {
+            const TenantLane &lane = stats.tenants[t];
+            const std::string p = "tenant" + std::to_string(t) + "_";
+            obj.field((p + "kernel").c_str(), lane.kernel);
+            obj.field((p + "insns").c_str(), lane.insns);
+            obj.field((p + "issued_slots").c_str(), lane.issuedSlots);
+            for (std::size_t c = 0; c < arch::kNumStallCauses; ++c) {
+                const std::string key =
+                    p + "stall_" +
+                    arch::stallCauseName(
+                        static_cast<arch::StallCause>(c));
+                obj.field(key.c_str(), lane.stallSlots[c]);
+            }
+            obj.field((p + "finish_cycle").c_str(),
+                      static_cast<std::uint64_t>(lane.finishCycle));
+            obj.field((p + "suspended_cycles").c_str(),
+                      lane.suspendedCycles);
+            obj.field((p + "preemptions").c_str(), lane.preemptions);
+        }
+    }
 }
 
 } // namespace

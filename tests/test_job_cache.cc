@@ -250,8 +250,11 @@ TEST(JobCacheLoad, NewerSchemaEntriesAreRejectedNotHalfParsed)
     EXPECT_EQ(cache.counters().corrupt, 0u);
 
     // Older entries are gated identically.
-    text.replace(text.find("\"record_schema\":"), stamp.size() + 1,
-                 "\"record_schema\":1,");
+    const std::string future =
+        "\"record_schema\":" +
+        std::to_string(sim::kJobCacheSchemaVersion + 1);
+    text.replace(text.find("\"record_schema\":"), future.size(),
+                 "\"record_schema\":1");
     std::ofstream(cache.entryPath(key),
                   std::ios::binary | std::ios::trunc)
         << text;

@@ -30,6 +30,7 @@
 #include "regfile/regdem.hh"
 #include "sim/experiment.hh"
 #include "sim/experiment_engine.hh"
+#include "sim/job_cache.hh"
 #include "sim/gpu_simulator.hh"
 #include "sim/provider_registry.hh"
 #include "workloads/kernel_builder.hh"
@@ -314,14 +315,14 @@ TEST(RegDemTest, SpillTrafficIsRealMemoryTraffic)
 }
 
 // ---------------------------------------------------------------------
-// Cache schema v8 (negative test: v7 entries are stale).
+// Cache schema (negative test: previous-version entries are stale).
 // ---------------------------------------------------------------------
 
-TEST(CacheSchema, V7EntriesAreRejected)
+TEST(CacheSchema, PreviousSchemaEntriesAreRejected)
 {
     const std::filesystem::path dir =
         std::filesystem::path(::testing::TempDir()) /
-        "regless-schema-v7";
+        "regless-schema-stale";
     std::filesystem::remove_all(dir);
     sim::ExperimentEngine::Options options;
     options.cacheDir = dir.string();
@@ -339,7 +340,7 @@ TEST(CacheSchema, V7EntriesAreRejected)
         dir / sim::ExperimentEngine::cacheEntryPath(job);
     ASSERT_TRUE(std::filesystem::exists(path));
 
-    // Downgrade the entry's schema stamp to 7 in place (the file name
+    // Downgrade the entry's schema stamp in place (the file name
     // stays valid, so only the record-level check can reject it).
     std::string text;
     {
@@ -355,11 +356,13 @@ TEST(CacheSchema, V7EntriesAreRejected)
     ASSERT_NE(digit, std::string::npos);
     const std::size_t end =
         text.find_first_not_of("0123456789", digit);
-    ASSERT_EQ(text.substr(digit, end - digit), "8");
-    text.replace(digit, end - digit, "7");
+    ASSERT_EQ(text.substr(digit, end - digit),
+              std::to_string(sim::kJobCacheSchemaVersion));
+    text.replace(digit, end - digit,
+                 std::to_string(sim::kJobCacheSchemaVersion - 1));
     std::ofstream(path, std::ios::binary | std::ios::trunc) << text;
 
-    // A v7 entry is a miss, the job re-simulates, the entry heals.
+    // A stale entry is a miss, the job re-simulates, the entry heals.
     {
         sim::ExperimentEngine engine(options);
         const sim::RunStats &stats = engine.stats(engine.submit(job));
